@@ -1,0 +1,137 @@
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/check.h"
+#include "common/table_printer.h"
+
+namespace d2stgnn::bench {
+namespace {
+
+float EnvFloat(const char* name, float fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? static_cast<float>(std::atof(value)) : fallback;
+}
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoll(value) : fallback;
+}
+
+}  // namespace
+
+BenchEnv GetBenchEnv() {
+  BenchEnv env;
+  env.scale = EnvFloat("D2_BENCH_SCALE", env.scale);
+  env.epochs = EnvInt("D2_BENCH_EPOCHS", env.epochs);
+  env.batch_size = EnvInt("D2_BENCH_BATCH", env.batch_size);
+  env.hidden_dim = EnvInt("D2_BENCH_HIDDEN", env.hidden_dim);
+  env.train_samples = EnvInt("D2_BENCH_TRAIN_SAMPLES", env.train_samples);
+  env.eval_samples = EnvInt("D2_BENCH_EVAL_SAMPLES", env.eval_samples);
+  return env;
+}
+
+std::vector<int64_t> StrideSubsample(const std::vector<int64_t>& starts,
+                                     int64_t max_count) {
+  const int64_t n = static_cast<int64_t>(starts.size());
+  if (n <= max_count) return starts;
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(max_count));
+  for (int64_t i = 0; i < max_count; ++i) {
+    out.push_back(starts[static_cast<size_t>(i * n / max_count)]);
+  }
+  return out;
+}
+
+PreparedDataset PrepareDataset(const data::DatasetPreset& preset,
+                               const BenchEnv& env) {
+  PreparedDataset prepared;
+  prepared.name = preset.name;
+  data::SyntheticTrafficOptions options = preset.options;
+  prepared.traffic = data::GenerateSyntheticTraffic(options);
+  const int64_t steps = prepared.traffic.dataset.num_steps();
+  prepared.train_steps =
+      static_cast<int64_t>(static_cast<float>(steps) * preset.train_frac);
+  prepared.scaler.Fit(prepared.traffic.dataset.values, prepared.train_steps,
+                      /*mask_zeros=*/true);
+  prepared.splits = data::MakeChronologicalSplits(
+      steps, 12, 12, preset.train_frac, preset.val_frac);
+  prepared.splits.train =
+      StrideSubsample(prepared.splits.train, env.train_samples);
+  prepared.splits.val =
+      StrideSubsample(prepared.splits.val, env.eval_samples / 2);
+  prepared.splits.test =
+      StrideSubsample(prepared.splits.test, env.eval_samples);
+  return prepared;
+}
+
+TrainedModelResult TrainAndEvaluateModel(
+    const std::string& model_name, const PreparedDataset& prepared,
+    const BenchEnv& env,
+    const std::function<void(train::TrainerOptions*)>& trainer_overrides) {
+  baselines::ModelConfig config;
+  config.num_nodes = prepared.dataset().num_nodes();
+  config.hidden_dim = env.hidden_dim;
+  config.embed_dim = env.embed_dim;
+  config.steps_per_day = prepared.dataset().steps_per_day;
+  Rng rng(env.seed);
+  auto model = baselines::MakeModel(model_name, config,
+                                    prepared.dataset().network.adjacency, rng);
+  return TrainAndEvaluateModel(model.get(), prepared, env, trainer_overrides);
+}
+
+TrainedModelResult TrainAndEvaluateModel(
+    train::ForecastingModel* model, const PreparedDataset& prepared,
+    const BenchEnv& env,
+    const std::function<void(train::TrainerOptions*)>& trainer_overrides) {
+  data::WindowDataLoader train_loader(&prepared.dataset(), &prepared.scaler,
+                                      prepared.splits.train, 12, 12,
+                                      env.batch_size);
+  data::WindowDataLoader val_loader(&prepared.dataset(), &prepared.scaler,
+                                    prepared.splits.val, 12, 12,
+                                    env.batch_size);
+  data::WindowDataLoader test_loader(&prepared.dataset(), &prepared.scaler,
+                                     prepared.splits.test, 12, 12,
+                                     env.batch_size);
+
+  train::TrainerOptions options;
+  options.epochs = env.epochs;
+  options.seed = env.seed;
+  if (trainer_overrides) trainer_overrides(&options);
+
+  train::Trainer trainer(model, &prepared.scaler, options);
+  const train::FitResult fit = trainer.Fit(&train_loader, &val_loader);
+
+  TrainedModelResult result;
+  result.horizons =
+      train::EvaluateHorizons(model, &prepared.scaler, &test_loader);
+  result.mean_epoch_seconds = fit.mean_epoch_seconds;
+  result.parameter_count = model->ParameterCount();
+  return result;
+}
+
+Tensor GatherTargets(const data::TimeSeriesDataset& dataset,
+                     const std::vector<int64_t>& starts, int64_t input_len,
+                     int64_t output_len) {
+  const int64_t n = dataset.num_nodes();
+  const int64_t s = static_cast<int64_t>(starts.size());
+  std::vector<float> out(static_cast<size_t>(s * output_len * n));
+  const std::vector<float>& values = dataset.values.Data();
+  for (int64_t w = 0; w < s; ++w) {
+    for (int64_t h = 0; h < output_len; ++h) {
+      const int64_t t = starts[static_cast<size_t>(w)] + input_len + h;
+      const float* src = values.data() + t * n;
+      std::copy(src, src + n,
+                out.data() + (w * output_len + h) * n);
+    }
+  }
+  return Tensor({s, output_len, n, 1}, std::move(out));
+}
+
+std::vector<std::string> MetricCells(const metrics::MetricSet& m) {
+  return {TablePrinter::Num(m.mae), TablePrinter::Num(m.rmse),
+          TablePrinter::Percent(m.mape)};
+}
+
+}  // namespace d2stgnn::bench

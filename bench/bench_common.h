@@ -1,0 +1,96 @@
+#ifndef D2STGNN_BENCH_BENCH_COMMON_H_
+#define D2STGNN_BENCH_BENCH_COMMON_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/registry.h"
+#include "data/presets.h"
+#include "data/scaler.h"
+#include "data/sliding_window.h"
+#include "data/synthetic_traffic.h"
+#include "train/evaluator.h"
+#include "train/trainer.h"
+
+namespace d2stgnn::bench {
+
+/// Bench-wide knobs, overridable by environment variables so the same
+/// binaries can run at laptop scale (defaults) or closer to paper scale:
+///   D2_BENCH_SCALE   — dataset scale factor vs. Table 2 (default 0.06)
+///   D2_BENCH_EPOCHS  — training epochs per model (default 5)
+///   D2_BENCH_BATCH   — batch size (default 16; paper uses 32)
+///   D2_BENCH_HIDDEN  — hidden width d (default 16; paper uses 32)
+///   D2_BENCH_TRAIN_SAMPLES / D2_BENCH_EVAL_SAMPLES — window subsample caps
+struct BenchEnv {
+  float scale = 0.06f;
+  int64_t epochs = 10;
+  int64_t batch_size = 16;
+  int64_t hidden_dim = 16;
+  int64_t embed_dim = 8;
+  int64_t train_samples = 384;
+  int64_t eval_samples = 256;
+  uint64_t seed = 7;
+};
+
+/// Reads the environment overrides.
+BenchEnv GetBenchEnv();
+
+/// A generated dataset with fitted scaler and (subsampled) window splits.
+struct PreparedDataset {
+  std::string name;
+  data::SyntheticTraffic traffic;
+  data::StandardScaler scaler;
+  data::SplitWindows splits;
+  int64_t train_steps = 0;
+
+  const data::TimeSeriesDataset& dataset() const { return traffic.dataset; }
+};
+
+/// Generates `preset`, fits the scaler on its training range, builds
+/// chronological splits and caps the per-split sample counts by striding.
+PreparedDataset PrepareDataset(const data::DatasetPreset& preset,
+                               const BenchEnv& env);
+
+/// Subsamples `starts` to at most `max_count` by uniform striding.
+std::vector<int64_t> StrideSubsample(const std::vector<int64_t>& starts,
+                                     int64_t max_count);
+
+/// Result of training one deep model on one dataset.
+struct TrainedModelResult {
+  std::vector<train::HorizonMetrics> horizons;  // at 3 / 6 / 12
+  double mean_epoch_seconds = 0.0;
+  int64_t parameter_count = 0;
+};
+
+/// Builds `model_name` from the registry, trains it with the shared recipe
+/// (Adam + masked MAE + curriculum + early stopping), and evaluates on the
+/// test split at horizons 3/6/12. `trainer_overrides` tweaks the options
+/// after defaults are applied (may be null).
+TrainedModelResult TrainAndEvaluateModel(
+    const std::string& model_name, const PreparedDataset& prepared,
+    const BenchEnv& env,
+    const std::function<void(train::TrainerOptions*)>& trainer_overrides =
+        nullptr);
+
+/// Same protocol for an already-constructed model (used by the ablation and
+/// sensitivity benches which build custom D²STGNN configs).
+TrainedModelResult TrainAndEvaluateModel(
+    train::ForecastingModel* model, const PreparedDataset& prepared,
+    const BenchEnv& env,
+    const std::function<void(train::TrainerOptions*)>& trainer_overrides =
+        nullptr);
+
+/// Gathers the ground-truth targets of a window list into [S, Tf, N, 1]
+/// (original units) for evaluating the non-neural baselines.
+Tensor GatherTargets(const data::TimeSeriesDataset& dataset,
+                     const std::vector<int64_t>& starts, int64_t input_len,
+                     int64_t output_len);
+
+/// Formats "MAE RMSE MAPE" cells of one horizon for the result tables.
+std::vector<std::string> MetricCells(const metrics::MetricSet& m);
+
+}  // namespace d2stgnn::bench
+
+#endif  // D2STGNN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,73 @@
+// Reproduces Figure 6: average training time per epoch on METR-LA for
+// D2STGNN, D2STGNN† (without dynamic graph learning), DGCRN, GMAN, MTGNN
+// and Graph WaveNet, under an identical data pipeline and batch size.
+//
+// Expected shape (paper Sec. 6.4): GWNet and MTGNN are the fastest;
+// D2STGNN sits between them and the expensive recurrent/attention models
+// (DGCRN, GMAN); removing dynamic graph learning (D2STGNN†) makes D2STGNN
+// cheaper. Absolute seconds depend on the host — relative bars matter.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "common/table_printer.h"
+
+namespace d2stgnn::bench {
+namespace {
+
+int Run() {
+  BenchEnv env = GetBenchEnv();
+  env.epochs = 2;  // timing only: a couple of epochs is plenty
+  std::printf("=== Figure 6: average training time per epoch, METR-LA "
+              "(scale %.3f, batch %lld) ===\n\n",
+              env.scale, static_cast<long long>(env.batch_size));
+
+  const PreparedDataset prepared =
+      PrepareDataset({"METR-LA", data::MetrLaOptions(env.scale), 0.7f, 0.1f},
+                     env);
+
+  const std::vector<std::pair<std::string, std::string>> models = {
+      {"D2STGNN", "D2STGNN"},   {"D2STGNN+", "D2STGNN-static"},
+      {"DGCRN", "DGCRN"},       {"GMAN", "GMAN"},
+      {"MTGNN", "MTGNN"},       {"GWNet", "GWNet"},
+  };
+
+  TablePrinter table({"Model", "s/epoch", "params", "bar"});
+  std::vector<TrainedModelResult> results;
+  for (const auto& [label, registry_name] : models) {
+    results.push_back(TrainAndEvaluateModel(
+        registry_name, prepared, env, [](train::TrainerOptions* options) {
+          options->patience = 0;  // no early stopping while timing
+        }));
+    std::fflush(stdout);
+  }
+  double max_seconds = 0.0;
+  for (const auto& r : results) {
+    max_seconds = std::max(max_seconds, r.mean_epoch_seconds);
+  }
+  for (size_t i = 0; i < models.size(); ++i) {
+    const double s = results[i].mean_epoch_seconds;
+    const int bar_len =
+        max_seconds > 0.0 ? static_cast<int>(40.0 * s / max_seconds) : 0;
+    table.AddRow({models[i].first, TablePrinter::Num(s, 3),
+                  std::to_string(results[i].parameter_count),
+                  std::string(static_cast<size_t>(bar_len), '#')});
+  }
+  std::printf("%s", table.ToString().c_str());
+
+  const double d2 = results[0].mean_epoch_seconds;
+  const double d2_static = results[1].mean_epoch_seconds;
+  const double gwnet = results[5].mean_epoch_seconds;
+  std::printf("\nchecks: D2STGNN+ faster than D2STGNN (dynamic graph has a "
+              "cost): %s; GWNet among fastest: %s\n",
+              d2_static < d2 ? "yes" : "NO",
+              gwnet <= d2 ? "yes" : "NO");
+  return 0;
+}
+
+}  // namespace
+}  // namespace d2stgnn::bench
+
+int main() { return d2stgnn::bench::Run(); }

@@ -1,0 +1,128 @@
+// google-benchmark microbenchmarks of the kernels that dominate D2STGNN
+// training: batched matmul, softmax, the localized transition construction,
+// one decoupled-layer forward, and a full forward+backward step.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/d2stgnn.h"
+#include "data/synthetic_traffic.h"
+#include "graph/localized_transition.h"
+#include "graph/transition.h"
+#include "metrics/metrics.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn {
+namespace {
+
+void BM_MatMul2D(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor a = Tensor::Randn({n, n}, rng);
+  Tensor b = Tensor::Randn({n, n}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul2D)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_BatchedMatMulBroadcast(benchmark::State& state) {
+  const int64_t batch = state.range(0);
+  Rng rng(1);
+  Tensor p = Tensor::Randn({20, 60}, rng);     // [N, kt*N]
+  Tensor x = Tensor::Randn({batch, 60, 16}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatMul(p, x));
+  }
+}
+BENCHMARK(BM_BatchedMatMulBroadcast)->Arg(8)->Arg(32);
+
+void BM_Softmax(benchmark::State& state) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({64, 12, 12}, rng);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Softmax(a, -1));
+  }
+}
+BENCHMARK(BM_Softmax);
+
+void BM_LocalizedTransition(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  Rng rng(1);
+  Tensor p = Softmax(Tensor::Randn({n, n}, rng), -1);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    for (const Tensor& power : graph::TransitionPowers(p, 2)) {
+      benchmark::DoNotOptimize(graph::LocalizedTransition(power, 3));
+    }
+  }
+}
+BENCHMARK(BM_LocalizedTransition)->Arg(20)->Arg(50);
+
+// One full D2STGNN training step (forward + masked MAE + backward) at bench
+// scale: the end-to-end cost every epoch is made of.
+void BM_D2StgnnTrainStep(benchmark::State& state) {
+  data::SyntheticTrafficOptions options;
+  options.network.num_nodes = 12;
+  options.num_steps = 600;
+  options.seed = 4;
+  const data::SyntheticTraffic traffic = data::GenerateSyntheticTraffic(options);
+  data::StandardScaler scaler;
+  scaler.Fit(traffic.dataset.values, 400, true);
+  const auto splits = data::MakeChronologicalSplits(600, 12, 12, 0.7f, 0.1f);
+  data::WindowDataLoader loader(&traffic.dataset, &scaler, splits.train, 12,
+                                12, 8);
+  const data::Batch batch = loader.GetBatch(0);
+
+  core::D2StgnnConfig config;
+  config.num_nodes = 12;
+  config.hidden_dim = 16;
+  config.embed_dim = 8;
+  Rng rng(2);
+  core::D2Stgnn model(config, traffic.dataset.network.adjacency, rng);
+  for (auto _ : state) {
+    Tensor loss = metrics::MaskedMaeLoss(
+        scaler.InverseTransform(model.Forward(batch)), batch.y);
+    model.ZeroGrad();
+    loss.Backward();
+    benchmark::DoNotOptimize(loss.Item());
+  }
+}
+BENCHMARK(BM_D2StgnnTrainStep)->Unit(benchmark::kMillisecond);
+
+// Inference-only forward pass (NoGrad) for deployment-style latency.
+void BM_D2StgnnInference(benchmark::State& state) {
+  data::SyntheticTrafficOptions options;
+  options.network.num_nodes = 12;
+  options.num_steps = 600;
+  options.seed = 4;
+  const data::SyntheticTraffic traffic = data::GenerateSyntheticTraffic(options);
+  data::StandardScaler scaler;
+  scaler.Fit(traffic.dataset.values, 400, true);
+  const auto splits = data::MakeChronologicalSplits(600, 12, 12, 0.7f, 0.1f);
+  data::WindowDataLoader loader(&traffic.dataset, &scaler, splits.test, 12,
+                                12, 8);
+  const data::Batch batch = loader.GetBatch(0);
+
+  core::D2StgnnConfig config;
+  config.num_nodes = 12;
+  config.hidden_dim = 16;
+  config.embed_dim = 8;
+  Rng rng(2);
+  core::D2Stgnn model(config, traffic.dataset.network.adjacency, rng);
+  model.SetTraining(false);
+  NoGradGuard no_grad;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Forward(batch));
+  }
+}
+BENCHMARK(BM_D2StgnnInference)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace d2stgnn
+
+BENCHMARK_MAIN();

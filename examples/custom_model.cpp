@@ -1,0 +1,125 @@
+// Building a custom forecasting model on the library's substrate: shows the
+// tensor/autograd engine, the nn modules, and the trainer working with a
+// user-defined architecture — here a small "GRU + graph convolution" hybrid
+// defined from scratch in ~60 lines.
+//
+//   ./build/examples/custom_model
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "data/presets.h"
+#include "data/sliding_window.h"
+#include "data/synthetic_traffic.h"
+#include "graph/transition.h"
+#include "nn/gru_cell.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+#include "train/evaluator.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace d2stgnn;
+
+// A user-defined model: project -> graph-convolve each frame -> GRU over
+// time -> regress all 12 future steps from the last hidden state.
+class GraphGru : public train::ForecastingModel {
+ public:
+  GraphGru(int64_t num_nodes, int64_t hidden, int64_t horizon,
+           const Tensor& adjacency, Rng& rng)
+      : ForecastingModel("graph_gru"),
+        num_nodes_(num_nodes),
+        horizon_(horizon),
+        input_proj_(data::kInputFeatures, hidden, rng),
+        spatial_(hidden, hidden, rng),
+        gru_(hidden, hidden, rng),
+        head_(hidden, horizon, rng) {
+    RegisterChild(&input_proj_);
+    RegisterChild(&spatial_);
+    RegisterChild(&gru_);
+    RegisterChild(&head_);
+    NoGradGuard no_grad;
+    transition_ = graph::ForwardTransition(adjacency);
+  }
+
+  Tensor Forward(const data::Batch& batch) override {
+    const int64_t b = batch.batch_size;
+    Tensor x = input_proj_.Forward(batch.x);  // [B, T, N, h]
+    x = Relu(spatial_.Forward(MatMul(transition_, x)));
+    Tensor h = Tensor::Zeros({b, num_nodes_, gru_.hidden_size()});
+    for (int64_t t = 0; t < batch.input_len; ++t) {
+      h = gru_.Forward(Reshape(Slice(x, 1, t, t + 1),
+                               {b, num_nodes_, gru_.hidden_size()}),
+                       h);
+    }
+    Tensor out = head_.Forward(h);           // [B, N, Tf]
+    out = Permute(out, {0, 2, 1});           // [B, Tf, N]
+    return Reshape(out, {b, horizon_, num_nodes_, 1});
+  }
+
+  int64_t horizon() const override { return horizon_; }
+
+ private:
+  int64_t num_nodes_;
+  int64_t horizon_;
+  Tensor transition_;
+  nn::Linear input_proj_;
+  nn::Linear spatial_;
+  nn::GruCell gru_;
+  nn::Linear head_;
+};
+
+std::vector<int64_t> EveryNth(const std::vector<int64_t>& v, int64_t n) {
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < v.size(); i += static_cast<size_t>(n)) {
+    out.push_back(v[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  data::SyntheticTrafficOptions options = data::MetrLaOptions(0.05f);
+  options.network.num_nodes = 12;
+  const data::SyntheticTraffic traffic = data::GenerateSyntheticTraffic(options);
+  const data::TimeSeriesDataset& dataset = traffic.dataset;
+
+  data::StandardScaler scaler;
+  scaler.Fit(dataset.values, dataset.num_steps() * 7 / 10, true);
+  const auto splits =
+      data::MakeChronologicalSplits(dataset.num_steps(), 12, 12, 0.7f, 0.1f);
+  data::WindowDataLoader train_loader(&dataset, &scaler,
+                                      EveryNth(splits.train, 16), 12, 12, 16);
+  data::WindowDataLoader val_loader(&dataset, &scaler,
+                                    EveryNth(splits.val, 8), 12, 12, 16);
+  data::WindowDataLoader test_loader(&dataset, &scaler,
+                                     EveryNth(splits.test, 8), 12, 12, 16);
+
+  Rng rng(3);
+  GraphGru model(dataset.num_nodes(), 16, 12, dataset.network.adjacency, rng);
+  std::printf("custom GraphGru model: %lld parameters\n",
+              static_cast<long long>(model.ParameterCount()));
+
+  train::TrainerOptions trainer_options;
+  trainer_options.epochs = 5;
+  trainer_options.verbose = true;
+  train::Trainer trainer(&model, &scaler, trainer_options);
+  trainer.Fit(&train_loader, &val_loader);
+
+  for (const auto& h : train::EvaluateHorizons(&model, &scaler, &test_loader)) {
+    std::printf("horizon %2lld: MAE %.3f  RMSE %.3f  MAPE %.2f%%\n",
+                static_cast<long long>(h.horizon), h.metrics.mae,
+                h.metrics.rmse, h.metrics.mape * 100.0);
+  }
+
+  // Bonus: the autograd engine is general-purpose — verify a gradient by
+  // hand right here.
+  Tensor w = Tensor::Full({1}, 3.0f).SetRequiresGrad(true);
+  Tensor loss = Sum(Mul(Mul(w, w), w));  // w^3 -> d/dw = 3 w^2 = 27
+  loss.Backward();
+  std::printf("\nautograd sanity: d(w^3)/dw at w=3 is %.1f (expected 27)\n",
+              w.Grad().At(0));
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Speed-forecasting scenario (the paper's METR-LA motivation): compare
+// D2STGNN against a classical baseline (Historical Average) and a
+// diffusion-only deep baseline (DCRNN) on a synthetic urban speed dataset
+// with rush-hour congestion and sensor failures, then show how the model
+// rides through a sensor-failure burst instead of predicting zeros.
+//
+//   ./build/examples/speed_forecasting
+
+#include <cstdio>
+
+#include "baselines/historical_average.h"
+#include "baselines/registry.h"
+#include "common/table_printer.h"
+#include "data/presets.h"
+#include "data/sliding_window.h"
+#include "data/synthetic_traffic.h"
+#include "train/evaluator.h"
+#include "train/trainer.h"
+
+namespace {
+
+using namespace d2stgnn;
+
+std::vector<int64_t> EveryNth(const std::vector<int64_t>& v, int64_t n) {
+  std::vector<int64_t> out;
+  for (size_t i = 0; i < v.size(); i += static_cast<size_t>(n)) {
+    out.push_back(v[i]);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // A mid-size city: 16 sensors, 16 days of 5-minute speeds, frequent
+  // loop-detector failures (like METR-LA).
+  data::SyntheticTrafficOptions options = data::MetrLaOptions(0.05f);
+  options.network.num_nodes = 16;
+  options.failure_prob = 1e-3f;
+  const data::SyntheticTraffic traffic = data::GenerateSyntheticTraffic(options);
+  const data::TimeSeriesDataset& dataset = traffic.dataset;
+
+  const int64_t train_steps = dataset.num_steps() * 7 / 10;
+  data::StandardScaler scaler;
+  scaler.Fit(dataset.values, train_steps, /*mask_zeros=*/true);
+  const auto splits =
+      data::MakeChronologicalSplits(dataset.num_steps(), 12, 12, 0.7f, 0.1f);
+  data::WindowDataLoader train_loader(&dataset, &scaler,
+                                      EveryNth(splits.train, 8), 12, 12, 16);
+  data::WindowDataLoader val_loader(&dataset, &scaler,
+                                    EveryNth(splits.val, 8), 12, 12, 16);
+  data::WindowDataLoader test_loader(&dataset, &scaler,
+                                     EveryNth(splits.test, 8), 12, 12, 16);
+  const std::vector<int64_t> test_starts = EveryNth(splits.test, 8);
+
+  TablePrinter table(
+      {"Model", "H3 MAE", "H6 MAE", "H12 MAE", "H12 RMSE", "H12 MAPE"});
+
+  // Historical Average: weekly periodicity only.
+  {
+    baselines::HistoricalAverage ha;
+    ha.Fit(dataset, train_steps);
+    const Tensor pred = ha.Predict(dataset, test_starts, 12, 12);
+    // Gather truths.
+    std::vector<float> truth(pred.Data().size());
+    const int64_t n = dataset.num_nodes();
+    for (size_t w = 0; w < test_starts.size(); ++w) {
+      for (int64_t h = 0; h < 12; ++h) {
+        const float* src =
+            dataset.values.Data().data() + (test_starts[w] + 12 + h) * n;
+        std::copy(src, src + n,
+                  truth.data() + (w * 12 + static_cast<size_t>(h)) * n);
+      }
+    }
+    const auto horizons = train::EvaluatePredictionHorizons(
+        pred, Tensor(pred.shape(), std::move(truth)));
+    table.AddRow({"HA", TablePrinter::Num(horizons[0].metrics.mae),
+                  TablePrinter::Num(horizons[1].metrics.mae),
+                  TablePrinter::Num(horizons[2].metrics.mae),
+                  TablePrinter::Num(horizons[2].metrics.rmse),
+                  TablePrinter::Percent(horizons[2].metrics.mape)});
+  }
+
+  // Deep models under the shared trainer.
+  for (const std::string& name : {std::string("DCRNN"), std::string("D2STGNN")}) {
+    baselines::ModelConfig config;
+    config.num_nodes = dataset.num_nodes();
+    config.hidden_dim = 16;
+    config.embed_dim = 8;
+    config.steps_per_day = dataset.steps_per_day;
+    Rng rng(7);
+    auto model =
+        baselines::MakeModel(name, config, dataset.network.adjacency, rng);
+    train::TrainerOptions trainer_options;
+    trainer_options.epochs = 8;
+    train::Trainer trainer(model.get(), &scaler, trainer_options);
+    trainer.Fit(&train_loader, &val_loader);
+    const auto horizons =
+        train::EvaluateHorizons(model.get(), &scaler, &test_loader);
+    table.AddRow({name, TablePrinter::Num(horizons[0].metrics.mae),
+                  TablePrinter::Num(horizons[1].metrics.mae),
+                  TablePrinter::Num(horizons[2].metrics.mae),
+                  TablePrinter::Num(horizons[2].metrics.rmse),
+                  TablePrinter::Percent(horizons[2].metrics.mape)});
+
+    if (name == "D2STGNN") {
+      // Failure robustness: find a test window whose target contains a
+      // sensor-failure zero and compare prediction vs. the zero reading.
+      NoGradGuard no_grad;
+      model->SetTraining(false);
+      for (int64_t bi = 0; bi < test_loader.NumBatches(); ++bi) {
+        const data::Batch batch = test_loader.GetBatch(bi);
+        const Tensor pred =
+            scaler.InverseTransform(model->Forward(batch));
+        bool shown = false;
+        for (int64_t s = 0; s < batch.batch_size && !shown; ++s) {
+          for (int64_t node = 0; node < dataset.num_nodes() && !shown;
+               ++node) {
+            if (batch.y.At({s, 5, node, 0}) == 0.0f) {
+              std::printf(
+                  "\nfailure robustness: sensor %lld reads 0.0 (failed) at "
+                  "horizon 6; D2STGNN predicts %.1f mph — it does not chase "
+                  "the failure.\n",
+                  static_cast<long long>(node), pred.At({s, 5, node, 0}));
+              shown = true;
+            }
+          }
+        }
+        if (shown) break;
+      }
+    }
+  }
+
+  std::printf("\n=== speed forecasting on a METR-LA-like city ===\n%s",
+              table.ToString().c_str());
+  std::printf("(expected: HA worst, D2STGNN best — the paper's Table 3 "
+              "ordering)\n");
+  return 0;
+}

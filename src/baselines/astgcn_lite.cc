@@ -1,0 +1,99 @@
+#include "baselines/astgcn_lite.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "graph/transition.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::baselines {
+
+AstgcnLite::AstgcnLite(int64_t num_nodes, int64_t hidden_dim,
+                       int64_t input_len, int64_t output_len,
+                       const Tensor& adjacency, Rng& rng)
+    : ForecastingModel("astgcn"),
+      num_nodes_(num_nodes),
+      hidden_dim_(hidden_dim),
+      output_len_(output_len),
+      input_proj_(data::kInputFeatures, hidden_dim, rng),
+      sp_feat_(input_len * hidden_dim, hidden_dim, rng),
+      sp_q_(hidden_dim, hidden_dim, rng),
+      sp_k_(hidden_dim, hidden_dim, rng),
+      tp_feat_(num_nodes * hidden_dim, hidden_dim, rng),
+      tp_q_(hidden_dim, hidden_dim, rng),
+      tp_k_(hidden_dim, hidden_dim, rng),
+      gcn_(hidden_dim, hidden_dim, rng),
+      temporal_now_(hidden_dim, hidden_dim, rng),
+      temporal_past_(hidden_dim, hidden_dim, rng),
+      out_fc1_(hidden_dim, hidden_dim, rng),
+      out_fc2_(hidden_dim, output_len, rng) {
+  for (nn::Module* child :
+       {static_cast<nn::Module*>(&input_proj_), static_cast<nn::Module*>(&sp_feat_),
+        static_cast<nn::Module*>(&sp_q_), static_cast<nn::Module*>(&sp_k_),
+        static_cast<nn::Module*>(&tp_feat_), static_cast<nn::Module*>(&tp_q_),
+        static_cast<nn::Module*>(&tp_k_), static_cast<nn::Module*>(&gcn_),
+        static_cast<nn::Module*>(&temporal_now_),
+        static_cast<nn::Module*>(&temporal_past_),
+        static_cast<nn::Module*>(&out_fc1_), static_cast<nn::Module*>(&out_fc2_)}) {
+    RegisterChild(child);
+  }
+  NoGradGuard no_grad;
+  adjacency_ = graph::ForwardTransition(adjacency);
+}
+
+Tensor AstgcnLite::Forward(const data::Batch& batch) {
+  const int64_t b = batch.batch_size;
+  const int64_t steps = batch.input_len;
+  D2_CHECK_EQ(batch.num_nodes(), num_nodes_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hidden_dim_));
+
+  Tensor x = input_proj_.Forward(batch.x);  // [B, T, N, h]
+
+  // Temporal attention E over the steps (per batch element).
+  {
+    const Tensor per_step =
+        Reshape(x, {b, steps, num_nodes_ * hidden_dim_});  // [B, T, N*h]
+    const Tensor feat = Relu(tp_feat_.Forward(per_step));  // [B, T, h]
+    const Tensor scores = Softmax(
+        MulScalar(MatMul(tp_q_.Forward(feat),
+                         Transpose(tp_k_.Forward(feat), -1, -2)),
+                  scale),
+        -1);  // [B, T, T]
+    // Reweight the steps: x'[t] = sum_s E[t,s] x[s].
+    const Tensor flat = Reshape(x, {b, steps, num_nodes_ * hidden_dim_});
+    x = Reshape(MatMul(scores, flat), {b, steps, num_nodes_, hidden_dim_});
+  }
+
+  // Spatial attention S masks the road adjacency.
+  Tensor attended_adj;
+  {
+    const Tensor per_node = Reshape(Permute(x, {0, 2, 1, 3}),
+                                    {b, num_nodes_, steps * hidden_dim_});
+    const Tensor feat = Relu(sp_feat_.Forward(per_node));  // [B, N, h]
+    const Tensor scores = Softmax(
+        MulScalar(MatMul(sp_q_.Forward(feat),
+                         Transpose(sp_k_.Forward(feat), -1, -2)),
+                  scale),
+        -1);  // [B, N, N]
+    attended_adj = Mul(Unsqueeze(adjacency_, 0), scores);  // [B, N, N]
+  }
+
+  // Graph convolution with the attention-masked adjacency, per step.
+  const Tensor conv =
+      Relu(gcn_.Forward(MatMul(Unsqueeze(attended_adj, 1), x)));
+
+  // Causal temporal convolution (kernel 2) + residual.
+  const Tensor past = Slice(PadFront(conv, 1, 1), 1, 0, steps);
+  Tensor h = Relu(Add(temporal_now_.Forward(conv),
+                      temporal_past_.Forward(past)));
+  h = Add(h, x);
+
+  // Direct multi-step head from the last frame.
+  const Tensor last =
+      Reshape(Slice(h, 1, steps - 1, steps), {b, num_nodes_, hidden_dim_});
+  Tensor out = out_fc2_.Forward(Relu(out_fc1_.Forward(last)));  // [B, N, Tf]
+  out = Permute(out, {0, 2, 1});
+  return Reshape(out, {b, output_len_, num_nodes_, 1});
+}
+
+}  // namespace d2stgnn::baselines

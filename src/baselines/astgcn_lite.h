@@ -1,0 +1,44 @@
+#ifndef D2STGNN_BASELINES_ASTGCN_LITE_H_
+#define D2STGNN_BASELINES_ASTGCN_LITE_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "train/forecasting_model.h"
+
+namespace d2stgnn::baselines {
+
+/// ASTGCN baseline (Guo et al. 2019), lite variant: a spatial attention that
+/// reweights the road adjacency and a temporal attention that reweights the
+/// input steps, followed by a graph convolution and a causal temporal
+/// convolution with a residual connection, then a direct multi-step head.
+/// "Lite" = one ST block and only the recent-history component (no
+/// daily/weekly periodic branches; see DESIGN.md).
+class AstgcnLite : public train::ForecastingModel {
+ public:
+  AstgcnLite(int64_t num_nodes, int64_t hidden_dim, int64_t input_len,
+             int64_t output_len, const Tensor& adjacency, Rng& rng);
+
+  Tensor Forward(const data::Batch& batch) override;
+
+  int64_t horizon() const override { return output_len_; }
+
+ private:
+  int64_t num_nodes_;
+  int64_t hidden_dim_;
+  int64_t output_len_;
+  Tensor adjacency_;  // row-normalized
+  nn::Linear input_proj_;
+  nn::Linear sp_feat_;   // [T*h] -> h, per node
+  nn::Linear sp_q_, sp_k_;
+  nn::Linear tp_feat_;   // [N*h] -> h, per step
+  nn::Linear tp_q_, tp_k_;
+  nn::Linear gcn_;
+  nn::Linear temporal_now_, temporal_past_;
+  nn::Linear out_fc1_, out_fc2_;
+};
+
+}  // namespace d2stgnn::baselines
+
+#endif  // D2STGNN_BASELINES_ASTGCN_LITE_H_

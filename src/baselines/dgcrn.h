@@ -1,0 +1,49 @@
+#ifndef D2STGNN_BASELINES_DGCRN_H_
+#define D2STGNN_BASELINES_DGCRN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "baselines/dcrnn.h"
+#include "nn/linear.h"
+#include "train/forecasting_model.h"
+
+namespace d2stgnn::baselines {
+
+/// DGCRN baseline (Li et al. 2021), lite variant: the DCRNN seq2seq
+/// backbone whose transition matrices are made dynamic by a hyper-network —
+/// an attention mask computed from the input window's per-node features
+/// filters the static transitions (one dynamic graph per window rather than
+/// per recurrence step; see DESIGN.md). Setting `dynamic = false` yields
+/// DGCRN†, the static-graph variant of the paper's Table 4.
+class Dgcrn : public train::ForecastingModel {
+ public:
+  Dgcrn(int64_t num_nodes, int64_t hidden_dim, int64_t input_len,
+        int64_t output_len, const Tensor& adjacency,
+        int64_t max_diffusion_step, bool dynamic, Rng& rng);
+
+  Tensor Forward(const data::Batch& batch) override;
+
+  int64_t horizon() const override { return output_len_; }
+
+  bool dynamic() const { return dynamic_; }
+
+ private:
+  int64_t num_nodes_;
+  int64_t output_len_;
+  int64_t max_diffusion_step_;
+  bool dynamic_;
+  Tensor p_forward_, p_backward_;  // static [N, N]
+  std::vector<Tensor> static_supports_;
+  // Hyper-network generating the dynamic filter.
+  std::unique_ptr<nn::Linear> hyper_fc_;  // T -> h
+  std::unique_ptr<nn::Linear> hyper_q_, hyper_k_;
+  DcgruCell encoder_;
+  DcgruCell decoder_;
+  nn::Linear out_proj_;
+};
+
+}  // namespace d2stgnn::baselines
+
+#endif  // D2STGNN_BASELINES_DGCRN_H_

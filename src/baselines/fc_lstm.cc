@@ -1,0 +1,51 @@
+#include "baselines/fc_lstm.h"
+
+#include <vector>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::baselines {
+
+FcLstm::FcLstm(int64_t num_nodes, int64_t hidden_dim, int64_t output_len,
+               Rng& rng)
+    : ForecastingModel("fc_lstm"),
+      num_nodes_(num_nodes),
+      output_len_(output_len),
+      encoder_(num_nodes * data::kInputFeatures, hidden_dim, rng),
+      decoder_(num_nodes, hidden_dim, rng),
+      out_proj_(hidden_dim, num_nodes, rng) {
+  RegisterChild(&encoder_);
+  RegisterChild(&decoder_);
+  RegisterChild(&out_proj_);
+}
+
+Tensor FcLstm::Forward(const data::Batch& batch) {
+  const int64_t b = batch.batch_size;
+  const int64_t steps = batch.input_len;
+  D2_CHECK_EQ(batch.num_nodes(), num_nodes_);
+  const Tensor x = Reshape(
+      batch.x, {b, steps, num_nodes_ * data::kInputFeatures});
+
+  nn::LstmCell::State state{Tensor::Zeros({b, encoder_.hidden_size()}),
+                            Tensor::Zeros({b, encoder_.hidden_size()})};
+  for (int64_t t = 0; t < steps; ++t) {
+    const Tensor frame = Reshape(
+        Slice(x, 1, t, t + 1), {b, num_nodes_ * data::kInputFeatures});
+    state = encoder_.Forward(frame, state);
+  }
+
+  // Autoregressive decoding from the last observed readings (channel 0).
+  Tensor prev = Reshape(
+      Select(Slice(batch.x, 1, steps - 1, steps), -1, 0), {b, num_nodes_});
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<size_t>(output_len_));
+  for (int64_t h = 0; h < output_len_; ++h) {
+    state = decoder_.Forward(prev, state);
+    prev = out_proj_.Forward(state.h);  // [B, N]
+    outputs.push_back(prev);
+  }
+  return Reshape(Stack(outputs, 1), {b, output_len_, num_nodes_, 1});
+}
+
+}  // namespace d2stgnn::baselines

@@ -1,0 +1,33 @@
+#ifndef D2STGNN_BASELINES_FC_LSTM_H_
+#define D2STGNN_BASELINES_FC_LSTM_H_
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/lstm_cell.h"
+#include "train/forecasting_model.h"
+
+namespace d2stgnn::baselines {
+
+/// FC-LSTM baseline (paper Sec. 6.1; Sutskever et al. 2014): an
+/// encoder-decoder LSTM whose fully connected input is the concatenation of
+/// all sensors. Captures temporal dependency only — no use of the road
+/// graph — so it trails the spatial-temporal models.
+class FcLstm : public train::ForecastingModel {
+ public:
+  FcLstm(int64_t num_nodes, int64_t hidden_dim, int64_t output_len, Rng& rng);
+
+  Tensor Forward(const data::Batch& batch) override;
+
+  int64_t horizon() const override { return output_len_; }
+
+ private:
+  int64_t num_nodes_;
+  int64_t output_len_;
+  nn::LstmCell encoder_;
+  nn::LstmCell decoder_;
+  nn::Linear out_proj_;
+};
+
+}  // namespace d2stgnn::baselines
+
+#endif  // D2STGNN_BASELINES_FC_LSTM_H_

@@ -1,0 +1,133 @@
+#include "baselines/gman_lite.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::baselines {
+
+GmanLite::GmanLite(int64_t num_nodes, int64_t hidden_dim, int64_t output_len,
+                   int64_t steps_per_day, Rng& rng)
+    : ForecastingModel("gman"),
+      num_nodes_(num_nodes),
+      hidden_dim_(hidden_dim),
+      output_len_(output_len),
+      steps_per_day_(steps_per_day),
+      node_embedding_(num_nodes, hidden_dim, rng),
+      tod_embedding_(steps_per_day, hidden_dim, rng),
+      dow_embedding_(7, hidden_dim, rng),
+      ste_fc_(3 * hidden_dim, hidden_dim, rng),
+      input_proj_(data::kInputFeatures, hidden_dim, rng),
+      sp_q_(2 * hidden_dim, hidden_dim, rng),
+      sp_k_(2 * hidden_dim, hidden_dim, rng),
+      sp_v_(2 * hidden_dim, hidden_dim, rng),
+      tp_q_(2 * hidden_dim, hidden_dim, rng),
+      tp_k_(2 * hidden_dim, hidden_dim, rng),
+      tp_v_(2 * hidden_dim, hidden_dim, rng),
+      fuse_s_(hidden_dim, hidden_dim, rng),
+      fuse_t_(hidden_dim, hidden_dim, rng),
+      tr_q_(hidden_dim, hidden_dim, rng),
+      tr_k_(hidden_dim, hidden_dim, rng),
+      tr_v_(hidden_dim, hidden_dim, rng),
+      out_fc1_(hidden_dim, hidden_dim, rng),
+      out_fc2_(hidden_dim, 1, rng) {
+  for (nn::Module* child :
+       {static_cast<nn::Module*>(&node_embedding_), static_cast<nn::Module*>(&tod_embedding_),
+        static_cast<nn::Module*>(&dow_embedding_), static_cast<nn::Module*>(&ste_fc_),
+        static_cast<nn::Module*>(&input_proj_), static_cast<nn::Module*>(&sp_q_),
+        static_cast<nn::Module*>(&sp_k_), static_cast<nn::Module*>(&sp_v_),
+        static_cast<nn::Module*>(&tp_q_), static_cast<nn::Module*>(&tp_k_),
+        static_cast<nn::Module*>(&tp_v_), static_cast<nn::Module*>(&fuse_s_),
+        static_cast<nn::Module*>(&fuse_t_), static_cast<nn::Module*>(&tr_q_),
+        static_cast<nn::Module*>(&tr_k_), static_cast<nn::Module*>(&tr_v_),
+        static_cast<nn::Module*>(&out_fc1_), static_cast<nn::Module*>(&out_fc2_)}) {
+    RegisterChild(child);
+  }
+}
+
+Tensor GmanLite::SpatioTemporalEmbedding(
+    int64_t batch, int64_t steps, const std::vector<int64_t>& tod,
+    const std::vector<int64_t>& dow) const {
+  const Tensor time_day = tod_embedding_.Forward(tod, {batch, steps});
+  const Tensor time_week = dow_embedding_.Forward(dow, {batch, steps});
+  const Shape full = {batch, steps, num_nodes_, hidden_dim_};
+  const Tensor te =
+      BroadcastTo(Unsqueeze(Concat({time_day, time_week}, -1), 2),
+                  {batch, steps, num_nodes_, 2 * hidden_dim_});
+  const Tensor se = BroadcastTo(
+      Reshape(node_embedding_.table(), {1, 1, num_nodes_, hidden_dim_}), full);
+  return ste_fc_.Forward(Concat({se, te}, -1));  // [B, T, N, d]
+}
+
+Tensor GmanLite::Forward(const data::Batch& batch) {
+  const int64_t b = batch.batch_size;
+  const int64_t steps = batch.input_len;
+  D2_CHECK_EQ(batch.num_nodes(), num_nodes_);
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hidden_dim_));
+
+  const Tensor ste_history = SpatioTemporalEmbedding(
+      b, steps, batch.time_of_day, batch.day_of_week);
+
+  Tensor h = input_proj_.Forward(batch.x);  // [B, T, N, d]
+  const Tensor h_ste = Concat({h, ste_history}, -1);
+
+  // Spatial attention: per (b, t), attend over nodes.
+  Tensor hs;
+  {
+    const Tensor q = sp_q_.Forward(h_ste);  // [B, T, N, d]
+    const Tensor k = sp_k_.Forward(h_ste);
+    const Tensor v = sp_v_.Forward(h_ste);
+    const Tensor scores =
+        Softmax(MulScalar(MatMul(q, Transpose(k, -1, -2)), scale), -1);
+    hs = MatMul(scores, v);  // [B, T, N, d]
+  }
+
+  // Temporal attention: per (b, node), attend over steps.
+  Tensor ht;
+  {
+    auto per_node = [&](const nn::Linear& proj) {
+      return Permute(proj.Forward(h_ste), {0, 2, 1, 3});  // [B, N, T, d]
+    };
+    const Tensor q = per_node(tp_q_);
+    const Tensor k = per_node(tp_k_);
+    const Tensor v = per_node(tp_v_);
+    const Tensor scores =
+        Softmax(MulScalar(MatMul(q, Transpose(k, -1, -2)), scale), -1);
+    ht = Permute(MatMul(scores, v), {0, 2, 1, 3});  // [B, T, N, d]
+  }
+
+  // Gated fusion (GMAN Eq. 7).
+  const Tensor z = Sigmoid(Add(fuse_s_.Forward(hs), fuse_t_.Forward(ht)));
+  h = Add(h, Add(Mul(z, hs), Mul(Sub(Tensor::Scalar(1.0f), z), ht)));
+
+  // Transform attention: future STE queries attend to history.
+  std::vector<int64_t> future_tod(static_cast<size_t>(b * output_len_));
+  std::vector<int64_t> future_dow(static_cast<size_t>(b * output_len_));
+  for (int64_t i = 0; i < b; ++i) {
+    const int64_t last_tod =
+        batch.time_of_day[static_cast<size_t>((i + 1) * steps - 1)];
+    const int64_t last_dow =
+        batch.day_of_week[static_cast<size_t>((i + 1) * steps - 1)];
+    for (int64_t f = 0; f < output_len_; ++f) {
+      const int64_t tod = last_tod + f + 1;
+      future_tod[static_cast<size_t>(i * output_len_ + f)] =
+          tod % steps_per_day_;
+      future_dow[static_cast<size_t>(i * output_len_ + f)] =
+          (last_dow + tod / steps_per_day_) % 7;
+    }
+  }
+  const Tensor ste_future =
+      SpatioTemporalEmbedding(b, output_len_, future_tod, future_dow);
+
+  const Tensor q = Permute(tr_q_.Forward(ste_future), {0, 2, 1, 3});   // [B,N,Tf,d]
+  const Tensor k = Permute(tr_k_.Forward(ste_history), {0, 2, 1, 3});  // [B,N,T,d]
+  const Tensor v = Permute(tr_v_.Forward(h), {0, 2, 1, 3});            // [B,N,T,d]
+  const Tensor scores =
+      Softmax(MulScalar(MatMul(q, Transpose(k, -1, -2)), scale), -1);
+  Tensor future = Permute(MatMul(scores, v), {0, 2, 1, 3});  // [B,Tf,N,d]
+
+  return out_fc2_.Forward(Relu(out_fc1_.Forward(future)));
+}
+
+}  // namespace d2stgnn::baselines

@@ -1,0 +1,59 @@
+#ifndef D2STGNN_BASELINES_GMAN_LITE_H_
+#define D2STGNN_BASELINES_GMAN_LITE_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "nn/embedding.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "train/forecasting_model.h"
+
+namespace d2stgnn::baselines {
+
+/// GMAN baseline (Zheng et al. 2020), lite variant: one ST-attention block
+/// (spatial attention over nodes + temporal attention over steps, fused by a
+/// gate) conditioned on spatial-temporal embeddings, followed by GMAN's
+/// transform attention that maps the T_h history to the T_f future and an
+/// output head. The attention machinery gives it the strong long-horizon
+/// behaviour the paper reports (Sec. 6.2.2); "lite" = one block instead of
+/// L=3 (see DESIGN.md).
+class GmanLite : public train::ForecastingModel {
+ public:
+  GmanLite(int64_t num_nodes, int64_t hidden_dim, int64_t output_len,
+           int64_t steps_per_day, Rng& rng);
+
+  Tensor Forward(const data::Batch& batch) override;
+
+  int64_t horizon() const override { return output_len_; }
+
+ private:
+  /// Spatial-temporal embedding for a span of steps: fuses the node
+  /// embedding with the time embedding. `tod`/`dow` index per (b, t).
+  Tensor SpatioTemporalEmbedding(int64_t batch, int64_t steps,
+                                 const std::vector<int64_t>& tod,
+                                 const std::vector<int64_t>& dow) const;
+
+  int64_t num_nodes_;
+  int64_t hidden_dim_;
+  int64_t output_len_;
+  int64_t steps_per_day_;
+  nn::Embedding node_embedding_;
+  nn::Embedding tod_embedding_;
+  nn::Embedding dow_embedding_;
+  nn::Linear ste_fc_;
+  nn::Linear input_proj_;
+  // Spatial attention.
+  nn::Linear sp_q_, sp_k_, sp_v_;
+  // Temporal attention.
+  nn::Linear tp_q_, tp_k_, tp_v_;
+  // Gated fusion.
+  nn::Linear fuse_s_, fuse_t_;
+  // Transform attention (history -> future).
+  nn::Linear tr_q_, tr_k_, tr_v_;
+  nn::Linear out_fc1_, out_fc2_;
+};
+
+}  // namespace d2stgnn::baselines
+
+#endif  // D2STGNN_BASELINES_GMAN_LITE_H_

@@ -1,0 +1,85 @@
+#include "baselines/historical_average.h"
+
+#include "common/check.h"
+
+namespace d2stgnn::baselines {
+
+void HistoricalAverage::Fit(const data::TimeSeriesDataset& dataset,
+                            int64_t train_steps) {
+  D2_CHECK_GT(train_steps, 0);
+  D2_CHECK_LE(train_steps, dataset.num_steps());
+  num_nodes_ = dataset.num_nodes();
+  steps_per_day_ = dataset.steps_per_day;
+  slots_per_week_ = dataset.steps_per_day * 7;
+  slot_mean_.assign(static_cast<size_t>(slots_per_week_ * num_nodes_), 0.0f);
+  std::vector<int64_t> slot_count(
+      static_cast<size_t>(slots_per_week_ * num_nodes_), 0);
+  // Time-of-day fallback for weekly slots never observed in a short
+  // training range.
+  std::vector<float> tod_mean(
+      static_cast<size_t>(steps_per_day_ * num_nodes_), 0.0f);
+  std::vector<int64_t> tod_count(
+      static_cast<size_t>(steps_per_day_ * num_nodes_), 0);
+
+  const std::vector<float>& values = dataset.values.Data();
+  double total = 0.0;
+  int64_t total_count = 0;
+  for (int64_t t = 0; t < train_steps; ++t) {
+    const int64_t tod = dataset.TimeOfDay(t);
+    const int64_t slot = dataset.DayOfWeek(t) * steps_per_day_ + tod;
+    for (int64_t i = 0; i < num_nodes_; ++i) {
+      const float v = values[static_cast<size_t>(t * num_nodes_ + i)];
+      if (v == 0.0f) continue;  // sensor failure
+      const size_t cell = static_cast<size_t>(slot * num_nodes_ + i);
+      slot_mean_[cell] += v;
+      ++slot_count[cell];
+      const size_t tod_cell = static_cast<size_t>(tod * num_nodes_ + i);
+      tod_mean[tod_cell] += v;
+      ++tod_count[tod_cell];
+      total += v;
+      ++total_count;
+    }
+  }
+  D2_CHECK_GT(total_count, 0);
+  global_mean_ = static_cast<float>(total / static_cast<double>(total_count));
+  for (size_t c = 0; c < tod_mean.size(); ++c) {
+    tod_mean[c] = tod_count[c] > 0
+                      ? tod_mean[c] / static_cast<float>(tod_count[c])
+                      : global_mean_;
+  }
+  for (int64_t slot = 0; slot < slots_per_week_; ++slot) {
+    for (int64_t i = 0; i < num_nodes_; ++i) {
+      const size_t cell = static_cast<size_t>(slot * num_nodes_ + i);
+      if (slot_count[cell] > 0) {
+        slot_mean_[cell] /= static_cast<float>(slot_count[cell]);
+      } else {
+        slot_mean_[cell] = tod_mean[static_cast<size_t>(
+            (slot % steps_per_day_) * num_nodes_ + i)];
+      }
+    }
+  }
+}
+
+Tensor HistoricalAverage::Predict(const data::TimeSeriesDataset& dataset,
+                                  const std::vector<int64_t>& window_starts,
+                                  int64_t input_len,
+                                  int64_t output_len) const {
+  D2_CHECK_GT(slots_per_week_, 0) << "Fit must run before Predict";
+  D2_CHECK_EQ(dataset.num_nodes(), num_nodes_);
+  const int64_t s = static_cast<int64_t>(window_starts.size());
+  std::vector<float> out(static_cast<size_t>(s * output_len * num_nodes_));
+  for (int64_t w = 0; w < s; ++w) {
+    for (int64_t h = 0; h < output_len; ++h) {
+      const int64_t t = window_starts[static_cast<size_t>(w)] + input_len + h;
+      const int64_t slot =
+          dataset.DayOfWeek(t) * dataset.steps_per_day + dataset.TimeOfDay(t);
+      for (int64_t i = 0; i < num_nodes_; ++i) {
+        out[static_cast<size_t>((w * output_len + h) * num_nodes_ + i)] =
+            slot_mean_[static_cast<size_t>(slot * num_nodes_ + i)];
+      }
+    }
+  }
+  return Tensor({s, output_len, num_nodes_, 1}, std::move(out));
+}
+
+}  // namespace d2stgnn::baselines

@@ -1,0 +1,36 @@
+#ifndef D2STGNN_BASELINES_HISTORICAL_AVERAGE_H_
+#define D2STGNN_BASELINES_HISTORICAL_AVERAGE_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace d2stgnn::baselines {
+
+/// Historical Average baseline (paper Sec. 6.1): models traffic as a weekly
+/// periodic process and predicts the average of the same weekly slot seen in
+/// the training range. Missing readings (zeros) are excluded from the
+/// averages.
+class HistoricalAverage {
+ public:
+  /// Learns per-(weekly slot, node) averages from steps [0, train_steps).
+  void Fit(const data::TimeSeriesDataset& dataset, int64_t train_steps);
+
+  /// Predicts the `output_len` steps following each window start + input
+  /// length. Returns [num_starts, output_len, N, 1] in original units.
+  Tensor Predict(const data::TimeSeriesDataset& dataset,
+                 const std::vector<int64_t>& window_starts, int64_t input_len,
+                 int64_t output_len) const;
+
+ private:
+  int64_t slots_per_week_ = 0;
+  int64_t steps_per_day_ = 0;
+  int64_t num_nodes_ = 0;
+  std::vector<float> slot_mean_;  // [slots_per_week, N]
+  float global_mean_ = 0.0f;
+};
+
+}  // namespace d2stgnn::baselines
+
+#endif  // D2STGNN_BASELINES_HISTORICAL_AVERAGE_H_

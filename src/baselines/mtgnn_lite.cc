@@ -1,0 +1,97 @@
+#include "baselines/mtgnn_lite.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::baselines {
+
+MtgnnLite::MtgnnLite(int64_t num_nodes, int64_t hidden_dim,
+                     int64_t output_len, int64_t embed_dim, Rng& rng)
+    : ForecastingModel("mtgnn"),
+      num_nodes_(num_nodes),
+      hidden_dim_(hidden_dim),
+      output_len_(output_len),
+      input_proj_(data::kInputFeatures, hidden_dim, rng),
+      out_fc1_(hidden_dim, hidden_dim, rng),
+      out_fc2_(hidden_dim, output_len, rng) {
+  RegisterChild(&input_proj_);
+  RegisterChild(&out_fc1_);
+  RegisterChild(&out_fc2_);
+  m1_ = RegisterParameter("M1", nn::XavierNormal({num_nodes, embed_dim}, rng));
+  m2_ = RegisterParameter("M2", nn::XavierNormal({num_nodes, embed_dim}, rng));
+
+  for (int64_t l = 0; l < 2; ++l) {
+    Layer layer;
+    auto linear = [&] {
+      auto li = std::make_unique<nn::Linear>(hidden_dim, hidden_dim, rng);
+      RegisterChild(li.get());
+      return li;
+    };
+    layer.incep2_now = linear();
+    layer.incep2_past = linear();
+    layer.incep3_now = linear();
+    layer.incep3_mid = linear();
+    layer.incep3_past = linear();
+    layer.gate_now = linear();
+    layer.gate_past = linear();
+    layer.mixhop_out = std::make_unique<nn::Linear>(
+        (kMixHops + 1) * hidden_dim, hidden_dim, rng);
+    RegisterChild(layer.mixhop_out.get());
+    layer.skip = linear();
+    layers_.push_back(std::move(layer));
+  }
+}
+
+Tensor MtgnnLite::LearnedAdjacency() const {
+  // A = softmax(relu(tanh(alpha (M1 M2^T - M2 M1^T)))): uni-directional.
+  constexpr float kAlpha = 3.0f;
+  const Tensor m12 = MatMul(m1_, Transpose(m2_, 0, 1));
+  const Tensor skew = Sub(m12, Transpose(m12, 0, 1));
+  return Softmax(Relu(Tanh(MulScalar(skew, kAlpha))), -1);
+}
+
+Tensor MtgnnLite::Forward(const data::Batch& batch) {
+  const int64_t b = batch.batch_size;
+  const int64_t steps = batch.input_len;
+  D2_CHECK_EQ(batch.num_nodes(), num_nodes_);
+  const Tensor adj = LearnedAdjacency();
+
+  Tensor x = input_proj_.Forward(batch.x);  // [B, T, N, h]
+  Tensor skip_sum;
+  for (const Layer& layer : layers_) {
+    // Dilated inception: kernel-2 and kernel-3 causal branches summed,
+    // gated by a sigmoid branch (MTGNN's dilated inception + gating).
+    const Tensor p1 = Slice(PadFront(x, 1, 1), 1, 0, steps);
+    const Tensor p2 = Slice(PadFront(x, 1, 2), 1, 0, steps);
+    const Tensor value = Tanh(Add(
+        Add(layer.incep2_now->Forward(x), layer.incep2_past->Forward(p1)),
+        Add(layer.incep3_now->Forward(x),
+            Add(layer.incep3_mid->Forward(p1), layer.incep3_past->Forward(p2)))));
+    const Tensor gate = Sigmoid(
+        Add(layer.gate_now->Forward(x), layer.gate_past->Forward(p1)));
+    const Tensor gated = Mul(value, gate);
+
+    // Mix-hop propagation: h^(k+1) = beta*in + (1-beta)*A h^k; concat hops.
+    std::vector<Tensor> hops;
+    hops.push_back(gated);
+    Tensor h = gated;
+    for (int64_t k = 0; k < kMixHops; ++k) {
+      h = Add(MulScalar(gated, kRetain),
+              MulScalar(MatMul(adj, h), 1.0f - kRetain));
+      hops.push_back(h);
+    }
+    const Tensor conv = layer.mixhop_out->Forward(Concat(hops, -1));
+
+    const Tensor skip = layer.skip->Forward(
+        Reshape(Slice(gated, 1, steps - 1, steps), {b, num_nodes_, -1}));
+    skip_sum = skip_sum.defined() ? Add(skip_sum, skip) : skip;
+    x = Add(x, conv);
+  }
+
+  Tensor out = out_fc2_.Forward(Relu(out_fc1_.Forward(Relu(skip_sum))));
+  out = Permute(out, {0, 2, 1});  // [B, Tf, N]
+  return Reshape(out, {b, output_len_, num_nodes_, 1});
+}
+
+}  // namespace d2stgnn::baselines

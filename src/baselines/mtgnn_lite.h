@@ -1,0 +1,54 @@
+#ifndef D2STGNN_BASELINES_MTGNN_LITE_H_
+#define D2STGNN_BASELINES_MTGNN_LITE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "train/forecasting_model.h"
+
+namespace d2stgnn::baselines {
+
+/// MTGNN baseline (Wu et al. 2020), lite variant: a uni-directional learned
+/// graph A = softmax(relu(tanh(alpha(M1 M2^T - M2 M1^T)))) feeding mix-hop
+/// propagation layers, interleaved with dilated inception temporal
+/// convolutions (kernels 2 and 3), residual/skip connections, and a direct
+/// multi-step output. "Lite" = 2 layers, no top-k sparsification (see
+/// DESIGN.md).
+class MtgnnLite : public train::ForecastingModel {
+ public:
+  MtgnnLite(int64_t num_nodes, int64_t hidden_dim, int64_t output_len,
+            int64_t embed_dim, Rng& rng);
+
+  Tensor Forward(const data::Batch& batch) override;
+
+  int64_t horizon() const override { return output_len_; }
+
+  /// The learned adjacency (for tests).
+  Tensor LearnedAdjacency() const;
+
+ private:
+  struct Layer {
+    std::unique_ptr<nn::Linear> incep2_now, incep2_past;   // kernel-2 branch
+    std::unique_ptr<nn::Linear> incep3_now, incep3_mid, incep3_past;
+    std::unique_ptr<nn::Linear> gate_now, gate_past;
+    std::unique_ptr<nn::Linear> mixhop_out;  // (K+1)*h -> h
+    std::unique_ptr<nn::Linear> skip;
+  };
+
+  int64_t num_nodes_;
+  int64_t hidden_dim_;
+  int64_t output_len_;
+  Tensor m1_, m2_;  // graph-learning node embeddings
+  nn::Linear input_proj_;
+  std::vector<Layer> layers_;
+  nn::Linear out_fc1_, out_fc2_;
+  static constexpr int64_t kMixHops = 2;
+  static constexpr float kRetain = 0.05f;  // mix-hop beta
+};
+
+}  // namespace d2stgnn::baselines
+
+#endif  // D2STGNN_BASELINES_MTGNN_LITE_H_

@@ -1,0 +1,113 @@
+#include "baselines/registry.h"
+
+#include "baselines/astgcn_lite.h"
+#include "baselines/dcrnn.h"
+#include "baselines/dgcrn.h"
+#include "baselines/fc_lstm.h"
+#include "baselines/gman_lite.h"
+#include "baselines/graph_wavenet.h"
+#include "baselines/mtgnn_lite.h"
+#include "baselines/stgcn.h"
+#include "baselines/stsgcn_lite.h"
+#include "common/check.h"
+#include "core/d2stgnn.h"
+
+namespace d2stgnn::baselines {
+namespace {
+
+core::D2StgnnConfig D2ConfigFrom(const ModelConfig& c) {
+  core::D2StgnnConfig config;
+  config.num_nodes = c.num_nodes;
+  config.input_len = c.input_len;
+  config.output_len = c.output_len;
+  config.hidden_dim = c.hidden_dim;
+  config.embed_dim = c.embed_dim;
+  config.num_layers = c.num_layers;
+  config.steps_per_day = c.steps_per_day;
+  config.num_heads = c.hidden_dim >= 4 ? 4 : 1;
+  return config;
+}
+
+}  // namespace
+
+std::vector<std::string> DeepModelNames() {
+  return {"FC-LSTM", "DCRNN", "STGCN", "GWNet",  "ASTGCN",
+          "STSGCN",  "MTGNN", "GMAN",  "DGCRN",  "D2STGNN"};
+}
+
+std::unique_ptr<train::ForecastingModel> MakeModel(const std::string& name,
+                                                   const ModelConfig& config,
+                                                   const Tensor& adjacency,
+                                                   Rng& rng) {
+  D2_CHECK_GT(config.num_nodes, 0);
+  if (name == "FC-LSTM") {
+    return std::make_unique<FcLstm>(config.num_nodes, 4 * config.hidden_dim,
+                                    config.output_len, rng);
+  }
+  if (name == "DCRNN") {
+    return std::make_unique<Dcrnn>(config.num_nodes, config.hidden_dim,
+                                   config.output_len, adjacency,
+                                   /*max_diffusion_step=*/2, rng);
+  }
+  if (name == "STGCN") {
+    return std::make_unique<Stgcn>(config.num_nodes, config.hidden_dim,
+                                   config.output_len, adjacency,
+                                   /*num_blocks=*/2, rng);
+  }
+  if (name == "GWNet") {
+    GraphWaveNet::Options options;
+    options.hidden_dim = config.hidden_dim;
+    options.skip_dim = 2 * config.hidden_dim;
+    options.embed_dim = config.embed_dim;
+    return std::make_unique<GraphWaveNet>(config.num_nodes, config.output_len,
+                                          adjacency, options, rng);
+  }
+  if (name == "ASTGCN") {
+    return std::make_unique<AstgcnLite>(config.num_nodes, config.hidden_dim,
+                                        config.input_len, config.output_len,
+                                        adjacency, rng);
+  }
+  if (name == "STSGCN") {
+    return std::make_unique<StsgcnLite>(config.num_nodes, config.hidden_dim,
+                                        config.input_len, config.output_len,
+                                        adjacency, rng);
+  }
+  if (name == "MTGNN") {
+    return std::make_unique<MtgnnLite>(config.num_nodes, config.hidden_dim,
+                                       config.output_len, config.embed_dim,
+                                       rng);
+  }
+  if (name == "GMAN") {
+    return std::make_unique<GmanLite>(config.num_nodes, config.hidden_dim,
+                                      config.output_len, config.steps_per_day,
+                                      rng);
+  }
+  if (name == "DGCRN") {
+    return std::make_unique<Dgcrn>(config.num_nodes, config.hidden_dim,
+                                   config.input_len, config.output_len,
+                                   adjacency, /*max_diffusion_step=*/2,
+                                   /*dynamic=*/true, rng);
+  }
+  if (name == "DGCRN-static") {
+    return std::make_unique<Dgcrn>(config.num_nodes, config.hidden_dim,
+                                   config.input_len, config.output_len,
+                                   adjacency, /*max_diffusion_step=*/2,
+                                   /*dynamic=*/false, rng);
+  }
+  if (name == "D2STGNN") {
+    return std::make_unique<core::D2Stgnn>(D2ConfigFrom(config), adjacency,
+                                           rng);
+  }
+  if (name == "D2STGNN-static") {
+    return std::make_unique<core::D2Stgnn>(
+        core::MakeStaticGraphConfig(D2ConfigFrom(config)), adjacency, rng);
+  }
+  if (name == "D2STGNN-coupled") {
+    return std::make_unique<core::D2Stgnn>(
+        core::MakeCoupledConfig(D2ConfigFrom(config)), adjacency, rng);
+  }
+  D2_CHECK(false) << "unknown model name: " << name;
+  return nullptr;
+}
+
+}  // namespace d2stgnn::baselines

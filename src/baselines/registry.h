@@ -1,0 +1,40 @@
+#ifndef D2STGNN_BASELINES_REGISTRY_H_
+#define D2STGNN_BASELINES_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+#include "train/forecasting_model.h"
+
+namespace d2stgnn::baselines {
+
+/// Shared sizing knobs for the deep models built by MakeModel. Defaults are
+/// bench-scale; the paper-scale values are noted in DESIGN.md.
+struct ModelConfig {
+  int64_t num_nodes = 0;  ///< required
+  int64_t input_len = 12;
+  int64_t output_len = 12;
+  int64_t hidden_dim = 16;
+  int64_t embed_dim = 8;
+  int64_t num_layers = 2;
+  int64_t steps_per_day = 288;
+};
+
+/// Names of all trainable deep models, in the paper's Table 3 order:
+/// "FC-LSTM", "DCRNN", "STGCN", "GWNet", "ASTGCN", "STSGCN", "MTGNN",
+/// "GMAN", "DGCRN", "D2STGNN" (plus variants "D2STGNN-static" = D²STGNN†,
+/// "D2STGNN-coupled" = D²STGNN‡, "DGCRN-static" = DGCRN†).
+std::vector<std::string> DeepModelNames();
+
+/// Builds a model by name. Aborts on an unknown name.
+std::unique_ptr<train::ForecastingModel> MakeModel(const std::string& name,
+                                                   const ModelConfig& config,
+                                                   const Tensor& adjacency,
+                                                   Rng& rng);
+
+}  // namespace d2stgnn::baselines
+
+#endif  // D2STGNN_BASELINES_REGISTRY_H_

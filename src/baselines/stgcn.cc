@@ -1,0 +1,104 @@
+#include "baselines/stgcn.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::baselines {
+namespace {
+
+// D^{-1/2} (A + I) D^{-1/2}, the GCN-normalized adjacency.
+Tensor SymmetricNormalize(const Tensor& adjacency) {
+  const int64_t n = adjacency.size(0);
+  std::vector<float> a = adjacency.Data();
+  for (int64_t i = 0; i < n; ++i) a[static_cast<size_t>(i * n + i)] += 1.0f;
+  std::vector<float> inv_sqrt_deg(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    float deg = 0.0f;
+    for (int64_t j = 0; j < n; ++j) deg += a[static_cast<size_t>(i * n + j)];
+    inv_sqrt_deg[static_cast<size_t>(i)] =
+        deg > 0.0f ? 1.0f / std::sqrt(deg) : 0.0f;
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      a[static_cast<size_t>(i * n + j)] *= inv_sqrt_deg[static_cast<size_t>(i)] *
+                                           inv_sqrt_deg[static_cast<size_t>(j)];
+    }
+  }
+  return Tensor({n, n}, std::move(a));
+}
+
+}  // namespace
+
+Stgcn::Stgcn(int64_t num_nodes, int64_t hidden_dim, int64_t output_len,
+             const Tensor& adjacency, int64_t num_blocks, Rng& rng)
+    : ForecastingModel("stgcn"),
+      num_nodes_(num_nodes),
+      output_len_(output_len),
+      input_proj_(data::kInputFeatures, hidden_dim, rng),
+      out_fc1_(hidden_dim, hidden_dim, rng),
+      out_fc2_(hidden_dim, output_len, rng) {
+  RegisterChild(&input_proj_);
+  RegisterChild(&out_fc1_);
+  RegisterChild(&out_fc2_);
+  normalized_adj_ = SymmetricNormalize(adjacency);
+  for (int64_t bl = 0; bl < num_blocks; ++bl) {
+    Block block;
+    auto linear = [&] {
+      auto l = std::make_unique<nn::Linear>(hidden_dim, hidden_dim, rng);
+      RegisterChild(l.get());
+      return l;
+    };
+    block.t1_value_now = linear();
+    block.t1_value_past = linear();
+    block.t1_gate_now = linear();
+    block.t1_gate_past = linear();
+    block.spatial = linear();
+    block.t2_value_now = linear();
+    block.t2_value_past = linear();
+    block.t2_gate_now = linear();
+    block.t2_gate_past = linear();
+    blocks_.push_back(std::move(block));
+  }
+}
+
+Tensor Stgcn::GatedTemporal(const Tensor& x, const nn::Linear& value_now,
+                            const nn::Linear& value_past,
+                            const nn::Linear& gate_now,
+                            const nn::Linear& gate_past) const {
+  const int64_t steps = x.size(1);
+  const Tensor past = Slice(PadFront(x, 1, 1), 1, 0, steps);
+  // GLU: value branch gated by a sigmoid branch.
+  const Tensor value =
+      Add(value_now.Forward(x), value_past.Forward(past));
+  const Tensor gate =
+      Sigmoid(Add(gate_now.Forward(x), gate_past.Forward(past)));
+  return Mul(value, gate);
+}
+
+Tensor Stgcn::Forward(const data::Batch& batch) {
+  const int64_t b = batch.batch_size;
+  const int64_t steps = batch.input_len;
+  D2_CHECK_EQ(batch.num_nodes(), num_nodes_);
+
+  Tensor x = input_proj_.Forward(batch.x);  // [B, T, N, h]
+  for (const Block& block : blocks_) {
+    Tensor h = GatedTemporal(x, *block.t1_value_now, *block.t1_value_past,
+                             *block.t1_gate_now, *block.t1_gate_past);
+    // Spatial graph convolution: relu(\hat{A} h W).
+    h = Relu(block.spatial->Forward(MatMul(normalized_adj_, h)));
+    h = GatedTemporal(h, *block.t2_value_now, *block.t2_value_past,
+                      *block.t2_gate_now, *block.t2_gate_past);
+    x = Add(x, h);  // residual keeps optimization stable at this scale
+  }
+
+  // Output head from the last frame.
+  const Tensor last =
+      Reshape(Slice(x, 1, steps - 1, steps), {b, num_nodes_, -1});
+  Tensor out = out_fc2_.Forward(Relu(out_fc1_.Forward(last)));  // [B, N, Tf]
+  out = Permute(out, {0, 2, 1});
+  return Reshape(out, {b, output_len_, num_nodes_, 1});
+}
+
+}  // namespace d2stgnn::baselines

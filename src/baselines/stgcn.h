@@ -1,0 +1,56 @@
+#ifndef D2STGNN_BASELINES_STGCN_H_
+#define D2STGNN_BASELINES_STGCN_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "train/forecasting_model.h"
+
+namespace d2stgnn::baselines {
+
+/// STGCN baseline (Yu et al. 2018; row "STGCN" of the paper's Table 3):
+/// sandwich ST-Conv blocks of temporal gated convolutions (GLU) around a
+/// spectral-style graph convolution on the symmetrically normalized
+/// adjacency with self-loops, followed by an output head that regresses all
+/// horizons at once.
+class Stgcn : public train::ForecastingModel {
+ public:
+  Stgcn(int64_t num_nodes, int64_t hidden_dim, int64_t output_len,
+        const Tensor& adjacency, int64_t num_blocks, Rng& rng);
+
+  Tensor Forward(const data::Batch& batch) override;
+
+  int64_t horizon() const override { return output_len_; }
+
+ private:
+  struct Block {
+    // Temporal gated conv #1 (kernel 2): value and gate branches.
+    std::unique_ptr<nn::Linear> t1_value_now, t1_value_past;
+    std::unique_ptr<nn::Linear> t1_gate_now, t1_gate_past;
+    // Spatial graph convolution.
+    std::unique_ptr<nn::Linear> spatial;
+    // Temporal gated conv #2.
+    std::unique_ptr<nn::Linear> t2_value_now, t2_value_past;
+    std::unique_ptr<nn::Linear> t2_gate_now, t2_gate_past;
+  };
+
+  Tensor GatedTemporal(const Tensor& x, const nn::Linear& value_now,
+                       const nn::Linear& value_past,
+                       const nn::Linear& gate_now,
+                       const nn::Linear& gate_past) const;
+
+  int64_t num_nodes_;
+  int64_t output_len_;
+  Tensor normalized_adj_;  // \hat{A} = D^{-1/2} (A + I) D^{-1/2}
+  nn::Linear input_proj_;
+  std::vector<Block> blocks_;
+  nn::Linear out_fc1_;
+  nn::Linear out_fc2_;
+};
+
+}  // namespace d2stgnn::baselines
+
+#endif  // D2STGNN_BASELINES_STGCN_H_

@@ -1,0 +1,114 @@
+#include "baselines/stsgcn_lite.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::baselines {
+namespace {
+
+// Builds STSGCN's localized spatial-temporal graph for 3 consecutive steps:
+// diagonal blocks are A + I (spatial edges within a step), off-diagonal
+// blocks between adjacent steps are I (a node connected to itself one step
+// away). Row-normalized.
+Tensor BuildBlockAdjacency(const Tensor& adjacency) {
+  const int64_t n = adjacency.size(0);
+  const int64_t m = 3 * n;
+  std::vector<float> block(static_cast<size_t>(m * m), 0.0f);
+  const std::vector<float>& a = adjacency.Data();
+  for (int64_t s = 0; s < 3; ++s) {
+    for (int64_t i = 0; i < n; ++i) {
+      // Spatial edges + self loop inside step s.
+      for (int64_t j = 0; j < n; ++j) {
+        float w = a[static_cast<size_t>(i * n + j)];
+        if (i == j) w += 1.0f;
+        block[static_cast<size_t>((s * n + i) * m + s * n + j)] = w;
+      }
+      // Temporal self-edges to adjacent steps.
+      if (s > 0) {
+        block[static_cast<size_t>((s * n + i) * m + (s - 1) * n + i)] = 1.0f;
+      }
+      if (s < 2) {
+        block[static_cast<size_t>((s * n + i) * m + (s + 1) * n + i)] = 1.0f;
+      }
+    }
+  }
+  // Row-normalize.
+  for (int64_t r = 0; r < m; ++r) {
+    float sum = 0.0f;
+    for (int64_t c = 0; c < m; ++c) sum += block[static_cast<size_t>(r * m + c)];
+    if (sum > 0.0f) {
+      for (int64_t c = 0; c < m; ++c) {
+        block[static_cast<size_t>(r * m + c)] /= sum;
+      }
+    }
+  }
+  return Tensor({m, m}, std::move(block));
+}
+
+}  // namespace
+
+StsgcnLite::StsgcnLite(int64_t num_nodes, int64_t hidden_dim,
+                       int64_t input_len, int64_t output_len,
+                       const Tensor& adjacency, Rng& rng)
+    : ForecastingModel("stsgcn"),
+      num_nodes_(num_nodes),
+      hidden_dim_(hidden_dim),
+      input_len_(input_len),
+      output_len_(output_len),
+      input_proj_(data::kInputFeatures, hidden_dim, rng) {
+  D2_CHECK_GT(input_len - 2 * kModules, 0)
+      << "input too short for " << kModules << " STSGCN modules";
+  RegisterChild(&input_proj_);
+  block_adjacency_ = BuildBlockAdjacency(adjacency);
+  for (int64_t mod = 0; mod < kModules; ++mod) {
+    gcn1_.push_back(std::make_unique<nn::Linear>(hidden_dim, hidden_dim, rng));
+    gcn2_.push_back(std::make_unique<nn::Linear>(hidden_dim, hidden_dim, rng));
+    RegisterChild(gcn1_.back().get());
+    RegisterChild(gcn2_.back().get());
+  }
+  const int64_t remaining = input_len - 2 * kModules;
+  for (int64_t h = 0; h < output_len; ++h) {
+    heads_.push_back(std::make_unique<nn::Linear>(remaining * hidden_dim, 1, rng));
+    RegisterChild(heads_.back().get());
+  }
+}
+
+Tensor StsgcnLite::Forward(const data::Batch& batch) {
+  const int64_t b = batch.batch_size;
+  D2_CHECK_EQ(batch.input_len, input_len_);
+  D2_CHECK_EQ(batch.num_nodes(), num_nodes_);
+
+  Tensor x = input_proj_.Forward(batch.x);  // [B, T, N, h]
+  int64_t steps = input_len_;
+  for (int64_t mod = 0; mod < kModules; ++mod) {
+    std::vector<Tensor> outputs;
+    outputs.reserve(static_cast<size_t>(steps - 2));
+    for (int64_t t = 1; t + 1 < steps; ++t) {
+      // Crop 3 consecutive steps and flatten to the block graph.
+      const Tensor crop = Reshape(Slice(x, 1, t - 1, t + 2),
+                                  {b, 3 * num_nodes_, hidden_dim_});
+      Tensor h = Relu(gcn1_[static_cast<size_t>(mod)]->Forward(
+          MatMul(block_adjacency_, crop)));
+      h = Relu(gcn2_[static_cast<size_t>(mod)]->Forward(
+          MatMul(block_adjacency_, h)));
+      // Aggregate by cropping the middle step's block.
+      outputs.push_back(
+          Slice(h, 1, num_nodes_, 2 * num_nodes_));  // [B, N, h]
+    }
+    x = Stack(outputs, 1);  // [B, steps-2, N, h]
+    steps -= 2;
+  }
+
+  // Per-horizon heads over the flattened remaining sequence.
+  const Tensor flat = Reshape(Permute(x, {0, 2, 1, 3}),
+                              {b, num_nodes_, steps * hidden_dim_});
+  std::vector<Tensor> horizon_out;
+  horizon_out.reserve(static_cast<size_t>(output_len_));
+  for (int64_t h = 0; h < output_len_; ++h) {
+    horizon_out.push_back(
+        heads_[static_cast<size_t>(h)]->Forward(flat));  // [B, N, 1]
+  }
+  return Stack(horizon_out, 1);  // [B, Tf, N, 1]
+}
+
+}  // namespace d2stgnn::baselines

@@ -1,0 +1,44 @@
+#ifndef D2STGNN_BASELINES_STSGCN_LITE_H_
+#define D2STGNN_BASELINES_STSGCN_LITE_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "train/forecasting_model.h"
+
+namespace d2stgnn::baselines {
+
+/// STSGCN baseline (Song et al. 2020), lite variant: captures localized
+/// spatial-temporal correlations synchronously by convolving over a
+/// spatial-temporal block graph A_st of 3 consecutive steps (each node
+/// connected to its spatial neighbours in the same step and to itself in
+/// the adjacent steps). Each module shrinks the sequence by 2; per-horizon
+/// output heads regress the future. "Lite" = 2 modules, single aggregation
+/// per module (see DESIGN.md).
+class StsgcnLite : public train::ForecastingModel {
+ public:
+  StsgcnLite(int64_t num_nodes, int64_t hidden_dim, int64_t input_len,
+             int64_t output_len, const Tensor& adjacency, Rng& rng);
+
+  Tensor Forward(const data::Batch& batch) override;
+
+  int64_t horizon() const override { return output_len_; }
+
+ private:
+  int64_t num_nodes_;
+  int64_t hidden_dim_;
+  int64_t input_len_;
+  int64_t output_len_;
+  Tensor block_adjacency_;  // [3N, 3N], row-normalized
+  nn::Linear input_proj_;
+  std::vector<std::unique_ptr<nn::Linear>> gcn1_;  // per module
+  std::vector<std::unique_ptr<nn::Linear>> gcn2_;
+  std::vector<std::unique_ptr<nn::Linear>> heads_;  // per horizon
+  static constexpr int64_t kModules = 2;
+};
+
+}  // namespace d2stgnn::baselines
+
+#endif  // D2STGNN_BASELINES_STSGCN_LITE_H_

@@ -1,0 +1,169 @@
+#include "baselines/var.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace d2stgnn::baselines {
+
+std::vector<float> SolveRidgeNormalEquations(std::vector<float> xtx,
+                                             std::vector<float> xty,
+                                             int64_t d, int64_t m,
+                                             float ridge) {
+  D2_CHECK_EQ(static_cast<int64_t>(xtx.size()), d * d);
+  D2_CHECK_EQ(static_cast<int64_t>(xty.size()), d * m);
+  for (int64_t i = 0; i < d; ++i) xtx[static_cast<size_t>(i * d + i)] += ridge;
+
+  // Cholesky: xtx = L L^T (in place, lower triangle).
+  for (int64_t i = 0; i < d; ++i) {
+    for (int64_t j = 0; j <= i; ++j) {
+      double sum = xtx[static_cast<size_t>(i * d + j)];
+      for (int64_t k = 0; k < j; ++k) {
+        sum -= static_cast<double>(xtx[static_cast<size_t>(i * d + k)]) *
+               xtx[static_cast<size_t>(j * d + k)];
+      }
+      if (i == j) {
+        D2_CHECK_GT(sum, 0.0) << "matrix not positive definite";
+        xtx[static_cast<size_t>(i * d + j)] =
+            static_cast<float>(std::sqrt(sum));
+      } else {
+        xtx[static_cast<size_t>(i * d + j)] = static_cast<float>(
+            sum / xtx[static_cast<size_t>(j * d + j)]);
+      }
+    }
+  }
+
+  // Solve L Z = xty, then L^T W = Z, column by column.
+  std::vector<float> w(static_cast<size_t>(d * m));
+  for (int64_t c = 0; c < m; ++c) {
+    // Forward substitution.
+    std::vector<double> z(static_cast<size_t>(d));
+    for (int64_t i = 0; i < d; ++i) {
+      double sum = xty[static_cast<size_t>(i * m + c)];
+      for (int64_t k = 0; k < i; ++k) {
+        sum -= static_cast<double>(xtx[static_cast<size_t>(i * d + k)]) *
+               z[static_cast<size_t>(k)];
+      }
+      z[static_cast<size_t>(i)] = sum / xtx[static_cast<size_t>(i * d + i)];
+    }
+    // Backward substitution.
+    for (int64_t i = d - 1; i >= 0; --i) {
+      double sum = z[static_cast<size_t>(i)];
+      for (int64_t k = i + 1; k < d; ++k) {
+        sum -= static_cast<double>(xtx[static_cast<size_t>(k * d + i)]) *
+               w[static_cast<size_t>(k * m + c)];
+      }
+      w[static_cast<size_t>(i * m + c)] = static_cast<float>(
+          sum / xtx[static_cast<size_t>(i * d + i)]);
+    }
+  }
+  return w;
+}
+
+Var::Var(int64_t order, float ridge) : order_(order), ridge_(ridge) {
+  D2_CHECK_GE(order, 1);
+}
+
+void Var::Fit(const data::TimeSeriesDataset& dataset, int64_t train_steps) {
+  D2_CHECK_GT(train_steps, order_);
+  num_nodes_ = dataset.num_nodes();
+  const int64_t n = num_nodes_;
+  const int64_t d = order_ * n + 1;
+
+  // Z-score statistics over the training range (zeros are kept: VAR has no
+  // masking concept, matching common practice).
+  const std::vector<float>& values = dataset.values.Data();
+  double sum = 0.0, sum_sq = 0.0;
+  const int64_t limit = train_steps * n;
+  for (int64_t i = 0; i < limit; ++i) {
+    sum += values[static_cast<size_t>(i)];
+    sum_sq += static_cast<double>(values[static_cast<size_t>(i)]) *
+              values[static_cast<size_t>(i)];
+  }
+  const double mean = sum / static_cast<double>(limit);
+  mean_ = static_cast<float>(mean);
+  std_ = static_cast<float>(std::sqrt(
+      std::max(1e-12, sum_sq / static_cast<double>(limit) - mean * mean)));
+
+  auto z = [&](int64_t t, int64_t i) {
+    return (values[static_cast<size_t>(t * n + i)] - mean_) / std_;
+  };
+
+  // Accumulate X^T X and X^T Y over rows t = p..train_steps-1, where
+  // x_t = [x_{t-1}, ..., x_{t-p}, 1].
+  std::vector<double> xtx(static_cast<size_t>(d * d), 0.0);
+  std::vector<double> xty(static_cast<size_t>(d * n), 0.0);
+  std::vector<float> row(static_cast<size_t>(d));
+  for (int64_t t = order_; t < train_steps; ++t) {
+    for (int64_t l = 0; l < order_; ++l) {
+      for (int64_t i = 0; i < n; ++i) {
+        row[static_cast<size_t>(l * n + i)] = z(t - 1 - l, i);
+      }
+    }
+    row[static_cast<size_t>(d - 1)] = 1.0f;
+    for (int64_t a = 0; a < d; ++a) {
+      const double ra = row[static_cast<size_t>(a)];
+      if (ra == 0.0) continue;
+      for (int64_t b = 0; b < d; ++b) {
+        xtx[static_cast<size_t>(a * d + b)] += ra * row[static_cast<size_t>(b)];
+      }
+      for (int64_t i = 0; i < n; ++i) {
+        xty[static_cast<size_t>(a * n + i)] += ra * z(t, i);
+      }
+    }
+  }
+
+  std::vector<float> xtx_f(xtx.begin(), xtx.end());
+  std::vector<float> xty_f(xty.begin(), xty.end());
+  coeffs_ = SolveRidgeNormalEquations(std::move(xtx_f), std::move(xty_f), d,
+                                      n, ridge_ * static_cast<float>(train_steps));
+}
+
+Tensor Var::Predict(const data::TimeSeriesDataset& dataset,
+                    const std::vector<int64_t>& window_starts,
+                    int64_t input_len, int64_t output_len) const {
+  D2_CHECK(!coeffs_.empty()) << "Fit must run before Predict";
+  D2_CHECK_GE(input_len, order_);
+  const int64_t n = num_nodes_;
+  const int64_t d = order_ * n + 1;
+  const int64_t s = static_cast<int64_t>(window_starts.size());
+  const std::vector<float>& values = dataset.values.Data();
+
+  std::vector<float> out(static_cast<size_t>(s * output_len * n));
+  // lags[l*n + i] = z-scored value at lag l+1.
+  std::vector<float> lags(static_cast<size_t>(order_ * n));
+  for (int64_t w = 0; w < s; ++w) {
+    const int64_t t0 = window_starts[static_cast<size_t>(w)] + input_len;
+    for (int64_t l = 0; l < order_; ++l) {
+      for (int64_t i = 0; i < n; ++i) {
+        lags[static_cast<size_t>(l * n + i)] =
+            (values[static_cast<size_t>((t0 - 1 - l) * n + i)] - mean_) /
+            std_;
+      }
+    }
+    for (int64_t h = 0; h < output_len; ++h) {
+      std::vector<float> next(static_cast<size_t>(n));
+      for (int64_t i = 0; i < n; ++i) {
+        double acc = coeffs_[static_cast<size_t>((d - 1) * n + i)];  // bias
+        for (int64_t f = 0; f < order_ * n; ++f) {
+          acc += static_cast<double>(lags[static_cast<size_t>(f)]) *
+                 coeffs_[static_cast<size_t>(f * n + i)];
+        }
+        next[static_cast<size_t>(i)] = static_cast<float>(acc);
+        out[static_cast<size_t>((w * output_len + h) * n + i)] =
+            static_cast<float>(acc) * std_ + mean_;
+      }
+      // Shift lags: newest prediction becomes lag 1.
+      for (int64_t l = order_ - 1; l > 0; --l) {
+        for (int64_t i = 0; i < n; ++i) {
+          lags[static_cast<size_t>(l * n + i)] =
+              lags[static_cast<size_t>((l - 1) * n + i)];
+        }
+      }
+      for (int64_t i = 0; i < n; ++i) lags[static_cast<size_t>(i)] = next[static_cast<size_t>(i)];
+    }
+  }
+  return Tensor({s, output_len, n, 1}, std::move(out));
+}
+
+}  // namespace d2stgnn::baselines

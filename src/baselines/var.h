@@ -1,0 +1,53 @@
+#ifndef D2STGNN_BASELINES_VAR_H_
+#define D2STGNN_BASELINES_VAR_H_
+
+#include <vector>
+
+#include "data/dataset.h"
+#include "tensor/tensor.h"
+
+namespace d2stgnn::baselines {
+
+/// Vector Auto-Regression baseline (paper Sec. 6.1):
+///   x_t = c + sum_{l=1..p} A_l x_{t-l} + noise
+/// fit jointly over all sensors by ridge-regularized least squares (normal
+/// equations + Cholesky). Multi-step forecasts are produced recursively.
+/// Captures linear spatial-temporal correlations but no non-linearity —
+/// the paper's motivation for deep models.
+class Var {
+ public:
+  /// `order` is p; `ridge` the Tikhonov strength keeping the normal
+  /// equations well conditioned.
+  explicit Var(int64_t order = 3, float ridge = 1e-2f);
+
+  /// Fits on steps [0, train_steps) of the dataset (z-scored internally).
+  void Fit(const data::TimeSeriesDataset& dataset, int64_t train_steps);
+
+  /// Recursive multi-step forecast for each window. Returns
+  /// [num_starts, output_len, N, 1] in original units.
+  Tensor Predict(const data::TimeSeriesDataset& dataset,
+                 const std::vector<int64_t>& window_starts, int64_t input_len,
+                 int64_t output_len) const;
+
+ private:
+  int64_t order_;
+  float ridge_;
+  int64_t num_nodes_ = 0;
+  float mean_ = 0.0f;
+  float std_ = 1.0f;
+  /// Stacked coefficients, [(p*N + 1) x N]: rows are lag-1 node block, ...,
+  /// lag-p node block, intercept.
+  std::vector<float> coeffs_;
+};
+
+/// Solves (X^T X + ridge*I) W = X^T Y for W via Cholesky decomposition.
+/// `xtx` is [d, d] row-major (destroyed), `xty` is [d, m] row-major.
+/// Exposed for testing.
+std::vector<float> SolveRidgeNormalEquations(std::vector<float> xtx,
+                                             std::vector<float> xty,
+                                             int64_t d, int64_t m,
+                                             float ridge);
+
+}  // namespace d2stgnn::baselines
+
+#endif  // D2STGNN_BASELINES_VAR_H_

@@ -1,0 +1,36 @@
+#include "common/check.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace d2stgnn::internal {
+
+CheckFailure::CheckFailure(const char* file, int line,
+                           const std::string& condition) {
+  stream_ << file << ":" << line << ": " << condition << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::fprintf(stderr, "%s\n", stream_.str().c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+std::string FormatBinaryFailure(const char* op, const std::string& lhs,
+                                const std::string& rhs, const char* lhs_expr,
+                                const char* rhs_expr) {
+  std::string message = "Check failed: ";
+  message += lhs_expr;
+  message += " ";
+  message += op;
+  message += " ";
+  message += rhs_expr;
+  message += " (";
+  message += lhs;
+  message += " vs. ";
+  message += rhs;
+  message += ")";
+  return message;
+}
+
+}  // namespace d2stgnn::internal

@@ -1,0 +1,81 @@
+#ifndef D2STGNN_COMMON_CHECK_H_
+#define D2STGNN_COMMON_CHECK_H_
+
+#include <ostream>
+#include <sstream>
+#include <string>
+
+// Google-style CHECK macros. The project does not use exceptions; invariant
+// violations print a message with the failing location and abort.
+//
+//   D2_CHECK(cond) << "extra context " << value;
+//   D2_CHECK_EQ(a, b) << "extra context";
+//
+// The streamed context is only evaluated when the check fails.
+
+namespace d2stgnn::internal {
+
+// Collects the failure message and aborts the process in its destructor.
+// Created as a temporary by the D2_CHECK macros; callers stream additional
+// context into stream() before the abort fires.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const std::string& condition);
+  CheckFailure(const CheckFailure&) = delete;
+  CheckFailure& operator=(const CheckFailure&) = delete;
+  [[noreturn]] ~CheckFailure();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// glog-style voidifier: `&` binds looser than `<<`, so the whole streamed
+// chain is evaluated before being discarded, and the ternary in D2_CHECK can
+// produce void on both arms.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+std::string FormatBinaryFailure(const char* op, const std::string& lhs,
+                                const std::string& rhs, const char* lhs_expr,
+                                const char* rhs_expr);
+
+template <typename T>
+std::string CheckValueToString(const T& value) {
+  std::ostringstream os;
+  os << value;
+  return os.str();
+}
+
+}  // namespace d2stgnn::internal
+
+#define D2_CHECK(condition)                               \
+  (condition) ? (void)0                                   \
+              : ::d2stgnn::internal::Voidify() &          \
+                    ::d2stgnn::internal::CheckFailure(    \
+                        __FILE__, __LINE__,               \
+                        "Check failed: " #condition)      \
+                        .stream()
+
+#define D2_CHECK_OP(op, lhs, rhs)                                          \
+  ((lhs)op(rhs))                                                           \
+      ? (void)0                                                           \
+      : ::d2stgnn::internal::Voidify() &                                   \
+            ::d2stgnn::internal::CheckFailure(                             \
+                __FILE__, __LINE__,                                        \
+                ::d2stgnn::internal::FormatBinaryFailure(                  \
+                    #op, ::d2stgnn::internal::CheckValueToString(lhs),     \
+                    ::d2stgnn::internal::CheckValueToString(rhs), #lhs,    \
+                    #rhs))                                                 \
+                .stream()
+
+#define D2_CHECK_EQ(lhs, rhs) D2_CHECK_OP(==, lhs, rhs)
+#define D2_CHECK_NE(lhs, rhs) D2_CHECK_OP(!=, lhs, rhs)
+#define D2_CHECK_LT(lhs, rhs) D2_CHECK_OP(<, lhs, rhs)
+#define D2_CHECK_LE(lhs, rhs) D2_CHECK_OP(<=, lhs, rhs)
+#define D2_CHECK_GT(lhs, rhs) D2_CHECK_OP(>, lhs, rhs)
+#define D2_CHECK_GE(lhs, rhs) D2_CHECK_OP(>=, lhs, rhs)
+
+#endif  // D2STGNN_COMMON_CHECK_H_

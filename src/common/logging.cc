@@ -1,0 +1,58 @@
+#include "common/logging.h"
+
+#include <cstdlib>
+
+namespace d2stgnn {
+namespace {
+
+LogLevel ThresholdFromEnv() {
+  const char* env = std::getenv("D2_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  int value = std::atoi(env);
+  if (value < 0) value = 0;
+  if (value > 3) value = 3;
+  return static_cast<LogLevel>(value);
+}
+
+LogLevel& MutableThreshold() {
+  static LogLevel threshold = ThresholdFromEnv();
+  return threshold;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARNING";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "UNKNOWN";
+  }
+}
+
+}  // namespace
+
+void SetLogThreshold(LogLevel level) { MutableThreshold() = level; }
+
+LogLevel GetLogThreshold() { return MutableThreshold(); }
+
+namespace internal {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* basename = file;
+  for (const char* p = file; *p != '\0'; ++p) {
+    if (*p == '/') basename = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << basename << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (static_cast<int>(level_) < static_cast<int>(GetLogThreshold())) return;
+  std::cerr << stream_.str() << "\n";
+}
+
+}  // namespace internal
+}  // namespace d2stgnn

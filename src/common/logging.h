@@ -1,0 +1,57 @@
+#ifndef D2STGNN_COMMON_LOGGING_H_
+#define D2STGNN_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+// Minimal leveled logging. Usage:
+//
+//   D2_LOG(INFO) << "epoch " << epoch << " done";
+//
+// Messages at or above the global threshold (default INFO) are written to
+// stderr with a level prefix. Set via SetLogThreshold or the D2_LOG_LEVEL
+// environment variable (0=INFO, 1=WARNING, 2=ERROR, 3=silent).
+
+namespace d2stgnn {
+
+enum class LogLevel : int { kInfo = 0, kWarning = 1, kError = 2, kSilent = 3 };
+
+/// Sets the minimum level that is actually emitted.
+void SetLogThreshold(LogLevel level);
+
+/// Returns the current emission threshold.
+LogLevel GetLogThreshold();
+
+namespace internal {
+
+// Buffers one log statement and flushes it (with prefix) on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace d2stgnn
+
+#define D2_LOG_INFO \
+  ::d2stgnn::internal::LogMessage(::d2stgnn::LogLevel::kInfo, __FILE__, __LINE__)
+#define D2_LOG_WARNING                                                      \
+  ::d2stgnn::internal::LogMessage(::d2stgnn::LogLevel::kWarning, __FILE__, \
+                                  __LINE__)
+#define D2_LOG_ERROR                                                      \
+  ::d2stgnn::internal::LogMessage(::d2stgnn::LogLevel::kError, __FILE__, \
+                                  __LINE__)
+
+#define D2_LOG(severity) D2_LOG_##severity.stream()
+
+#endif  // D2STGNN_COMMON_LOGGING_H_

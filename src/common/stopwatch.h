@@ -1,0 +1,32 @@
+#ifndef D2STGNN_COMMON_STOPWATCH_H_
+#define D2STGNN_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace d2stgnn {
+
+/// Simple wall-clock stopwatch used to time training epochs (Figure 6) and
+/// bench phases. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Reset().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace d2stgnn
+
+#endif  // D2STGNN_COMMON_STOPWATCH_H_

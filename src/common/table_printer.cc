@@ -1,0 +1,75 @@
+#include "common/table_printer.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace d2stgnn {
+
+TablePrinter::TablePrinter(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  D2_CHECK(!headers_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> cells) {
+  D2_CHECK_EQ(cells.size(), headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+void TablePrinter::AddSeparator() { rows_.emplace_back(); }
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row,
+                        std::ostringstream& os) {
+    os << "|";
+    for (size_t c = 0; c < row.size(); ++c) {
+      os << " " << row[c];
+      for (size_t pad = row[c].size(); pad < widths[c]; ++pad) os << " ";
+      os << " |";
+    }
+    os << "\n";
+  };
+  auto render_separator = [&](std::ostringstream& os) {
+    os << "|";
+    for (size_t c = 0; c < widths.size(); ++c) {
+      for (size_t pad = 0; pad < widths[c] + 2; ++pad) os << "-";
+      os << "|";
+    }
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  render_row(headers_, os);
+  render_separator(os);
+  for (const auto& row : rows_) {
+    if (row.empty()) {
+      render_separator(os);
+    } else {
+      render_row(row, os);
+    }
+  }
+  return os.str();
+}
+
+std::string TablePrinter::Num(double value, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", decimals, value);
+  return buffer;
+}
+
+std::string TablePrinter::Percent(double fraction, int decimals) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f%%", decimals, fraction * 100.0);
+  return buffer;
+}
+
+}  // namespace d2stgnn

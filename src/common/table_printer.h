@@ -1,0 +1,44 @@
+#ifndef D2STGNN_COMMON_TABLE_PRINTER_H_
+#define D2STGNN_COMMON_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace d2stgnn {
+
+/// Accumulates rows of string cells and renders them as an aligned,
+/// pipe-separated text table. Used by the bench binaries to print results in
+/// the layout of the paper's tables.
+///
+/// Example:
+///   TablePrinter table({"Method", "MAE", "RMSE", "MAPE"});
+///   table.AddRow({"D2STGNN", "2.56", "4.88", "6.48%"});
+///   std::cout << table.ToString();
+class TablePrinter {
+ public:
+  /// Creates a table with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends one row. Must have exactly as many cells as there are headers.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Formats a float with the given number of decimals ("3.142").
+  static std::string Num(double value, int decimals = 2);
+
+  /// Formats a float as a percentage with two decimals ("6.48%").
+  static std::string Percent(double fraction, int decimals = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;  // empty row == separator
+};
+
+}  // namespace d2stgnn
+
+#endif  // D2STGNN_COMMON_TABLE_PRINTER_H_

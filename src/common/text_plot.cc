@@ -1,0 +1,102 @@
+#include "common/text_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace d2stgnn {
+namespace {
+
+// Downsamples `values` to exactly `width` points by averaging buckets.
+std::vector<float> Resample(const std::vector<float>& values, int width) {
+  const int64_t n = static_cast<int64_t>(values.size());
+  std::vector<float> out(static_cast<size_t>(width), 0.0f);
+  if (n == 0) return out;
+  for (int i = 0; i < width; ++i) {
+    const int64_t lo = n * i / width;
+    int64_t hi = n * (i + 1) / width;
+    if (hi <= lo) hi = lo + 1;
+    float sum = 0.0f;
+    for (int64_t j = lo; j < hi && j < n; ++j) sum += values[static_cast<size_t>(j)];
+    out[static_cast<size_t>(i)] = sum / static_cast<float>(hi - lo);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TextPlot(const std::vector<PlotSeries>& series, int width,
+                     int height) {
+  D2_CHECK_GT(width, 0);
+  D2_CHECK_GT(height, 1);
+  if (series.empty()) return "(empty plot)\n";
+
+  float lo = std::numeric_limits<float>::infinity();
+  float hi = -std::numeric_limits<float>::infinity();
+  for (const auto& s : series) {
+    for (float v : s.values) {
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+  }
+  if (!std::isfinite(lo) || !std::isfinite(hi)) return "(no data)\n";
+  if (hi - lo < 1e-9f) hi = lo + 1.0f;
+
+  std::vector<std::string> grid(static_cast<size_t>(height),
+                                std::string(static_cast<size_t>(width), ' '));
+  for (const auto& s : series) {
+    const std::vector<float> resampled = Resample(s.values, width);
+    for (int x = 0; x < width; ++x) {
+      const float v = resampled[static_cast<size_t>(x)];
+      int y = static_cast<int>(
+          std::lround((v - lo) / (hi - lo) * static_cast<float>(height - 1)));
+      y = std::clamp(y, 0, height - 1);
+      grid[static_cast<size_t>(height - 1 - y)][static_cast<size_t>(x)] =
+          s.glyph;
+    }
+  }
+
+  std::ostringstream os;
+  char label[32];
+  std::snprintf(label, sizeof(label), "%8.2f", hi);
+  os << label << " +" << std::string(static_cast<size_t>(width), '-') << "+\n";
+  for (const auto& row : grid) {
+    os << "         |" << row << "|\n";
+  }
+  std::snprintf(label, sizeof(label), "%8.2f", lo);
+  os << label << " +" << std::string(static_cast<size_t>(width), '-') << "+\n";
+  os << "          legend:";
+  for (const auto& s : series) os << "  '" << s.glyph << "' = " << s.name;
+  os << "\n";
+  return os.str();
+}
+
+bool WriteSeriesCsv(const std::string& path,
+                    const std::vector<PlotSeries>& series) {
+  D2_CHECK(!series.empty());
+  const size_t length = series[0].values.size();
+  for (const auto& s : series) D2_CHECK_EQ(s.values.size(), length);
+
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    D2_LOG(WARNING) << "cannot open " << path << " for writing";
+    return false;
+  }
+  out << "index";
+  for (const auto& s : series) out << "," << s.name;
+  out << "\n";
+  for (size_t i = 0; i < length; ++i) {
+    out << i;
+    for (const auto& s : series) out << "," << s.values[i];
+    out << "\n";
+  }
+  return true;
+}
+
+}  // namespace d2stgnn

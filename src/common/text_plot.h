@@ -1,0 +1,33 @@
+#ifndef D2STGNN_COMMON_TEXT_PLOT_H_
+#define D2STGNN_COMMON_TEXT_PLOT_H_
+
+#include <string>
+#include <vector>
+
+namespace d2stgnn {
+
+/// One named series for TextPlot.
+struct PlotSeries {
+  std::string name;
+  std::vector<float> values;
+  char glyph = '*';
+};
+
+/// Renders one or more series as an ASCII line chart (used by the Figure 8
+/// bench to show prediction vs. ground truth in the terminal). Series are
+/// drawn over a shared y-axis; when two series occupy the same cell the
+/// later series' glyph wins.
+///
+/// `width`/`height` are the plot area in characters; series longer than
+/// `width` are downsampled by averaging.
+std::string TextPlot(const std::vector<PlotSeries>& series, int width = 100,
+                     int height = 20);
+
+/// Writes series as CSV ("index,name1,name2,...") to `path`. Returns false
+/// (and logs) if the file cannot be opened. Series must share a length.
+bool WriteSeriesCsv(const std::string& path,
+                    const std::vector<PlotSeries>& series);
+
+}  // namespace d2stgnn
+
+#endif  // D2STGNN_COMMON_TEXT_PLOT_H_

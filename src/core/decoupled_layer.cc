@@ -1,0 +1,77 @@
+#include "core/decoupled_layer.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::core {
+
+DecoupledLayer::DecoupledLayer(const DecoupledLayerConfig& config, Rng& rng)
+    : Module("decoupled_layer"),
+      config_(config),
+      diffusion_(config.hidden_dim, config.k_s, config.k_t,
+                 config.num_supports, config.horizon, config.autoregressive,
+                 rng),
+      inherent_(config.hidden_dim, config.num_heads, config.horizon,
+                config.input_len, config.use_gru, config.use_msa,
+                config.autoregressive, rng) {
+  if (config.use_decouple && config.use_gate) {
+    gate_ = std::make_unique<EstimationGate>(config.embed_dim,
+                                             config.hidden_dim, rng);
+    RegisterChild(gate_.get());
+  }
+  RegisterChild(&diffusion_);
+  RegisterChild(&inherent_);
+}
+
+LayerOutput DecoupledLayer::Forward(
+    const Tensor& x, const Tensor& t_day, const Tensor& t_week,
+    const Tensor& e_u, const Tensor& e_d,
+    const std::vector<std::vector<Tensor>>& localized_supports) const {
+  LayerOutput out;
+
+  if (!config_.use_decouple) {
+    // Coupled variant (D²STGNN‡, Sec. 6.3): diffusion and inherent models
+    // chained directly, hidden states feeding forward like in conventional
+    // STGNNs; no gate, no residual decomposition.
+    const BlockOutput dif = diffusion_.Forward(x, localized_supports);
+    const BlockOutput inh = inherent_.Forward(dif.hidden_sequence);
+    out.next_input = inh.hidden_sequence;
+    out.forecast_dif = dif.hidden_forecast;
+    out.forecast_inh = inh.hidden_forecast;
+    return out;
+  }
+
+  if (!config_.inherent_first) {
+    // Paper default (Fig. 3): estimation gate scales the diffusion share
+    // (Eq. 3), the diffusion backcast is removed from the layer input
+    // (Eq. 1), and the inherent backcast from the inherent input (Eq. 2).
+    const Tensor x_dif =
+        gate_ != nullptr ? gate_->Forward(t_day, t_week, e_u, e_d, x) : x;
+    const BlockOutput dif = diffusion_.Forward(x_dif, localized_supports);
+    const Tensor x_inh =
+        config_.use_residual ? Sub(x, dif.backcast) : x;
+    const BlockOutput inh = inherent_.Forward(x_inh);
+    // Without the residual links the layer degenerates to plain stacking of
+    // hidden states (there is no signal left to pass down otherwise).
+    out.next_input = config_.use_residual ? Sub(x_inh, inh.backcast)
+                                          : inh.hidden_sequence;
+    out.forecast_dif = dif.hidden_forecast;
+    out.forecast_inh = inh.hidden_forecast;
+    return out;
+  }
+
+  // `switch` variant (Sec. 6.5): inherent block first. The gate then
+  // estimates the inherent share of the signal.
+  const Tensor x_inh =
+      gate_ != nullptr ? gate_->Forward(t_day, t_week, e_u, e_d, x) : x;
+  const BlockOutput inh = inherent_.Forward(x_inh);
+  const Tensor x_dif = config_.use_residual ? Sub(x, inh.backcast) : x;
+  const BlockOutput dif = diffusion_.Forward(x_dif, localized_supports);
+  out.next_input = config_.use_residual ? Sub(x_dif, dif.backcast)
+                                        : dif.hidden_sequence;
+  out.forecast_dif = dif.hidden_forecast;
+  out.forecast_inh = inh.hidden_forecast;
+  return out;
+}
+
+}  // namespace d2stgnn::core

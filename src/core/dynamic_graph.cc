@@ -1,0 +1,67 @@
+#include "core/dynamic_graph.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/init.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::core {
+
+DynamicGraphLearner::DynamicGraphLearner(int64_t input_len,
+                                         int64_t hidden_dim,
+                                         int64_t embed_dim, Rng& rng)
+    : Module("dynamic_graph"),
+      hidden_dim_(hidden_dim),
+      feature_fc1_(input_len * hidden_dim, hidden_dim, rng),
+      feature_fc2_(hidden_dim, hidden_dim, rng) {
+  RegisterChild(&feature_fc1_);
+  RegisterChild(&feature_fc2_);
+  const int64_t df_dim = hidden_dim + 3 * embed_dim;
+  w_q_ = RegisterParameter("W_q", nn::XavierUniform({df_dim, hidden_dim}, rng));
+  w_k_ = RegisterParameter("W_k", nn::XavierUniform({df_dim, hidden_dim}, rng));
+}
+
+std::pair<Tensor, Tensor> DynamicGraphLearner::Forward(
+    const Tensor& x, const Tensor& t_day, const Tensor& t_week,
+    const Tensor& e_u, const Tensor& e_d, const Tensor& p_forward,
+    const Tensor& p_backward) const {
+  D2_CHECK_EQ(x.dim(), 4);
+  const int64_t batch = x.size(0);
+  const int64_t steps = x.size(1);
+  const int64_t nodes = x.size(2);
+  const int64_t dim = x.size(3);
+  const int64_t de = e_u.size(-1);
+
+  // Eq. 13: per-node dynamic feature from the whole window,
+  // FC(‖_c X_c): [B, N, T*d] -> [B, N, d] with a two-layer network.
+  Tensor per_node = Permute(x, {0, 2, 1, 3});  // [B, N, T, d]
+  per_node = Reshape(per_node, {batch, nodes, steps * dim});
+  Tensor dyn = feature_fc2_.Forward(Relu(feature_fc1_.Forward(per_node)));
+
+  // Broadcast time and node embeddings to [B, N, de].
+  const Shape bn_shape = {batch, nodes, de};
+  const Tensor day = BroadcastTo(Unsqueeze(t_day, 1), bn_shape);
+  const Tensor week = BroadcastTo(Unsqueeze(t_week, 1), bn_shape);
+  const Tensor src = BroadcastTo(Reshape(e_u, {1, nodes, de}), bn_shape);
+  const Tensor dst = BroadcastTo(Reshape(e_d, {1, nodes, de}), bn_shape);
+
+  const Tensor df_u = Concat({dyn, day, week, src}, -1);  // [B, N, d+3de]
+  const Tensor df_d = Concat({dyn, day, week, dst}, -1);
+
+  const float scale = 1.0f / std::sqrt(static_cast<float>(hidden_dim_));
+  auto attention_mask = [&](const Tensor& df) {
+    const Tensor q = MatMul(df, w_q_);  // [B, N, d]
+    const Tensor k = MatMul(df, w_k_);
+    const Tensor scores = MulScalar(MatMul(q, Transpose(k, -1, -2)), scale);
+    return Softmax(scores, -1);  // [B, N, N]
+  };
+
+  // Eq. 14: element-wise mask of the static transitions (which broadcast
+  // over the batch dimension).
+  Tensor p_f_dy = Mul(Unsqueeze(p_forward, 0), attention_mask(df_u));
+  Tensor p_b_dy = Mul(Unsqueeze(p_backward, 0), attention_mask(df_d));
+  return {p_f_dy, p_b_dy};
+}
+
+}  // namespace d2stgnn::core

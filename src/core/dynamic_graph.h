@@ -1,0 +1,49 @@
+#ifndef D2STGNN_CORE_DYNAMIC_GRAPH_H_
+#define D2STGNN_CORE_DYNAMIC_GRAPH_H_
+
+#include <utility>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace d2stgnn::core {
+
+/// Dynamic graph learning module (paper Sec. 5.3, Eqs. 13–14). Builds
+/// per-window dynamic transition matrices by masking the static road-network
+/// transitions with a self-attention score computed from the window's
+/// traffic features, time embeddings, and static node embeddings:
+///
+///   DF^u_t = Concat[FC(‖_c X_c), T^D_t, T^W_t, E^u]
+///   P^dy_{f,t} = P_f ⊙ Softmax(DF^u_t W^Q (DF^u_t W^K)^T / sqrt(d))
+///
+/// As the paper's cost note prescribes, P^dy is computed once per window
+/// (static within T_h).
+class DynamicGraphLearner : public nn::Module {
+ public:
+  /// `input_len` is T_h; `hidden_dim` d; `embed_dim` the width of time/node
+  /// embeddings.
+  DynamicGraphLearner(int64_t input_len, int64_t hidden_dim,
+                      int64_t embed_dim, Rng& rng);
+
+  /// Computes {P^dy_f, P^dy_b}, each [B, N, N].
+  /// `x`: [B, T, N, d] latent window; `t_day`/`t_week`: [B, de] embeddings
+  /// of the window's last step; `e_u`/`e_d`: [N, de]; `p_forward`/
+  /// `p_backward`: static [N, N] transitions.
+  std::pair<Tensor, Tensor> Forward(const Tensor& x, const Tensor& t_day,
+                                    const Tensor& t_week, const Tensor& e_u,
+                                    const Tensor& e_d,
+                                    const Tensor& p_forward,
+                                    const Tensor& p_backward) const;
+
+ private:
+  int64_t hidden_dim_;
+  nn::Linear feature_fc1_;  // T*d -> d
+  nn::Linear feature_fc2_;  // d -> d
+  Tensor w_q_;              // [d + 3*de, d]
+  Tensor w_k_;              // [d + 3*de, d]
+};
+
+}  // namespace d2stgnn::core
+
+#endif  // D2STGNN_CORE_DYNAMIC_GRAPH_H_

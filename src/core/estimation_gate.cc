@@ -1,0 +1,40 @@
+#include "core/estimation_gate.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::core {
+
+EstimationGate::EstimationGate(int64_t embed_dim, int64_t hidden_dim, Rng& rng)
+    : Module("estimation_gate"),
+      fc1_(4 * embed_dim, hidden_dim, rng),
+      fc2_(hidden_dim, 1, rng) {
+  RegisterChild(&fc1_);
+  RegisterChild(&fc2_);
+}
+
+Tensor EstimationGate::Forward(const Tensor& t_day, const Tensor& t_week,
+                               const Tensor& e_u, const Tensor& e_d,
+                               const Tensor& x) const {
+  D2_CHECK_EQ(x.dim(), 4);
+  const int64_t batch = x.size(0);
+  const int64_t steps = x.size(1);
+  const int64_t nodes = x.size(2);
+  const int64_t de = e_u.size(-1);
+  D2_CHECK_EQ(t_day.size(0), batch);
+  D2_CHECK_EQ(t_day.size(1), steps);
+  D2_CHECK_EQ(e_u.size(0), nodes);
+
+  // Broadcast all four embeddings to [B, T, N, de] and concatenate.
+  const Shape full = {batch, steps, nodes, de};
+  const Tensor day = BroadcastTo(Unsqueeze(t_day, 2), full);
+  const Tensor week = BroadcastTo(Unsqueeze(t_week, 2), full);
+  const Tensor src = BroadcastTo(Reshape(e_u, {1, 1, nodes, de}), full);
+  const Tensor dst = BroadcastTo(Reshape(e_d, {1, 1, nodes, de}), full);
+  const Tensor features = Concat({day, week, src, dst}, -1);
+
+  const Tensor gate = Sigmoid(fc2_.Forward(Relu(fc1_.Forward(features))));
+  return Mul(gate, x);  // gate [B,T,N,1] broadcasts over channels
+}
+
+}  // namespace d2stgnn::core

@@ -1,0 +1,37 @@
+#ifndef D2STGNN_CORE_ESTIMATION_GATE_H_
+#define D2STGNN_CORE_ESTIMATION_GATE_H_
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace d2stgnn::core {
+
+/// The estimation gate of the decouple block (paper Eq. 3). From the time
+/// and node embeddings it learns a value Λ_{t,i} ∈ (0, 1) that estimates the
+/// proportion of the diffusion signal at time slot t of node i, relieving
+/// the first block in each layer from having to isolate its own signal:
+///
+///   Λ = Sigmoid(ReLU([T^D_t ‖ T^W_t ‖ E^u_i ‖ E^d_i] W₁) W₂)
+///   X^dif = Λ ⊙ X^l
+class EstimationGate : public nn::Module {
+ public:
+  /// `embed_dim` is the width of each of the four embeddings; `hidden_dim`
+  /// the width of W₁'s output.
+  EstimationGate(int64_t embed_dim, int64_t hidden_dim, Rng& rng);
+
+  /// Applies the gate.
+  /// `t_day`/`t_week`: [B, T, de] looked-up time-slot embeddings;
+  /// `e_u`/`e_d`: [N, de] node embeddings; `x`: [B, T, N, d] layer input.
+  /// Returns Λ ⊙ x with Λ broadcast over channels.
+  Tensor Forward(const Tensor& t_day, const Tensor& t_week, const Tensor& e_u,
+                 const Tensor& e_d, const Tensor& x) const;
+
+ private:
+  nn::Linear fc1_;
+  nn::Linear fc2_;
+};
+
+}  // namespace d2stgnn::core
+
+#endif  // D2STGNN_CORE_ESTIMATION_GATE_H_

@@ -1,0 +1,54 @@
+#ifndef D2STGNN_CORE_INHERENT_BLOCK_H_
+#define D2STGNN_CORE_INHERENT_BLOCK_H_
+
+#include <memory>
+
+#include "common/rng.h"
+#include "core/diffusion_block.h"  // for BlockOutput
+#include "nn/attention.h"
+#include "nn/gru_cell.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/positional_encoding.h"
+
+namespace d2stgnn::core {
+
+/// The inherent model (paper Sec. 5.2, Fig. 5): captures the hidden inherent
+/// time series of each node independently. A GRU (Eq. 10) models short-term
+/// dependencies, sinusoidal positional encoding (Eq. 12) restores order
+/// information, and a multi-head self-attention layer (Eq. 11) over the time
+/// axis captures long-term dependencies. The forecast branch continues the
+/// GRU auto-regressively ("simple sliding auto-regression"); the backcast
+/// branch reconstructs the block's input.
+class InherentBlock : public nn::Module {
+ public:
+  /// `use_gru` / `use_msa` disable the respective component (Table 5's
+  /// `w/o gru` / `w/o msa` ablations); `autoregressive` = false selects the
+  /// `w/o ar` direct multi-step regression.
+  InherentBlock(int64_t hidden_dim, int64_t num_heads,
+                int64_t forecast_horizon, int64_t max_len, bool use_gru,
+                bool use_msa, bool autoregressive, Rng& rng);
+
+  /// Runs the block on the inherent signal `x` [B, T, N, d].
+  BlockOutput Forward(const Tensor& x) const;
+
+ private:
+  int64_t hidden_dim_;
+  int64_t horizon_;
+  bool use_gru_;
+  bool use_msa_;
+  bool autoregressive_;
+  std::unique_ptr<nn::GruCell> gru_;
+  std::unique_ptr<nn::Linear> input_fc_;  // replaces the GRU when disabled
+  nn::PositionalEncoding positional_;
+  std::unique_ptr<nn::MultiHeadSelfAttention> attention_;
+  std::unique_ptr<nn::Linear> roll_fc_;       // projects H_t to the next input
+  std::unique_ptr<nn::Linear> forecast_fc1_;  // w/o-ar head
+  std::unique_ptr<nn::Linear> forecast_fc2_;
+  std::unique_ptr<nn::Linear> backcast_fc1_;
+  std::unique_ptr<nn::Linear> backcast_fc2_;
+};
+
+}  // namespace d2stgnn::core
+
+#endif  // D2STGNN_CORE_INHERENT_BLOCK_H_

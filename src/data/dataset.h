@@ -1,0 +1,42 @@
+#ifndef D2STGNN_DATA_DATASET_H_
+#define D2STGNN_DATA_DATASET_H_
+
+#include <string>
+
+#include "graph/sensor_graph.h"
+#include "tensor/tensor.h"
+
+namespace d2stgnn::data {
+
+/// A traffic dataset in the paper's format: one scalar channel (speed or
+/// flow, C = 1) per sensor per 5-minute step, plus the sensor network whose
+/// adjacency drives the graph models.
+struct TimeSeriesDataset {
+  std::string name;
+  /// Raw readings, [num_steps, num_nodes].
+  Tensor values;
+  /// The road network (adjacency built with the thresholded Gaussian
+  /// kernel).
+  graph::SensorNetwork network;
+  /// Number of time slots per day (N_D of Sec. 4.2); 288 for 5-minute data.
+  int64_t steps_per_day = 288;
+  /// Day of week of step 0 (0 = Monday).
+  int64_t start_day_of_week = 0;
+  /// True for flow (vehicle counts), false for speed (mph).
+  bool is_flow = false;
+
+  int64_t num_steps() const { return values.size(0); }
+  int64_t num_nodes() const { return values.size(1); }
+
+  /// Time-of-day slot index of step `t` (in [0, steps_per_day)).
+  int64_t TimeOfDay(int64_t t) const { return t % steps_per_day; }
+
+  /// Day-of-week index of step `t` (in [0, 7)).
+  int64_t DayOfWeek(int64_t t) const {
+    return (start_day_of_week + t / steps_per_day) % 7;
+  }
+};
+
+}  // namespace d2stgnn::data
+
+#endif  // D2STGNN_DATA_DATASET_H_

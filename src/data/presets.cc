@@ -1,0 +1,97 @@
+#include "data/presets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace d2stgnn::data {
+namespace {
+
+int64_t ScaledNodes(int64_t full, float scale) {
+  const int64_t scaled =
+      static_cast<int64_t>(std::lround(static_cast<float>(full) * scale));
+  return std::max<int64_t>(12, scaled);
+}
+
+int64_t ScaledSteps(int64_t full, float scale) {
+  const int64_t scaled =
+      static_cast<int64_t>(std::lround(static_cast<float>(full) * scale));
+  return std::max<int64_t>(16 * 288, scaled);
+}
+
+}  // namespace
+
+SyntheticTrafficOptions MetrLaOptions(float scale) {
+  D2_CHECK_GT(scale, 0.0f);
+  SyntheticTrafficOptions o;
+  o.name = "METR-LA";
+  o.num_steps = ScaledSteps(34272, scale);
+  o.flow = false;
+  o.seed = 101;
+  o.start_day_of_week = 3;  // Mar 1st 2012 was a Thursday.
+  o.network.num_nodes = ScaledNodes(207, scale);
+  o.network.neighbors = 4;  // 1722 edges / 207 nodes ~ 8 directed edges/node
+  o.network.directed = true;
+  o.failure_prob = 6e-4f;  // METR-LA has frequent loop-detector failures.
+  o.diffusion_strength = 0.45f;
+  return o;
+}
+
+SyntheticTrafficOptions PemsBayOptions(float scale) {
+  D2_CHECK_GT(scale, 0.0f);
+  SyntheticTrafficOptions o;
+  o.name = "PEMS-BAY";
+  o.num_steps = ScaledSteps(52116, scale);
+  o.flow = false;
+  o.seed = 202;
+  o.start_day_of_week = 6;  // Jan 1st 2017 was a Sunday.
+  o.network.num_nodes = ScaledNodes(325, scale);
+  o.network.neighbors = 4;
+  o.network.directed = true;
+  o.failure_prob = 1e-4f;  // PEMS-BAY is much cleaner than METR-LA.
+  o.noise_std = 0.03f;
+  o.diffusion_strength = 0.40f;
+  return o;
+}
+
+SyntheticTrafficOptions Pems04Options(float scale) {
+  D2_CHECK_GT(scale, 0.0f);
+  SyntheticTrafficOptions o;
+  o.name = "PEMS04";
+  o.num_steps = ScaledSteps(16992, scale);
+  o.flow = true;
+  o.seed = 303;
+  o.start_day_of_week = 0;  // Jan 1st 2018 was a Monday.
+  o.network.num_nodes = ScaledNodes(307, scale);
+  o.network.neighbors = 2;  // ASTGCN's flow networks are sparse (680 edges).
+  o.network.directed = false;
+  o.diffusion_strength = 0.5f;
+  return o;
+}
+
+SyntheticTrafficOptions Pems08Options(float scale) {
+  D2_CHECK_GT(scale, 0.0f);
+  SyntheticTrafficOptions o;
+  o.name = "PEMS08";
+  o.num_steps = ScaledSteps(17856, scale);
+  o.flow = true;
+  o.seed = 404;
+  o.start_day_of_week = 6;  // July 1st 2018 was a Sunday.
+  o.network.num_nodes = ScaledNodes(170, scale);
+  o.network.neighbors = 3;
+  o.network.directed = false;
+  o.diffusion_strength = 0.5f;
+  return o;
+}
+
+std::vector<DatasetPreset> AllPresets(float scale) {
+  return {
+      {"METR-LA", MetrLaOptions(scale), 0.7f, 0.1f},
+      {"PEMS-BAY", PemsBayOptions(scale), 0.7f, 0.1f},
+      {"PEMS04", Pems04Options(scale), 0.6f, 0.2f},
+      {"PEMS08", Pems08Options(scale), 0.6f, 0.2f},
+  };
+}
+
+}  // namespace d2stgnn::data

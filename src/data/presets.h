@@ -1,0 +1,39 @@
+#ifndef D2STGNN_DATA_PRESETS_H_
+#define D2STGNN_DATA_PRESETS_H_
+
+#include <string>
+#include <vector>
+
+#include "data/synthetic_traffic.h"
+
+namespace d2stgnn::data {
+
+/// The four dataset presets of the paper's Table 2, backed by the synthetic
+/// generator (see DESIGN.md: real METR-LA/PEMS archives are not available
+/// offline; the generator reproduces their generative structure).
+///
+/// `scale` shrinks both the node count and the step count so experiments fit
+/// a single CPU core; scale = 1 reproduces Table 2's sizes
+/// (METR-LA: 207 nodes / 34272 steps, PEMS-BAY: 325 / 52116,
+///  PEMS04: 307 / 16992, PEMS08: 170 / 17856). Node counts are floored at 12
+/// and step counts at 16 days.
+SyntheticTrafficOptions MetrLaOptions(float scale = 1.0f);
+SyntheticTrafficOptions PemsBayOptions(float scale = 1.0f);
+SyntheticTrafficOptions Pems04Options(float scale = 1.0f);
+SyntheticTrafficOptions Pems08Options(float scale = 1.0f);
+
+/// Names + option factories for all four presets, in the paper's order.
+struct DatasetPreset {
+  std::string name;
+  SyntheticTrafficOptions options;
+  /// Train/val fractions (paper Sec. 6.2.1): speed 0.7/0.1, flow 0.6/0.2.
+  float train_frac;
+  float val_frac;
+};
+
+/// All four presets at the given scale.
+std::vector<DatasetPreset> AllPresets(float scale);
+
+}  // namespace d2stgnn::data
+
+#endif  // D2STGNN_DATA_PRESETS_H_

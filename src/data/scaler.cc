@@ -1,0 +1,46 @@
+#include "data/scaler.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::data {
+
+void StandardScaler::Fit(const Tensor& values, int64_t train_steps,
+                         bool mask_zeros) {
+  D2_CHECK(values.defined());
+  D2_CHECK_GE(values.dim(), 1);
+  D2_CHECK_GT(train_steps, 0);
+  D2_CHECK_LE(train_steps, values.size(0));
+  const int64_t row = values.numel() / values.size(0);
+  const int64_t limit = train_steps * row;
+
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  int64_t count = 0;
+  const std::vector<float>& v = values.Data();
+  for (int64_t i = 0; i < limit; ++i) {
+    const float x = v[static_cast<size_t>(i)];
+    if (mask_zeros && x == 0.0f) continue;
+    sum += x;
+    sum_sq += static_cast<double>(x) * x;
+    ++count;
+  }
+  D2_CHECK_GT(count, 0) << "no valid entries to fit scaler";
+  const double mean = sum / static_cast<double>(count);
+  const double variance =
+      std::max(1e-12, sum_sq / static_cast<double>(count) - mean * mean);
+  mean_ = static_cast<float>(mean);
+  std_ = static_cast<float>(std::sqrt(variance));
+}
+
+Tensor StandardScaler::Transform(const Tensor& x) const {
+  return MulScalar(AddScalar(x, -mean_), 1.0f / std_);
+}
+
+Tensor StandardScaler::InverseTransform(const Tensor& x) const {
+  return AddScalar(MulScalar(x, std_), mean_);
+}
+
+}  // namespace d2stgnn::data

@@ -1,0 +1,37 @@
+#ifndef D2STGNN_DATA_SCALER_H_
+#define D2STGNN_DATA_SCALER_H_
+
+#include "tensor/tensor.h"
+
+namespace d2stgnn::data {
+
+/// Z-score normalizer fit on the training portion of a dataset (the
+/// standard DCRNN/Graph WaveNet preprocessing the paper follows). Transform
+/// and InverseTransform are differentiable affine ops, so models can emit
+/// normalized values while the loss is computed in the original units.
+class StandardScaler {
+ public:
+  StandardScaler() = default;
+
+  /// Computes mean/std from the first `train_steps` rows of a [T, ...]
+  /// tensor. Entries equal to 0 are excluded when `mask_zeros` is set
+  /// (METR-LA-style sensor failures should not shift the statistics).
+  void Fit(const Tensor& values, int64_t train_steps, bool mask_zeros);
+
+  /// (x - mean) / std, elementwise.
+  Tensor Transform(const Tensor& x) const;
+
+  /// x * std + mean, elementwise.
+  Tensor InverseTransform(const Tensor& x) const;
+
+  float mean() const { return mean_; }
+  float std_dev() const { return std_; }
+
+ private:
+  float mean_ = 0.0f;
+  float std_ = 1.0f;
+};
+
+}  // namespace d2stgnn::data
+
+#endif  // D2STGNN_DATA_SCALER_H_

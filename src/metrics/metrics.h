@@ -1,0 +1,42 @@
+#ifndef D2STGNN_METRICS_METRICS_H_
+#define D2STGNN_METRICS_METRICS_H_
+
+#include "tensor/tensor.h"
+
+namespace d2stgnn::metrics {
+
+/// MAE / RMSE / MAPE for one prediction-vs-truth comparison (paper Eq. 17).
+struct MetricSet {
+  double mae = 0.0;
+  double rmse = 0.0;
+  double mape = 0.0;  ///< fraction, not percent
+  int64_t count = 0;  ///< number of unmasked entries
+};
+
+/// Computes masked MAE/RMSE/MAPE between same-shape tensors. Entries whose
+/// ground truth equals `null_value` (sensor failures, standard METR-LA
+/// convention) are excluded from every metric; MAPE additionally skips
+/// near-zero truths to avoid division blow-ups. Pure data computation (no
+/// autograd).
+MetricSet ComputeMetrics(const Tensor& prediction, const Tensor& truth,
+                         float null_value = 0.0f);
+
+/// Differentiable masked mean-absolute-error loss (paper Eq. 16). The mask
+/// (truth != null_value) is treated as a constant.
+Tensor MaskedMaeLoss(const Tensor& prediction, const Tensor& truth,
+                     float null_value = 0.0f);
+
+/// Differentiable (unmasked) mean-squared-error loss, for baselines that
+/// train on MSE.
+Tensor MseLoss(const Tensor& prediction, const Tensor& truth);
+
+/// Differentiable masked Huber (smooth-L1) loss with threshold `delta`:
+/// quadratic within |err| <= delta, linear outside. Some traffic baselines
+/// (e.g. DGCRN's benchmark code) train flow datasets with it because flow
+/// outliers otherwise dominate.
+Tensor MaskedHuberLoss(const Tensor& prediction, const Tensor& truth,
+                       float delta = 1.0f, float null_value = 0.0f);
+
+}  // namespace d2stgnn::metrics
+
+#endif  // D2STGNN_METRICS_METRICS_H_

@@ -1,0 +1,52 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace d2stgnn::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(int64_t d_model,
+                                               int64_t num_heads, Rng& rng)
+    : Module("mhsa"),
+      d_model_(d_model),
+      num_heads_(num_heads),
+      head_dim_(d_model / num_heads) {
+  D2_CHECK_GT(num_heads, 0);
+  D2_CHECK_EQ(d_model % num_heads, 0)
+      << "d_model " << d_model << " not divisible by heads " << num_heads;
+  w_q_ = RegisterParameter("W_q", XavierUniform({d_model, d_model}, rng));
+  w_k_ = RegisterParameter("W_k", XavierUniform({d_model, d_model}, rng));
+  w_v_ = RegisterParameter("W_v", XavierUniform({d_model, d_model}, rng));
+  w_o_ = RegisterParameter("W_o", XavierUniform({d_model, d_model}, rng));
+}
+
+Tensor MultiHeadSelfAttention::Forward(const Tensor& x) const {
+  D2_CHECK_EQ(x.dim(), 3) << "attention input must be [batch, T, d]";
+  D2_CHECK_EQ(x.size(-1), d_model_);
+  const int64_t batch = x.size(0);
+  const int64_t seq = x.size(1);
+
+  // Project and split heads: [B, T, d] -> [B, H, T, dh].
+  auto split_heads = [&](const Tensor& projected) {
+    Tensor heads = Reshape(projected, {batch, seq, num_heads_, head_dim_});
+    return Permute(heads, {0, 2, 1, 3});
+  };
+  const Tensor q = split_heads(MatMul(x, w_q_));
+  const Tensor k = split_heads(MatMul(x, w_k_));
+  const Tensor v = split_heads(MatMul(x, w_v_));
+
+  // Scaled dot-product attention per head: [B, H, T, T].
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  Tensor scores = MulScalar(MatMul(q, Transpose(k, -1, -2)), scale);
+  Tensor weights = Softmax(scores, -1);
+  Tensor context = MatMul(weights, v);  // [B, H, T, dh]
+
+  // Merge heads and apply the output projection.
+  context = Permute(context, {0, 2, 1, 3});  // [B, T, H, dh]
+  context = Reshape(context, {batch, seq, d_model_});
+  return MatMul(context, w_o_);
+}
+
+}  // namespace d2stgnn::nn

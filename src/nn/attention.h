@@ -1,0 +1,35 @@
+#ifndef D2STGNN_NN_ATTENTION_H_
+#define D2STGNN_NN_ATTENTION_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::nn {
+
+/// Multi-head scaled dot-product self-attention (Vaswani et al. 2017; the
+/// paper's Eq. 11). Operates on sequences [batch..., T, d_model]: every
+/// leading dimension is treated as an independent batch (the inherent model
+/// passes [batch * num_nodes, T, d] so attention runs per node over time).
+class MultiHeadSelfAttention : public Module {
+ public:
+  /// `d_model` must be divisible by `num_heads`.
+  MultiHeadSelfAttention(int64_t d_model, int64_t num_heads, Rng& rng);
+
+  /// Applies self-attention over the second-to-last (time) dimension.
+  /// Input and output are [B, T, d_model].
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t d_model() const { return d_model_; }
+  int64_t num_heads() const { return num_heads_; }
+
+ private:
+  int64_t d_model_;
+  int64_t num_heads_;
+  int64_t head_dim_;
+  Tensor w_q_, w_k_, w_v_, w_o_;  // all [d_model, d_model]
+};
+
+}  // namespace d2stgnn::nn
+
+#endif  // D2STGNN_NN_ATTENTION_H_

@@ -1,0 +1,20 @@
+#include "nn/embedding.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace d2stgnn::nn {
+
+Embedding::Embedding(int64_t count, int64_t dim, Rng& rng)
+    : Module("embedding"), count_(count), dim_(dim) {
+  D2_CHECK_GT(count, 0);
+  D2_CHECK_GT(dim, 0);
+  table_ = RegisterParameter("table", XavierNormal({count, dim}, rng));
+}
+
+Tensor Embedding::Forward(const std::vector<int64_t>& indices,
+                          const Shape& index_shape) const {
+  return EmbeddingLookup(table_, indices, index_shape);
+}
+
+}  // namespace d2stgnn::nn

@@ -1,0 +1,37 @@
+#ifndef D2STGNN_NN_EMBEDDING_H_
+#define D2STGNN_NN_EMBEDDING_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::nn {
+
+/// Learnable lookup table of `count` rows of width `dim` (used for the
+/// paper's node embeddings E^u/E^d and time-slot embeddings T^D/T^W, which
+/// are "randomly initialized with learnable parameters", Sec. 4.2).
+class Embedding : public Module {
+ public:
+  Embedding(int64_t count, int64_t dim, Rng& rng);
+
+  /// Gathers rows by index; output shape is index_shape + [dim].
+  Tensor Forward(const std::vector<int64_t>& indices,
+                 const Shape& index_shape) const;
+
+  /// The full [count, dim] table as a tensor (gradient flows to it).
+  const Tensor& table() const { return table_; }
+
+  int64_t count() const { return count_; }
+  int64_t dim() const { return dim_; }
+
+ private:
+  int64_t count_;
+  int64_t dim_;
+  Tensor table_;
+};
+
+}  // namespace d2stgnn::nn
+
+#endif  // D2STGNN_NN_EMBEDDING_H_

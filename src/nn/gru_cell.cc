@@ -1,0 +1,39 @@
+#include "nn/gru_cell.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace d2stgnn::nn {
+
+GruCell::GruCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : Module("gru_cell"), input_size_(input_size), hidden_size_(hidden_size) {
+  D2_CHECK_GT(input_size, 0);
+  D2_CHECK_GT(hidden_size, 0);
+  auto weight = [&](const char* name, int64_t rows) {
+    return RegisterParameter(name, XavierUniform({rows, hidden_size}, rng));
+  };
+  auto bias = [&](const char* name) {
+    return RegisterParameter(name, Tensor::Zeros({hidden_size}));
+  };
+  w_z_ = weight("W_z", input_size);
+  u_z_ = weight("U_z", hidden_size);
+  b_z_ = bias("b_z");
+  w_r_ = weight("W_r", input_size);
+  u_r_ = weight("U_r", hidden_size);
+  b_r_ = bias("b_r");
+  w_h_ = weight("W_h", input_size);
+  u_h_ = weight("U_h", hidden_size);
+  b_h_ = bias("b_h");
+}
+
+Tensor GruCell::Forward(const Tensor& x, const Tensor& h) const {
+  D2_CHECK_EQ(x.size(-1), input_size_);
+  D2_CHECK_EQ(h.size(-1), hidden_size_);
+  const Tensor z = Sigmoid(Add(Add(MatMul(x, w_z_), MatMul(h, u_z_)), b_z_));
+  const Tensor r = Sigmoid(Add(Add(MatMul(x, w_r_), MatMul(h, u_r_)), b_r_));
+  const Tensor candidate =
+      Tanh(Add(MatMul(x, w_h_), Mul(r, Add(MatMul(h, u_h_), b_h_))));
+  return Add(Mul(Sub(Tensor::Scalar(1.0f), z), h), Mul(z, candidate));
+}
+
+}  // namespace d2stgnn::nn

@@ -1,0 +1,40 @@
+#ifndef D2STGNN_NN_GRU_CELL_H_
+#define D2STGNN_NN_GRU_CELL_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::nn {
+
+/// Gated Recurrent Unit cell (Cho et al. 2014), exactly the formulation of
+/// the paper's Eq. 10:
+///
+///   z_t = sigmoid(x W_z + h U_z + b_z)
+///   r_t = sigmoid(x W_r + h U_r + b_r)
+///   h~  = tanh(x W_h + r_t ⊙ (h U_h + b_h))
+///   h'  = (1 - z_t) ⊙ h + z_t ⊙ h~
+///
+/// The cell applies to the last dimension, so the "batch" may be any leading
+/// shape (the inherent model runs it over [batch, num_nodes, d] slices).
+class GruCell : public Module {
+ public:
+  GruCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  /// One recurrence step; x is [..., input_size], h is [..., hidden_size].
+  Tensor Forward(const Tensor& x, const Tensor& h) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  Tensor w_z_, u_z_, b_z_;
+  Tensor w_r_, u_r_, b_r_;
+  Tensor w_h_, u_h_, b_h_;
+};
+
+}  // namespace d2stgnn::nn
+
+#endif  // D2STGNN_NN_GRU_CELL_H_

@@ -1,0 +1,28 @@
+#include "nn/layer_norm.h"
+
+#include "common/check.h"
+
+namespace d2stgnn::nn {
+
+LayerNorm::LayerNorm(int64_t normalized_dim, float epsilon)
+    : Module("layer_norm"),
+      normalized_dim_(normalized_dim),
+      epsilon_(epsilon) {
+  D2_CHECK_GT(normalized_dim, 0);
+  D2_CHECK_GT(epsilon, 0.0f);
+  gamma_ = RegisterParameter("gamma", Tensor::Ones({normalized_dim}));
+  beta_ = RegisterParameter("beta", Tensor::Zeros({normalized_dim}));
+}
+
+Tensor LayerNorm::Forward(const Tensor& x) const {
+  D2_CHECK_EQ(x.size(-1), normalized_dim_)
+      << "LayerNorm expects last dim " << normalized_dim_;
+  const Tensor mean = Mean(x, -1, /*keepdim=*/true);
+  const Tensor centered = Sub(x, mean);
+  const Tensor variance = Mean(Mul(centered, centered), -1, /*keepdim=*/true);
+  const Tensor normalized =
+      Div(centered, Sqrt(AddScalar(variance, epsilon_)));
+  return Add(Mul(normalized, gamma_), beta_);
+}
+
+}  // namespace d2stgnn::nn

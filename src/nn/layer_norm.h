@@ -1,0 +1,31 @@
+#ifndef D2STGNN_NN_LAYER_NORM_H_
+#define D2STGNN_NN_LAYER_NORM_H_
+
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::nn {
+
+/// Layer normalization over the last dimension (Ba et al. 2016):
+///   y = gamma * (x - mean) / sqrt(var + eps) + beta
+/// A standard stabilizer in deep ST-GNN stacks (e.g. STGCN's blocks and
+/// transformer-style temporal modules).
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(int64_t normalized_dim, float epsilon = 1e-5f);
+
+  /// Normalizes the last dimension of `x` ([..., normalized_dim]).
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t normalized_dim() const { return normalized_dim_; }
+
+ private:
+  int64_t normalized_dim_;
+  float epsilon_;
+  Tensor gamma_;  // [dim], init 1
+  Tensor beta_;   // [dim], init 0
+};
+
+}  // namespace d2stgnn::nn
+
+#endif  // D2STGNN_NN_LAYER_NORM_H_

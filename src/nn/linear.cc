@@ -1,0 +1,30 @@
+#include "nn/linear.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace d2stgnn::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, Rng& rng, bool bias)
+    : Module("linear"),
+      in_features_(in_features),
+      out_features_(out_features) {
+  D2_CHECK_GT(in_features, 0);
+  D2_CHECK_GT(out_features, 0);
+  weight_ = RegisterParameter(
+      "weight", XavierUniform({in_features, out_features}, rng));
+  if (bias) {
+    bias_ = RegisterParameter("bias", Tensor::Zeros({out_features}));
+  }
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  D2_CHECK_EQ(x.size(-1), in_features_)
+      << "Linear expects last dim " << in_features_ << ", got "
+      << ShapeToString(x.shape());
+  Tensor y = MatMul(x, weight_);
+  if (bias_.defined()) y = Add(y, bias_);
+  return y;
+}
+
+}  // namespace d2stgnn::nn

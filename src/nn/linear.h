@@ -1,0 +1,37 @@
+#ifndef D2STGNN_NN_LINEAR_H_
+#define D2STGNN_NN_LINEAR_H_
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::nn {
+
+/// Fully connected layer: y = x W + b, applied to the last dimension of an
+/// input of any rank >= 2 ([..., in_features] -> [..., out_features]).
+class Linear : public Module {
+ public:
+  /// Builds a layer with Xavier-initialized weights. `bias` toggles the
+  /// additive bias term.
+  Linear(int64_t in_features, int64_t out_features, Rng& rng,
+         bool bias = true);
+
+  /// Applies the layer.
+  Tensor Forward(const Tensor& x) const;
+
+  int64_t in_features() const { return in_features_; }
+  int64_t out_features() const { return out_features_; }
+
+  /// The [in, out] weight matrix.
+  const Tensor& weight() const { return weight_; }
+
+ private:
+  int64_t in_features_;
+  int64_t out_features_;
+  Tensor weight_;  // [in, out]
+  Tensor bias_;    // [out] or undefined
+};
+
+}  // namespace d2stgnn::nn
+
+#endif  // D2STGNN_NN_LINEAR_H_

@@ -1,0 +1,51 @@
+#include "nn/lstm_cell.h"
+
+#include "common/check.h"
+#include "nn/init.h"
+
+namespace d2stgnn::nn {
+
+LstmCell::LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng)
+    : Module("lstm_cell"), input_size_(input_size), hidden_size_(hidden_size) {
+  D2_CHECK_GT(input_size, 0);
+  D2_CHECK_GT(hidden_size, 0);
+  auto weight = [&](const char* name, int64_t rows) {
+    return RegisterParameter(name, XavierUniform({rows, hidden_size}, rng));
+  };
+  auto bias = [&](const char* name, float fill) {
+    return RegisterParameter(name, Tensor::Full({hidden_size}, fill));
+  };
+  w_i_ = weight("W_i", input_size);
+  u_i_ = weight("U_i", hidden_size);
+  b_i_ = bias("b_i", 0.0f);
+  w_f_ = weight("W_f", input_size);
+  u_f_ = weight("U_f", hidden_size);
+  // Forget-gate bias of 1 is the standard trick to keep early memories.
+  b_f_ = bias("b_f", 1.0f);
+  w_o_ = weight("W_o", input_size);
+  u_o_ = weight("U_o", hidden_size);
+  b_o_ = bias("b_o", 0.0f);
+  w_g_ = weight("W_g", input_size);
+  u_g_ = weight("U_g", hidden_size);
+  b_g_ = bias("b_g", 0.0f);
+}
+
+LstmCell::State LstmCell::Forward(const Tensor& x, const State& state) const {
+  D2_CHECK_EQ(x.size(-1), input_size_);
+  D2_CHECK_EQ(state.h.size(-1), hidden_size_);
+  D2_CHECK_EQ(state.c.size(-1), hidden_size_);
+  const Tensor i =
+      Sigmoid(Add(Add(MatMul(x, w_i_), MatMul(state.h, u_i_)), b_i_));
+  const Tensor f =
+      Sigmoid(Add(Add(MatMul(x, w_f_), MatMul(state.h, u_f_)), b_f_));
+  const Tensor o =
+      Sigmoid(Add(Add(MatMul(x, w_o_), MatMul(state.h, u_o_)), b_o_));
+  const Tensor g =
+      Tanh(Add(Add(MatMul(x, w_g_), MatMul(state.h, u_g_)), b_g_));
+  State next;
+  next.c = Add(Mul(f, state.c), Mul(i, g));
+  next.h = Mul(o, Tanh(next.c));
+  return next;
+}
+
+}  // namespace d2stgnn::nn

@@ -1,0 +1,48 @@
+#ifndef D2STGNN_NN_LSTM_CELL_H_
+#define D2STGNN_NN_LSTM_CELL_H_
+
+#include <utility>
+
+#include "common/rng.h"
+#include "nn/module.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::nn {
+
+/// Long Short-Term Memory cell (used by the FC-LSTM baseline):
+///
+///   i = sigmoid(x W_i + h U_i + b_i)
+///   f = sigmoid(x W_f + h U_f + b_f)
+///   o = sigmoid(x W_o + h U_o + b_o)
+///   g = tanh  (x W_g + h U_g + b_g)
+///   c' = f ⊙ c + i ⊙ g
+///   h' = o ⊙ tanh(c')
+class LstmCell : public Module {
+ public:
+  LstmCell(int64_t input_size, int64_t hidden_size, Rng& rng);
+
+  /// Hidden and cell state after one step.
+  struct State {
+    Tensor h;
+    Tensor c;
+  };
+
+  /// One recurrence step; x is [..., input_size], state tensors are
+  /// [..., hidden_size].
+  State Forward(const Tensor& x, const State& state) const;
+
+  int64_t input_size() const { return input_size_; }
+  int64_t hidden_size() const { return hidden_size_; }
+
+ private:
+  int64_t input_size_;
+  int64_t hidden_size_;
+  Tensor w_i_, u_i_, b_i_;
+  Tensor w_f_, u_f_, b_f_;
+  Tensor w_o_, u_o_, b_o_;
+  Tensor w_g_, u_g_, b_g_;
+};
+
+}  // namespace d2stgnn::nn
+
+#endif  // D2STGNN_NN_LSTM_CELL_H_

@@ -1,0 +1,41 @@
+#include "nn/mlp.h"
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::nn {
+
+Mlp::Mlp(const std::vector<int64_t>& dims, Rng& rng, Activation activation)
+    : Module("mlp"), activation_(activation) {
+  D2_CHECK_GE(dims.size(), 2u) << "Mlp needs at least input and output dims";
+  for (size_t i = 0; i + 1 < dims.size(); ++i) {
+    layers_.push_back(std::make_unique<Linear>(dims[i], dims[i + 1], rng));
+    RegisterChild(layers_.back().get());
+  }
+}
+
+Tensor Mlp::Forward(const Tensor& x) const {
+  Tensor h = x;
+  for (size_t i = 0; i < layers_.size(); ++i) {
+    h = layers_[i]->Forward(h);
+    if (i + 1 < layers_.size()) h = ApplyActivation(h, activation_);
+  }
+  return h;
+}
+
+Tensor ApplyActivation(const Tensor& x, Activation activation) {
+  switch (activation) {
+    case Activation::kRelu:
+      return Relu(x);
+    case Activation::kTanh:
+      return Tanh(x);
+    case Activation::kSigmoid:
+      return Sigmoid(x);
+    case Activation::kNone:
+      return x;
+  }
+  D2_CHECK(false) << "unknown activation";
+  return x;
+}
+
+}  // namespace d2stgnn::nn

@@ -1,0 +1,39 @@
+#ifndef D2STGNN_NN_MLP_H_
+#define D2STGNN_NN_MLP_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+
+namespace d2stgnn::nn {
+
+/// Activation functions selectable for Mlp hidden layers.
+enum class Activation { kRelu, kTanh, kSigmoid, kNone };
+
+/// Multi-layer perceptron over the last input dimension.
+///
+/// `dims` lists the layer widths including input and output, e.g.
+/// {64, 32, 1} builds Linear(64→32) → act → Linear(32→1). The activation is
+/// applied between layers (not after the last one).
+class Mlp : public Module {
+ public:
+  Mlp(const std::vector<int64_t>& dims, Rng& rng,
+      Activation activation = Activation::kRelu);
+
+  /// Applies the stack.
+  Tensor Forward(const Tensor& x) const;
+
+ private:
+  std::vector<std::unique_ptr<Linear>> layers_;
+  Activation activation_;
+};
+
+/// Applies the selected activation to `x`.
+Tensor ApplyActivation(const Tensor& x, Activation activation);
+
+}  // namespace d2stgnn::nn
+
+#endif  // D2STGNN_NN_MLP_H_

@@ -1,0 +1,55 @@
+#include "nn/module.h"
+
+#include "common/check.h"
+
+namespace d2stgnn::nn {
+
+std::vector<Tensor> Module::Parameters() const {
+  std::vector<Tensor> all;
+  for (const auto& [name, tensor] : parameters_) all.push_back(tensor);
+  for (const Module* child : children_) {
+    std::vector<Tensor> sub = child->Parameters();
+    all.insert(all.end(), sub.begin(), sub.end());
+  }
+  return all;
+}
+
+std::vector<std::pair<std::string, Tensor>> Module::NamedParameters() const {
+  std::vector<std::pair<std::string, Tensor>> all;
+  for (const auto& entry : parameters_) all.push_back(entry);
+  for (const Module* child : children_) {
+    for (auto& [name, tensor] : child->NamedParameters()) {
+      all.emplace_back(child->name() + "/" + name, tensor);
+    }
+  }
+  return all;
+}
+
+int64_t Module::ParameterCount() const {
+  int64_t count = 0;
+  for (const Tensor& p : Parameters()) count += p.numel();
+  return count;
+}
+
+void Module::ZeroGrad() {
+  for (Tensor& p : Parameters()) p.ZeroGrad();
+}
+
+void Module::SetTraining(bool training) {
+  training_ = training;
+  for (Module* child : children_) child->SetTraining(training);
+}
+
+Tensor Module::RegisterParameter(const std::string& name, Tensor tensor) {
+  D2_CHECK(tensor.defined()) << "parameter " << name << " is undefined";
+  tensor.SetRequiresGrad(true);
+  parameters_.emplace_back(name, tensor);
+  return tensor;
+}
+
+void Module::RegisterChild(Module* child) {
+  D2_CHECK(child != nullptr);
+  children_.push_back(child);
+}
+
+}  // namespace d2stgnn::nn

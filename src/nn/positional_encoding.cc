@@ -1,0 +1,37 @@
+#include "nn/positional_encoding.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace d2stgnn::nn {
+
+PositionalEncoding::PositionalEncoding(int64_t max_len, int64_t d_model)
+    : max_len_(max_len), d_model_(d_model) {
+  D2_CHECK_GT(max_len, 0);
+  D2_CHECK_GT(d_model, 0);
+  std::vector<float> data(static_cast<size_t>(max_len * d_model));
+  for (int64_t t = 0; t < max_len; ++t) {
+    for (int64_t i = 0; i < d_model; ++i) {
+      const double exponent =
+          static_cast<double>(2 * (i / 2)) / static_cast<double>(d_model);
+      const double angle =
+          static_cast<double>(t) / std::pow(10000.0, exponent);
+      data[static_cast<size_t>(t * d_model + i)] =
+          (i % 2 == 0) ? static_cast<float>(std::sin(angle))
+                       : static_cast<float>(std::cos(angle));
+    }
+  }
+  table_ = Tensor({max_len, d_model}, std::move(data));
+}
+
+Tensor PositionalEncoding::Forward(const Tensor& x) const {
+  D2_CHECK_GE(x.dim(), 2);
+  D2_CHECK_EQ(x.size(-1), d_model_);
+  const int64_t seq = x.size(-2);
+  D2_CHECK_LE(seq, max_len_) << "sequence longer than positional table";
+  const Tensor slice = Slice(table_, 0, 0, seq);  // [T, d]; broadcasts.
+  return Add(x, slice);
+}
+
+}  // namespace d2stgnn::nn

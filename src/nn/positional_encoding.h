@@ -1,0 +1,31 @@
+#ifndef D2STGNN_NN_POSITIONAL_ENCODING_H_
+#define D2STGNN_NN_POSITIONAL_ENCODING_H_
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace d2stgnn::nn {
+
+/// Non-trainable sinusoidal positional encoding (the paper's Eq. 12):
+/// e_{t,i} = sin(t / 10000^{2i/d}) for even i, cos otherwise. Added to
+/// sequences so that the self-attention layer sees relative positions.
+class PositionalEncoding {
+ public:
+  /// Precomputes the [max_len, d_model] table.
+  PositionalEncoding(int64_t max_len, int64_t d_model);
+
+  /// Adds e_t to every [..., T, d_model] sequence element (T <= max_len).
+  Tensor Forward(const Tensor& x) const;
+
+  /// The precomputed [max_len, d_model] table (constant).
+  const Tensor& table() const { return table_; }
+
+ private:
+  int64_t max_len_;
+  int64_t d_model_;
+  Tensor table_;
+};
+
+}  // namespace d2stgnn::nn
+
+#endif  // D2STGNN_NN_POSITIONAL_ENCODING_H_

@@ -1,0 +1,54 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace d2stgnn::optim {
+
+Adam::Adam(std::vector<Tensor> params, float learning_rate, float beta1,
+           float beta2, float epsilon, float weight_decay)
+    : Optimizer(std::move(params), learning_rate),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  D2_CHECK_GT(beta1, 0.0f);
+  D2_CHECK_LT(beta1, 1.0f);
+  D2_CHECK_GT(beta2, 0.0f);
+  D2_CHECK_LT(beta2, 1.0f);
+  D2_CHECK_GT(epsilon, 0.0f);
+  m_.resize(params_.size());
+  v_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    m_[i].assign(params_[i].Data().size(), 0.0f);
+    v_[i].assign(params_[i].Data().size(), 0.0f);
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(beta2_, static_cast<float>(step_count_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    const std::vector<float>& grad = p.GradData();
+    if (grad.empty()) continue;
+    std::vector<float>& data = p.Data();
+    std::vector<float>& m = m_[i];
+    std::vector<float>& v = v_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      float g = grad[j];
+      if (weight_decay_ != 0.0f) g += weight_decay_ * data[j];
+      m[j] = beta1_ * m[j] + (1.0f - beta1_) * g;
+      v[j] = beta2_ * v[j] + (1.0f - beta2_) * g * g;
+      const float m_hat = m[j] / bias1;
+      const float v_hat = v[j] / bias2;
+      data[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+}  // namespace d2stgnn::optim

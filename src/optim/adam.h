@@ -1,0 +1,33 @@
+#ifndef D2STGNN_OPTIM_ADAM_H_
+#define D2STGNN_OPTIM_ADAM_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace d2stgnn::optim {
+
+/// Adam optimizer (Kingma & Ba 2015) with bias correction and optional
+/// decoupled weight decay. The paper trains D²STGNN with Adam at lr 1e-3
+/// (Sec. 6.1).
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, float learning_rate = 1e-3f,
+       float beta1 = 0.9f, float beta2 = 0.999f, float epsilon = 1e-8f,
+       float weight_decay = 0.0f);
+
+  void Step() override;
+
+ private:
+  float beta1_;
+  float beta2_;
+  float epsilon_;
+  float weight_decay_;
+  int64_t step_count_ = 0;
+  std::vector<std::vector<float>> m_;
+  std::vector<std::vector<float>> v_;
+};
+
+}  // namespace d2stgnn::optim
+
+#endif  // D2STGNN_OPTIM_ADAM_H_

@@ -1,0 +1,34 @@
+#include "optim/lr_scheduler.h"
+
+#include "common/check.h"
+
+namespace d2stgnn::optim {
+
+StepDecayScheduler::StepDecayScheduler(float initial_lr,
+                                       std::vector<int64_t> milestones,
+                                       float gamma)
+    : initial_lr_(initial_lr),
+      milestones_(std::move(milestones)),
+      gamma_(gamma) {
+  D2_CHECK_GT(initial_lr, 0.0f);
+  D2_CHECK_GT(gamma, 0.0f);
+  D2_CHECK_LE(gamma, 1.0f);
+  for (size_t i = 1; i < milestones_.size(); ++i) {
+    D2_CHECK_LT(milestones_[i - 1], milestones_[i])
+        << "milestones must be ascending";
+  }
+}
+
+float StepDecayScheduler::LearningRateAt(int64_t epoch) const {
+  float lr = initial_lr_;
+  for (int64_t milestone : milestones_) {
+    if (epoch >= milestone) lr *= gamma_;
+  }
+  return lr;
+}
+
+void StepDecayScheduler::Apply(Optimizer& optimizer, int64_t epoch) const {
+  optimizer.set_learning_rate(LearningRateAt(epoch));
+}
+
+}  // namespace d2stgnn::optim

@@ -1,0 +1,32 @@
+#ifndef D2STGNN_OPTIM_LR_SCHEDULER_H_
+#define D2STGNN_OPTIM_LR_SCHEDULER_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace d2stgnn::optim {
+
+/// Multiplies the learning rate by `gamma` at each listed epoch (the
+/// MultiStepLR schedule the official D²STGNN training recipe uses).
+class StepDecayScheduler {
+ public:
+  /// `milestones` are epoch indices (ascending); `gamma` in (0, 1].
+  StepDecayScheduler(float initial_lr, std::vector<int64_t> milestones,
+                     float gamma);
+
+  /// Learning rate in effect at `epoch` (0-based).
+  float LearningRateAt(int64_t epoch) const;
+
+  /// Sets `optimizer`'s learning rate for `epoch`.
+  void Apply(Optimizer& optimizer, int64_t epoch) const;
+
+ private:
+  float initial_lr_;
+  std::vector<int64_t> milestones_;
+  float gamma_;
+};
+
+}  // namespace d2stgnn::optim
+
+#endif  // D2STGNN_OPTIM_LR_SCHEDULER_H_

@@ -1,0 +1,39 @@
+#include "optim/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace d2stgnn::optim {
+
+Optimizer::Optimizer(std::vector<Tensor> params, float learning_rate)
+    : params_(std::move(params)), learning_rate_(learning_rate) {
+  D2_CHECK_GT(learning_rate, 0.0f);
+  for (const Tensor& p : params_) {
+    D2_CHECK(p.defined());
+    D2_CHECK(p.RequiresGrad()) << "optimizer parameter must require grad";
+  }
+}
+
+void Optimizer::ZeroGrad() {
+  for (Tensor& p : params_) p.ZeroGrad();
+}
+
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {
+  D2_CHECK_GT(max_norm, 0.0f);
+  double sum_sq = 0.0;
+  for (const Tensor& p : params) {
+    for (float g : p.GradData()) sum_sq += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(sum_sq));
+  if (norm > max_norm && norm > 0.0f) {
+    const float scale = max_norm / norm;
+    for (const Tensor& p : params) {
+      auto& grad = p.impl()->grad;
+      for (float& g : grad) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace d2stgnn::optim

@@ -1,0 +1,41 @@
+#ifndef D2STGNN_OPTIM_OPTIMIZER_H_
+#define D2STGNN_OPTIM_OPTIMIZER_H_
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace d2stgnn::optim {
+
+/// Base class for gradient-descent optimizers over a fixed parameter list.
+class Optimizer {
+ public:
+  Optimizer(std::vector<Tensor> params, float learning_rate);
+  virtual ~Optimizer() = default;
+  Optimizer(const Optimizer&) = delete;
+  Optimizer& operator=(const Optimizer&) = delete;
+
+  /// Applies one update using the parameters' accumulated gradients.
+  virtual void Step() = 0;
+
+  /// Clears every parameter's gradient.
+  void ZeroGrad();
+
+  float learning_rate() const { return learning_rate_; }
+  void set_learning_rate(float lr) { learning_rate_ = lr; }
+
+  /// The optimized parameters.
+  const std::vector<Tensor>& params() const { return params_; }
+
+ protected:
+  std::vector<Tensor> params_;
+  float learning_rate_;
+};
+
+/// Scales all gradients so their global L2 norm is at most `max_norm`.
+/// Returns the norm before clipping.
+float ClipGradNorm(const std::vector<Tensor>& params, float max_norm);
+
+}  // namespace d2stgnn::optim
+
+#endif  // D2STGNN_OPTIM_OPTIMIZER_H_

@@ -1,0 +1,31 @@
+#include "optim/sgd.h"
+
+#include "common/check.h"
+
+namespace d2stgnn::optim {
+
+Sgd::Sgd(std::vector<Tensor> params, float learning_rate, float momentum)
+    : Optimizer(std::move(params), learning_rate), momentum_(momentum) {
+  D2_CHECK_GE(momentum, 0.0f);
+  D2_CHECK_LT(momentum, 1.0f);
+  velocity_.resize(params_.size());
+  for (size_t i = 0; i < params_.size(); ++i) {
+    velocity_[i].assign(params_[i].Data().size(), 0.0f);
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Tensor& p = params_[i];
+    const std::vector<float>& grad = p.GradData();
+    if (grad.empty()) continue;
+    std::vector<float>& data = p.Data();
+    std::vector<float>& vel = velocity_[i];
+    for (size_t j = 0; j < data.size(); ++j) {
+      vel[j] = momentum_ * vel[j] + grad[j];
+      data[j] -= learning_rate_ * vel[j];
+    }
+  }
+}
+
+}  // namespace d2stgnn::optim

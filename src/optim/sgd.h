@@ -1,0 +1,26 @@
+#ifndef D2STGNN_OPTIM_SGD_H_
+#define D2STGNN_OPTIM_SGD_H_
+
+#include <vector>
+
+#include "optim/optimizer.h"
+
+namespace d2stgnn::optim {
+
+/// Stochastic gradient descent with optional classical momentum:
+///   v <- momentum * v + g;  p <- p - lr * v
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, float learning_rate,
+      float momentum = 0.0f);
+
+  void Step() override;
+
+ private:
+  float momentum_;
+  std::vector<std::vector<float>> velocity_;
+};
+
+}  // namespace d2stgnn::optim
+
+#endif  // D2STGNN_OPTIM_SGD_H_

@@ -1,0 +1,28 @@
+#include "tensor/autograd.h"
+
+#include <memory>
+#include <utility>
+
+namespace d2stgnn {
+
+bool AnyRequiresGrad(const std::vector<Tensor>& inputs) {
+  for (const Tensor& t : inputs) {
+    if (t.defined() && t.RequiresGrad()) return true;
+  }
+  return false;
+}
+
+Tensor MakeOpResult(const std::string& name, const Shape& shape,
+                    std::vector<float> data, std::vector<Tensor> inputs,
+                    std::function<void(const Tensor&)> backward) {
+  Tensor out(shape, std::move(data));
+  if (NoGradGuard::Active() || !AnyRequiresGrad(inputs)) return out;
+  auto fn = std::make_shared<internal::GradFn>();
+  fn->name = name;
+  fn->inputs = std::move(inputs);
+  fn->backward = std::move(backward);
+  out.impl()->grad_fn = std::move(fn);
+  return out;
+}
+
+}  // namespace d2stgnn

@@ -1,0 +1,75 @@
+#include "tensor/grad_check.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace d2stgnn {
+
+GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
+                               const std::vector<Tensor>& params, Rng& rng,
+                               float eps, float tolerance,
+                               int64_t max_entries_per_param) {
+  GradCheckResult result;
+
+  // Analytic pass.
+  for (const Tensor& p : params) {
+    D2_CHECK(p.defined());
+    D2_CHECK(p.RequiresGrad()) << "grad-check parameter must require grad";
+    p.ZeroGrad();
+  }
+  Tensor loss = loss_fn();
+  D2_CHECK_EQ(loss.numel(), 1);
+  loss.Backward();
+  std::vector<std::vector<float>> analytic;
+  analytic.reserve(params.size());
+  for (const Tensor& p : params) {
+    analytic.push_back(p.GradData().empty()
+                           ? std::vector<float>(p.Data().size(), 0.0f)
+                           : p.GradData());
+  }
+
+  // Numeric pass (no tape needed).
+  for (size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor p = params[pi];
+    const int64_t n = p.numel();
+    std::vector<int64_t> entries;
+    if (n <= max_entries_per_param) {
+      for (int64_t i = 0; i < n; ++i) entries.push_back(i);
+    } else {
+      for (int64_t i = 0; i < max_entries_per_param; ++i) {
+        entries.push_back(rng.UniformInt(n));
+      }
+    }
+    for (int64_t idx : entries) {
+      const size_t u = static_cast<size_t>(idx);
+      const float saved = p.Data()[u];
+      float plus, minus;
+      {
+        NoGradGuard no_grad;
+        p.Data()[u] = saved + eps;
+        plus = loss_fn().Item();
+        p.Data()[u] = saved - eps;
+        minus = loss_fn().Item();
+        p.Data()[u] = saved;
+      }
+      const float numeric = (plus - minus) / (2.0f * eps);
+      const float exact = analytic[pi][u];
+      const float denom = std::max({std::fabs(numeric), std::fabs(exact), 1.0f});
+      const float rel = std::fabs(numeric - exact) / denom;
+      result.max_relative_error = std::max(result.max_relative_error, rel);
+      ++result.checked;
+      if (rel > tolerance) {
+        result.ok = false;
+        D2_LOG(WARNING) << "grad mismatch: param " << pi << " entry " << idx
+                        << " analytic=" << exact << " numeric=" << numeric
+                        << " rel=" << rel;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace d2stgnn

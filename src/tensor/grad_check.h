@@ -1,0 +1,37 @@
+#ifndef D2STGNN_TENSOR_GRAD_CHECK_H_
+#define D2STGNN_TENSOR_GRAD_CHECK_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+namespace d2stgnn {
+
+/// Result of a finite-difference gradient check.
+struct GradCheckResult {
+  bool ok = true;
+  /// Largest relative error observed across all checked entries.
+  float max_relative_error = 0.0f;
+  /// Number of entries compared.
+  int64_t checked = 0;
+};
+
+/// Verifies analytic gradients of `loss_fn` (a scalar-valued closure over
+/// `params`) against central finite differences.
+///
+/// For each parameter, up to `max_entries_per_param` entries (sampled with
+/// `rng` when the parameter is larger) are perturbed by ±eps; the numeric
+/// gradient must match the analytic one within `tolerance` relative error
+/// (with an absolute floor for near-zero gradients).
+///
+/// `loss_fn` must be deterministic and re-evaluable.
+GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
+                               const std::vector<Tensor>& params, Rng& rng,
+                               float eps = 1e-2f, float tolerance = 2e-2f,
+                               int64_t max_entries_per_param = 16);
+
+}  // namespace d2stgnn
+
+#endif  // D2STGNN_TENSOR_GRAD_CHECK_H_

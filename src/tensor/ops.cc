@@ -1,0 +1,919 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "tensor/autograd.h"
+
+namespace d2stgnn {
+namespace {
+
+// Prepends 1s so that `shape` has `rank` dimensions.
+Shape AlignShape(const Shape& shape, size_t rank) {
+  D2_CHECK_LE(shape.size(), rank);
+  Shape aligned(rank, 1);
+  std::copy(shape.begin(), shape.end(),
+            aligned.begin() + static_cast<int64_t>(rank - shape.size()));
+  return aligned;
+}
+
+// Strides of `shape` aligned to `out` rank, with 0 stride on broadcast dims.
+std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out) {
+  const Shape aligned = AlignShape(shape, out.size());
+  const std::vector<int64_t> strides = RowMajorStrides(aligned);
+  std::vector<int64_t> result(out.size());
+  for (size_t d = 0; d < out.size(); ++d) {
+    if (aligned[d] == 1 && out[d] != 1) {
+      result[d] = 0;
+    } else {
+      D2_CHECK_EQ(aligned[d], out[d])
+          << "cannot broadcast " << ShapeToString(shape) << " to "
+          << ShapeToString(out);
+      result[d] = strides[d];
+    }
+  }
+  return result;
+}
+
+// Calls visit(out_flat, a_offset, b_offset) for every element of `out`,
+// where offsets follow the (possibly zero) broadcast strides.
+template <typename Visitor>
+void ForEachBroadcastPair(const Shape& out, const std::vector<int64_t>& as,
+                          const std::vector<int64_t>& bs, Visitor visit) {
+  const int64_t n = NumElements(out);
+  if (n == 0) return;
+  const size_t rank = out.size();
+  if (rank == 0) {
+    visit(0, 0, 0);
+    return;
+  }
+  std::vector<int64_t> idx(rank, 0);
+  int64_t a_off = 0;
+  int64_t b_off = 0;
+  for (int64_t i = 0;; ++i) {
+    visit(i, a_off, b_off);
+    int64_t d = static_cast<int64_t>(rank) - 1;
+    while (d >= 0) {
+      const size_t ud = static_cast<size_t>(d);
+      ++idx[ud];
+      a_off += as[ud];
+      b_off += bs[ud];
+      if (idx[ud] < out[ud]) break;
+      a_off -= as[ud] * out[ud];
+      b_off -= bs[ud] * out[ud];
+      idx[ud] = 0;
+      --d;
+    }
+    if (d < 0) break;
+  }
+}
+
+// Elementwise binary op with broadcasting. `forward` maps (a, b) -> out.
+// `backward` receives (output, a, b) and must accumulate into a and b.
+template <typename Fwd>
+Tensor BinaryOp(const std::string& name, const Tensor& a, const Tensor& b,
+                Fwd forward, std::function<void(const Tensor&, const Tensor&,
+                                                const Tensor&)> backward) {
+  D2_CHECK(a.defined());
+  D2_CHECK(b.defined());
+  const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
+  std::vector<float> out(static_cast<size_t>(NumElements(out_shape)));
+  const std::vector<float>& av = a.Data();
+  const std::vector<float>& bv = b.Data();
+  if (a.shape() == b.shape()) {
+    for (size_t i = 0; i < out.size(); ++i) out[i] = forward(av[i], bv[i]);
+  } else {
+    const std::vector<int64_t> as = BroadcastStrides(a.shape(), out_shape);
+    const std::vector<int64_t> bs = BroadcastStrides(b.shape(), out_shape);
+    ForEachBroadcastPair(out_shape, as, bs,
+                         [&](int64_t i, int64_t ao, int64_t bo) {
+                           out[static_cast<size_t>(i)] =
+                               forward(av[static_cast<size_t>(ao)],
+                                       bv[static_cast<size_t>(bo)]);
+                         });
+  }
+  return MakeOpResult(name, out_shape, std::move(out), {a, b},
+                      [a, b, backward](const Tensor& output) {
+                        backward(output, a, b);
+                      });
+}
+
+// Elementwise unary op. `dfn(x, y, g)` returns dLoss/dx given input value x,
+// output value y, and output gradient g.
+template <typename Fwd, typename Dfn>
+Tensor UnaryOp(const std::string& name, const Tensor& a, Fwd forward,
+               Dfn dfn) {
+  D2_CHECK(a.defined());
+  const std::vector<float>& av = a.Data();
+  std::vector<float> out(av.size());
+  for (size_t i = 0; i < av.size(); ++i) out[i] = forward(av[i]);
+  return MakeOpResult(
+      name, a.shape(), std::move(out), {a}, [a, dfn](const Tensor& output) {
+        if (!a.RequiresGrad()) return;
+        const std::vector<float>& g = output.GradData();
+        const std::vector<float>& x = a.Data();
+        const std::vector<float>& y = output.Data();
+        std::vector<float> ga(g.size());
+        for (size_t i = 0; i < g.size(); ++i) ga[i] = dfn(x[i], y[i], g[i]);
+        AccumulateGrad(a, Tensor(a.shape(), std::move(ga)));
+      });
+}
+
+int64_t NormalizeDim(int64_t dim, int64_t rank) {
+  if (dim < 0) dim += rank;
+  D2_CHECK_GE(dim, 0);
+  D2_CHECK_LT(dim, rank);
+  return dim;
+}
+
+// Splits a shape around dimension `dim` into (outer, size, inner) extents.
+void SplitAtDim(const Shape& shape, int64_t dim, int64_t* outer, int64_t* size,
+                int64_t* inner) {
+  *outer = 1;
+  *inner = 1;
+  for (int64_t d = 0; d < dim; ++d) *outer *= shape[static_cast<size_t>(d)];
+  *size = shape[static_cast<size_t>(dim)];
+  for (size_t d = static_cast<size_t>(dim) + 1; d < shape.size(); ++d) {
+    *inner *= shape[d];
+  }
+}
+
+}  // namespace
+
+Shape BroadcastShapes(const Shape& a, const Shape& b) {
+  const size_t rank = std::max(a.size(), b.size());
+  const Shape aa = AlignShape(a, rank);
+  const Shape bb = AlignShape(b, rank);
+  Shape out(rank);
+  for (size_t d = 0; d < rank; ++d) {
+    if (aa[d] == bb[d]) {
+      out[d] = aa[d];
+    } else if (aa[d] == 1) {
+      out[d] = bb[d];
+    } else if (bb[d] == 1) {
+      out[d] = aa[d];
+    } else {
+      D2_CHECK(false) << "incompatible shapes for broadcast: "
+                      << ShapeToString(a) << " vs " << ShapeToString(b);
+    }
+  }
+  return out;
+}
+
+Tensor ReduceToShape(const Tensor& t, const Shape& target) {
+  D2_CHECK(t.defined());
+  if (t.shape() == target) return t;
+  Tensor r = t;
+  const int64_t extra = r.dim() - static_cast<int64_t>(target.size());
+  D2_CHECK_GE(extra, 0) << "cannot reduce " << ShapeToString(t.shape())
+                        << " to larger-rank " << ShapeToString(target);
+  for (int64_t i = 0; i < extra; ++i) r = Sum(r, 0, /*keepdim=*/false);
+  for (size_t d = 0; d < target.size(); ++d) {
+    if (target[d] == 1 && r.size(static_cast<int64_t>(d)) != 1) {
+      r = Sum(r, static_cast<int64_t>(d), /*keepdim=*/true);
+    } else {
+      D2_CHECK_EQ(target[d], r.size(static_cast<int64_t>(d)))
+          << "cannot reduce " << ShapeToString(t.shape()) << " to "
+          << ShapeToString(target);
+    }
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Binary ops.
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      "Add", a, b, [](float x, float y) { return x + y; },
+      [](const Tensor& out, const Tensor& a, const Tensor& b) {
+        const Tensor g = out.Grad();
+        if (a.RequiresGrad()) AccumulateGrad(a, ReduceToShape(g, a.shape()));
+        if (b.RequiresGrad()) AccumulateGrad(b, ReduceToShape(g, b.shape()));
+      });
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      "Sub", a, b, [](float x, float y) { return x - y; },
+      [](const Tensor& out, const Tensor& a, const Tensor& b) {
+        const Tensor g = out.Grad();
+        if (a.RequiresGrad()) AccumulateGrad(a, ReduceToShape(g, a.shape()));
+        if (b.RequiresGrad()) {
+          AccumulateGrad(b, ReduceToShape(MulScalar(g, -1.0f), b.shape()));
+        }
+      });
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      "Mul", a, b, [](float x, float y) { return x * y; },
+      [](const Tensor& out, const Tensor& a, const Tensor& b) {
+        const Tensor g = out.Grad();
+        if (a.RequiresGrad()) {
+          AccumulateGrad(a, ReduceToShape(Mul(g, b), a.shape()));
+        }
+        if (b.RequiresGrad()) {
+          AccumulateGrad(b, ReduceToShape(Mul(g, a), b.shape()));
+        }
+      });
+}
+
+Tensor Div(const Tensor& a, const Tensor& b) {
+  return BinaryOp(
+      "Div", a, b, [](float x, float y) { return x / y; },
+      [](const Tensor& out, const Tensor& a, const Tensor& b) {
+        const Tensor g = out.Grad();
+        if (a.RequiresGrad()) {
+          AccumulateGrad(a, ReduceToShape(Div(g, b), a.shape()));
+        }
+        if (b.RequiresGrad()) {
+          // d/db (a/b) = -a / b^2
+          Tensor gb = Mul(g, Div(a, Mul(b, b)));
+          AccumulateGrad(b, ReduceToShape(MulScalar(gb, -1.0f), b.shape()));
+        }
+      });
+}
+
+Tensor AddScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      "AddScalar", a, [s](float x) { return x + s; },
+      [](float, float, float g) { return g; });
+}
+
+Tensor MulScalar(const Tensor& a, float s) {
+  return UnaryOp(
+      "MulScalar", a, [s](float x) { return x * s; },
+      [s](float, float, float g) { return g * s; });
+}
+
+Tensor PowScalar(const Tensor& a, float exponent) {
+  return UnaryOp(
+      "PowScalar", a, [exponent](float x) { return std::pow(x, exponent); },
+      [exponent](float x, float, float g) {
+        return g * exponent * std::pow(x, exponent - 1.0f);
+      });
+}
+
+Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
+Tensor operator-(const Tensor& a, const Tensor& b) { return Sub(a, b); }
+Tensor operator*(const Tensor& a, const Tensor& b) { return Mul(a, b); }
+Tensor operator/(const Tensor& a, const Tensor& b) { return Div(a, b); }
+Tensor operator+(const Tensor& a, float s) { return AddScalar(a, s); }
+Tensor operator-(const Tensor& a, float s) { return AddScalar(a, -s); }
+Tensor operator*(const Tensor& a, float s) { return MulScalar(a, s); }
+Tensor operator/(const Tensor& a, float s) { return MulScalar(a, 1.0f / s); }
+Tensor operator+(float s, const Tensor& a) { return AddScalar(a, s); }
+Tensor operator-(float s, const Tensor& a) {
+  return AddScalar(MulScalar(a, -1.0f), s);
+}
+Tensor operator*(float s, const Tensor& a) { return MulScalar(a, s); }
+Tensor operator-(const Tensor& a) { return Neg(a); }
+
+// ---------------------------------------------------------------------------
+// Unary ops.
+
+Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
+
+Tensor Relu(const Tensor& a) {
+  return UnaryOp(
+      "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      [](float x, float, float g) { return x > 0.0f ? g : 0.0f; });
+}
+
+Tensor LeakyRelu(const Tensor& a, float negative_slope) {
+  return UnaryOp(
+      "LeakyRelu", a,
+      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
+      [negative_slope](float x, float, float g) {
+        return x > 0.0f ? g : negative_slope * g;
+      });
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  return UnaryOp(
+      "Sigmoid", a,
+      [](float x) {
+        // Stable in both tails.
+        if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
+        const float e = std::exp(x);
+        return e / (1.0f + e);
+      },
+      [](float, float y, float g) { return g * y * (1.0f - y); });
+}
+
+Tensor Tanh(const Tensor& a) {
+  return UnaryOp(
+      "Tanh", a, [](float x) { return std::tanh(x); },
+      [](float, float y, float g) { return g * (1.0f - y * y); });
+}
+
+Tensor Exp(const Tensor& a) {
+  return UnaryOp(
+      "Exp", a, [](float x) { return std::exp(x); },
+      [](float, float y, float g) { return g * y; });
+}
+
+Tensor Log(const Tensor& a) {
+  return UnaryOp(
+      "Log", a, [](float x) { return std::log(x); },
+      [](float x, float, float g) { return g / x; });
+}
+
+Tensor Sqrt(const Tensor& a) {
+  return UnaryOp(
+      "Sqrt", a, [](float x) { return std::sqrt(x); },
+      [](float, float y, float g) { return y > 0.0f ? 0.5f * g / y : 0.0f; });
+}
+
+Tensor Abs(const Tensor& a) {
+  return UnaryOp(
+      "Abs", a, [](float x) { return std::fabs(x); },
+      [](float x, float, float g) {
+        return x > 0.0f ? g : (x < 0.0f ? -g : 0.0f);
+      });
+}
+
+Tensor Gelu(const Tensor& a) {
+  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3))).
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  constexpr float kCubic = 0.044715f;
+  return UnaryOp(
+      "Gelu", a,
+      [](float x) {
+        const float inner = kC * (x + kCubic * x * x * x);
+        return 0.5f * x * (1.0f + std::tanh(inner));
+      },
+      [](float x, float, float g) {
+        const float inner = kC * (x + kCubic * x * x * x);
+        const float t = std::tanh(inner);
+        const float d_inner = kC * (1.0f + 3.0f * kCubic * x * x);
+        return g * (0.5f * (1.0f + t) +
+                    0.5f * x * (1.0f - t * t) * d_inner);
+      });
+}
+
+Tensor Clamp(const Tensor& a, float lo, float hi) {
+  D2_CHECK_LE(lo, hi);
+  return UnaryOp(
+      "Clamp", a,
+      [lo, hi](float x) { return std::min(hi, std::max(lo, x)); },
+      [lo, hi](float x, float, float g) {
+        return (x >= lo && x <= hi) ? g : 0.0f;
+      });
+}
+
+// ---------------------------------------------------------------------------
+// MatMul.
+
+namespace {
+
+// out[m, n] += A[m, k] * B[k, n], dense row-major, i-k-j order.
+void MatMulKernel(const float* a, const float* b, float* out, int64_t m,
+                  int64_t k, int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    float* out_row = out + i * n;
+    const float* a_row = a + i * k;
+    for (int64_t kk = 0; kk < k; ++kk) {
+      const float av = a_row[kk];
+      if (av == 0.0f) continue;
+      const float* b_row = b + kk * n;
+      for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  D2_CHECK(a.defined());
+  D2_CHECK(b.defined());
+  D2_CHECK_GE(a.dim(), 2) << "MatMul lhs must have rank >= 2";
+  D2_CHECK_GE(b.dim(), 2) << "MatMul rhs must have rank >= 2";
+  const int64_t m = a.size(-2);
+  const int64_t k = a.size(-1);
+  const int64_t k2 = b.size(-2);
+  const int64_t n = b.size(-1);
+  D2_CHECK_EQ(k, k2) << "MatMul inner dimensions mismatch: "
+                     << ShapeToString(a.shape()) << " x "
+                     << ShapeToString(b.shape());
+
+  const Shape a_batch(a.shape().begin(), a.shape().end() - 2);
+  const Shape b_batch(b.shape().begin(), b.shape().end() - 2);
+  const Shape out_batch = BroadcastShapes(a_batch, b_batch);
+  Shape out_shape = out_batch;
+  out_shape.push_back(m);
+  out_shape.push_back(n);
+
+  std::vector<float> out(static_cast<size_t>(NumElements(out_shape)), 0.0f);
+  const std::vector<int64_t> as = BroadcastStrides(a_batch, out_batch);
+  const std::vector<int64_t> bs = BroadcastStrides(b_batch, out_batch);
+  const float* a_data = a.Data().data();
+  const float* b_data = b.Data().data();
+  float* out_data = out.data();
+  const int64_t a_matrix = m * k;
+  const int64_t b_matrix = k * n;
+  const int64_t out_matrix = m * n;
+  ForEachBroadcastPair(out_batch, as, bs,
+                       [&](int64_t batch, int64_t ao, int64_t bo) {
+                         MatMulKernel(a_data + ao * a_matrix,
+                                      b_data + bo * b_matrix,
+                                      out_data + batch * out_matrix, m, k, n);
+                       });
+
+  return MakeOpResult(
+      "MatMul", out_shape, std::move(out), {a, b},
+      [a, b](const Tensor& output) {
+        const Tensor g = output.Grad();
+        if (a.RequiresGrad()) {
+          Tensor ga = MatMul(g, Transpose(b, -1, -2));
+          AccumulateGrad(a, ReduceToShape(ga, a.shape()));
+        }
+        if (b.RequiresGrad()) {
+          Tensor gb = MatMul(Transpose(a, -1, -2), g);
+          AccumulateGrad(b, ReduceToShape(gb, b.shape()));
+        }
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions.
+
+Tensor Sum(const Tensor& a) {
+  D2_CHECK(a.defined());
+  double total = 0.0;
+  for (float v : a.Data()) total += v;
+  return MakeOpResult("Sum", Shape{}, {static_cast<float>(total)}, {a},
+                      [a](const Tensor& output) {
+                        if (!a.RequiresGrad()) return;
+                        const float g = output.GradData()[0];
+                        AccumulateGrad(a, Tensor::Full(a.shape(), g));
+                      });
+}
+
+Tensor Mean(const Tensor& a) {
+  D2_CHECK(a.defined());
+  D2_CHECK_GT(a.numel(), 0);
+  return MulScalar(Sum(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
+  D2_CHECK(a.defined());
+  dim = NormalizeDim(dim, a.dim());
+  int64_t outer, size, inner;
+  SplitAtDim(a.shape(), dim, &outer, &size, &inner);
+
+  Shape out_shape = a.shape();
+  if (keepdim) {
+    out_shape[static_cast<size_t>(dim)] = 1;
+  } else {
+    out_shape.erase(out_shape.begin() + dim);
+  }
+
+  std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
+  const std::vector<float>& av = a.Data();
+  for (int64_t o = 0; o < outer; ++o) {
+    const int64_t in_base = o * size * inner;
+    const int64_t out_base = o * inner;
+    for (int64_t s = 0; s < size; ++s) {
+      const int64_t row = in_base + s * inner;
+      for (int64_t i = 0; i < inner; ++i) {
+        out[static_cast<size_t>(out_base + i)] +=
+            av[static_cast<size_t>(row + i)];
+      }
+    }
+  }
+
+  const Shape in_shape = a.shape();
+  return MakeOpResult(
+      "SumDim", out_shape, std::move(out), {a},
+      [a, dim, keepdim, in_shape](const Tensor& output) {
+        if (!a.RequiresGrad()) return;
+        Tensor g = output.Grad();
+        if (!keepdim) g = Unsqueeze(g, dim);
+        AccumulateGrad(a, BroadcastTo(g, in_shape));
+      });
+}
+
+Tensor Mean(const Tensor& a, int64_t dim, bool keepdim) {
+  const int64_t d = NormalizeDim(dim, a.dim());
+  const int64_t size = a.size(d);
+  D2_CHECK_GT(size, 0);
+  return MulScalar(Sum(a, d, keepdim), 1.0f / static_cast<float>(size));
+}
+
+namespace {
+
+// Shared extremum reduction: sign = +1 for Max, -1 for Min. Gradient flows
+// to the first extremal element of each reduced slice.
+Tensor ExtremumDim(const char* name, const Tensor& a, int64_t dim,
+                   bool keepdim, float sign) {
+  D2_CHECK(a.defined());
+  const int64_t d = NormalizeDim(dim, a.dim());
+  int64_t outer, size, inner;
+  SplitAtDim(a.shape(), d, &outer, &size, &inner);
+  D2_CHECK_GT(size, 0);
+
+  Shape out_shape = a.shape();
+  if (keepdim) {
+    out_shape[static_cast<size_t>(d)] = 1;
+  } else {
+    out_shape.erase(out_shape.begin() + d);
+  }
+
+  const std::vector<float>& av = a.Data();
+  std::vector<float> out(static_cast<size_t>(outer * inner));
+  std::vector<int64_t> arg(static_cast<size_t>(outer * inner));
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      const int64_t base = o * size * inner + i;
+      float best = av[static_cast<size_t>(base)];
+      int64_t best_s = 0;
+      for (int64_t s = 1; s < size; ++s) {
+        const float v = av[static_cast<size_t>(base + s * inner)];
+        if (sign * v > sign * best) {
+          best = v;
+          best_s = s;
+        }
+      }
+      out[static_cast<size_t>(o * inner + i)] = best;
+      arg[static_cast<size_t>(o * inner + i)] = best_s;
+    }
+  }
+
+  const Shape in_shape = a.shape();
+  return MakeOpResult(
+      name, out_shape, std::move(out), {a},
+      [a, arg, d, in_shape](const Tensor& output) {
+        if (!a.RequiresGrad()) return;
+        int64_t outer, size, inner;
+        SplitAtDim(in_shape, d, &outer, &size, &inner);
+        std::vector<float> grad(static_cast<size_t>(NumElements(in_shape)),
+                                0.0f);
+        const std::vector<float>& g = output.GradData();
+        for (int64_t o = 0; o < outer; ++o) {
+          for (int64_t i = 0; i < inner; ++i) {
+            const int64_t flat = o * inner + i;
+            const int64_t s = arg[static_cast<size_t>(flat)];
+            grad[static_cast<size_t>(o * size * inner + s * inner + i)] +=
+                g[static_cast<size_t>(flat)];
+          }
+        }
+        AccumulateGrad(a, Tensor(in_shape, std::move(grad)));
+      });
+}
+
+}  // namespace
+
+Tensor Max(const Tensor& a, int64_t dim, bool keepdim) {
+  return ExtremumDim("Max", a, dim, keepdim, 1.0f);
+}
+
+Tensor Min(const Tensor& a, int64_t dim, bool keepdim) {
+  return ExtremumDim("Min", a, dim, keepdim, -1.0f);
+}
+
+Tensor Softmax(const Tensor& a, int64_t dim) {
+  D2_CHECK(a.defined());
+  const int64_t d = NormalizeDim(dim, a.dim());
+  int64_t outer, size, inner;
+  SplitAtDim(a.shape(), d, &outer, &size, &inner);
+  D2_CHECK_GT(size, 0);
+
+  const std::vector<float>& av = a.Data();
+  std::vector<float> out(av.size());
+  for (int64_t o = 0; o < outer; ++o) {
+    for (int64_t i = 0; i < inner; ++i) {
+      const int64_t base = o * size * inner + i;
+      float max_v = -std::numeric_limits<float>::infinity();
+      for (int64_t s = 0; s < size; ++s) {
+        max_v = std::max(max_v, av[static_cast<size_t>(base + s * inner)]);
+      }
+      float denom = 0.0f;
+      for (int64_t s = 0; s < size; ++s) {
+        const float e =
+            std::exp(av[static_cast<size_t>(base + s * inner)] - max_v);
+        out[static_cast<size_t>(base + s * inner)] = e;
+        denom += e;
+      }
+      const float inv = 1.0f / denom;
+      for (int64_t s = 0; s < size; ++s) {
+        out[static_cast<size_t>(base + s * inner)] *= inv;
+      }
+    }
+  }
+
+  return MakeOpResult(
+      "Softmax", a.shape(), std::move(out), {a}, [a, d](const Tensor& output) {
+        if (!a.RequiresGrad()) return;
+        // dx = y * (g - sum(g * y, dim))
+        const Tensor g = output.Grad();
+        const Tensor y = Tensor(output.shape(), output.Data());
+        const Tensor dot = Sum(Mul(g, y), d, /*keepdim=*/true);
+        AccumulateGrad(a, Mul(y, Sub(g, dot)));
+      });
+}
+
+// ---------------------------------------------------------------------------
+// Shape ops.
+
+Tensor Reshape(const Tensor& a, const Shape& shape) {
+  D2_CHECK(a.defined());
+  Shape resolved = shape;
+  int64_t known = 1;
+  int64_t infer_at = -1;
+  for (size_t d = 0; d < resolved.size(); ++d) {
+    if (resolved[d] == -1) {
+      D2_CHECK_EQ(infer_at, -1) << "at most one -1 in Reshape";
+      infer_at = static_cast<int64_t>(d);
+    } else {
+      known *= resolved[d];
+    }
+  }
+  if (infer_at >= 0) {
+    D2_CHECK_GT(known, 0);
+    D2_CHECK_EQ(a.numel() % known, 0)
+        << "cannot infer dimension for " << ShapeToString(shape);
+    resolved[static_cast<size_t>(infer_at)] = a.numel() / known;
+  }
+  D2_CHECK_EQ(NumElements(resolved), a.numel())
+      << "Reshape to " << ShapeToString(shape) << " from "
+      << ShapeToString(a.shape());
+
+  const Shape in_shape = a.shape();
+  return MakeOpResult("Reshape", resolved, a.Data(), {a},
+                      [a, in_shape](const Tensor& output) {
+                        if (!a.RequiresGrad()) return;
+                        AccumulateGrad(
+                            a, Tensor(in_shape, output.GradData()));
+                      });
+}
+
+Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
+  D2_CHECK(a.defined());
+  const int64_t rank = a.dim();
+  D2_CHECK_EQ(static_cast<int64_t>(perm.size()), rank);
+  std::vector<bool> seen(static_cast<size_t>(rank), false);
+  Shape out_shape(static_cast<size_t>(rank));
+  for (size_t d = 0; d < perm.size(); ++d) {
+    const int64_t p = NormalizeDim(perm[d], rank);
+    D2_CHECK(!seen[static_cast<size_t>(p)]) << "duplicate axis in Permute";
+    seen[static_cast<size_t>(p)] = true;
+    out_shape[d] = a.size(p);
+  }
+
+  const std::vector<int64_t> in_strides = RowMajorStrides(a.shape());
+  std::vector<int64_t> gather_strides(perm.size());
+  for (size_t d = 0; d < perm.size(); ++d) {
+    gather_strides[d] =
+        in_strides[static_cast<size_t>(NormalizeDim(perm[d], rank))];
+  }
+
+  const std::vector<float>& av = a.Data();
+  std::vector<float> out(av.size());
+  const std::vector<int64_t> zero(perm.size(), 0);
+  ForEachBroadcastPair(out_shape, gather_strides, zero,
+                       [&](int64_t i, int64_t src, int64_t) {
+                         out[static_cast<size_t>(i)] =
+                             av[static_cast<size_t>(src)];
+                       });
+
+  std::vector<int64_t> normalized(perm.size());
+  for (size_t d = 0; d < perm.size(); ++d) {
+    normalized[d] = NormalizeDim(perm[d], rank);
+  }
+  return MakeOpResult(
+      "Permute", out_shape, std::move(out), {a},
+      [a, normalized](const Tensor& output) {
+        if (!a.RequiresGrad()) return;
+        std::vector<int64_t> inverse(normalized.size());
+        for (size_t d = 0; d < normalized.size(); ++d) {
+          inverse[static_cast<size_t>(normalized[d])] = static_cast<int64_t>(d);
+        }
+        AccumulateGrad(a, Permute(output.Grad(), inverse));
+      });
+}
+
+Tensor Transpose(const Tensor& a, int64_t d0, int64_t d1) {
+  const int64_t rank = a.dim();
+  d0 = NormalizeDim(d0, rank);
+  d1 = NormalizeDim(d1, rank);
+  std::vector<int64_t> perm(static_cast<size_t>(rank));
+  for (int64_t d = 0; d < rank; ++d) perm[static_cast<size_t>(d)] = d;
+  std::swap(perm[static_cast<size_t>(d0)], perm[static_cast<size_t>(d1)]);
+  return Permute(a, perm);
+}
+
+Tensor Unsqueeze(const Tensor& a, int64_t dim) {
+  const int64_t rank = a.dim();
+  if (dim < 0) dim += rank + 1;
+  D2_CHECK_GE(dim, 0);
+  D2_CHECK_LE(dim, rank);
+  Shape shape = a.shape();
+  shape.insert(shape.begin() + dim, 1);
+  return Reshape(a, shape);
+}
+
+Tensor Squeeze(const Tensor& a, int64_t dim) {
+  const int64_t d = NormalizeDim(dim, a.dim());
+  D2_CHECK_EQ(a.size(d), 1) << "Squeeze of non-unit dimension";
+  Shape shape = a.shape();
+  shape.erase(shape.begin() + d);
+  return Reshape(a, shape);
+}
+
+Tensor BroadcastTo(const Tensor& a, const Shape& shape) {
+  D2_CHECK(a.defined());
+  if (a.shape() == shape) return a;
+  const std::vector<int64_t> as = BroadcastStrides(a.shape(), shape);
+  const std::vector<float>& av = a.Data();
+  std::vector<float> out(static_cast<size_t>(NumElements(shape)));
+  const std::vector<int64_t> zero(shape.size(), 0);
+  ForEachBroadcastPair(shape, as, zero, [&](int64_t i, int64_t src, int64_t) {
+    out[static_cast<size_t>(i)] = av[static_cast<size_t>(src)];
+  });
+  const Shape in_shape = a.shape();
+  return MakeOpResult("BroadcastTo", shape, std::move(out), {a},
+                      [a, in_shape](const Tensor& output) {
+                        if (!a.RequiresGrad()) return;
+                        AccumulateGrad(
+                            a, ReduceToShape(output.Grad(), in_shape));
+                      });
+}
+
+Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
+  D2_CHECK(!tensors.empty());
+  const int64_t rank = tensors[0].dim();
+  const int64_t d = NormalizeDim(dim, rank);
+  Shape out_shape = tensors[0].shape();
+  int64_t total = 0;
+  for (const Tensor& t : tensors) {
+    D2_CHECK(t.defined());
+    D2_CHECK_EQ(t.dim(), rank);
+    for (int64_t dd = 0; dd < rank; ++dd) {
+      if (dd != d) {
+        D2_CHECK_EQ(t.size(dd), out_shape[static_cast<size_t>(dd)])
+            << "Concat shape mismatch on dim " << dd;
+      }
+    }
+    total += t.size(d);
+  }
+  out_shape[static_cast<size_t>(d)] = total;
+
+  int64_t outer, unused_size, inner;
+  SplitAtDim(out_shape, d, &outer, &unused_size, &inner);
+  (void)unused_size;
+
+  std::vector<float> out(static_cast<size_t>(NumElements(out_shape)));
+  int64_t offset = 0;  // running offset along dim d
+  for (const Tensor& t : tensors) {
+    const int64_t size = t.size(d);
+    const std::vector<float>& tv = t.Data();
+    for (int64_t o = 0; o < outer; ++o) {
+      const float* src = tv.data() + o * size * inner;
+      float* dst = out.data() + (o * total + offset) * inner;
+      std::copy(src, src + size * inner, dst);
+    }
+    offset += size;
+  }
+
+  std::vector<Tensor> inputs = tensors;
+  return MakeOpResult(
+      "Concat", out_shape, std::move(out), inputs,
+      [inputs, d](const Tensor& output) {
+        int64_t offset = 0;
+        for (const Tensor& t : inputs) {
+          const int64_t size = t.size(d);
+          if (t.RequiresGrad()) {
+            AccumulateGrad(t, Slice(output.Grad(), d, offset, offset + size));
+          }
+          offset += size;
+        }
+      });
+}
+
+Tensor Stack(const std::vector<Tensor>& tensors, int64_t dim) {
+  D2_CHECK(!tensors.empty());
+  std::vector<Tensor> expanded;
+  expanded.reserve(tensors.size());
+  for (const Tensor& t : tensors) expanded.push_back(Unsqueeze(t, dim));
+  return Concat(expanded, dim);
+}
+
+Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end) {
+  D2_CHECK(a.defined());
+  const int64_t d = NormalizeDim(dim, a.dim());
+  const int64_t size = a.size(d);
+  if (start < 0) start += size;
+  if (end < 0) end += size;
+  D2_CHECK_GE(start, 0);
+  D2_CHECK_LE(end, size);
+  D2_CHECK_LT(start, end) << "empty Slice [" << start << ", " << end << ")";
+
+  int64_t outer, in_size, inner;
+  SplitAtDim(a.shape(), d, &outer, &in_size, &inner);
+  const int64_t out_size = end - start;
+  Shape out_shape = a.shape();
+  out_shape[static_cast<size_t>(d)] = out_size;
+
+  const std::vector<float>& av = a.Data();
+  std::vector<float> out(static_cast<size_t>(outer * out_size * inner));
+  for (int64_t o = 0; o < outer; ++o) {
+    const float* src = av.data() + (o * in_size + start) * inner;
+    float* dst = out.data() + o * out_size * inner;
+    std::copy(src, src + out_size * inner, dst);
+  }
+
+  const Shape in_shape = a.shape();
+  return MakeOpResult(
+      "Slice", out_shape, std::move(out), {a},
+      [a, d, start, out_size, in_shape](const Tensor& output) {
+        if (!a.RequiresGrad()) return;
+        int64_t outer, in_size, inner;
+        SplitAtDim(in_shape, d, &outer, &in_size, &inner);
+        std::vector<float> grad(static_cast<size_t>(NumElements(in_shape)),
+                                0.0f);
+        const std::vector<float>& g = output.GradData();
+        for (int64_t o = 0; o < outer; ++o) {
+          const float* src = g.data() + o * out_size * inner;
+          float* dst = grad.data() + (o * in_size + start) * inner;
+          std::copy(src, src + out_size * inner, dst);
+        }
+        AccumulateGrad(a, Tensor(in_shape, std::move(grad)));
+      });
+}
+
+Tensor Select(const Tensor& a, int64_t dim, int64_t index) {
+  const int64_t d = NormalizeDim(dim, a.dim());
+  if (index < 0) index += a.size(d);
+  return Squeeze(Slice(a, d, index, index + 1), d);
+}
+
+Tensor PadFront(const Tensor& a, int64_t dim, int64_t count) {
+  D2_CHECK(a.defined());
+  D2_CHECK_GE(count, 0);
+  if (count == 0) return a;
+  const int64_t d = NormalizeDim(dim, a.dim());
+  Shape pad_shape = a.shape();
+  pad_shape[static_cast<size_t>(d)] = count;
+  return Concat({Tensor::Zeros(pad_shape), a}, d);
+}
+
+// ---------------------------------------------------------------------------
+// Indexing / regularization.
+
+Tensor EmbeddingLookup(const Tensor& weight,
+                       const std::vector<int64_t>& indices,
+                       const Shape& index_shape) {
+  D2_CHECK(weight.defined());
+  D2_CHECK_EQ(weight.dim(), 2) << "embedding table must be [count, width]";
+  D2_CHECK_EQ(static_cast<int64_t>(indices.size()), NumElements(index_shape));
+  const int64_t vocab = weight.size(0);
+  const int64_t width = weight.size(1);
+
+  Shape out_shape = index_shape;
+  out_shape.push_back(width);
+  const std::vector<float>& wv = weight.Data();
+  std::vector<float> out(static_cast<size_t>(indices.size()) *
+                         static_cast<size_t>(width));
+  for (size_t i = 0; i < indices.size(); ++i) {
+    const int64_t row = indices[i];
+    D2_CHECK_GE(row, 0);
+    D2_CHECK_LT(row, vocab) << "embedding index out of range";
+    std::copy(wv.begin() + row * width, wv.begin() + (row + 1) * width,
+              out.begin() + static_cast<int64_t>(i) * width);
+  }
+
+  return MakeOpResult(
+      "EmbeddingLookup", out_shape, std::move(out), {weight},
+      [weight, indices, vocab, width](const Tensor& output) {
+        if (!weight.RequiresGrad()) return;
+        std::vector<float> grad(
+            static_cast<size_t>(vocab) * static_cast<size_t>(width), 0.0f);
+        const std::vector<float>& g = output.GradData();
+        for (size_t i = 0; i < indices.size(); ++i) {
+          const int64_t row = indices[i];
+          for (int64_t c = 0; c < width; ++c) {
+            grad[static_cast<size_t>(row * width + c)] +=
+                g[i * static_cast<size_t>(width) + static_cast<size_t>(c)];
+          }
+        }
+        AccumulateGrad(weight, Tensor({vocab, width}, std::move(grad)));
+      });
+}
+
+Tensor Dropout(const Tensor& a, float p, bool training, Rng& rng) {
+  D2_CHECK(a.defined());
+  D2_CHECK_GE(p, 0.0f);
+  D2_CHECK_LT(p, 1.0f);
+  if (!training || p == 0.0f) return a;
+  const float scale = 1.0f / (1.0f - p);
+  std::vector<float> mask(a.Data().size());
+  for (auto& m : mask) m = rng.Uniform() < p ? 0.0f : scale;
+  Tensor mask_tensor(a.shape(), std::move(mask));
+  return Mul(a, mask_tensor);
+}
+
+}  // namespace d2stgnn

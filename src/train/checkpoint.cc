@@ -1,0 +1,98 @@
+#include "train/checkpoint.h"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+
+#include "common/logging.h"
+
+namespace d2stgnn::train {
+namespace {
+
+constexpr char kMagic[8] = {'D', '2', 'C', 'K', 'P', 'T', '0', '1'};
+
+void WriteU64(std::ofstream& out, uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+bool SaveCheckpoint(const nn::Module& module, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out.is_open()) {
+    D2_LOG(ERROR) << "cannot open checkpoint " << path << " for writing";
+    return false;
+  }
+  const auto params = module.NamedParameters();
+  out.write(kMagic, sizeof(kMagic));
+  WriteU64(out, static_cast<uint64_t>(params.size()));
+  for (const auto& [name, tensor] : params) {
+    WriteU64(out, static_cast<uint64_t>(name.size()));
+    out.write(name.data(), static_cast<std::streamsize>(name.size()));
+    const std::vector<float>& data = tensor.Data();
+    WriteU64(out, static_cast<uint64_t>(data.size()));
+    out.write(reinterpret_cast<const char*>(data.data()),
+              static_cast<std::streamsize>(data.size() * sizeof(float)));
+  }
+  if (!out) {
+    D2_LOG(ERROR) << "short write to checkpoint " << path;
+    return false;
+  }
+  return true;
+}
+
+bool LoadCheckpoint(nn::Module* module, const std::string& path) {
+  if (module == nullptr) return false;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.is_open()) {
+    D2_LOG(ERROR) << "cannot open checkpoint " << path;
+    return false;
+  }
+  char magic[sizeof(kMagic)];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    D2_LOG(ERROR) << path << " is not a d2stgnn checkpoint";
+    return false;
+  }
+  uint64_t count;
+  if (!ReadU64(in, &count)) return false;
+
+  auto params = module->NamedParameters();
+  if (count != params.size()) {
+    D2_LOG(ERROR) << "checkpoint has " << count << " parameters, module has "
+                  << params.size();
+    return false;
+  }
+  for (auto& [name, tensor] : params) {
+    uint64_t name_len;
+    if (!ReadU64(in, &name_len)) return false;
+    std::string saved_name(name_len, '\0');
+    in.read(saved_name.data(), static_cast<std::streamsize>(name_len));
+    if (!in || saved_name != name) {
+      D2_LOG(ERROR) << "parameter name mismatch: checkpoint '" << saved_name
+                    << "' vs module '" << name << "'";
+      return false;
+    }
+    uint64_t numel;
+    if (!ReadU64(in, &numel)) return false;
+    if (numel != tensor.Data().size()) {
+      D2_LOG(ERROR) << "parameter '" << name << "' size mismatch: "
+                    << numel << " vs " << tensor.Data().size();
+      return false;
+    }
+    in.read(reinterpret_cast<char*>(tensor.Data().data()),
+            static_cast<std::streamsize>(numel * sizeof(float)));
+    if (!in) {
+      D2_LOG(ERROR) << "truncated checkpoint " << path;
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace d2stgnn::train

@@ -1,0 +1,27 @@
+#ifndef D2STGNN_TRAIN_CHECKPOINT_H_
+#define D2STGNN_TRAIN_CHECKPOINT_H_
+
+#include <string>
+
+#include "nn/module.h"
+
+namespace d2stgnn::train {
+
+/// Writes every named parameter of `module` to a binary checkpoint at
+/// `path`. The format is self-describing (magic + per-parameter name,
+/// element count, float32 payload) and endianness-naive (little-endian
+/// hosts, which is everything this project targets). Returns false (after
+/// logging) on I/O failure.
+bool SaveCheckpoint(const nn::Module& module, const std::string& path);
+
+/// Restores parameters saved by SaveCheckpoint into `module`. Parameter
+/// names, order, and sizes must match the saved module exactly (the usual
+/// "same architecture" contract). Returns false (after logging) on I/O
+/// failure or mismatch; on failure the module's parameters are left
+/// partially updated only if the mismatch is detected mid-file, so callers
+/// should treat a false return as "rebuild the model".
+bool LoadCheckpoint(nn::Module* module, const std::string& path);
+
+}  // namespace d2stgnn::train
+
+#endif  // D2STGNN_TRAIN_CHECKPOINT_H_

@@ -1,0 +1,123 @@
+#include "train/evaluator.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::train {
+namespace {
+
+// Accumulates sufficient statistics for masked metrics.
+struct Accumulator {
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  double ape_sum = 0.0;
+  int64_t count = 0;
+  int64_t ape_count = 0;
+
+  void Add(const float* pred, const float* truth, int64_t n,
+           float null_value) {
+    for (int64_t i = 0; i < n; ++i) {
+      if (truth[i] == null_value) continue;
+      const double err = static_cast<double>(pred[i]) - truth[i];
+      abs_sum += std::fabs(err);
+      sq_sum += err * err;
+      ++count;
+      if (std::fabs(truth[i]) > 1e-2f) {
+        ape_sum += std::fabs(err) / std::fabs(truth[i]);
+        ++ape_count;
+      }
+    }
+  }
+
+  metrics::MetricSet Finish() const {
+    metrics::MetricSet m;
+    m.count = count;
+    if (count > 0) {
+      m.mae = abs_sum / static_cast<double>(count);
+      m.rmse = std::sqrt(sq_sum / static_cast<double>(count));
+    }
+    if (ape_count > 0) m.mape = ape_sum / static_cast<double>(ape_count);
+    return m;
+  }
+};
+
+// Adds one [B, Tf, N, ...] prediction/truth pair into per-horizon
+// accumulators.
+void AccumulateHorizons(const Tensor& prediction, const Tensor& truth,
+                        const std::vector<int64_t>& horizons,
+                        float null_value, std::vector<Accumulator>* accs) {
+  D2_CHECK(prediction.shape() == truth.shape());
+  D2_CHECK_GE(prediction.dim(), 3);
+  const int64_t batch = prediction.size(0);
+  const int64_t steps = prediction.size(1);
+  const int64_t inner = prediction.numel() / (batch * steps);
+  const float* p = prediction.Data().data();
+  const float* t = truth.Data().data();
+  for (size_t h = 0; h < horizons.size(); ++h) {
+    const int64_t step = horizons[h] - 1;  // 1-based horizon
+    D2_CHECK_GE(step, 0);
+    D2_CHECK_LT(step, steps);
+    for (int64_t b = 0; b < batch; ++b) {
+      const int64_t offset = (b * steps + step) * inner;
+      (*accs)[h].Add(p + offset, t + offset, inner, null_value);
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<HorizonMetrics> EvaluateHorizons(
+    ForecastingModel* model, const data::StandardScaler* scaler,
+    data::WindowDataLoader* loader, const std::vector<int64_t>& horizons,
+    float null_value) {
+  D2_CHECK(model != nullptr);
+  D2_CHECK(loader != nullptr);
+  model->SetTraining(false);
+  NoGradGuard no_grad;
+  std::vector<Accumulator> accs(horizons.size());
+  for (int64_t b = 0; b < loader->NumBatches(); ++b) {
+    const data::Batch batch = loader->GetBatch(b);
+    const Tensor prediction = scaler->InverseTransform(model->Forward(batch));
+    AccumulateHorizons(prediction, batch.y, horizons, null_value, &accs);
+  }
+  model->SetTraining(true);
+  std::vector<HorizonMetrics> out(horizons.size());
+  for (size_t h = 0; h < horizons.size(); ++h) {
+    out[h].horizon = horizons[h];
+    out[h].metrics = accs[h].Finish();
+  }
+  return out;
+}
+
+std::vector<HorizonMetrics> EvaluatePredictionHorizons(
+    const Tensor& prediction, const Tensor& truth,
+    const std::vector<int64_t>& horizons, float null_value) {
+  std::vector<Accumulator> accs(horizons.size());
+  AccumulateHorizons(prediction, truth, horizons, null_value, &accs);
+  std::vector<HorizonMetrics> out(horizons.size());
+  for (size_t h = 0; h < horizons.size(); ++h) {
+    out[h].horizon = horizons[h];
+    out[h].metrics = accs[h].Finish();
+  }
+  return out;
+}
+
+Tensor CollectPredictions(ForecastingModel* model,
+                          const data::StandardScaler* scaler,
+                          data::WindowDataLoader* loader) {
+  D2_CHECK(model != nullptr);
+  D2_CHECK(loader != nullptr);
+  model->SetTraining(false);
+  NoGradGuard no_grad;
+  std::vector<Tensor> chunks;
+  for (int64_t b = 0; b < loader->NumBatches(); ++b) {
+    const data::Batch batch = loader->GetBatch(b);
+    chunks.push_back(scaler->InverseTransform(model->Forward(batch)));
+  }
+  model->SetTraining(true);
+  return Concat(chunks, 0);
+}
+
+}  // namespace d2stgnn::train

@@ -1,0 +1,45 @@
+#ifndef D2STGNN_TRAIN_EVALUATOR_H_
+#define D2STGNN_TRAIN_EVALUATOR_H_
+
+#include <vector>
+
+#include "data/scaler.h"
+#include "data/sliding_window.h"
+#include "metrics/metrics.h"
+#include "train/forecasting_model.h"
+
+namespace d2stgnn::train {
+
+/// Metrics of one forecasting horizon (1-based step count, e.g. 3 = 15 min).
+struct HorizonMetrics {
+  int64_t horizon = 0;
+  metrics::MetricSet metrics;
+};
+
+/// Evaluates a trained model per horizon on a loader, the layout of the
+/// paper's Table 3 (horizons 3, 6 and 12 by default). Runs without autograd
+/// and in eval mode.
+std::vector<HorizonMetrics> EvaluateHorizons(
+    ForecastingModel* model, const data::StandardScaler* scaler,
+    data::WindowDataLoader* loader,
+    const std::vector<int64_t>& horizons = {3, 6, 12},
+    float null_value = 0.0f);
+
+/// Same per-horizon evaluation for precomputed predictions (used by the
+/// non-neural baselines HA/VAR/SVR). `prediction` and `truth` are
+/// [S, Tf, N, 1] (or [S, Tf, N]) in original units.
+std::vector<HorizonMetrics> EvaluatePredictionHorizons(
+    const Tensor& prediction, const Tensor& truth,
+    const std::vector<int64_t>& horizons = {3, 6, 12},
+    float null_value = 0.0f);
+
+/// Collects a model's predictions over a whole loader into one
+/// [S, Tf, N, 1] tensor in original units (used by the Figure 8
+/// visualization bench).
+Tensor CollectPredictions(ForecastingModel* model,
+                          const data::StandardScaler* scaler,
+                          data::WindowDataLoader* loader);
+
+}  // namespace d2stgnn::train
+
+#endif  // D2STGNN_TRAIN_EVALUATOR_H_

@@ -1,0 +1,31 @@
+#ifndef D2STGNN_TRAIN_FORECASTING_MODEL_H_
+#define D2STGNN_TRAIN_FORECASTING_MODEL_H_
+
+#include "data/sliding_window.h"
+#include "nn/module.h"
+#include "tensor/tensor.h"
+
+namespace d2stgnn::train {
+
+/// Interface of every trainable traffic-forecasting model in this
+/// repository (D²STGNN, its ablation variants, and the deep baselines).
+///
+/// Forward consumes a minibatch (normalized inputs [B, Th, N, 1] plus the
+/// time-of-day / day-of-week indices some models embed) and returns
+/// normalized predictions [B, Tf, N, 1]. The trainer inverse-transforms
+/// before computing the masked-MAE loss (Eq. 16).
+class ForecastingModel : public nn::Module {
+ public:
+  /// Runs the model on one batch.
+  virtual Tensor Forward(const data::Batch& batch) = 0;
+
+  /// Number of future steps the model predicts (T_f; 12 in the paper).
+  virtual int64_t horizon() const = 0;
+
+ protected:
+  explicit ForecastingModel(std::string name) : Module(std::move(name)) {}
+};
+
+}  // namespace d2stgnn::train
+
+#endif  // D2STGNN_TRAIN_FORECASTING_MODEL_H_

@@ -1,0 +1,170 @@
+#include "train/trainer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "optim/adam.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::train {
+namespace {
+
+// Snapshot / restore of parameter data for early stopping.
+std::vector<std::vector<float>> SnapshotParams(const nn::Module& model) {
+  std::vector<std::vector<float>> snapshot;
+  for (const Tensor& p : model.Parameters()) snapshot.push_back(p.Data());
+  return snapshot;
+}
+
+void RestoreParams(nn::Module& model,
+                   const std::vector<std::vector<float>>& snapshot) {
+  std::vector<Tensor> params = model.Parameters();
+  D2_CHECK_EQ(params.size(), snapshot.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    D2_CHECK_EQ(params[i].Data().size(), snapshot[i].size());
+    params[i].Data() = snapshot[i];
+  }
+}
+
+}  // namespace
+
+Trainer::Trainer(ForecastingModel* model, const data::StandardScaler* scaler,
+                 const TrainerOptions& options)
+    : model_(model), scaler_(scaler), options_(options) {
+  D2_CHECK(model != nullptr);
+  D2_CHECK(scaler != nullptr);
+  D2_CHECK_GT(options.epochs, 0);
+}
+
+FitResult Trainer::Fit(data::WindowDataLoader* train_loader,
+                       data::WindowDataLoader* val_loader) {
+  D2_CHECK(train_loader != nullptr);
+  optim::Adam optimizer(model_->Parameters(), options_.learning_rate, 0.9f,
+                        0.999f, 1e-8f, options_.weight_decay);
+  Rng shuffle_rng(options_.seed);
+
+  FitResult result;
+  std::vector<std::vector<float>> best_params;
+  int64_t epochs_without_improvement = 0;
+  int64_t updates = 0;
+  double total_train_seconds = 0.0;
+  const int64_t horizon = model_->horizon();
+  int64_t curriculum_step = options_.curriculum_step;
+  if (curriculum_step <= 0) {
+    // Auto: reach the full horizon after ~40% of all updates so the late
+    // horizons still receive most of the training signal.
+    const int64_t total_updates =
+        options_.epochs * train_loader->NumBatches();
+    curriculum_step = std::max<int64_t>(1, total_updates * 2 / (5 * horizon));
+  }
+
+  for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    model_->SetTraining(true);
+    train_loader->Shuffle(shuffle_rng);
+    Stopwatch epoch_timer;
+    double loss_sum = 0.0;
+    const int64_t num_batches = train_loader->NumBatches();
+    for (int64_t b = 0; b < num_batches; ++b) {
+      const data::Batch batch = train_loader->GetBatch(b);
+      Tensor prediction = scaler_->InverseTransform(model_->Forward(batch));
+
+      // Curriculum learning: supervise a prefix of the horizon that grows
+      // with the number of updates (Sec. 5.4).
+      int64_t supervised = horizon;
+      if (options_.curriculum_learning) {
+        supervised = std::min<int64_t>(horizon, 1 + updates / curriculum_step);
+      }
+      Tensor target = batch.y;
+      if (supervised < horizon) {
+        prediction = Slice(prediction, 1, 0, supervised);
+        target = Slice(target, 1, 0, supervised);
+      }
+
+      Tensor loss =
+          metrics::MaskedMaeLoss(prediction, target, options_.null_value);
+      optimizer.ZeroGrad();
+      loss.Backward();
+      if (options_.clip_norm > 0.0f) {
+        optim::ClipGradNorm(optimizer.params(), options_.clip_norm);
+      }
+      optimizer.Step();
+      ++updates;
+      loss_sum += loss.Item();
+    }
+
+    EpochStats stats;
+    stats.seconds = epoch_timer.ElapsedSeconds();
+    total_train_seconds += stats.seconds;
+    stats.train_loss = loss_sum / static_cast<double>(num_batches);
+    if (val_loader != nullptr) stats.validation = Evaluate(val_loader);
+    result.history.push_back(stats);
+
+    if (options_.verbose) {
+      D2_LOG(INFO) << model_->name() << " epoch " << epoch << ": train_mae="
+                   << stats.train_loss
+                   << " val_mae=" << stats.validation.mae << " ("
+                   << stats.seconds << "s)";
+    }
+
+    if (val_loader != nullptr) {
+      const bool improved = result.best_epoch < 0 ||
+                            stats.validation.mae < result.best_val_mae;
+      if (improved) {
+        result.best_epoch = epoch;
+        result.best_val_mae = stats.validation.mae;
+        best_params = SnapshotParams(*model_);
+        epochs_without_improvement = 0;
+      } else {
+        ++epochs_without_improvement;
+        if (options_.patience > 0 &&
+            epochs_without_improvement >= options_.patience) {
+          if (options_.verbose) {
+            D2_LOG(INFO) << "early stopping at epoch " << epoch;
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  if (!best_params.empty()) RestoreParams(*model_, best_params);
+  result.mean_epoch_seconds =
+      total_train_seconds / static_cast<double>(result.history.size());
+  return result;
+}
+
+metrics::MetricSet Trainer::Evaluate(data::WindowDataLoader* loader) const {
+  D2_CHECK(loader != nullptr);
+  model_->SetTraining(false);
+  NoGradGuard no_grad;
+  // Accumulate sufficient statistics across batches.
+  double abs_sum = 0.0;
+  double sq_sum = 0.0;
+  double ape_sum = 0.0;
+  int64_t count = 0;
+  for (int64_t b = 0; b < loader->NumBatches(); ++b) {
+    const data::Batch batch = loader->GetBatch(b);
+    const Tensor prediction =
+        scaler_->InverseTransform(model_->Forward(batch));
+    const metrics::MetricSet m = metrics::ComputeMetrics(
+        prediction, batch.y, options_.null_value);
+    abs_sum += m.mae * static_cast<double>(m.count);
+    sq_sum += m.rmse * m.rmse * static_cast<double>(m.count);
+    ape_sum += m.mape * static_cast<double>(m.count);
+    count += m.count;
+  }
+  model_->SetTraining(true);
+  metrics::MetricSet total;
+  total.count = count;
+  if (count > 0) {
+    total.mae = abs_sum / static_cast<double>(count);
+    total.rmse = std::sqrt(sq_sum / static_cast<double>(count));
+    total.mape = ape_sum / static_cast<double>(count);
+  }
+  return total;
+}
+
+}  // namespace d2stgnn::train

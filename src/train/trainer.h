@@ -1,0 +1,76 @@
+#ifndef D2STGNN_TRAIN_TRAINER_H_
+#define D2STGNN_TRAIN_TRAINER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/scaler.h"
+#include "data/sliding_window.h"
+#include "metrics/metrics.h"
+#include "train/forecasting_model.h"
+
+namespace d2stgnn::train {
+
+/// Knobs of the shared training loop (paper Sec. 5.4/6.1 defaults).
+struct TrainerOptions {
+  int64_t epochs = 20;
+  float learning_rate = 1e-3f;  ///< Adam, as in the paper
+  float weight_decay = 0.0f;
+  float clip_norm = 5.0f;
+  /// Curriculum learning (Sec. 5.4): supervise only the first `horizon`
+  /// steps, adding one step every `curriculum_step` optimizer updates.
+  /// 0 = auto: the full horizon is reached after ~40% of all updates.
+  bool curriculum_learning = true;
+  int64_t curriculum_step = 0;
+  /// Early stopping patience in epochs (0 disables); the best-validation
+  /// parameters are restored at the end.
+  int64_t patience = 6;
+  /// Ground-truth value marking missing data (masked from the loss).
+  float null_value = 0.0f;
+  /// Seed for epoch shuffling.
+  uint64_t seed = 7;
+  /// Log a line per epoch.
+  bool verbose = false;
+};
+
+/// Per-epoch training record.
+struct EpochStats {
+  double train_loss = 0.0;         ///< mean masked MAE over batches
+  metrics::MetricSet validation;   ///< on the validation split
+  double seconds = 0.0;            ///< wall-clock time of the epoch
+};
+
+/// Result of Trainer::Fit.
+struct FitResult {
+  std::vector<EpochStats> history;
+  int64_t best_epoch = -1;
+  double best_val_mae = 0.0;
+  double mean_epoch_seconds = 0.0;  ///< training time only (Figure 6)
+};
+
+/// Trains a ForecastingModel with Adam + masked MAE + curriculum learning +
+/// early stopping — the paper's recipe, shared across D²STGNN and all deep
+/// baselines for fairness.
+class Trainer {
+ public:
+  /// Borrows all pointers; they must outlive the call to Fit.
+  Trainer(ForecastingModel* model, const data::StandardScaler* scaler,
+          const TrainerOptions& options);
+
+  /// Runs the training loop. `val` may be null (no validation / early
+  /// stopping).
+  FitResult Fit(data::WindowDataLoader* train_loader,
+                data::WindowDataLoader* val_loader);
+
+  /// Evaluates masked metrics of `model` on a loader (whole horizon).
+  metrics::MetricSet Evaluate(data::WindowDataLoader* loader) const;
+
+ private:
+  ForecastingModel* model_;
+  const data::StandardScaler* scaler_;
+  TrainerOptions options_;
+};
+
+}  // namespace d2stgnn::train
+
+#endif  // D2STGNN_TRAIN_TRAINER_H_

@@ -1,0 +1,127 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+#include "common/stopwatch.h"
+#include "common/table_printer.h"
+#include "common/text_plot.h"
+
+namespace d2stgnn {
+namespace {
+
+TEST(RngTest, DeterministicStreams) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const float u = rng.Uniform(-2.0f, 5.0f);
+    EXPECT_GE(u, -2.0f);
+    EXPECT_LT(u, 5.0f);
+  }
+}
+
+TEST(RngTest, NormalMomentsApproximatelyStandard) {
+  Rng rng(4);
+  double sum = 0.0, sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const float x = rng.Normal();
+    sum += x;
+    sum_sq += static_cast<double>(x) * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.03);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(5);
+  std::vector<int> counts(7, 0);
+  for (int i = 0; i < 7000; ++i) ++counts[static_cast<size_t>(rng.UniformInt(7))];
+  for (int c : counts) EXPECT_GT(c, 700);
+}
+
+TEST(RngTest, PermutationIsPermutation) {
+  Rng rng(6);
+  auto perm = rng.Permutation(50);
+  std::sort(perm.begin(), perm.end());
+  for (int64_t i = 0; i < 50; ++i) EXPECT_EQ(perm[static_cast<size_t>(i)], i);
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  double sink = 0.0;
+  for (int i = 0; i < 2000000; ++i) sink += std::sqrt(static_cast<double>(i));
+  volatile double observe = sink;  // keep the loop from being elided
+  (void)observe;
+  EXPECT_GT(watch.ElapsedSeconds(), 0.0);
+  EXPECT_GE(watch.ElapsedMillis(), watch.ElapsedSeconds() * 1e3 - 1e3);
+  watch.Reset();
+  EXPECT_LT(watch.ElapsedSeconds(), 1.0);
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndSeparators) {
+  TablePrinter table({"Name", "Value"});
+  table.AddRow({"alpha", "1"});
+  table.AddSeparator();
+  table.AddRow({"b", "12345"});
+  const std::string rendered = table.ToString();
+  EXPECT_NE(rendered.find("| Name  | Value |"), std::string::npos);
+  EXPECT_NE(rendered.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(rendered.find("|-------|-------|"), std::string::npos);
+}
+
+TEST(TablePrinterTest, NumberFormatting) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(2.0, 0), "2");
+  EXPECT_EQ(TablePrinter::Percent(0.0648), "6.48%");
+}
+
+TEST(TextPlotTest, RendersSeriesWithinBounds) {
+  PlotSeries s{"wave", {}, '*'};
+  for (int i = 0; i < 200; ++i) {
+    s.values.push_back(std::sin(static_cast<float>(i) * 0.1f));
+  }
+  const std::string plot = TextPlot({s}, 60, 10);
+  EXPECT_NE(plot.find('*'), std::string::npos);
+  EXPECT_NE(plot.find("wave"), std::string::npos);
+  // 10 grid rows + 2 borders + legend.
+  EXPECT_EQ(static_cast<int>(std::count(plot.begin(), plot.end(), '\n')), 13);
+}
+
+TEST(TextPlotTest, HandlesConstantSeries) {
+  PlotSeries s{"flat", std::vector<float>(50, 3.0f), '#'};
+  const std::string plot = TextPlot({s}, 40, 8);
+  EXPECT_NE(plot.find('#'), std::string::npos);
+}
+
+TEST(TextPlotTest, CsvWriterRoundTrips) {
+  PlotSeries a{"a", {1.0f, 2.0f}, '*'};
+  PlotSeries b{"b", {3.0f, 4.0f}, '.'};
+  const std::string path = ::testing::TempDir() + "/plot.csv";
+  ASSERT_TRUE(WriteSeriesCsv(path, {a, b}));
+  std::ifstream in(path);
+  std::string header, row0;
+  std::getline(in, header);
+  std::getline(in, row0);
+  EXPECT_EQ(header, "index,a,b");
+  EXPECT_EQ(row0, "0,1,3");
+}
+
+}  // namespace
+}  // namespace d2stgnn

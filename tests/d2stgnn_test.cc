@@ -1,0 +1,178 @@
+#include "core/d2stgnn.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/presets.h"
+#include "data/synthetic_traffic.h"
+#include "metrics/metrics.h"
+#include "optim/adam.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn {
+namespace {
+
+// Small synthetic setting shared by the model tests.
+struct Setting {
+  data::SyntheticTraffic traffic;
+  data::StandardScaler scaler;
+  data::SplitWindows splits;
+  std::unique_ptr<data::WindowDataLoader> loader;
+
+  explicit Setting(int64_t nodes = 8, int64_t steps = 512) {
+    data::SyntheticTrafficOptions options;
+    options.network.num_nodes = nodes;
+    options.network.neighbors = 3;
+    options.num_steps = steps;
+    options.seed = 9;
+    traffic = data::GenerateSyntheticTraffic(options);
+    scaler.Fit(traffic.dataset.values, steps * 7 / 10, /*mask_zeros=*/true);
+    splits = data::MakeChronologicalSplits(steps, 12, 12, 0.7f, 0.1f);
+    loader = std::make_unique<data::WindowDataLoader>(
+        &traffic.dataset, &scaler, splits.train, 12, 12, 4);
+  }
+};
+
+core::D2StgnnConfig SmallConfig(int64_t nodes) {
+  core::D2StgnnConfig config;
+  config.num_nodes = nodes;
+  config.hidden_dim = 8;
+  config.embed_dim = 4;
+  config.num_layers = 2;
+  config.num_heads = 2;
+  config.k_s = 2;
+  config.k_t = 2;
+  return config;
+}
+
+TEST(D2StgnnModel, ForwardShape) {
+  Setting s;
+  Rng rng(1);
+  core::D2Stgnn model(SmallConfig(8), s.traffic.dataset.network.adjacency,
+                      rng);
+  const data::Batch batch = s.loader->GetBatch(0);
+  Tensor out = model.Forward(batch);
+  EXPECT_EQ(out.shape(), (Shape{4, 12, 8, 1}));
+}
+
+TEST(D2StgnnModel, AllVariantsForwardAndBackward) {
+  Setting s;
+  const data::Batch batch = s.loader->GetBatch(0);
+
+  std::vector<core::D2StgnnConfig> variants;
+  auto base = SmallConfig(8);
+  variants.push_back(base);
+  {
+    auto v = base;
+    v.inherent_first = true;
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.use_gate = false;
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.use_residual = false;
+    variants.push_back(v);
+  }
+  variants.push_back(core::MakeCoupledConfig(base));
+  variants.push_back(core::MakeStaticGraphConfig(base));
+  {
+    auto v = base;
+    v.use_adaptive = false;
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.use_gru = false;
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.use_msa = false;
+    variants.push_back(v);
+  }
+  {
+    auto v = base;
+    v.autoregressive = false;
+    variants.push_back(v);
+  }
+
+  for (size_t i = 0; i < variants.size(); ++i) {
+    Rng rng(100 + i);
+    core::D2Stgnn model(variants[i], s.traffic.dataset.network.adjacency,
+                        rng);
+    Tensor pred = s.scaler.InverseTransform(model.Forward(batch));
+    EXPECT_EQ(pred.shape(), (Shape{4, 12, 8, 1})) << "variant " << i;
+    Tensor loss = metrics::MaskedMaeLoss(pred, batch.y);
+    ASSERT_TRUE(std::isfinite(loss.Item())) << "variant " << i;
+    model.ZeroGrad();
+    loss.Backward();
+    // Every registered parameter that participates should receive some
+    // gradient mass overall.
+    double grad_mass = 0.0;
+    for (const Tensor& p : model.Parameters()) {
+      for (float g : p.GradData()) grad_mass += std::fabs(g);
+    }
+    EXPECT_GT(grad_mass, 0.0) << "variant " << i;
+  }
+}
+
+TEST(D2StgnnModel, AdaptiveTransitionIsRowStochastic) {
+  Setting s;
+  Rng rng(2);
+  core::D2Stgnn model(SmallConfig(8), s.traffic.dataset.network.adjacency,
+                      rng);
+  NoGradGuard no_grad;
+  Tensor apt = model.AdaptiveTransition();
+  ASSERT_TRUE(apt.defined());
+  ASSERT_EQ(apt.shape(), (Shape{8, 8}));
+  for (int64_t i = 0; i < 8; ++i) {
+    float row = 0.0f;
+    for (int64_t j = 0; j < 8; ++j) row += apt.At({i, j});
+    EXPECT_NEAR(row, 1.0f, 1e-4f);
+  }
+}
+
+TEST(D2StgnnModel, LossDecreasesWithTraining) {
+  Setting s;
+  Rng rng(3);
+  core::D2Stgnn model(SmallConfig(8), s.traffic.dataset.network.adjacency,
+                      rng);
+  optim::Adam adam(model.Parameters(), 5e-3f);
+  const data::Batch batch = s.loader->GetBatch(0);
+
+  float first_loss = 0.0f;
+  float last_loss = 0.0f;
+  for (int step = 0; step < 25; ++step) {
+    Tensor pred = s.scaler.InverseTransform(model.Forward(batch));
+    Tensor loss = metrics::MaskedMaeLoss(pred, batch.y);
+    if (step == 0) first_loss = loss.Item();
+    last_loss = loss.Item();
+    adam.ZeroGrad();
+    loss.Backward();
+    optim::ClipGradNorm(adam.params(), 5.0f);
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.8f)
+      << "first=" << first_loss << " last=" << last_loss;
+}
+
+TEST(D2StgnnModel, ParameterCountGrowsWithLayers) {
+  Setting s;
+  Rng rng(4);
+  auto config1 = SmallConfig(8);
+  config1.num_layers = 1;
+  auto config2 = SmallConfig(8);
+  config2.num_layers = 3;
+  core::D2Stgnn m1(config1, s.traffic.dataset.network.adjacency, rng);
+  core::D2Stgnn m3(config2, s.traffic.dataset.network.adjacency, rng);
+  EXPECT_GT(m3.ParameterCount(), m1.ParameterCount());
+}
+
+}  // namespace
+}  // namespace d2stgnn

@@ -1,0 +1,69 @@
+// Death tests: the library's no-exceptions error handling (D2_CHECK) must
+// abort with a diagnostic on contract violations instead of corrupting
+// state.
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/sliding_window.h"
+#include "nn/linear.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn {
+namespace {
+
+using DeathTest = ::testing::Test;
+
+TEST(DeathTest, CheckMacroPrintsMessageAndAborts) {
+  EXPECT_DEATH({ D2_CHECK(false) << "extra context 42"; },
+               "Check failed: false.*extra context 42");
+  EXPECT_DEATH({ D2_CHECK_EQ(1, 2); }, "1 == 2 \\(1 vs. 2\\)");
+}
+
+TEST(DeathTest, BroadcastMismatchAborts) {
+  Tensor a({2, 3});
+  Tensor b({2, 4});
+  EXPECT_DEATH(Add(a, b), "incompatible shapes");
+}
+
+TEST(DeathTest, MatMulInnerDimMismatchAborts) {
+  Tensor a({2, 3});
+  Tensor b({4, 2});
+  EXPECT_DEATH(MatMul(a, b), "inner dimensions mismatch");
+}
+
+TEST(DeathTest, BackwardOnNonScalarAborts) {
+  Tensor a = Tensor::Ones({2}).SetRequiresGrad(true);
+  Tensor y = Mul(a, a);
+  EXPECT_DEATH(y.Backward(), "scalar");
+}
+
+TEST(DeathTest, ReshapeElementCountMismatchAborts) {
+  Tensor a({2, 3});
+  EXPECT_DEATH(Reshape(a, {4, 2}), "Reshape");
+}
+
+TEST(DeathTest, SliceOutOfRangeAborts) {
+  Tensor a({2, 3});
+  EXPECT_DEATH(Slice(a, 1, 0, 9), "");
+}
+
+TEST(DeathTest, EmbeddingIndexOutOfRangeAborts) {
+  Tensor table({3, 2});
+  EXPECT_DEATH(EmbeddingLookup(table, {5}, {1}), "out of range");
+}
+
+TEST(DeathTest, LinearWrongInputWidthAborts) {
+  Rng rng(1);
+  nn::Linear layer(4, 2, rng);
+  EXPECT_DEATH(layer.Forward(Tensor::Ones({2, 5})), "Linear expects");
+}
+
+TEST(DeathTest, ItemOnMultiElementAborts) {
+  Tensor a({3});
+  EXPECT_DEATH(a.Item(), "single-element");
+}
+
+}  // namespace
+}  // namespace d2stgnn

@@ -1,0 +1,144 @@
+// Tests of the extended substrate: Max/Min/Clamp/Gelu ops, LayerNorm, and
+// the Huber loss.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "metrics/metrics.h"
+#include "nn/layer_norm.h"
+#include "tensor/grad_check.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn {
+namespace {
+
+TEST(MaxMinOps, ValuesAlongDims) {
+  Tensor a({2, 3}, {1, 5, 3, 9, 2, 4});
+  Tensor row_max = Max(a, 1, false);
+  EXPECT_EQ(row_max.shape(), (Shape{2}));
+  EXPECT_FLOAT_EQ(row_max.At(0), 5.0f);
+  EXPECT_FLOAT_EQ(row_max.At(1), 9.0f);
+  Tensor col_min = Min(a, 0, true);
+  EXPECT_EQ(col_min.shape(), (Shape{1, 3}));
+  EXPECT_FLOAT_EQ(col_min.At(0), 1.0f);
+  EXPECT_FLOAT_EQ(col_min.At(1), 2.0f);
+  EXPECT_FLOAT_EQ(col_min.At(2), 3.0f);
+}
+
+TEST(MaxMinOps, GradientFlowsToArgmaxOnly) {
+  Tensor a({1, 3}, {1.0f, 7.0f, 3.0f});
+  a.SetRequiresGrad(true);
+  Sum(Max(a, 1, false)).Backward();
+  EXPECT_FLOAT_EQ(a.Grad().At(0), 0.0f);
+  EXPECT_FLOAT_EQ(a.Grad().At(1), 1.0f);
+  EXPECT_FLOAT_EQ(a.Grad().At(2), 0.0f);
+}
+
+TEST(MaxMinOps, GradCheck) {
+  Rng rng(1);
+  Tensor a = Tensor::Randn({4, 5}, rng).SetRequiresGrad(true);
+  auto loss = [&] {
+    return Add(Sum(Max(a, 1, false)),
+               MulScalar(Sum(Min(a, 0, false)), 2.0f));
+  };
+  auto result = CheckGradients(loss, {a}, rng, 1e-3f);
+  EXPECT_TRUE(result.ok) << result.max_relative_error;
+}
+
+TEST(ClampOp, ValuesAndStraightThroughGrad) {
+  Tensor a({4}, {-2.0f, -0.5f, 0.5f, 2.0f});
+  a.SetRequiresGrad(true);
+  Tensor c = Clamp(a, -1.0f, 1.0f);
+  EXPECT_FLOAT_EQ(c.At(0), -1.0f);
+  EXPECT_FLOAT_EQ(c.At(1), -0.5f);
+  EXPECT_FLOAT_EQ(c.At(3), 1.0f);
+  Sum(c).Backward();
+  EXPECT_FLOAT_EQ(a.Grad().At(0), 0.0f);  // outside
+  EXPECT_FLOAT_EQ(a.Grad().At(1), 1.0f);  // inside
+  EXPECT_FLOAT_EQ(a.Grad().At(3), 0.0f);
+}
+
+TEST(GeluOp, KnownValuesAndGrad) {
+  Tensor a({3}, {-10.0f, 0.0f, 10.0f});
+  Tensor g = Gelu(a);
+  EXPECT_NEAR(g.At(0), 0.0f, 1e-3f);   // strongly negative -> ~0
+  EXPECT_NEAR(g.At(1), 0.0f, 1e-6f);   // gelu(0) = 0
+  EXPECT_NEAR(g.At(2), 10.0f, 1e-3f);  // strongly positive -> identity
+  Rng rng(2);
+  Tensor x = Tensor::Randn({6}, rng).SetRequiresGrad(true);
+  auto loss = [&] { return Sum(Gelu(x)); };
+  auto result = CheckGradients(loss, {x}, rng, 1e-3f);
+  EXPECT_TRUE(result.ok) << result.max_relative_error;
+}
+
+TEST(LayerNormModule, NormalizesLastDim) {
+  Rng rng(3);
+  nn::LayerNorm norm(8);
+  Tensor x = Tensor::Randn({4, 8}, rng, 5.0f, 3.0f);
+  NoGradGuard no_grad;
+  Tensor y = norm.Forward(x);
+  // gamma=1, beta=0 at init: each row has ~zero mean, ~unit variance.
+  for (int64_t r = 0; r < 4; ++r) {
+    double mean = 0.0, var = 0.0;
+    for (int64_t c = 0; c < 8; ++c) mean += y.At({r, c});
+    mean /= 8.0;
+    for (int64_t c = 0; c < 8; ++c) {
+      var += (y.At({r, c}) - mean) * (y.At({r, c}) - mean);
+    }
+    var /= 8.0;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNormModule, GradCheck) {
+  Rng rng(4);
+  nn::LayerNorm norm(4);
+  Tensor x = Tensor::Randn({3, 4}, rng).SetRequiresGrad(true);
+  std::vector<Tensor> params = norm.Parameters();
+  params.push_back(x);
+  auto loss = [&] { return Sum(Abs(norm.Forward(x))); };
+  auto result = CheckGradients(loss, params, rng, 1e-2f, 3e-2f);
+  EXPECT_TRUE(result.ok) << result.max_relative_error;
+}
+
+TEST(HuberLossTest, QuadraticInsideLinearOutside) {
+  Tensor truth({2}, {0.0f + 1.0f, 1.0f});  // avoid mask value 0
+  {
+    // Small error: 0.5 e^2 behaviour.
+    Tensor pred({2}, {1.5f, 1.5f});  // err = 0.5 each
+    const float loss =
+        metrics::MaskedHuberLoss(pred, truth, 1.0f, 0.0f).Item();
+    EXPECT_NEAR(loss, 0.5f * 0.25f, 1e-6f);
+  }
+  {
+    // Large error: delta(|e| - delta/2).
+    Tensor pred({2}, {4.0f, 4.0f});  // err = 3 each
+    const float loss =
+        metrics::MaskedHuberLoss(pred, truth, 1.0f, 0.0f).Item();
+    EXPECT_NEAR(loss, 1.0f * (3.0f - 0.5f), 1e-6f);
+  }
+}
+
+TEST(HuberLossTest, MasksAndGradCheck) {
+  Tensor pred({3}, {2.0f, 100.0f, 5.0f});
+  pred.SetRequiresGrad(true);
+  Tensor truth({3}, {1.0f, 0.0f, 1.0f});  // middle masked
+  Tensor loss = metrics::MaskedHuberLoss(pred, truth, 1.0f);
+  // entries: err 1 -> 0.5; masked; err 4 -> 3.5; mean over 2 valid = 2.0
+  EXPECT_NEAR(loss.Item(), 2.0f, 1e-5f);
+  loss.Backward();
+  EXPECT_FLOAT_EQ(pred.Grad().At(1), 0.0f);
+
+  Rng rng(5);
+  Tensor p2 = Tensor::Rand({8}, rng, 2.0f, 8.0f).SetRequiresGrad(true);
+  Tensor t2 = Tensor::Rand({8}, rng, 1.0f, 9.0f);
+  auto loss_fn = [&] { return metrics::MaskedHuberLoss(p2, t2, 1.5f); };
+  auto result = CheckGradients(loss_fn, {p2}, rng, 1e-3f);
+  EXPECT_TRUE(result.ok) << result.max_relative_error;
+}
+
+}  // namespace
+}  // namespace d2stgnn

@@ -1,0 +1,186 @@
+#include "graph/sensor_graph.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "graph/localized_transition.h"
+#include "graph/transition.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn {
+namespace {
+
+graph::SensorNetwork MakeNetwork(int64_t n = 16, bool directed = true) {
+  graph::SensorNetworkOptions options;
+  options.num_nodes = n;
+  options.neighbors = 3;
+  options.directed = directed;
+  Rng rng(77);
+  return graph::BuildRandomSensorNetwork(options, rng);
+}
+
+TEST(SensorGraph, BuildsRequestedSize) {
+  const auto net = MakeNetwork(16);
+  EXPECT_EQ(net.num_nodes, 16);
+  EXPECT_EQ(net.adjacency.shape(), (Shape{16, 16}));
+  EXPECT_EQ(net.road_distance.shape(), (Shape{16, 16}));
+}
+
+TEST(SensorGraph, SelfDistanceZeroAndSelfWeightOne) {
+  const auto net = MakeNetwork(12);
+  for (int64_t i = 0; i < 12; ++i) {
+    EXPECT_FLOAT_EQ(net.road_distance.At({i, i}), 0.0f);
+    EXPECT_FLOAT_EQ(net.adjacency.At({i, i}), 1.0f);
+  }
+}
+
+TEST(SensorGraph, EveryNodeHasNeighbors) {
+  const auto net = MakeNetwork(20);
+  for (int64_t i = 0; i < 20; ++i) {
+    int64_t out_degree = 0;
+    for (int64_t j = 0; j < 20; ++j) {
+      if (i != j && net.adjacency.At({i, j}) > 0.0f) ++out_degree;
+    }
+    EXPECT_GT(out_degree, 0) << "node " << i << " is isolated";
+  }
+}
+
+TEST(SensorGraph, DirectedGraphIsAsymmetric) {
+  const auto net = MakeNetwork(24, /*directed=*/true);
+  bool asymmetric = false;
+  for (int64_t i = 0; i < 24 && !asymmetric; ++i) {
+    for (int64_t j = 0; j < 24; ++j) {
+      if (std::fabs(net.adjacency.At({i, j}) - net.adjacency.At({j, i})) >
+          1e-6f) {
+        asymmetric = true;
+        break;
+      }
+    }
+  }
+  EXPECT_TRUE(asymmetric);
+}
+
+TEST(SensorGraph, UndirectedGraphIsSymmetric) {
+  const auto net = MakeNetwork(24, /*directed=*/false);
+  for (int64_t i = 0; i < 24; ++i) {
+    for (int64_t j = 0; j < 24; ++j) {
+      EXPECT_NEAR(net.adjacency.At({i, j}), net.adjacency.At({j, i}), 1e-6f);
+    }
+  }
+}
+
+TEST(SensorGraph, GaussianKernelThresholdDropsWeakEdges) {
+  // Two clusters far apart: cross-cluster weights must be zero.
+  std::vector<float> dist = {0.0f, 0.1f, 100.0f, 0.1f,  0.0f, 100.0f,
+                             100.0f, 100.0f, 0.0f};
+  Tensor d({3, 3}, dist);
+  Tensor adj = graph::ThresholdedGaussianAdjacency(d, 0.1f);
+  EXPECT_GT(adj.At({0, 1}), 0.0f);
+  EXPECT_FLOAT_EQ(adj.At({0, 2}), 0.0f);
+}
+
+TEST(SensorGraph, CountEdgesIgnoresDiagonal) {
+  Tensor adj = Tensor::Eye(4);
+  EXPECT_EQ(graph::CountEdges(adj), 0);
+  adj.Data()[1] = 0.5f;  // (0, 1)
+  EXPECT_EQ(graph::CountEdges(adj), 1);
+}
+
+TEST(Transition, ForwardRowsSumToOne) {
+  const auto net = MakeNetwork(10);
+  const Tensor p = graph::ForwardTransition(net.adjacency);
+  for (int64_t i = 0; i < 10; ++i) {
+    float row = 0.0f;
+    for (int64_t j = 0; j < 10; ++j) row += p.At({i, j});
+    EXPECT_NEAR(row, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Transition, BackwardIsTransposedNormalization) {
+  const auto net = MakeNetwork(10);
+  const Tensor pb = graph::BackwardTransition(net.adjacency);
+  for (int64_t i = 0; i < 10; ++i) {
+    float row = 0.0f;
+    for (int64_t j = 0; j < 10; ++j) row += pb.At({i, j});
+    EXPECT_NEAR(row, 1.0f, 1e-5f);
+  }
+}
+
+TEST(Transition, ZeroRowStaysZero) {
+  Tensor adj({2, 2}, {0.0f, 0.0f, 1.0f, 1.0f});
+  const Tensor p = graph::ForwardTransition(adj);
+  EXPECT_FLOAT_EQ(p.At({0, 0}), 0.0f);
+  EXPECT_FLOAT_EQ(p.At({0, 1}), 0.0f);
+  EXPECT_FLOAT_EQ(p.At({1, 0}), 0.5f);
+}
+
+TEST(Transition, PowersMatchRepeatedMultiplication) {
+  const auto net = MakeNetwork(8);
+  const Tensor p = graph::ForwardTransition(net.adjacency);
+  const auto powers = graph::TransitionPowers(p, 3);
+  ASSERT_EQ(powers.size(), 3u);
+  const Tensor p3 = MatMul(MatMul(p, p), p);
+  for (int64_t i = 0; i < p3.numel(); ++i) {
+    EXPECT_NEAR(powers[2].At(i), p3.At(i), 1e-5f);
+  }
+}
+
+TEST(Transition, PowersKeepRowStochasticity) {
+  const auto net = MakeNetwork(8, /*directed=*/false);
+  const Tensor p = graph::ForwardTransition(net.adjacency);
+  for (const Tensor& power : graph::TransitionPowers(p, 3)) {
+    for (int64_t i = 0; i < 8; ++i) {
+      float row = 0.0f;
+      for (int64_t j = 0; j < 8; ++j) row += power.At({i, j});
+      EXPECT_NEAR(row, 1.0f, 1e-4f);
+    }
+  }
+}
+
+TEST(LocalizedTransition, MasksDiagonalOfEveryBlock) {
+  // Eq. 4: P^local[i, i + k'N] must be zero — a node's own history belongs
+  // to the inherent model.
+  const auto net = MakeNetwork(6);
+  const Tensor p = graph::ForwardTransition(net.adjacency);
+  const Tensor local = graph::LocalizedTransition(p, 3);
+  ASSERT_EQ(local.shape(), (Shape{6, 18}));
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t block = 0; block < 3; ++block) {
+      EXPECT_FLOAT_EQ(local.At({i, block * 6 + i}), 0.0f)
+          << "self-loop not masked at block " << block;
+    }
+  }
+}
+
+TEST(LocalizedTransition, BlocksAreIdenticalCopies) {
+  const auto net = MakeNetwork(6);
+  const Tensor p = graph::ForwardTransition(net.adjacency);
+  const Tensor local = graph::LocalizedTransition(p, 2);
+  for (int64_t i = 0; i < 6; ++i) {
+    for (int64_t j = 0; j < 6; ++j) {
+      EXPECT_FLOAT_EQ(local.At({i, j}), local.At({i, 6 + j}));
+    }
+  }
+}
+
+TEST(LocalizedTransition, SupportsBatchedDynamicGraphs) {
+  Rng rng(5);
+  const Tensor p = Softmax(Tensor::Randn({4, 5, 5}, rng), -1);
+  const Tensor local = graph::LocalizedTransition(p, 3);
+  EXPECT_EQ(local.shape(), (Shape{4, 5, 15}));
+}
+
+TEST(LocalizedTransition, GradientFlowsThroughMask) {
+  Rng rng(5);
+  Tensor p = Tensor::Rand({4, 4}, rng, 0.1f, 1.0f).SetRequiresGrad(true);
+  Tensor local = graph::LocalizedTransition(p, 2);
+  Sum(local).Backward();
+  // Off-diagonal entries appear in k_t = 2 blocks -> gradient 2; diagonal
+  // entries are masked -> gradient 0.
+  EXPECT_FLOAT_EQ(p.Grad().At({0, 1}), 2.0f);
+  EXPECT_FLOAT_EQ(p.Grad().At({0, 0}), 0.0f);
+}
+
+}  // namespace
+}  // namespace d2stgnn

@@ -1,0 +1,186 @@
+// End-to-end integration tests of the paper's headline claims at miniature
+// scale: data generation -> training -> evaluation across the full stack.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "baselines/historical_average.h"
+#include "baselines/registry.h"
+#include "core/d2stgnn.h"
+#include "data/synthetic_traffic.h"
+#include "train/evaluator.h"
+#include "train/trainer.h"
+
+namespace d2stgnn {
+namespace {
+
+struct Pipeline {
+  data::SyntheticTraffic traffic;
+  data::StandardScaler scaler;
+  data::SplitWindows splits;
+  std::unique_ptr<data::WindowDataLoader> train_loader;
+  std::unique_ptr<data::WindowDataLoader> val_loader;
+  std::unique_ptr<data::WindowDataLoader> test_loader;
+
+  explicit Pipeline(uint64_t seed) {
+    data::SyntheticTrafficOptions options;
+    options.network.num_nodes = 8;
+    options.network.neighbors = 3;
+    options.num_steps = 1800;
+    options.seed = seed;
+    options.diffusion_strength = 0.45f;
+    traffic = data::GenerateSyntheticTraffic(options);
+    scaler.Fit(traffic.dataset.values, 1260, true);
+    splits = data::MakeChronologicalSplits(1800, 12, 12, 0.7f, 0.1f);
+    // Subsample for speed.
+    auto thin = [](std::vector<int64_t> v, size_t stride) {
+      std::vector<int64_t> out;
+      for (size_t i = 0; i < v.size(); i += stride) out.push_back(v[i]);
+      return out;
+    };
+    train_loader = std::make_unique<data::WindowDataLoader>(
+        &traffic.dataset, &scaler, thin(splits.train, 6), 12, 12, 16);
+    val_loader = std::make_unique<data::WindowDataLoader>(
+        &traffic.dataset, &scaler, thin(splits.val, 2), 12, 12, 16);
+    test_loader = std::make_unique<data::WindowDataLoader>(
+        &traffic.dataset, &scaler, thin(splits.test, 2), 12, 12, 16);
+  }
+
+  double TrainAndTestMae(train::ForecastingModel* model, int64_t epochs) {
+    train::TrainerOptions options;
+    options.epochs = epochs;
+    options.seed = 3;
+    train::Trainer trainer(model, &scaler, options);
+    trainer.Fit(train_loader.get(), val_loader.get());
+    return trainer.Evaluate(test_loader.get()).mae;
+  }
+};
+
+TEST(Integration, DecoupledBeatsCoupledOnDecomposableTraffic) {
+  // The paper's Table 4 claim: on traffic that truly is diffusion +
+  // inherent, the decoupled framework (D2STGNN+) beats the coupled variant
+  // (D2STGNN#) with the same blocks.
+  Pipeline pipeline(51);
+  baselines::ModelConfig config;
+  config.num_nodes = 8;
+  config.hidden_dim = 12;
+  config.embed_dim = 6;
+
+  Rng rng_a(5);
+  auto decoupled = baselines::MakeModel(
+      "D2STGNN-static", config, pipeline.traffic.dataset.network.adjacency,
+      rng_a);
+  Rng rng_b(5);
+  auto coupled = baselines::MakeModel(
+      "D2STGNN-coupled", config, pipeline.traffic.dataset.network.adjacency,
+      rng_b);
+
+  const double mae_decoupled =
+      pipeline.TrainAndTestMae(decoupled.get(), 6);
+  const double mae_coupled = pipeline.TrainAndTestMae(coupled.get(), 6);
+  EXPECT_LT(mae_decoupled, mae_coupled * 1.02)
+      << "decoupled " << mae_decoupled << " vs coupled " << mae_coupled;
+}
+
+TEST(Integration, D2StgnnBeatsHistoricalAverage) {
+  // Table 3's most basic ordering at miniature scale.
+  Pipeline pipeline(52);
+  baselines::ModelConfig config;
+  config.num_nodes = 8;
+  config.hidden_dim = 12;
+  config.embed_dim = 6;
+  Rng rng(6);
+  auto model = baselines::MakeModel(
+      "D2STGNN", config, pipeline.traffic.dataset.network.adjacency, rng);
+  const double mae_model = pipeline.TrainAndTestMae(model.get(), 6);
+
+  baselines::HistoricalAverage ha;
+  ha.Fit(pipeline.traffic.dataset, 1260);
+  // Evaluate HA on the same thinned test windows (rebuild the list the
+  // pipeline used).
+  auto thin = [](std::vector<int64_t> v, size_t stride) {
+    std::vector<int64_t> out;
+    for (size_t i = 0; i < v.size(); i += stride) out.push_back(v[i]);
+    return out;
+  };
+  const std::vector<int64_t> starts = thin(pipeline.splits.test, 2);
+  const Tensor pred =
+      ha.Predict(pipeline.traffic.dataset, starts, 12, 12);
+  std::vector<float> truth(pred.Data().size());
+  const int64_t n = 8;
+  for (size_t w = 0; w < starts.size(); ++w) {
+    for (int64_t h = 0; h < 12; ++h) {
+      const float* src = pipeline.traffic.dataset.values.Data().data() +
+                         (starts[w] + 12 + h) * n;
+      std::copy(src, src + n,
+                truth.data() + (w * 12 + static_cast<size_t>(h)) * n);
+    }
+  }
+  const auto mae_ha =
+      metrics::ComputeMetrics(pred, Tensor(pred.shape(), std::move(truth)))
+          .mae;
+  EXPECT_LT(mae_model, mae_ha)
+      << "model " << mae_model << " vs HA " << mae_ha;
+}
+
+TEST(Integration, DeterministicTrainingRuns) {
+  // Same seeds end to end -> bit-identical metrics (reproducibility).
+  auto run = [] {
+    Pipeline pipeline(53);
+    baselines::ModelConfig config;
+    config.num_nodes = 8;
+    config.hidden_dim = 8;
+    config.embed_dim = 4;
+    Rng rng(9);
+    auto model = baselines::MakeModel(
+        "D2STGNN", config, pipeline.traffic.dataset.network.adjacency, rng);
+    return pipeline.TrainAndTestMae(model.get(), 2);
+  };
+  EXPECT_DOUBLE_EQ(run(), run());
+}
+
+TEST(Integration, FailureZerosDoNotPoisonTraining) {
+  // Heavy sensor failures: the masked loss must keep training stable and
+  // the model must keep predicting plausible (non-zero) speeds.
+  data::SyntheticTrafficOptions options;
+  options.network.num_nodes = 6;
+  options.num_steps = 900;
+  options.seed = 54;
+  options.failure_prob = 5e-3f;  // lots of failures
+  auto traffic = data::GenerateSyntheticTraffic(options);
+  data::StandardScaler scaler;
+  scaler.Fit(traffic.dataset.values, 630, true);
+  auto splits = data::MakeChronologicalSplits(900, 12, 12, 0.7f, 0.1f);
+  data::WindowDataLoader train_loader(&traffic.dataset, &scaler,
+                                      splits.train, 12, 12, 32);
+
+  core::D2StgnnConfig config;
+  config.num_nodes = 6;
+  config.hidden_dim = 8;
+  config.embed_dim = 4;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  Rng rng(10);
+  core::D2Stgnn model(config, traffic.dataset.network.adjacency, rng);
+  train::TrainerOptions trainer_options;
+  trainer_options.epochs = 2;
+  train::Trainer trainer(&model, &scaler, trainer_options);
+  const auto result = trainer.Fit(&train_loader, nullptr);
+  for (const auto& epoch : result.history) {
+    EXPECT_TRUE(std::isfinite(epoch.train_loss));
+  }
+  // Mean prediction magnitude stays in a sane speed range.
+  NoGradGuard no_grad;
+  model.SetTraining(false);
+  const data::Batch batch = train_loader.GetBatch(0);
+  const Tensor pred = scaler.InverseTransform(model.Forward(batch));
+  double mean = 0.0;
+  for (float v : pred.Data()) mean += v;
+  mean /= static_cast<double>(pred.numel());
+  EXPECT_GT(mean, 10.0);
+  EXPECT_LT(mean, 90.0);
+}
+
+}  // namespace
+}  // namespace d2stgnn

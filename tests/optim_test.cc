@@ -1,0 +1,116 @@
+#include "optim/adam.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "optim/lr_scheduler.h"
+#include "optim/sgd.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn::optim {
+namespace {
+
+// Minimizes f(w) = (w - target)^2 with the given optimizer; returns |w -
+// target| after `steps`.
+template <typename Opt>
+float MinimizeQuadratic(Opt& optimizer, Tensor& w, float target,
+                        int64_t steps) {
+  for (int64_t i = 0; i < steps; ++i) {
+    Tensor diff = Sub(w, Tensor::Scalar(target));
+    Tensor loss = Sum(Mul(diff, diff));
+    optimizer.ZeroGrad();
+    loss.Backward();
+    optimizer.Step();
+  }
+  return std::fabs(w.At(0) - target);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Tensor w = Tensor::Zeros({1}).SetRequiresGrad(true);
+  Sgd sgd({w}, 0.1f);
+  EXPECT_LT(MinimizeQuadratic(sgd, w, 3.0f, 50), 1e-3f);
+}
+
+TEST(SgdTest, MomentumAcceleratesConvergence) {
+  Tensor w1 = Tensor::Zeros({1}).SetRequiresGrad(true);
+  Tensor w2 = Tensor::Zeros({1}).SetRequiresGrad(true);
+  Sgd plain({w1}, 0.01f);
+  Sgd momentum({w2}, 0.01f, 0.9f);
+  const float err_plain = MinimizeQuadratic(plain, w1, 3.0f, 30);
+  const float err_momentum = MinimizeQuadratic(momentum, w2, 3.0f, 30);
+  EXPECT_LT(err_momentum, err_plain);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Tensor w = Tensor::Zeros({1}).SetRequiresGrad(true);
+  Adam adam({w}, 0.2f);
+  EXPECT_LT(MinimizeQuadratic(adam, w, -2.0f, 100), 1e-2f);
+}
+
+TEST(AdamTest, FirstStepSizeIsLearningRate) {
+  // With bias correction, the first Adam update has magnitude ~lr
+  // regardless of gradient scale.
+  Tensor w = Tensor::Zeros({1}).SetRequiresGrad(true);
+  Adam adam({w}, 0.1f);
+  Tensor loss = Sum(MulScalar(w, 1000.0f));
+  adam.ZeroGrad();
+  loss.Backward();
+  adam.Step();
+  EXPECT_NEAR(w.At(0), -0.1f, 1e-4f);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  Tensor w = Tensor::Full({1}, 5.0f).SetRequiresGrad(true);
+  Adam adam({w}, 0.1f, 0.9f, 0.999f, 1e-8f, /*weight_decay=*/1.0f);
+  // Zero loss gradient: only decay acts.
+  Tensor loss = Sum(MulScalar(w, 0.0f));
+  adam.ZeroGrad();
+  loss.Backward();
+  adam.Step();
+  EXPECT_LT(w.At(0), 5.0f);
+}
+
+TEST(AdamTest, SkipsParamsWithoutGrad) {
+  Tensor used = Tensor::Zeros({1}).SetRequiresGrad(true);
+  Tensor unused = Tensor::Full({1}, 7.0f).SetRequiresGrad(true);
+  Adam adam({used, unused}, 0.1f);
+  Tensor loss = Sum(Mul(used, used));
+  adam.ZeroGrad();
+  loss.Backward();
+  adam.Step();
+  EXPECT_FLOAT_EQ(unused.At(0), 7.0f);
+}
+
+TEST(ClipGradNorm, ScalesDownLargeGradients) {
+  Tensor w = Tensor::Zeros({2}).SetRequiresGrad(true);
+  Tensor loss = Sum(MulScalar(w, 30.0f));  // grad = [30, 30]
+  loss.Backward();
+  const float norm = ClipGradNorm({w}, 1.0f);
+  EXPECT_NEAR(norm, 30.0f * std::sqrt(2.0f), 1e-3f);
+  double clipped = 0.0;
+  for (float g : w.GradData()) clipped += static_cast<double>(g) * g;
+  EXPECT_NEAR(std::sqrt(clipped), 1.0, 1e-4);
+}
+
+TEST(ClipGradNorm, LeavesSmallGradientsAlone) {
+  Tensor w = Tensor::Zeros({2}).SetRequiresGrad(true);
+  Sum(MulScalar(w, 0.1f)).Backward();
+  ClipGradNorm({w}, 1.0f);
+  EXPECT_NEAR(w.GradData()[0], 0.1f, 1e-6f);
+}
+
+TEST(StepDecaySchedulerTest, DecaysAtMilestones) {
+  StepDecayScheduler scheduler(1.0f, {5, 10}, 0.1f);
+  EXPECT_FLOAT_EQ(scheduler.LearningRateAt(0), 1.0f);
+  EXPECT_FLOAT_EQ(scheduler.LearningRateAt(4), 1.0f);
+  EXPECT_FLOAT_EQ(scheduler.LearningRateAt(5), 0.1f);
+  EXPECT_NEAR(scheduler.LearningRateAt(10), 0.01f, 1e-7f);
+  Tensor w = Tensor::Zeros({1}).SetRequiresGrad(true);
+  Adam adam({w}, 1.0f);
+  scheduler.Apply(adam, 7);
+  EXPECT_FLOAT_EQ(adam.learning_rate(), 0.1f);
+}
+
+}  // namespace
+}  // namespace d2stgnn::optim

@@ -1,0 +1,125 @@
+// Stress tests: deep autograd tapes, high-rank shapes, and large fan-in —
+// the regimes where a recursive or quadratic implementation would fall
+// over.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "nn/gru_cell.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn {
+namespace {
+
+TEST(StressTest, VeryDeepTapeBackward) {
+  // 3000 chained ops: the iterative topological sort must not overflow the
+  // stack, and the gradient of x -> x + 3000 * 0.001 is exactly 1.
+  Tensor x = Tensor::Full({4}, 1.0f).SetRequiresGrad(true);
+  Tensor y = x;
+  for (int i = 0; i < 3000; ++i) y = AddScalar(y, 0.001f);
+  Sum(y).Backward();
+  for (int64_t i = 0; i < 4; ++i) EXPECT_FLOAT_EQ(x.Grad().At(i), 1.0f);
+}
+
+TEST(StressTest, LongRecurrenceBackward) {
+  // 200 GRU steps on the same input: gradients stay finite and nonzero
+  // (the gating keeps the chain from exploding at this depth).
+  Rng rng(1);
+  nn::GruCell cell(4, 4, rng);
+  Tensor x = Tensor::Randn({2, 4}, rng).SetRequiresGrad(true);
+  Tensor h = Tensor::Zeros({2, 4});
+  for (int t = 0; t < 200; ++t) h = cell.Forward(x, h);
+  Sum(Mul(h, h)).Backward();
+  double mass = 0.0;
+  for (float g : x.GradData()) {
+    ASSERT_TRUE(std::isfinite(g));
+    mass += std::fabs(g);
+  }
+  EXPECT_GT(mass, 0.0);
+}
+
+TEST(StressTest, Rank6BroadcastAndReduce) {
+  Rng rng(2);
+  Tensor a = Tensor::Randn({2, 1, 3, 1, 2, 1}, rng).SetRequiresGrad(true);
+  Tensor b = Tensor::Randn({1, 4, 1, 2, 1, 3}, rng);
+  Tensor c = Mul(a, b);
+  EXPECT_EQ(c.shape(), (Shape{2, 4, 3, 2, 2, 3}));
+  Sum(c).Backward();
+  EXPECT_EQ(a.Grad().shape(), a.shape());
+  // grad of a = sum of b over broadcast dims.
+  NoGradGuard no_grad;
+  Tensor expected = ReduceToShape(BroadcastTo(b, c.shape()), a.shape());
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    EXPECT_NEAR(a.Grad().At(i), expected.At(i), 1e-4f);
+  }
+}
+
+TEST(StressTest, WideConcatFanIn) {
+  // 128 tensors concatenated; gradient slices back to each input.
+  std::vector<Tensor> parts;
+  for (int i = 0; i < 128; ++i) {
+    parts.push_back(
+        Tensor::Full({2, 1}, static_cast<float>(i)).SetRequiresGrad(true));
+  }
+  Tensor joined = Concat(parts, 1);
+  EXPECT_EQ(joined.shape(), (Shape{2, 128}));
+  Sum(MulScalar(joined, 2.0f)).Backward();
+  for (const Tensor& p : parts) {
+    EXPECT_FLOAT_EQ(p.Grad().At(0), 2.0f);
+    EXPECT_FLOAT_EQ(p.Grad().At(1), 2.0f);
+  }
+}
+
+TEST(StressTest, DiamondDependencyAccumulates) {
+  // x feeds two branches that rejoin: gradients must accumulate once per
+  // path (d/dx [x^2 + 3x] = 2x + 3).
+  Tensor x = Tensor::Full({1}, 5.0f).SetRequiresGrad(true);
+  Tensor branch_a = Mul(x, x);
+  Tensor branch_b = MulScalar(x, 3.0f);
+  Sum(Add(branch_a, branch_b)).Backward();
+  EXPECT_NEAR(x.Grad().At(0), 13.0f, 1e-5f);
+}
+
+TEST(StressTest, ReusedSubgraphBackwardOnce) {
+  // The same intermediate used by 4 consumers: its backward must run after
+  // all consumers contributed (topological order), giving d/dx 4x^3... via
+  // y = x^2, loss = y*y + y*y = 2 x^4 -> 8 x^3.
+  Tensor x = Tensor::Full({1}, 1.5f).SetRequiresGrad(true);
+  Tensor y = Mul(x, x);
+  Tensor loss = Add(Mul(y, y), Mul(y, y));
+  Sum(loss).Backward();
+  EXPECT_NEAR(x.Grad().At(0), 8.0f * 1.5f * 1.5f * 1.5f, 1e-3f);
+}
+
+TEST(StressTest, LargeMatMulNumericallyStable) {
+  Rng rng(3);
+  Tensor a = Tensor::Randn({96, 96}, rng);
+  Tensor b = Tensor::Randn({96, 96}, rng);
+  NoGradGuard no_grad;
+  Tensor c = MatMul(a, b);
+  // Mean of |entries| of a product of standard normals is ~sqrt(96 * 2/pi).
+  double mean_abs = 0.0;
+  for (float v : c.Data()) {
+    ASSERT_TRUE(std::isfinite(v));
+    mean_abs += std::fabs(v);
+  }
+  mean_abs /= static_cast<double>(c.numel());
+  EXPECT_NEAR(mean_abs, std::sqrt(96.0 * 2.0 / M_PI), 2.0);
+}
+
+TEST(StressTest, GradAccumulationAcrossBackwardCalls) {
+  // Two Backward() calls without ZeroGrad: gradients add up (the optimizer
+  // contract for gradient accumulation).
+  Tensor x = Tensor::Full({1}, 2.0f).SetRequiresGrad(true);
+  Sum(Mul(x, x)).Backward();
+  Sum(Mul(x, x)).Backward();
+  EXPECT_NEAR(x.Grad().At(0), 8.0f, 1e-5f);  // 2 * (2x)
+  x.ZeroGrad();
+  Sum(Mul(x, x)).Backward();
+  EXPECT_NEAR(x.Grad().At(0), 4.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace d2stgnn
