@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_visualization.dir/bench_fig8_visualization.cc.o"
+  "CMakeFiles/bench_fig8_visualization.dir/bench_fig8_visualization.cc.o.d"
+  "bench_fig8_visualization"
+  "bench_fig8_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

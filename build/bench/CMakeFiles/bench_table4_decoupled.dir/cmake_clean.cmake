@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_decoupled.dir/bench_table4_decoupled.cc.o"
+  "CMakeFiles/bench_table4_decoupled.dir/bench_table4_decoupled.cc.o.d"
+  "bench_table4_decoupled"
+  "bench_table4_decoupled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_decoupled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_decomposition.dir/flow_decomposition.cpp.o"
+  "CMakeFiles/flow_decomposition.dir/flow_decomposition.cpp.o.d"
+  "flow_decomposition"
+  "flow_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/speed_forecasting.dir/speed_forecasting.cpp.o"
+  "CMakeFiles/speed_forecasting.dir/speed_forecasting.cpp.o.d"
+  "speed_forecasting"
+  "speed_forecasting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/speed_forecasting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/astgcn_lite.cc" "src/CMakeFiles/d2stgnn.dir/baselines/astgcn_lite.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/astgcn_lite.cc.o.d"
+  "/root/repo/src/baselines/dcrnn.cc" "src/CMakeFiles/d2stgnn.dir/baselines/dcrnn.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/dcrnn.cc.o.d"
+  "/root/repo/src/baselines/dgcrn.cc" "src/CMakeFiles/d2stgnn.dir/baselines/dgcrn.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/dgcrn.cc.o.d"
+  "/root/repo/src/baselines/fc_lstm.cc" "src/CMakeFiles/d2stgnn.dir/baselines/fc_lstm.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/fc_lstm.cc.o.d"
+  "/root/repo/src/baselines/gman_lite.cc" "src/CMakeFiles/d2stgnn.dir/baselines/gman_lite.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/gman_lite.cc.o.d"
+  "/root/repo/src/baselines/graph_wavenet.cc" "src/CMakeFiles/d2stgnn.dir/baselines/graph_wavenet.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/graph_wavenet.cc.o.d"
+  "/root/repo/src/baselines/historical_average.cc" "src/CMakeFiles/d2stgnn.dir/baselines/historical_average.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/historical_average.cc.o.d"
+  "/root/repo/src/baselines/linear_svr.cc" "src/CMakeFiles/d2stgnn.dir/baselines/linear_svr.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/linear_svr.cc.o.d"
+  "/root/repo/src/baselines/mtgnn_lite.cc" "src/CMakeFiles/d2stgnn.dir/baselines/mtgnn_lite.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/mtgnn_lite.cc.o.d"
+  "/root/repo/src/baselines/registry.cc" "src/CMakeFiles/d2stgnn.dir/baselines/registry.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/registry.cc.o.d"
+  "/root/repo/src/baselines/stgcn.cc" "src/CMakeFiles/d2stgnn.dir/baselines/stgcn.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/stgcn.cc.o.d"
+  "/root/repo/src/baselines/stsgcn_lite.cc" "src/CMakeFiles/d2stgnn.dir/baselines/stsgcn_lite.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/stsgcn_lite.cc.o.d"
+  "/root/repo/src/baselines/var.cc" "src/CMakeFiles/d2stgnn.dir/baselines/var.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/baselines/var.cc.o.d"
+  "/root/repo/src/common/check.cc" "src/CMakeFiles/d2stgnn.dir/common/check.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/common/check.cc.o.d"
+  "/root/repo/src/common/logging.cc" "src/CMakeFiles/d2stgnn.dir/common/logging.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/common/logging.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/d2stgnn.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/table_printer.cc" "src/CMakeFiles/d2stgnn.dir/common/table_printer.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/common/table_printer.cc.o.d"
+  "/root/repo/src/common/text_plot.cc" "src/CMakeFiles/d2stgnn.dir/common/text_plot.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/common/text_plot.cc.o.d"
+  "/root/repo/src/core/d2stgnn.cc" "src/CMakeFiles/d2stgnn.dir/core/d2stgnn.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/core/d2stgnn.cc.o.d"
+  "/root/repo/src/core/decoupled_layer.cc" "src/CMakeFiles/d2stgnn.dir/core/decoupled_layer.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/core/decoupled_layer.cc.o.d"
+  "/root/repo/src/core/diffusion_block.cc" "src/CMakeFiles/d2stgnn.dir/core/diffusion_block.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/core/diffusion_block.cc.o.d"
+  "/root/repo/src/core/dynamic_graph.cc" "src/CMakeFiles/d2stgnn.dir/core/dynamic_graph.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/core/dynamic_graph.cc.o.d"
+  "/root/repo/src/core/estimation_gate.cc" "src/CMakeFiles/d2stgnn.dir/core/estimation_gate.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/core/estimation_gate.cc.o.d"
+  "/root/repo/src/core/inherent_block.cc" "src/CMakeFiles/d2stgnn.dir/core/inherent_block.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/core/inherent_block.cc.o.d"
+  "/root/repo/src/data/csv_loader.cc" "src/CMakeFiles/d2stgnn.dir/data/csv_loader.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/data/csv_loader.cc.o.d"
+  "/root/repo/src/data/presets.cc" "src/CMakeFiles/d2stgnn.dir/data/presets.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/data/presets.cc.o.d"
+  "/root/repo/src/data/scaler.cc" "src/CMakeFiles/d2stgnn.dir/data/scaler.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/data/scaler.cc.o.d"
+  "/root/repo/src/data/sliding_window.cc" "src/CMakeFiles/d2stgnn.dir/data/sliding_window.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/data/sliding_window.cc.o.d"
+  "/root/repo/src/data/synthetic_traffic.cc" "src/CMakeFiles/d2stgnn.dir/data/synthetic_traffic.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/data/synthetic_traffic.cc.o.d"
+  "/root/repo/src/graph/localized_transition.cc" "src/CMakeFiles/d2stgnn.dir/graph/localized_transition.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/graph/localized_transition.cc.o.d"
+  "/root/repo/src/graph/sensor_graph.cc" "src/CMakeFiles/d2stgnn.dir/graph/sensor_graph.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/graph/sensor_graph.cc.o.d"
+  "/root/repo/src/graph/transition.cc" "src/CMakeFiles/d2stgnn.dir/graph/transition.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/graph/transition.cc.o.d"
+  "/root/repo/src/metrics/metrics.cc" "src/CMakeFiles/d2stgnn.dir/metrics/metrics.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/metrics/metrics.cc.o.d"
+  "/root/repo/src/nn/attention.cc" "src/CMakeFiles/d2stgnn.dir/nn/attention.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/nn/attention.cc.o.d"
+  "/root/repo/src/nn/embedding.cc" "src/CMakeFiles/d2stgnn.dir/nn/embedding.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/nn/embedding.cc.o.d"
+  "/root/repo/src/nn/gru_cell.cc" "src/CMakeFiles/d2stgnn.dir/nn/gru_cell.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/nn/gru_cell.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/d2stgnn.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/layer_norm.cc" "src/CMakeFiles/d2stgnn.dir/nn/layer_norm.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/nn/layer_norm.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/d2stgnn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/lstm_cell.cc" "src/CMakeFiles/d2stgnn.dir/nn/lstm_cell.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/nn/lstm_cell.cc.o.d"
+  "/root/repo/src/nn/mlp.cc" "src/CMakeFiles/d2stgnn.dir/nn/mlp.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/nn/mlp.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/d2stgnn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/positional_encoding.cc" "src/CMakeFiles/d2stgnn.dir/nn/positional_encoding.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/nn/positional_encoding.cc.o.d"
+  "/root/repo/src/optim/adam.cc" "src/CMakeFiles/d2stgnn.dir/optim/adam.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/optim/adam.cc.o.d"
+  "/root/repo/src/optim/lr_scheduler.cc" "src/CMakeFiles/d2stgnn.dir/optim/lr_scheduler.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/optim/lr_scheduler.cc.o.d"
+  "/root/repo/src/optim/optimizer.cc" "src/CMakeFiles/d2stgnn.dir/optim/optimizer.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/optim/optimizer.cc.o.d"
+  "/root/repo/src/optim/sgd.cc" "src/CMakeFiles/d2stgnn.dir/optim/sgd.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/optim/sgd.cc.o.d"
+  "/root/repo/src/tensor/autograd.cc" "src/CMakeFiles/d2stgnn.dir/tensor/autograd.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/tensor/autograd.cc.o.d"
+  "/root/repo/src/tensor/grad_check.cc" "src/CMakeFiles/d2stgnn.dir/tensor/grad_check.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/tensor/grad_check.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "src/CMakeFiles/d2stgnn.dir/tensor/ops.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "src/CMakeFiles/d2stgnn.dir/tensor/tensor.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/tensor/tensor.cc.o.d"
+  "/root/repo/src/train/checkpoint.cc" "src/CMakeFiles/d2stgnn.dir/train/checkpoint.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/train/checkpoint.cc.o.d"
+  "/root/repo/src/train/evaluator.cc" "src/CMakeFiles/d2stgnn.dir/train/evaluator.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/train/evaluator.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "src/CMakeFiles/d2stgnn.dir/train/trainer.cc.o" "gcc" "src/CMakeFiles/d2stgnn.dir/train/trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for d2stgnn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/d2stgnn_test.dir/d2stgnn_test.cc.o"
+  "CMakeFiles/d2stgnn_test.dir/d2stgnn_test.cc.o.d"
+  "d2stgnn_test"
+  "d2stgnn_test.pdb"
+  "d2stgnn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/d2stgnn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
