@@ -1,10 +1,12 @@
 #include "bench/bench_common.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/check.h"
 #include "common/table_printer.h"
+#include "common/thread_pool.h"
 
 namespace d2stgnn::bench {
 namespace {
@@ -29,6 +31,8 @@ BenchEnv GetBenchEnv() {
   env.hidden_dim = EnvInt("D2_BENCH_HIDDEN", env.hidden_dim);
   env.train_samples = EnvInt("D2_BENCH_TRAIN_SAMPLES", env.train_samples);
   env.eval_samples = EnvInt("D2_BENCH_EVAL_SAMPLES", env.eval_samples);
+  env.threads = GetNumThreads();
+  std::printf("bench env: threads=%d (D2STGNN_NUM_THREADS)\n", env.threads);
   return env;
 }
 

@@ -23,6 +23,9 @@ namespace d2stgnn::bench {
 ///   D2_BENCH_BATCH   — batch size (default 16; paper uses 32)
 ///   D2_BENCH_HIDDEN  — hidden width d (default 16; paper uses 32)
 ///   D2_BENCH_TRAIN_SAMPLES / D2_BENCH_EVAL_SAMPLES — window subsample caps
+///   D2STGNN_NUM_THREADS — execution-layer thread count (see
+///   src/common/thread_pool.h); the active value is recorded in `threads`
+///   and printed by every bench so timings are comparable across machines.
 struct BenchEnv {
   float scale = 0.06f;
   int64_t epochs = 10;
@@ -32,6 +35,7 @@ struct BenchEnv {
   int64_t train_samples = 384;
   int64_t eval_samples = 256;
   uint64_t seed = 7;
+  int threads = 1;
 };
 
 /// Reads the environment overrides.

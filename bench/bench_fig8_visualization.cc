@@ -3,10 +3,11 @@
 // including robustness to sensor-failure zeros (the model should ride
 // through failure bursts instead of fitting them).
 //
-// Renders ASCII line charts and writes fig8_node<i>.csv next to the binary
-// for external plotting.
+// Renders ASCII line charts and writes out/fig8_node<i>.csv (an ignored
+// output directory) for external plotting.
 
 #include <cstdio>
+#include <filesystem>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -81,8 +82,10 @@ int Run() {
                 static_cast<long long>(node),
                 node == failing_node ? " [has sensor-failure zeros]" : "");
     std::printf("%s\n", TextPlot({truth_series, pred_series}, 110, 18).c_str());
+    std::error_code ec;
+    std::filesystem::create_directories("out", ec);
     const std::string csv =
-        "fig8_node" + std::to_string(node) + ".csv";
+        "out/fig8_node" + std::to_string(node) + ".csv";
     if (WriteSeriesCsv(csv, {truth_series, pred_series})) {
       std::printf("wrote %s\n\n", csv.c_str());
     }

@@ -1,10 +1,22 @@
 // google-benchmark microbenchmarks of the kernels that dominate D2STGNN
 // training: batched matmul, softmax, the localized transition construction,
 // one decoupled-layer forward, and a full forward+backward step.
+//
+// The main() additionally sweeps the hot tensor kernels at 1/2/4 execution
+// threads and writes machine-readable per-op throughput to
+// BENCH_kernels.json, so successive PRs have a perf trajectory to compare
+// against.
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
 #include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/d2stgnn.h"
 #include "data/synthetic_traffic.h"
 #include "graph/localized_transition.h"
@@ -17,6 +29,7 @@ namespace {
 
 void BM_MatMul2D(benchmark::State& state) {
   const int64_t n = state.range(0);
+  SetNumThreads(static_cast<int>(state.range(1)));
   Rng rng(1);
   Tensor a = Tensor::Randn({n, n}, rng);
   Tensor b = Tensor::Randn({n, n}, rng);
@@ -25,11 +38,18 @@ void BM_MatMul2D(benchmark::State& state) {
     benchmark::DoNotOptimize(MatMul(a, b));
   }
   state.SetItemsProcessed(state.iterations() * n * n * n);
+  state.SetLabel("threads=" + std::to_string(state.range(1)));
 }
-BENCHMARK(BM_MatMul2D)->Arg(32)->Arg(64)->Arg(128);
+BENCHMARK(BM_MatMul2D)
+    ->Args({32, 1})
+    ->Args({64, 1})
+    ->Args({128, 1})
+    ->Args({128, 2})
+    ->Args({128, 4});
 
 void BM_BatchedMatMulBroadcast(benchmark::State& state) {
   const int64_t batch = state.range(0);
+  SetNumThreads(static_cast<int>(state.range(1)));
   Rng rng(1);
   Tensor p = Tensor::Randn({20, 60}, rng);     // [N, kt*N]
   Tensor x = Tensor::Randn({batch, 60, 16}, rng);
@@ -37,21 +57,25 @@ void BM_BatchedMatMulBroadcast(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize(MatMul(p, x));
   }
+  state.SetLabel("threads=" + std::to_string(state.range(1)));
 }
-BENCHMARK(BM_BatchedMatMulBroadcast)->Arg(8)->Arg(32);
+BENCHMARK(BM_BatchedMatMulBroadcast)->Args({8, 1})->Args({32, 1})->Args({32, 4});
 
 void BM_Softmax(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
   Rng rng(1);
   Tensor a = Tensor::Randn({64, 12, 12}, rng);
   NoGradGuard no_grad;
   for (auto _ : state) {
     benchmark::DoNotOptimize(Softmax(a, -1));
   }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
 }
-BENCHMARK(BM_Softmax);
+BENCHMARK(BM_Softmax)->Arg(1)->Arg(4);
 
 void BM_LocalizedTransition(benchmark::State& state) {
   const int64_t n = state.range(0);
+  SetNumThreads(1);
   Rng rng(1);
   Tensor p = Softmax(Tensor::Randn({n, n}, rng), -1);
   NoGradGuard no_grad;
@@ -66,6 +90,7 @@ BENCHMARK(BM_LocalizedTransition)->Arg(20)->Arg(50);
 // One full D2STGNN training step (forward + masked MAE + backward) at bench
 // scale: the end-to-end cost every epoch is made of.
 void BM_D2StgnnTrainStep(benchmark::State& state) {
+  SetNumThreads(static_cast<int>(state.range(0)));
   data::SyntheticTrafficOptions options;
   options.network.num_nodes = 12;
   options.num_steps = 600;
@@ -91,11 +116,13 @@ void BM_D2StgnnTrainStep(benchmark::State& state) {
     loss.Backward();
     benchmark::DoNotOptimize(loss.Item());
   }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
 }
-BENCHMARK(BM_D2StgnnTrainStep)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_D2StgnnTrainStep)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 // Inference-only forward pass (NoGrad) for deployment-style latency.
 void BM_D2StgnnInference(benchmark::State& state) {
+  SetNumThreads(1);
   data::SyntheticTrafficOptions options;
   options.network.num_nodes = 12;
   options.num_steps = 600;
@@ -122,7 +149,124 @@ void BM_D2StgnnInference(benchmark::State& state) {
 }
 BENCHMARK(BM_D2StgnnInference)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// BENCH_kernels.json: hand-timed per-op throughput at 1/2/4 threads.
+
+struct JsonRecord {
+  std::string op;
+  std::string workload;
+  int threads = 1;
+  double seconds_per_iter = 0.0;
+  double items_per_second = 0.0;  // op-specific unit, see `unit`
+  std::string unit;
+  double speedup_vs_1t = 1.0;
+};
+
+// Times fn() with an adaptive iteration count (>= ~200 ms of work).
+double TimeSecondsPerIter(const std::function<void()>& fn) {
+  fn();  // warm-up (also spins up pool workers)
+  int64_t iters = 1;
+  for (;;) {
+    Stopwatch timer;
+    for (int64_t i = 0; i < iters; ++i) fn();
+    const double elapsed = timer.ElapsedSeconds();
+    if (elapsed >= 0.2 || iters > (1 << 20)) {
+      return elapsed / static_cast<double>(iters);
+    }
+    iters *= 4;
+  }
+}
+
+// One op measured across thread counts; `items` scales items_per_second.
+void SweepOp(const std::string& op, const std::string& workload, double items,
+             const std::string& unit, const std::function<void()>& fn,
+             std::vector<JsonRecord>* records) {
+  double base_seconds = 0.0;
+  for (int threads : {1, 2, 4}) {
+    SetNumThreads(threads);
+    JsonRecord r;
+    r.op = op;
+    r.workload = workload;
+    r.threads = threads;
+    r.seconds_per_iter = TimeSecondsPerIter(fn);
+    r.items_per_second = items / r.seconds_per_iter;
+    r.unit = unit;
+    if (threads == 1) base_seconds = r.seconds_per_iter;
+    r.speedup_vs_1t =
+        r.seconds_per_iter > 0.0 ? base_seconds / r.seconds_per_iter : 1.0;
+    std::printf("kernels.json: %-16s %-22s threads=%d  %.3e s/iter  "
+                "speedup %.2fx\n",
+                op.c_str(), workload.c_str(), threads, r.seconds_per_iter,
+                r.speedup_vs_1t);
+    records->push_back(r);
+  }
+}
+
+void WriteKernelJson(const char* path) {
+  std::vector<JsonRecord> records;
+  Rng rng(1);
+  NoGradGuard no_grad;
+
+  {
+    // Batched MatMul: the Table 3 / Fig. 6 hot path.
+    const int64_t batch = 16, m = 96, k = 96, n = 96;
+    Tensor a = Tensor::Randn({batch, m, k}, rng);
+    Tensor b = Tensor::Randn({batch, k, n}, rng);
+    const double flops = 2.0 * static_cast<double>(batch * m * k * n);
+    SweepOp("batched_matmul", "16x[96,96]x[96,96]", flops, "flops",
+            [&] { benchmark::DoNotOptimize(MatMul(a, b)); }, &records);
+  }
+  {
+    Tensor a = Tensor::Randn({256, 64, 64}, rng);
+    SweepOp("softmax", "[256,64,64] dim=-1",
+            static_cast<double>(a.numel()), "elements",
+            [&] { benchmark::DoNotOptimize(Softmax(a, -1)); }, &records);
+  }
+  {
+    Tensor a = Tensor::Randn({1 << 22}, rng);
+    SweepOp("sum", "[4194304]", static_cast<double>(a.numel()), "elements",
+            [&] { benchmark::DoNotOptimize(Sum(a)); }, &records);
+  }
+  {
+    Tensor a = Tensor::Randn({1 << 22}, rng);
+    Tensor b = Tensor::Randn({1 << 22}, rng);
+    SweepOp("ewise_add", "[4194304]", static_cast<double>(a.numel()),
+            "elements", [&] { benchmark::DoNotOptimize(Add(a, b)); },
+            &records);
+  }
+  SetNumThreads(1);
+
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n  \"ops\": [\n",
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const JsonRecord& r = records[i];
+    std::fprintf(
+        f,
+        "    {\"op\": \"%s\", \"workload\": \"%s\", \"threads\": %d, "
+        "\"seconds_per_iter\": %.6e, \"items_per_second\": %.6e, "
+        "\"unit\": \"%s\", \"speedup_vs_1t\": %.3f}%s\n",
+        r.op.c_str(), r.workload.c_str(), r.threads, r.seconds_per_iter,
+        r.items_per_second, r.unit.c_str(), r.speedup_vs_1t,
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 }  // namespace d2stgnn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  d2stgnn::WriteKernelJson("BENCH_kernels.json");
+  return 0;
+}

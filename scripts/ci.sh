@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# CI entry point: builds and tests the repo in two configurations.
+#
+#   1. Release        — the full tier-1 suite.
+#   2. ThreadSanitizer — the execution-layer and tensor tests, to catch data
+#      races in the thread pool and parallel kernels.
+#
+# Usage: scripts/ci.sh [--release-only]
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== Release build + full test suite ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "${1:-}" == "--release-only" ]]; then
+  exit 0
+fi
+
+echo "=== ThreadSanitizer build + concurrency-sensitive tests ==="
+cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DD2STGNN_SANITIZE=thread
+cmake --build build-tsan -j "$(nproc)" \
+  --target thread_pool_test parallel_determinism_test tensor_test
+ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+  -R 'ThreadPool|ParallelDeterminism|Tensor'
+
+echo "CI OK"

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 #include "tensor/ops.h"
 
 namespace d2stgnn::data {
@@ -106,6 +107,18 @@ Batch WindowDataLoader::GetBatch(int64_t index) const {
   batch.x = Tensor({b, input_len_, n, 3}, std::move(x));
   batch.y = Tensor({b, output_len_, n, 1}, std::move(y));
   return batch;
+}
+
+std::vector<Batch> WindowDataLoader::AssembleAllBatches() const {
+  std::vector<Batch> batches(static_cast<size_t>(NumBatches()));
+  // GetBatch is a pure function of (loader state, index), so batches can be
+  // built concurrently; each slot is written by exactly one chunk.
+  ParallelFor(0, NumBatches(), 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t b = lo; b < hi; ++b) {
+      batches[static_cast<size_t>(b)] = GetBatch(b);
+    }
+  });
+  return batches;
 }
 
 void WindowDataLoader::Shuffle(Rng& rng) {

@@ -66,6 +66,11 @@ class WindowDataLoader {
   /// Builds batch `index` (0-based). The final batch may be smaller.
   Batch GetBatch(int64_t index) const;
 
+  /// Assembles every batch of the current sample order, in parallel over
+  /// the shared thread pool. Batch contents are identical to calling
+  /// GetBatch(0..NumBatches()-1) sequentially.
+  std::vector<Batch> AssembleAllBatches() const;
+
   /// Reshuffles the sample order (call between epochs during training).
   void Shuffle(Rng& rng);
 

@@ -1,0 +1,206 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace d2stgnn::kernels {
+namespace {
+
+// Row block each MatMul task owns: big enough to amortize dispatch, small
+// enough to spread a single large matrix over the pool.
+constexpr int64_t kMatMulRowBlock = 32;
+
+// K-tile of the blocked matmul: keeps the active B panel (~tile * n floats)
+// cache-resident. Tiles advance in ascending k, so per-output accumulation
+// order — and therefore the float result — matches the untiled loop.
+constexpr int64_t kMatMulKTile = 256;
+
+// Outer-loop grain so each chunk carries ~kEwiseGrain elements of work.
+// Depends only on the slice size, never the thread count (determinism).
+int64_t OuterGrain(int64_t elems_per_slice) {
+  return std::max<int64_t>(1, kEwiseGrain / std::max<int64_t>(1,
+                                                              elems_per_slice));
+}
+
+}  // namespace
+
+Shape AlignShape(const Shape& shape, size_t rank) {
+  D2_CHECK_LE(shape.size(), rank);
+  Shape aligned(rank, 1);
+  std::copy(shape.begin(), shape.end(),
+            aligned.begin() + static_cast<int64_t>(rank - shape.size()));
+  return aligned;
+}
+
+std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out) {
+  const Shape aligned = AlignShape(shape, out.size());
+  const std::vector<int64_t> strides = RowMajorStrides(aligned);
+  std::vector<int64_t> result(out.size());
+  for (size_t d = 0; d < out.size(); ++d) {
+    if (aligned[d] == 1 && out[d] != 1) {
+      result[d] = 0;
+    } else {
+      D2_CHECK_EQ(aligned[d], out[d])
+          << "cannot broadcast " << ShapeToString(shape) << " to "
+          << ShapeToString(out);
+      result[d] = strides[d];
+    }
+  }
+  return result;
+}
+
+void GatherStrided(const Shape& out_shape, const std::vector<int64_t>& strides,
+                   const float* a, float* out) {
+  const int64_t n = NumElements(out_shape);
+  const std::vector<int64_t> zero(out_shape.size(), 0);
+  ParallelFor(0, n, kEwiseGrain, [&](int64_t lo, int64_t hi) {
+    ForEachBroadcastPair(out_shape, strides, zero, lo, hi,
+                         [&](int64_t i, int64_t src, int64_t) {
+                           out[i] = a[src];
+                         });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// MatMul.
+
+void MatMulRowRange(const float* a, const float* b, float* out,
+                    int64_t row_begin, int64_t row_end, int64_t k, int64_t n) {
+  for (int64_t k0 = 0; k0 < k; k0 += kMatMulKTile) {
+    const int64_t k1 = std::min(k, k0 + kMatMulKTile);
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      float* out_row = out + i * n;
+      const float* a_row = a + i * k;
+      for (int64_t kk = k0; kk < k1; ++kk) {
+        const float av = a_row[kk];
+        if (av == 0.0f) continue;
+        const float* b_row = b + kk * n;
+        for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
+      }
+    }
+  }
+}
+
+void BatchedMatMul(const float* a, const float* b, float* out,
+                   const std::vector<int64_t>& a_offsets,
+                   const std::vector<int64_t>& b_offsets, int64_t m, int64_t k,
+                   int64_t n) {
+  D2_CHECK_EQ(a_offsets.size(), b_offsets.size());
+  const int64_t batch = static_cast<int64_t>(a_offsets.size());
+  const int64_t row_blocks = (m + kMatMulRowBlock - 1) / kMatMulRowBlock;
+  const int64_t out_matrix = m * n;
+  // Each task owns the output rows of one (batch, row-block) pair — every
+  // output element is written by exactly one task, in a fixed order.
+  ParallelFor(0, batch * row_blocks, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t task = lo; task < hi; ++task) {
+      const int64_t bi = task / row_blocks;
+      const int64_t r0 = (task % row_blocks) * kMatMulRowBlock;
+      const int64_t r1 = std::min(m, r0 + kMatMulRowBlock);
+      MatMulRowRange(a + a_offsets[static_cast<size_t>(bi)],
+                     b + b_offsets[static_cast<size_t>(bi)],
+                     out + bi * out_matrix, r0, r1, k, n);
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Reductions.
+
+double ReduceSumAll(const float* a, int64_t n) {
+  if (n == 0) return 0.0;
+  const int64_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
+  std::vector<double> partials(static_cast<size_t>(blocks), 0.0);
+  ParallelFor(0, blocks, 1, [&](int64_t lo, int64_t hi) {
+    for (int64_t blk = lo; blk < hi; ++blk) {
+      const int64_t i0 = blk * kReduceBlock;
+      const int64_t i1 = std::min(n, i0 + kReduceBlock);
+      double acc = 0.0;
+      for (int64_t i = i0; i < i1; ++i) acc += a[i];
+      partials[static_cast<size_t>(blk)] = acc;
+    }
+  });
+  double total = 0.0;
+  for (double p : partials) total += p;
+  return total;
+}
+
+void ReduceSumDim(const float* a, float* out, int64_t outer, int64_t size,
+                  int64_t inner) {
+  ParallelFor(0, outer, OuterGrain(size * inner), [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      float* dst = out + o * inner;
+      std::fill(dst, dst + inner, 0.0f);
+      const float* base = a + o * size * inner;
+      for (int64_t s = 0; s < size; ++s) {
+        const float* src = base + s * inner;
+        for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
+      }
+    }
+  });
+}
+
+void ExtremumDim(const float* a, float* out, int64_t* arg, int64_t outer,
+                 int64_t size, int64_t inner, float sign) {
+  ParallelFor(0, outer, OuterGrain(size * inner), [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        const int64_t base = o * size * inner + i;
+        float best = a[base];
+        int64_t best_s = 0;
+        for (int64_t s = 1; s < size; ++s) {
+          const float v = a[base + s * inner];
+          if (sign * v > sign * best) {
+            best = v;
+            best_s = s;
+          }
+        }
+        out[o * inner + i] = best;
+        arg[o * inner + i] = best_s;
+      }
+    }
+  });
+}
+
+void ExtremumDimGrad(const float* g, const int64_t* arg, float* grad,
+                     int64_t outer, int64_t size, int64_t inner) {
+  // Each (o, i) scatters to a distinct slot, so outer-parallelism is safe.
+  ParallelFor(0, outer, OuterGrain(size * inner), [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        const int64_t flat = o * inner + i;
+        grad[o * size * inner + arg[flat] * inner + i] += g[flat];
+      }
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Softmax.
+
+void SoftmaxKernel(const float* a, float* out, int64_t outer, int64_t size,
+                   int64_t inner) {
+  ParallelFor(0, outer, OuterGrain(size * inner), [&](int64_t lo, int64_t hi) {
+    for (int64_t o = lo; o < hi; ++o) {
+      for (int64_t i = 0; i < inner; ++i) {
+        const int64_t base = o * size * inner + i;
+        float max_v = -std::numeric_limits<float>::infinity();
+        for (int64_t s = 0; s < size; ++s) {
+          max_v = std::max(max_v, a[base + s * inner]);
+        }
+        float denom = 0.0f;
+        for (int64_t s = 0; s < size; ++s) {
+          const float e = std::exp(a[base + s * inner] - max_v);
+          out[base + s * inner] = e;
+          denom += e;
+        }
+        const float inv = 1.0f / denom;
+        for (int64_t s = 0; s < size; ++s) out[base + s * inner] *= inv;
+      }
+    }
+  });
+}
+
+}  // namespace d2stgnn::kernels

@@ -1,0 +1,187 @@
+#ifndef D2STGNN_TENSOR_KERNELS_H_
+#define D2STGNN_TENSOR_KERNELS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "tensor/tensor.h"
+
+// Raw compute kernels of the tensor engine. ops.cc does shape checking,
+// autograd-tape wiring, and dispatch; the float loops live here so they can
+// be parallelized (and later swapped for other backends) in one place.
+//
+// Every kernel partitions work with ParallelFor using chunk boundaries that
+// depend only on the problem size, and accumulates within a chunk in index
+// order — results are bitwise-identical at 1 and N threads.
+
+namespace d2stgnn::kernels {
+
+/// Minimum elementwise work per ParallelFor chunk; below this the dispatch
+/// overhead dominates and the loop runs as a single chunk.
+inline constexpr int64_t kEwiseGrain = 1 << 14;
+
+/// Fixed accumulation block for full reductions (chunk boundaries of the
+/// deterministic partial-sum tree).
+inline constexpr int64_t kReduceBlock = 1 << 12;
+
+// ---------------------------------------------------------------------------
+// Broadcast iteration machinery (shared by elementwise dispatch in ops.cc).
+
+/// Prepends 1s so that `shape` has `rank` dimensions.
+Shape AlignShape(const Shape& shape, size_t rank);
+
+/// Strides of `shape` aligned to `out` rank, with 0 stride on broadcast
+/// dimensions. Aborts if the shapes are not broadcast-compatible.
+std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out);
+
+/// Calls visit(out_flat, a_offset, b_offset) for flat indices
+/// [flat_begin, flat_end) of `out`, where the offsets follow the (possibly
+/// zero) broadcast strides `as` / `bs`. Serial within the range.
+template <typename Visitor>
+void ForEachBroadcastPair(const Shape& out, const std::vector<int64_t>& as,
+                          const std::vector<int64_t>& bs, int64_t flat_begin,
+                          int64_t flat_end, Visitor visit) {
+  if (flat_begin >= flat_end) return;
+  const size_t rank = out.size();
+  if (rank == 0) {
+    visit(0, 0, 0);
+    return;
+  }
+  // Decompose flat_begin into a multi-index and the two strided offsets.
+  std::vector<int64_t> idx(rank, 0);
+  int64_t a_off = 0;
+  int64_t b_off = 0;
+  int64_t rem = flat_begin;
+  for (int64_t d = static_cast<int64_t>(rank) - 1; d >= 0; --d) {
+    const size_t ud = static_cast<size_t>(d);
+    idx[ud] = rem % out[ud];
+    rem /= out[ud];
+    a_off += idx[ud] * as[ud];
+    b_off += idx[ud] * bs[ud];
+  }
+  for (int64_t i = flat_begin;; ++i) {
+    visit(i, a_off, b_off);
+    if (i + 1 >= flat_end) break;
+    int64_t d = static_cast<int64_t>(rank) - 1;
+    while (d >= 0) {
+      const size_t ud = static_cast<size_t>(d);
+      ++idx[ud];
+      a_off += as[ud];
+      b_off += bs[ud];
+      if (idx[ud] < out[ud]) break;
+      a_off -= as[ud] * out[ud];
+      b_off -= bs[ud] * out[ud];
+      idx[ud] = 0;
+      --d;
+    }
+  }
+}
+
+/// Whole-tensor variant of the above.
+template <typename Visitor>
+void ForEachBroadcastPair(const Shape& out, const std::vector<int64_t>& as,
+                          const std::vector<int64_t>& bs, Visitor visit) {
+  ForEachBroadcastPair(out, as, bs, 0, NumElements(out), visit);
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise kernels (templates: the functor must inline into the loop).
+
+/// out[i] = fn(a[i]) for i in [0, n).
+template <typename Fn>
+void EwiseUnary(const float* a, float* out, int64_t n, Fn fn) {
+  ParallelFor(0, n, kEwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = fn(a[i]);
+  });
+}
+
+/// out[i] = dfn(x[i], y[i], g[i]) — the gradient loop of a unary op.
+template <typename Dfn>
+void EwiseUnaryGrad(const float* x, const float* y, const float* g,
+                    float* out, int64_t n, Dfn dfn) {
+  ParallelFor(0, n, kEwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = dfn(x[i], y[i], g[i]);
+  });
+}
+
+/// out[i] = fn(a[i], b[i]) for same-shape contiguous operands.
+template <typename Fn>
+void EwiseBinary(const float* a, const float* b, float* out, int64_t n,
+                 Fn fn) {
+  ParallelFor(0, n, kEwiseGrain, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) out[i] = fn(a[i], b[i]);
+  });
+}
+
+/// Broadcasting binary kernel: out[flat] = fn(a[a_off], b[b_off]) with the
+/// strided offsets of BroadcastStrides. Parallel over flat output ranges.
+template <typename Fn>
+void EwiseBinaryBroadcast(const Shape& out_shape,
+                          const std::vector<int64_t>& as,
+                          const std::vector<int64_t>& bs, const float* a,
+                          const float* b, float* out, Fn fn) {
+  const int64_t n = NumElements(out_shape);
+  ParallelFor(0, n, kEwiseGrain, [&](int64_t lo, int64_t hi) {
+    ForEachBroadcastPair(out_shape, as, bs, lo, hi,
+                         [&](int64_t i, int64_t ao, int64_t bo) {
+                           out[i] = fn(a[ao], b[bo]);
+                         });
+  });
+}
+
+/// Strided gather: out[flat] = a[src_off] (Permute / BroadcastTo bodies).
+void GatherStrided(const Shape& out_shape, const std::vector<int64_t>& strides,
+                   const float* a, float* out);
+
+// ---------------------------------------------------------------------------
+// MatMul.
+
+/// out[m, n] += A[m, k] * B[k, n] for rows [row_begin, row_end), dense
+/// row-major, blocked i-k-j order. Serial (the unit other kernels
+/// parallelize over).
+void MatMulRowRange(const float* a, const float* b, float* out,
+                    int64_t row_begin, int64_t row_end, int64_t k, int64_t n);
+
+/// Batched matmul over `batch` independent [m,k]x[k,n] products. Offsets
+/// are element offsets of each batch's A / B matrix (shared matrices repeat
+/// their offset — the broadcast case). `out` must be zero-filled.
+/// Parallelized over batch x row blocks.
+void BatchedMatMul(const float* a, const float* b, float* out,
+                   const std::vector<int64_t>& a_offsets,
+                   const std::vector<int64_t>& b_offsets, int64_t m, int64_t k,
+                   int64_t n);
+
+// ---------------------------------------------------------------------------
+// Reductions.
+
+/// Sum of all n elements via a deterministic two-level tree: double partial
+/// per kReduceBlock block, blocks combined in index order.
+double ReduceSumAll(const float* a, int64_t n);
+
+/// out[o, i] = sum_s a[o, s, i] over the middle extent. Parallel over the
+/// outer extent; per-slice accumulation runs in ascending s.
+void ReduceSumDim(const float* a, float* out, int64_t outer, int64_t size,
+                  int64_t inner);
+
+/// Extremum over the middle extent: sign = +1 for max, -1 for min. Writes
+/// the winning value to `out` and the first winning middle-index to `arg`.
+void ExtremumDim(const float* a, float* out, int64_t* arg, int64_t outer,
+                 int64_t size, int64_t inner, float sign);
+
+/// Scatters `g` back through ExtremumDim: grad[o, arg[o,i], i] += g[o, i].
+/// `grad` must be zero-filled.
+void ExtremumDimGrad(const float* g, const int64_t* arg, float* grad,
+                     int64_t outer, int64_t size, int64_t inner);
+
+// ---------------------------------------------------------------------------
+// Softmax.
+
+/// Numerically stable softmax over the middle extent of [outer, size,
+/// inner]. Parallel over the outer extent.
+void SoftmaxKernel(const float* a, float* out, int64_t outer, int64_t size,
+                   int64_t inner);
+
+}  // namespace d2stgnn::kernels
+
+#endif  // D2STGNN_TENSOR_KERNELS_H_

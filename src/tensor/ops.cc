@@ -2,73 +2,17 @@
 
 #include <algorithm>
 #include <cmath>
-#include <limits>
 
 #include "common/check.h"
 #include "tensor/autograd.h"
+#include "tensor/kernels.h"
+
+// ops.cc is the dispatch layer of the tensor engine: it validates shapes,
+// wires autograd tape nodes, and routes every compute loop to the kernels
+// in tensor/kernels.{h,cc} (which parallelize over the shared thread pool).
 
 namespace d2stgnn {
 namespace {
-
-// Prepends 1s so that `shape` has `rank` dimensions.
-Shape AlignShape(const Shape& shape, size_t rank) {
-  D2_CHECK_LE(shape.size(), rank);
-  Shape aligned(rank, 1);
-  std::copy(shape.begin(), shape.end(),
-            aligned.begin() + static_cast<int64_t>(rank - shape.size()));
-  return aligned;
-}
-
-// Strides of `shape` aligned to `out` rank, with 0 stride on broadcast dims.
-std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out) {
-  const Shape aligned = AlignShape(shape, out.size());
-  const std::vector<int64_t> strides = RowMajorStrides(aligned);
-  std::vector<int64_t> result(out.size());
-  for (size_t d = 0; d < out.size(); ++d) {
-    if (aligned[d] == 1 && out[d] != 1) {
-      result[d] = 0;
-    } else {
-      D2_CHECK_EQ(aligned[d], out[d])
-          << "cannot broadcast " << ShapeToString(shape) << " to "
-          << ShapeToString(out);
-      result[d] = strides[d];
-    }
-  }
-  return result;
-}
-
-// Calls visit(out_flat, a_offset, b_offset) for every element of `out`,
-// where offsets follow the (possibly zero) broadcast strides.
-template <typename Visitor>
-void ForEachBroadcastPair(const Shape& out, const std::vector<int64_t>& as,
-                          const std::vector<int64_t>& bs, Visitor visit) {
-  const int64_t n = NumElements(out);
-  if (n == 0) return;
-  const size_t rank = out.size();
-  if (rank == 0) {
-    visit(0, 0, 0);
-    return;
-  }
-  std::vector<int64_t> idx(rank, 0);
-  int64_t a_off = 0;
-  int64_t b_off = 0;
-  for (int64_t i = 0;; ++i) {
-    visit(i, a_off, b_off);
-    int64_t d = static_cast<int64_t>(rank) - 1;
-    while (d >= 0) {
-      const size_t ud = static_cast<size_t>(d);
-      ++idx[ud];
-      a_off += as[ud];
-      b_off += bs[ud];
-      if (idx[ud] < out[ud]) break;
-      a_off -= as[ud] * out[ud];
-      b_off -= bs[ud] * out[ud];
-      idx[ud] = 0;
-      --d;
-    }
-    if (d < 0) break;
-  }
-}
 
 // Elementwise binary op with broadcasting. `forward` maps (a, b) -> out.
 // `backward` receives (output, a, b) and must accumulate into a and b.
@@ -83,16 +27,15 @@ Tensor BinaryOp(const std::string& name, const Tensor& a, const Tensor& b,
   const std::vector<float>& av = a.Data();
   const std::vector<float>& bv = b.Data();
   if (a.shape() == b.shape()) {
-    for (size_t i = 0; i < out.size(); ++i) out[i] = forward(av[i], bv[i]);
+    kernels::EwiseBinary(av.data(), bv.data(), out.data(),
+                         static_cast<int64_t>(out.size()), forward);
   } else {
-    const std::vector<int64_t> as = BroadcastStrides(a.shape(), out_shape);
-    const std::vector<int64_t> bs = BroadcastStrides(b.shape(), out_shape);
-    ForEachBroadcastPair(out_shape, as, bs,
-                         [&](int64_t i, int64_t ao, int64_t bo) {
-                           out[static_cast<size_t>(i)] =
-                               forward(av[static_cast<size_t>(ao)],
-                                       bv[static_cast<size_t>(bo)]);
-                         });
+    const std::vector<int64_t> as =
+        kernels::BroadcastStrides(a.shape(), out_shape);
+    const std::vector<int64_t> bs =
+        kernels::BroadcastStrides(b.shape(), out_shape);
+    kernels::EwiseBinaryBroadcast(out_shape, as, bs, av.data(), bv.data(),
+                                  out.data(), forward);
   }
   return MakeOpResult(name, out_shape, std::move(out), {a, b},
                       [a, b, backward](const Tensor& output) {
@@ -108,7 +51,8 @@ Tensor UnaryOp(const std::string& name, const Tensor& a, Fwd forward,
   D2_CHECK(a.defined());
   const std::vector<float>& av = a.Data();
   std::vector<float> out(av.size());
-  for (size_t i = 0; i < av.size(); ++i) out[i] = forward(av[i]);
+  kernels::EwiseUnary(av.data(), out.data(),
+                      static_cast<int64_t>(av.size()), forward);
   return MakeOpResult(
       name, a.shape(), std::move(out), {a}, [a, dfn](const Tensor& output) {
         if (!a.RequiresGrad()) return;
@@ -116,7 +60,8 @@ Tensor UnaryOp(const std::string& name, const Tensor& a, Fwd forward,
         const std::vector<float>& x = a.Data();
         const std::vector<float>& y = output.Data();
         std::vector<float> ga(g.size());
-        for (size_t i = 0; i < g.size(); ++i) ga[i] = dfn(x[i], y[i], g[i]);
+        kernels::EwiseUnaryGrad(x.data(), y.data(), g.data(), ga.data(),
+                                static_cast<int64_t>(g.size()), dfn);
         AccumulateGrad(a, Tensor(a.shape(), std::move(ga)));
       });
 }
@@ -144,8 +89,8 @@ void SplitAtDim(const Shape& shape, int64_t dim, int64_t* outer, int64_t* size,
 
 Shape BroadcastShapes(const Shape& a, const Shape& b) {
   const size_t rank = std::max(a.size(), b.size());
-  const Shape aa = AlignShape(a, rank);
-  const Shape bb = AlignShape(b, rank);
+  const Shape aa = kernels::AlignShape(a, rank);
+  const Shape bb = kernels::AlignShape(b, rank);
   Shape out(rank);
   for (size_t d = 0; d < rank; ++d) {
     if (aa[d] == bb[d]) {
@@ -368,25 +313,6 @@ Tensor Clamp(const Tensor& a, float lo, float hi) {
 // ---------------------------------------------------------------------------
 // MatMul.
 
-namespace {
-
-// out[m, n] += A[m, k] * B[k, n], dense row-major, i-k-j order.
-void MatMulKernel(const float* a, const float* b, float* out, int64_t m,
-                  int64_t k, int64_t n) {
-  for (int64_t i = 0; i < m; ++i) {
-    float* out_row = out + i * n;
-    const float* a_row = a + i * k;
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = a_row[kk];
-      if (av == 0.0f) continue;
-      const float* b_row = b + kk * n;
-      for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-    }
-  }
-}
-
-}  // namespace
-
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   D2_CHECK(a.defined());
   D2_CHECK(b.defined());
@@ -408,20 +334,26 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   out_shape.push_back(n);
 
   std::vector<float> out(static_cast<size_t>(NumElements(out_shape)), 0.0f);
-  const std::vector<int64_t> as = BroadcastStrides(a_batch, out_batch);
-  const std::vector<int64_t> bs = BroadcastStrides(b_batch, out_batch);
-  const float* a_data = a.Data().data();
-  const float* b_data = b.Data().data();
-  float* out_data = out.data();
+  const std::vector<int64_t> as =
+      kernels::BroadcastStrides(a_batch, out_batch);
+  const std::vector<int64_t> bs =
+      kernels::BroadcastStrides(b_batch, out_batch);
+  // Resolve broadcast batch indexing up front so the kernel sees a flat
+  // list of matrix offsets it can parallelize over batch x row blocks.
+  const int64_t batches = NumElements(out_batch);
+  std::vector<int64_t> a_offsets(static_cast<size_t>(batches));
+  std::vector<int64_t> b_offsets(static_cast<size_t>(batches));
   const int64_t a_matrix = m * k;
   const int64_t b_matrix = k * n;
-  const int64_t out_matrix = m * n;
-  ForEachBroadcastPair(out_batch, as, bs,
-                       [&](int64_t batch, int64_t ao, int64_t bo) {
-                         MatMulKernel(a_data + ao * a_matrix,
-                                      b_data + bo * b_matrix,
-                                      out_data + batch * out_matrix, m, k, n);
-                       });
+  kernels::ForEachBroadcastPair(out_batch, as, bs,
+                                [&](int64_t batch, int64_t ao, int64_t bo) {
+                                  a_offsets[static_cast<size_t>(batch)] =
+                                      ao * a_matrix;
+                                  b_offsets[static_cast<size_t>(batch)] =
+                                      bo * b_matrix;
+                                });
+  kernels::BatchedMatMul(a.Data().data(), b.Data().data(), out.data(),
+                         a_offsets, b_offsets, m, k, n);
 
   return MakeOpResult(
       "MatMul", out_shape, std::move(out), {a, b},
@@ -443,8 +375,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor Sum(const Tensor& a) {
   D2_CHECK(a.defined());
-  double total = 0.0;
-  for (float v : a.Data()) total += v;
+  const double total = kernels::ReduceSumAll(
+      a.Data().data(), static_cast<int64_t>(a.Data().size()));
   return MakeOpResult("Sum", Shape{}, {static_cast<float>(total)}, {a},
                       [a](const Tensor& output) {
                         if (!a.RequiresGrad()) return;
@@ -472,19 +404,8 @@ Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
     out_shape.erase(out_shape.begin() + dim);
   }
 
-  std::vector<float> out(static_cast<size_t>(outer * inner), 0.0f);
-  const std::vector<float>& av = a.Data();
-  for (int64_t o = 0; o < outer; ++o) {
-    const int64_t in_base = o * size * inner;
-    const int64_t out_base = o * inner;
-    for (int64_t s = 0; s < size; ++s) {
-      const int64_t row = in_base + s * inner;
-      for (int64_t i = 0; i < inner; ++i) {
-        out[static_cast<size_t>(out_base + i)] +=
-            av[static_cast<size_t>(row + i)];
-      }
-    }
-  }
+  std::vector<float> out(static_cast<size_t>(outer * inner));
+  kernels::ReduceSumDim(a.Data().data(), out.data(), outer, size, inner);
 
   const Shape in_shape = a.shape();
   return MakeOpResult(
@@ -523,25 +444,10 @@ Tensor ExtremumDim(const char* name, const Tensor& a, int64_t dim,
     out_shape.erase(out_shape.begin() + d);
   }
 
-  const std::vector<float>& av = a.Data();
   std::vector<float> out(static_cast<size_t>(outer * inner));
   std::vector<int64_t> arg(static_cast<size_t>(outer * inner));
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      const int64_t base = o * size * inner + i;
-      float best = av[static_cast<size_t>(base)];
-      int64_t best_s = 0;
-      for (int64_t s = 1; s < size; ++s) {
-        const float v = av[static_cast<size_t>(base + s * inner)];
-        if (sign * v > sign * best) {
-          best = v;
-          best_s = s;
-        }
-      }
-      out[static_cast<size_t>(o * inner + i)] = best;
-      arg[static_cast<size_t>(o * inner + i)] = best_s;
-    }
-  }
+  kernels::ExtremumDim(a.Data().data(), out.data(), arg.data(), outer, size,
+                       inner, sign);
 
   const Shape in_shape = a.shape();
   return MakeOpResult(
@@ -552,15 +458,8 @@ Tensor ExtremumDim(const char* name, const Tensor& a, int64_t dim,
         SplitAtDim(in_shape, d, &outer, &size, &inner);
         std::vector<float> grad(static_cast<size_t>(NumElements(in_shape)),
                                 0.0f);
-        const std::vector<float>& g = output.GradData();
-        for (int64_t o = 0; o < outer; ++o) {
-          for (int64_t i = 0; i < inner; ++i) {
-            const int64_t flat = o * inner + i;
-            const int64_t s = arg[static_cast<size_t>(flat)];
-            grad[static_cast<size_t>(o * size * inner + s * inner + i)] +=
-                g[static_cast<size_t>(flat)];
-          }
-        }
+        kernels::ExtremumDimGrad(output.GradData().data(), arg.data(),
+                                 grad.data(), outer, size, inner);
         AccumulateGrad(a, Tensor(in_shape, std::move(grad)));
       });
 }
@@ -582,28 +481,8 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
   SplitAtDim(a.shape(), d, &outer, &size, &inner);
   D2_CHECK_GT(size, 0);
 
-  const std::vector<float>& av = a.Data();
-  std::vector<float> out(av.size());
-  for (int64_t o = 0; o < outer; ++o) {
-    for (int64_t i = 0; i < inner; ++i) {
-      const int64_t base = o * size * inner + i;
-      float max_v = -std::numeric_limits<float>::infinity();
-      for (int64_t s = 0; s < size; ++s) {
-        max_v = std::max(max_v, av[static_cast<size_t>(base + s * inner)]);
-      }
-      float denom = 0.0f;
-      for (int64_t s = 0; s < size; ++s) {
-        const float e =
-            std::exp(av[static_cast<size_t>(base + s * inner)] - max_v);
-        out[static_cast<size_t>(base + s * inner)] = e;
-        denom += e;
-      }
-      const float inv = 1.0f / denom;
-      for (int64_t s = 0; s < size; ++s) {
-        out[static_cast<size_t>(base + s * inner)] *= inv;
-      }
-    }
-  }
+  std::vector<float> out(a.Data().size());
+  kernels::SoftmaxKernel(a.Data().data(), out.data(), outer, size, inner);
 
   return MakeOpResult(
       "Softmax", a.shape(), std::move(out), {a}, [a, d](const Tensor& output) {
@@ -671,14 +550,9 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
         in_strides[static_cast<size_t>(NormalizeDim(perm[d], rank))];
   }
 
-  const std::vector<float>& av = a.Data();
-  std::vector<float> out(av.size());
-  const std::vector<int64_t> zero(perm.size(), 0);
-  ForEachBroadcastPair(out_shape, gather_strides, zero,
-                       [&](int64_t i, int64_t src, int64_t) {
-                         out[static_cast<size_t>(i)] =
-                             av[static_cast<size_t>(src)];
-                       });
+  std::vector<float> out(a.Data().size());
+  kernels::GatherStrided(out_shape, gather_strides, a.Data().data(),
+                         out.data());
 
   std::vector<int64_t> normalized(perm.size());
   for (size_t d = 0; d < perm.size(); ++d) {
@@ -727,13 +601,9 @@ Tensor Squeeze(const Tensor& a, int64_t dim) {
 Tensor BroadcastTo(const Tensor& a, const Shape& shape) {
   D2_CHECK(a.defined());
   if (a.shape() == shape) return a;
-  const std::vector<int64_t> as = BroadcastStrides(a.shape(), shape);
-  const std::vector<float>& av = a.Data();
+  const std::vector<int64_t> as = kernels::BroadcastStrides(a.shape(), shape);
   std::vector<float> out(static_cast<size_t>(NumElements(shape)));
-  const std::vector<int64_t> zero(shape.size(), 0);
-  ForEachBroadcastPair(shape, as, zero, [&](int64_t i, int64_t src, int64_t) {
-    out[static_cast<size_t>(i)] = av[static_cast<size_t>(src)];
-  });
+  kernels::GatherStrided(shape, as, a.Data().data(), out.data());
   const Shape in_shape = a.shape();
   return MakeOpResult("BroadcastTo", shape, std::move(out), {a},
                       [a, in_shape](const Tensor& output) {
@@ -910,6 +780,8 @@ Tensor Dropout(const Tensor& a, float p, bool training, Rng& rng) {
   D2_CHECK_LT(p, 1.0f);
   if (!training || p == 0.0f) return a;
   const float scale = 1.0f / (1.0f - p);
+  // Mask generation stays serial: it must consume `rng` in a reproducible
+  // order regardless of the thread count.
   std::vector<float> mask(a.Data().size());
   for (auto& m : mask) m = rng.Uniform() < p ? 0.0f : scale;
   Tensor mask_tensor(a.shape(), std::move(mask));

@@ -77,8 +77,10 @@ std::vector<HorizonMetrics> EvaluateHorizons(
   model->SetTraining(false);
   NoGradGuard no_grad;
   std::vector<Accumulator> accs(horizons.size());
-  for (int64_t b = 0; b < loader->NumBatches(); ++b) {
-    const data::Batch batch = loader->GetBatch(b);
+  // Batch assembly runs on the pool; Forward stays sequential (models are
+  // not required to be reentrant) but its kernels parallelize internally.
+  const std::vector<data::Batch> batches = loader->AssembleAllBatches();
+  for (const data::Batch& batch : batches) {
     const Tensor prediction = scaler->InverseTransform(model->Forward(batch));
     AccumulateHorizons(prediction, batch.y, horizons, null_value, &accs);
   }
@@ -112,8 +114,8 @@ Tensor CollectPredictions(ForecastingModel* model,
   model->SetTraining(false);
   NoGradGuard no_grad;
   std::vector<Tensor> chunks;
-  for (int64_t b = 0; b < loader->NumBatches(); ++b) {
-    const data::Batch batch = loader->GetBatch(b);
+  const std::vector<data::Batch> batches = loader->AssembleAllBatches();
+  for (const data::Batch& batch : batches) {
     chunks.push_back(scaler->InverseTransform(model->Forward(batch)));
   }
   model->SetTraining(true);

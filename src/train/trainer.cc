@@ -66,9 +66,13 @@ FitResult Trainer::Fit(data::WindowDataLoader* train_loader,
     train_loader->Shuffle(shuffle_rng);
     Stopwatch epoch_timer;
     double loss_sum = 0.0;
-    const int64_t num_batches = train_loader->NumBatches();
+    // Batch assembly is embarrassingly parallel; the optimizer steps below
+    // stay sequential (each update depends on the previous parameters).
+    const std::vector<data::Batch> batches =
+        train_loader->AssembleAllBatches();
+    const int64_t num_batches = static_cast<int64_t>(batches.size());
     for (int64_t b = 0; b < num_batches; ++b) {
-      const data::Batch batch = train_loader->GetBatch(b);
+      const data::Batch& batch = batches[static_cast<size_t>(b)];
       Tensor prediction = scaler_->InverseTransform(model_->Forward(batch));
 
       // Curriculum learning: supervise a prefix of the horizon that grows
@@ -145,8 +149,8 @@ metrics::MetricSet Trainer::Evaluate(data::WindowDataLoader* loader) const {
   double sq_sum = 0.0;
   double ape_sum = 0.0;
   int64_t count = 0;
-  for (int64_t b = 0; b < loader->NumBatches(); ++b) {
-    const data::Batch batch = loader->GetBatch(b);
+  const std::vector<data::Batch> batches = loader->AssembleAllBatches();
+  for (const data::Batch& batch : batches) {
     const Tensor prediction =
         scaler_->InverseTransform(model_->Forward(batch));
     const metrics::MetricSet m = metrics::ComputeMetrics(
