@@ -4,12 +4,15 @@
 //
 // The main() additionally sweeps the hot tensor kernels at 1/2/4 execution
 // threads and writes machine-readable per-op throughput to
-// BENCH_kernels.json, so successive PRs have a perf trajectory to compare
-// against.
+// bench/results/BENCH_kernels.json (a git-tracked directory; override with
+// D2STGNN_BENCH_OUT_DIR), so successive PRs have a perf trajectory to
+// compare against.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
@@ -267,6 +270,16 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  d2stgnn::WriteKernelJson("BENCH_kernels.json");
+  const char* out_dir = std::getenv("D2STGNN_BENCH_OUT_DIR");
+  const std::string dir = out_dir != nullptr ? out_dir
+                                             : D2STGNN_BENCH_RESULTS_DIR;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  d2stgnn::WriteKernelJson((dir + "/BENCH_kernels.json").c_str());
   return 0;
 }

@@ -1,19 +1,25 @@
 #!/usr/bin/env bash
-# CI entry point: builds and tests the repo in two configurations.
+# CI entry point: builds and tests the repo in four stages.
 #
-#   1. Release        — the full tier-1 suite.
-#   2. ThreadSanitizer — the execution-layer and tensor tests, to catch data
-#      races in the thread pool and parallel kernels.
+#   1. Release (+Werror)  — the full tier-1 suite; warnings are errors.
+#   2. ThreadSanitizer    — the execution-layer and tensor tests, to catch
+#      data races in the thread pool and parallel kernels.
+#   3. UBSanitizer        — the full suite under -fsanitize=undefined.
+#   4. Lint               — clang-tidy over the compilation database
+#      (skipped with a notice when clang-tidy is not installed).
+#
+# Both ctest invocations pass --no-tests=error so a filter that matches zero
+# tests (e.g. after a rename) fails CI instead of silently passing.
 #
 # Usage: scripts/ci.sh [--release-only]
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== Release build + full test suite ==="
-cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+echo "=== Release build (+Werror) + full test suite ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DD2STGNN_WERROR=ON
 cmake --build build -j "$(nproc)"
-ctest --test-dir build --output-on-failure -j "$(nproc)"
+ctest --test-dir build --output-on-failure -j "$(nproc)" --no-tests=error
 
 if [[ "${1:-}" == "--release-only" ]]; then
   exit 0
@@ -25,6 +31,16 @@ cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-tsan -j "$(nproc)" \
   --target thread_pool_test parallel_determinism_test tensor_test
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R 'ThreadPool|ParallelDeterminism|Tensor'
+  -R 'ThreadPool|ParallelDeterminism|Tensor' --no-tests=error
+
+echo "=== UBSanitizer build + full test suite ==="
+cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DD2STGNN_SANITIZE=undefined
+cmake --build build-ubsan -j "$(nproc)"
+ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)" \
+  --no-tests=error
+
+echo "=== Lint (clang-tidy) ==="
+scripts/lint.sh build
 
 echo "CI OK"

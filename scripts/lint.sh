@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# Static-analysis lint stage: clang-tidy (config in .clang-tidy) over every
+# translation unit in the compilation database. Fails on any finding
+# (WarningsAsErrors: '*').
+#
+# Usage: scripts/lint.sh [build-dir]   (default: build)
+#
+# clang-tidy is optional tooling: when it is not installed the stage reports
+# itself skipped and exits 0, so scripts/ci.sh still runs end-to-end on
+# minimal containers.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+  echo "lint: clang-tidy not found on PATH; skipping (install clang-tidy" \
+       "to enable the lint stage)"
+  exit 0
+fi
+
+if [[ ! -f "${BUILD_DIR}/compile_commands.json" ]]; then
+  echo "lint: ${BUILD_DIR}/compile_commands.json missing; configuring..."
+  cmake -B "${BUILD_DIR}" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+fi
+
+mapfile -t sources < <(find src -name '*.cc' | sort)
+echo "lint: clang-tidy over ${#sources[@]} files (${BUILD_DIR}/compile_commands.json)"
+
+status=0
+for source in "${sources[@]}"; do
+  if ! clang-tidy -p "${BUILD_DIR}" --quiet "${source}"; then
+    status=1
+  fi
+done
+
+if [[ ${status} -ne 0 ]]; then
+  echo "lint: FAILED (findings above)"
+  exit 1
+fi
+echo "lint: OK"

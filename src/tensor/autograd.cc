@@ -3,6 +3,8 @@
 #include <memory>
 #include <utility>
 
+#include "tensor/checker.h"
+
 namespace d2stgnn {
 
 bool AnyRequiresGrad(const std::vector<Tensor>& inputs) {
@@ -16,6 +18,7 @@ Tensor MakeOpResult(const std::string& name, const Shape& shape,
                     std::vector<float> data, std::vector<Tensor> inputs,
                     std::function<void(const Tensor&)> backward) {
   Tensor out(shape, std::move(data));
+  if (CheckNumericsEnabled()) CheckForwardOutput(name, out, inputs);
   if (NoGradGuard::Active() || !AnyRequiresGrad(inputs)) return out;
   auto fn = std::make_shared<internal::GradFn>();
   fn->name = name;

@@ -1,0 +1,174 @@
+#include "tensor/checker.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace d2stgnn {
+namespace internal {
+
+std::atomic<int> g_check_mode{-1};
+
+CheckMode InitCheckModeFromEnv() {
+  CheckMode mode = CheckMode::kOff;
+  if (const char* env = std::getenv("D2STGNN_CHECK_NUMERICS")) {
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "abort") == 0) {
+      mode = CheckMode::kAbort;
+    } else if (std::strcmp(env, "warn") == 0) {
+      mode = CheckMode::kWarn;
+    }
+  }
+  // Another thread may have resolved (or SetCheckMode may have raced) the
+  // mode first; first store wins so the answer is stable.
+  int expected = -1;
+  g_check_mode.compare_exchange_strong(expected, static_cast<int>(mode),
+                                       std::memory_order_relaxed);
+  return static_cast<CheckMode>(
+      g_check_mode.load(std::memory_order_relaxed));
+}
+
+}  // namespace internal
+
+namespace {
+
+std::atomic<int64_t> g_violations{0};
+std::mutex g_last_diagnostic_mutex;
+std::string g_last_diagnostic;  // guarded by g_last_diagnostic_mutex
+
+thread_local std::vector<std::string> g_check_contexts;
+
+// Returns the flat index of the first non-finite element, or -1.
+int64_t FirstNonFinite(const std::vector<float>& values) {
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (!std::isfinite(values[i])) return static_cast<int64_t>(i);
+  }
+  return -1;
+}
+
+const char* NonFiniteKind(float v) { return std::isnan(v) ? "nan" : "inf"; }
+
+// Builds the diagnostic, records it, and warns or aborts per the mode.
+void ReportViolation(const std::string& op, const char* phase,
+                     const char* buffer_kind, const Shape& shape,
+                     int64_t index, float value,
+                     const std::string& provenance) {
+  std::ostringstream os;
+  os << "numerics sentinel: " << NonFiniteKind(value) << " in "
+     << buffer_kind << " [phase=" << phase << "] [op=" << op << "] at flat index "
+     << index << " of shape " << ShapeToString(shape) << "\n  tape: "
+     << provenance;
+  for (const std::string& context : g_check_contexts) {
+    os << "\n  context: " << context;
+  }
+  const std::string diagnostic = os.str();
+  g_violations.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(g_last_diagnostic_mutex);
+    g_last_diagnostic = diagnostic;
+  }
+  if (GetCheckMode() == CheckMode::kAbort) {
+    std::fprintf(stderr, "%s\n", diagnostic.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+  D2_LOG(WARNING) << diagnostic;
+}
+
+}  // namespace
+
+void SetCheckMode(CheckMode mode) {
+  internal::g_check_mode.store(static_cast<int>(mode),
+                               std::memory_order_relaxed);
+}
+
+std::string TapeProvenance(const Tensor& t, int max_depth) {
+  std::ostringstream os;
+  Tensor current = t;
+  for (int depth = 0; depth < max_depth; ++depth) {
+    if (!current.defined() || current.impl()->grad_fn == nullptr) {
+      os << "(leaf)";
+      return os.str();
+    }
+    const internal::GradFn& fn = *current.impl()->grad_fn;
+    if (depth > 0) os << " <- ";
+    os << fn.name;
+    // Follow the first input that itself has a producer; fall back to the
+    // first defined input so the chain ends at "(leaf)".
+    Tensor next;
+    for (const Tensor& input : fn.inputs) {
+      if (!input.defined()) continue;
+      if (!next.defined()) next = input;
+      if (input.impl()->grad_fn != nullptr) {
+        next = input;
+        break;
+      }
+    }
+    if (!next.defined()) return os.str();
+    if (next.impl()->grad_fn == nullptr) {
+      os << " <- (leaf)";
+      return os.str();
+    }
+    current = next;
+  }
+  os << " <- ...";
+  return os.str();
+}
+
+void CheckForwardOutput(const std::string& name, const Tensor& out,
+                        const std::vector<Tensor>& inputs) {
+  const int64_t index = FirstNonFinite(out.Data());
+  if (index < 0) return;
+  // The tape node is attached after this check runs, so derive provenance
+  // from the op's inputs: name <- producer(inputs) <- ...
+  std::string provenance = name;
+  for (const Tensor& input : inputs) {
+    if (input.defined() && input.impl()->grad_fn != nullptr) {
+      provenance += " <- " + TapeProvenance(input);
+      break;
+    }
+  }
+  if (provenance == name) provenance += " <- (leaf)";
+  ReportViolation(name, "forward", "op output", out.shape(), index,
+                  out.At(index), provenance);
+}
+
+void CheckBackwardInputs(const internal::GradFn& fn) {
+  for (const Tensor& input : fn.inputs) {
+    if (!input.defined()) continue;
+    const std::vector<float>& grad = input.GradData();
+    if (grad.empty()) continue;
+    const int64_t index = FirstNonFinite(grad);
+    if (index < 0) continue;
+    ReportViolation(fn.name, "backward", "gradient buffer", input.shape(),
+                    index, grad[static_cast<size_t>(index)],
+                    TapeProvenance(input));
+  }
+}
+
+ScopedCheckContext::ScopedCheckContext(std::string context) {
+  g_check_contexts.push_back(std::move(context));
+}
+
+ScopedCheckContext::~ScopedCheckContext() { g_check_contexts.pop_back(); }
+
+int64_t NumericsViolationCount() {
+  return g_violations.load(std::memory_order_relaxed);
+}
+
+std::string LastNumericsDiagnostic() {
+  std::lock_guard<std::mutex> lock(g_last_diagnostic_mutex);
+  return g_last_diagnostic;
+}
+
+void ResetNumericsViolations() {
+  g_violations.store(0, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(g_last_diagnostic_mutex);
+  g_last_diagnostic.clear();
+}
+
+}  // namespace d2stgnn

@@ -1,0 +1,93 @@
+#ifndef D2STGNN_TENSOR_CHECKER_H_
+#define D2STGNN_TENSOR_CHECKER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Numerics sentinel: opt-in instrumentation of the op-dispatch layer that
+// scans every op output (forward) and every gradient buffer (backward) for
+// NaN/Inf and reports the op name, phase, shape, and a short tape-provenance
+// chain instead of letting poison propagate through the graph.
+//
+// Enable with the environment variable D2STGNN_CHECK_NUMERICS (1/abort → die
+// on the first violation, warn → log and continue) or programmatically with
+// SetCheckMode. The default path costs one relaxed atomic load and a branch
+// per op — no per-element work.
+
+namespace d2stgnn {
+
+/// What the sentinel does when an op produces a non-finite value.
+enum class CheckMode {
+  kOff = 0,    ///< No scanning (default).
+  kWarn = 1,   ///< Scan; log a diagnostic and keep going.
+  kAbort = 2,  ///< Scan; print a diagnostic to stderr and abort.
+};
+
+/// Sets the sentinel mode for the whole process.
+void SetCheckMode(CheckMode mode);
+
+namespace internal {
+
+/// -1 until the first query, then the active CheckMode.
+extern std::atomic<int> g_check_mode;
+
+/// Resolves the initial mode from D2STGNN_CHECK_NUMERICS ("1"/"abort",
+/// "warn", anything else → off), stores it, and returns it.
+CheckMode InitCheckModeFromEnv();
+
+}  // namespace internal
+
+/// The active sentinel mode (lazily initialized from the environment).
+inline CheckMode GetCheckMode() {
+  const int mode = internal::g_check_mode.load(std::memory_order_relaxed);
+  if (mode >= 0) return static_cast<CheckMode>(mode);
+  return internal::InitCheckModeFromEnv();
+}
+
+/// True if op outputs and gradient buffers are being scanned.
+inline bool CheckNumericsEnabled() {
+  return GetCheckMode() != CheckMode::kOff;
+}
+
+/// Renders a short producer chain for `t` by walking the autograd tape
+/// through each node's first recorded input, e.g. "Softmax <- MatMul <-
+/// (leaf)". At most `max_depth` op names are printed.
+std::string TapeProvenance(const Tensor& t, int max_depth = 6);
+
+/// Scans the forward output of op `name`. Called by MakeOpResult whenever
+/// the sentinel is on; `inputs` provide the provenance chain.
+void CheckForwardOutput(const std::string& name, const Tensor& out,
+                        const std::vector<Tensor>& inputs);
+
+/// Scans the gradient buffers of `fn`'s inputs after its backward ran.
+/// Called by Tensor::Backward whenever the sentinel is on.
+void CheckBackwardInputs(const internal::GradFn& fn);
+
+/// Pushes a context line ("epoch 3 batch 17") onto a thread-local stack
+/// that is appended to every sentinel diagnostic while alive. The trainer
+/// uses this so an abort mid-step names the step that failed.
+class ScopedCheckContext {
+ public:
+  explicit ScopedCheckContext(std::string context);
+  ~ScopedCheckContext();
+  ScopedCheckContext(const ScopedCheckContext&) = delete;
+  ScopedCheckContext& operator=(const ScopedCheckContext&) = delete;
+};
+
+/// Number of violations observed since the last reset (kWarn mode; kAbort
+/// dies on the first one).
+int64_t NumericsViolationCount();
+
+/// The full diagnostic of the most recent violation ("" if none).
+std::string LastNumericsDiagnostic();
+
+/// Clears the violation counter and last diagnostic (test support).
+void ResetNumericsViolations();
+
+}  // namespace d2stgnn
+
+#endif  // D2STGNN_TENSOR_CHECKER_H_

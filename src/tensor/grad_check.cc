@@ -12,6 +12,17 @@ GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
                                const std::vector<Tensor>& params, Rng& rng,
                                float eps, float tolerance,
                                int64_t max_entries_per_param) {
+  GradCheckOptions options;
+  options.eps = eps;
+  options.tolerance = tolerance;
+  options.max_entries_per_param = max_entries_per_param;
+  return CheckGradients(loss_fn, params, rng, options);
+}
+
+GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
+                               const std::vector<Tensor>& params, Rng& rng,
+                               const GradCheckOptions& options) {
+  const float eps = options.eps;
   GradCheckResult result;
 
   // Analytic pass.
@@ -36,10 +47,10 @@ GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
     Tensor p = params[pi];
     const int64_t n = p.numel();
     std::vector<int64_t> entries;
-    if (n <= max_entries_per_param) {
+    if (n <= options.max_entries_per_param) {
       for (int64_t i = 0; i < n; ++i) entries.push_back(i);
     } else {
-      for (int64_t i = 0; i < max_entries_per_param; ++i) {
+      for (int64_t i = 0; i < options.max_entries_per_param; ++i) {
         entries.push_back(rng.UniformInt(n));
       }
     }
@@ -61,11 +72,19 @@ GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
       const float rel = std::fabs(numeric - exact) / denom;
       result.max_relative_error = std::max(result.max_relative_error, rel);
       ++result.checked;
-      if (rel > tolerance) {
+      if (rel > options.tolerance) {
+        if (result.ok) {
+          result.bad_param = static_cast<int64_t>(pi);
+          result.bad_entry = idx;
+          result.bad_analytic = exact;
+          result.bad_numeric = numeric;
+        }
         result.ok = false;
-        D2_LOG(WARNING) << "grad mismatch: param " << pi << " entry " << idx
-                        << " analytic=" << exact << " numeric=" << numeric
-                        << " rel=" << rel;
+        if (options.log_mismatches) {
+          D2_LOG(WARNING) << "grad mismatch: param " << pi << " entry " << idx
+                          << " analytic=" << exact << " numeric=" << numeric
+                          << " rel=" << rel;
+        }
       }
     }
   }

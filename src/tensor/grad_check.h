@@ -9,6 +9,20 @@
 
 namespace d2stgnn {
 
+/// Tuning knobs of a finite-difference gradient check.
+struct GradCheckOptions {
+  /// Central-difference perturbation.
+  float eps = 1e-2f;
+  /// Maximum allowed relative error (with an absolute floor of 1 in the
+  /// denominator for near-zero gradients).
+  float tolerance = 2e-2f;
+  /// Entries sampled per parameter when it is larger than this.
+  int64_t max_entries_per_param = 16;
+  /// Log every mismatching entry at WARNING. Disable for tests that expect
+  /// failures (e.g. the deliberately-wrong-backward negative test).
+  bool log_mismatches = true;
+};
+
 /// Result of a finite-difference gradient check.
 struct GradCheckResult {
   bool ok = true;
@@ -16,17 +30,28 @@ struct GradCheckResult {
   float max_relative_error = 0.0f;
   /// Number of entries compared.
   int64_t checked = 0;
+  /// First failing comparison (valid when !ok): parameter index, flat entry
+  /// index, and the disagreeing gradient values.
+  int64_t bad_param = -1;
+  int64_t bad_entry = -1;
+  float bad_analytic = 0.0f;
+  float bad_numeric = 0.0f;
 };
 
 /// Verifies analytic gradients of `loss_fn` (a scalar-valued closure over
 /// `params`) against central finite differences.
 ///
-/// For each parameter, up to `max_entries_per_param` entries (sampled with
-/// `rng` when the parameter is larger) are perturbed by ±eps; the numeric
-/// gradient must match the analytic one within `tolerance` relative error
-/// (with an absolute floor for near-zero gradients).
+/// For each parameter, up to `options.max_entries_per_param` entries
+/// (sampled with `rng` when the parameter is larger) are perturbed by ±eps;
+/// the numeric gradient must match the analytic one within
+/// `options.tolerance` relative error.
 ///
 /// `loss_fn` must be deterministic and re-evaluable.
+GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
+                               const std::vector<Tensor>& params, Rng& rng,
+                               const GradCheckOptions& options);
+
+/// Convenience overload with individually defaulted knobs.
 GradCheckResult CheckGradients(const std::function<Tensor()>& loss_fn,
                                const std::vector<Tensor>& params, Rng& rng,
                                float eps = 1e-2f, float tolerance = 2e-2f,

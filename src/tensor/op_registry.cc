@@ -1,0 +1,366 @@
+#include "tensor/op_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace d2stgnn {
+namespace {
+
+// Deterministic non-parameter weights so every loss is a *weighted* sum of
+// the op output. A plain Sum would give constant output gradients (and for
+// Softmax a constant loss), leaving parts of the backward unexercised.
+Tensor FixedWeights(const Shape& shape) {
+  std::vector<float> data(static_cast<size_t>(NumElements(shape)));
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = 0.4f + 0.6f * std::sin(1.3f * static_cast<float>(i) + 0.7f);
+  }
+  return Tensor(shape, std::move(data));
+}
+
+Tensor WeightedSum(const Tensor& t) {
+  return Sum(Mul(t, FixedWeights(t.shape())));
+}
+
+// Leaf with |value| in [0.6, 1.4] and random sign: clear of the kinks and
+// poles at 0 that Relu/Abs/Div/Log-style ops have, at the default eps=1e-2.
+Tensor SignedLeaf(const Shape& shape, Rng& rng) {
+  Tensor t = Tensor::Rand(shape, rng, 0.6f, 1.4f);
+  for (float& v : t.Data()) {
+    if (rng.Uniform() < 0.5f) v = -v;
+  }
+  return t.SetRequiresGrad(true);
+}
+
+// Leaf with values in [0.5, 1.5] (for Log, Sqrt, PowScalar, Div divisors).
+Tensor PositiveLeaf(const Shape& shape, Rng& rng) {
+  return Tensor::Rand(shape, rng, 0.5f, 1.5f).SetRequiresGrad(true);
+}
+
+// Leaf with handpicked data, for ops whose derivative jumps at data-driven
+// thresholds (Relu, Max, Clamp, ...): entries stay several eps away from
+// every kink so the finite difference never straddles one.
+Tensor FixedLeaf(const Shape& shape, std::vector<float> data) {
+  return Tensor(shape, std::move(data)).SetRequiresGrad(true);
+}
+
+// Shorthand: a case with one parameter and a loss of the form
+// WeightedSum(op(param)).
+OpGradCheckCase UnaryCase(const std::string& op, Tensor x,
+                          std::function<Tensor(const Tensor&)> apply) {
+  OpGradCheckCase c;
+  c.op = op;
+  c.params = {x};
+  c.loss = [x, apply = std::move(apply)]() { return WeightedSum(apply(x)); };
+  return c;
+}
+
+}  // namespace
+
+OpGradCheckRegistry& OpGradCheckRegistry::Instance() {
+  static OpGradCheckRegistry* registry = new OpGradCheckRegistry();
+  return *registry;
+}
+
+void OpGradCheckRegistry::Register(const std::string& op,
+                                   OpGradCheckFactory factory) {
+  factories_[op] = std::move(factory);
+}
+
+bool OpGradCheckRegistry::Contains(const std::string& op) const {
+  return factories_.count(op) > 0;
+}
+
+std::vector<std::string> OpGradCheckRegistry::OpNames() const {
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+OpGradCheckCase OpGradCheckRegistry::MakeCase(const std::string& op,
+                                              Rng& rng) const {
+  auto it = factories_.find(op);
+  D2_CHECK(it != factories_.end()) << "no gradcheck case registered for op '"
+                                   << op << "'";
+  OpGradCheckCase c = it->second(rng);
+  D2_CHECK_EQ(c.op, op);
+  D2_CHECK(!c.params.empty()) << "gradcheck case for '" << op
+                              << "' has no parameters";
+  return c;
+}
+
+const std::vector<std::string>&
+OpGradCheckRegistry::NonDifferentiableAllowlist() {
+  static const std::vector<std::string>* allowlist =
+      new std::vector<std::string>();  // every ops.h Tensor op has a backward
+  return *allowlist;
+}
+
+std::vector<std::string> ParseOpsHeaderOpNames(
+    const std::string& header_text) {
+  std::set<std::string> names;
+  std::istringstream lines(header_text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    constexpr const char kPrefix[] = "Tensor ";
+    if (line.rfind(kPrefix, 0) != 0) continue;
+    size_t pos = sizeof(kPrefix) - 1;
+    size_t end = pos;
+    while (end < line.size() &&
+           (std::isalnum(static_cast<unsigned char>(line[end])) ||
+            line[end] == '_')) {
+      ++end;
+    }
+    // A declaration, not an operator overload or a stray mention: the
+    // identifier must be non-empty and immediately followed by '('.
+    if (end == pos || end >= line.size() || line[end] != '(') continue;
+    names.insert(line.substr(pos, end - pos));
+  }
+  return {names.begin(), names.end()};
+}
+
+OpGradCheckRegistry::OpGradCheckRegistry() {
+  // --- Elementwise binary ops (each with a broadcast on one side). ---
+  Register("Add", [](Rng& rng) {
+    OpGradCheckCase c;
+    c.op = "Add";
+    Tensor a = SignedLeaf({2, 3}, rng);
+    Tensor b = SignedLeaf({1, 3}, rng);
+    c.params = {a, b};
+    c.loss = [a, b]() { return WeightedSum(Add(a, b)); };
+    return c;
+  });
+  Register("Sub", [](Rng& rng) {
+    OpGradCheckCase c;
+    c.op = "Sub";
+    Tensor a = SignedLeaf({2, 3}, rng);
+    Tensor b = SignedLeaf({3}, rng);
+    c.params = {a, b};
+    c.loss = [a, b]() { return WeightedSum(Sub(a, b)); };
+    return c;
+  });
+  Register("Mul", [](Rng& rng) {
+    OpGradCheckCase c;
+    c.op = "Mul";
+    Tensor a = SignedLeaf({2, 3}, rng);
+    Tensor b = SignedLeaf({2, 1}, rng);
+    c.params = {a, b};
+    c.loss = [a, b]() { return WeightedSum(Mul(a, b)); };
+    return c;
+  });
+  Register("Div", [](Rng& rng) {
+    OpGradCheckCase c;
+    c.op = "Div";
+    Tensor a = SignedLeaf({2, 3}, rng);
+    Tensor b = PositiveLeaf({3}, rng);  // divisor clear of 0
+    c.params = {a, b};
+    c.loss = [a, b]() { return WeightedSum(Div(a, b)); };
+    return c;
+  });
+  Register("AddScalar", [](Rng& rng) {
+    return UnaryCase("AddScalar", SignedLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return AddScalar(x, 0.7f); });
+  });
+  Register("MulScalar", [](Rng& rng) {
+    return UnaryCase("MulScalar", SignedLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return MulScalar(x, -1.3f); });
+  });
+  Register("PowScalar", [](Rng& rng) {
+    return UnaryCase("PowScalar", PositiveLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return PowScalar(x, 1.7f); });
+  });
+
+  // --- Elementwise unary ops. ---
+  Register("Neg", [](Rng& rng) {
+    return UnaryCase("Neg", SignedLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return Neg(x); });
+  });
+  Register("Relu", [](Rng&) {
+    return UnaryCase("Relu",
+                     FixedLeaf({2, 3}, {-1.2f, 0.8f, -0.4f, 1.5f, 0.6f, -0.9f}),
+                     [](const Tensor& x) { return Relu(x); });
+  });
+  Register("LeakyRelu", [](Rng&) {
+    return UnaryCase("LeakyRelu",
+                     FixedLeaf({2, 3}, {-1.1f, 0.7f, -0.5f, 1.4f, 0.3f, -0.8f}),
+                     [](const Tensor& x) { return LeakyRelu(x, 0.1f); });
+  });
+  Register("Sigmoid", [](Rng& rng) {
+    return UnaryCase("Sigmoid", SignedLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return Sigmoid(x); });
+  });
+  Register("Tanh", [](Rng& rng) {
+    return UnaryCase("Tanh", SignedLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return Tanh(x); });
+  });
+  Register("Exp", [](Rng& rng) {
+    return UnaryCase("Exp", SignedLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return Exp(x); });
+  });
+  Register("Log", [](Rng& rng) {
+    return UnaryCase("Log", PositiveLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return Log(x); });
+  });
+  Register("Sqrt", [](Rng& rng) {
+    return UnaryCase("Sqrt", PositiveLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return Sqrt(x); });
+  });
+  Register("Abs", [](Rng&) {
+    return UnaryCase("Abs",
+                     FixedLeaf({2, 3}, {-1.3f, 0.9f, -0.6f, 1.2f, 0.4f, -0.7f}),
+                     [](const Tensor& x) { return Abs(x); });
+  });
+  Register("Gelu", [](Rng& rng) {
+    return UnaryCase("Gelu", SignedLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return Gelu(x); });
+  });
+  Register("Clamp", [](Rng&) {
+    // Entries at least 0.1 away from the clamp boundaries ±1.
+    return UnaryCase("Clamp",
+                     FixedLeaf({2, 3}, {-1.6f, -0.7f, -0.3f, 0.2f, 0.6f, 1.9f}),
+                     [](const Tensor& x) { return Clamp(x, -1.0f, 1.0f); });
+  });
+
+  // --- Linear algebra. ---
+  Register("MatMul", [](Rng& rng) {
+    OpGradCheckCase c;
+    c.op = "MatMul";
+    Tensor a = SignedLeaf({2, 2, 3}, rng);  // batched lhs
+    Tensor b = SignedLeaf({3, 2}, rng);     // broadcast rhs
+    c.params = {a, b};
+    c.loss = [a, b]() { return WeightedSum(MatMul(a, b)); };
+    return c;
+  });
+
+  // --- Reductions (the loss exercises both the full and the dim overload).
+  Register("Sum", [](Rng& rng) {
+    OpGradCheckCase c;
+    c.op = "Sum";
+    Tensor x = SignedLeaf({2, 3}, rng);
+    c.params = {x};
+    c.loss = [x]() {
+      return Add(Sum(x), WeightedSum(Sum(x, 1, /*keepdim=*/false)));
+    };
+    return c;
+  });
+  Register("Mean", [](Rng& rng) {
+    OpGradCheckCase c;
+    c.op = "Mean";
+    Tensor x = SignedLeaf({2, 3}, rng);
+    c.params = {x};
+    c.loss = [x]() {
+      return Add(Mean(x), WeightedSum(Mean(x, 0, /*keepdim=*/true)));
+    };
+    return c;
+  });
+  Register("Max", [](Rng&) {
+    // Entries separated by >= 0.4 so ±eps never flips the argmax.
+    return UnaryCase("Max",
+                     FixedLeaf({2, 3}, {0.9f, -1.7f, 2.3f, 0.4f, -0.8f, 1.6f}),
+                     [](const Tensor& x) { return Max(x, 1, false); });
+  });
+  Register("Min", [](Rng&) {
+    return UnaryCase("Min",
+                     FixedLeaf({2, 3}, {0.8f, -1.5f, 2.1f, 0.3f, -0.9f, 1.4f}),
+                     [](const Tensor& x) { return Min(x, 0, true); });
+  });
+  Register("Softmax", [](Rng& rng) {
+    return UnaryCase("Softmax", SignedLeaf({2, 4}, rng),
+                     [](const Tensor& x) { return Softmax(x, -1); });
+  });
+
+  // --- Shape manipulation. ---
+  Register("Reshape", [](Rng& rng) {
+    return UnaryCase("Reshape", SignedLeaf({2, 6}, rng),
+                     [](const Tensor& x) { return Reshape(x, {3, -1}); });
+  });
+  Register("Permute", [](Rng& rng) {
+    return UnaryCase("Permute", SignedLeaf({2, 3, 4}, rng),
+                     [](const Tensor& x) { return Permute(x, {2, 0, 1}); });
+  });
+  Register("Transpose", [](Rng& rng) {
+    return UnaryCase("Transpose", SignedLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return Transpose(x, -1, -2); });
+  });
+  Register("Unsqueeze", [](Rng& rng) {
+    return UnaryCase("Unsqueeze", SignedLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return Unsqueeze(x, 1); });
+  });
+  Register("Squeeze", [](Rng& rng) {
+    return UnaryCase("Squeeze", SignedLeaf({2, 1, 3}, rng),
+                     [](const Tensor& x) { return Squeeze(x, 1); });
+  });
+  Register("BroadcastTo", [](Rng& rng) {
+    return UnaryCase("BroadcastTo", SignedLeaf({2, 1, 3}, rng),
+                     [](const Tensor& x) { return BroadcastTo(x, {2, 4, 3}); });
+  });
+  Register("Concat", [](Rng& rng) {
+    OpGradCheckCase c;
+    c.op = "Concat";
+    Tensor a = SignedLeaf({2, 2}, rng);
+    Tensor b = SignedLeaf({2, 3}, rng);
+    c.params = {a, b};
+    c.loss = [a, b]() { return WeightedSum(Concat({a, b}, 1)); };
+    return c;
+  });
+  Register("Stack", [](Rng& rng) {
+    OpGradCheckCase c;
+    c.op = "Stack";
+    Tensor a = SignedLeaf({2, 3}, rng);
+    Tensor b = SignedLeaf({2, 3}, rng);
+    c.params = {a, b};
+    c.loss = [a, b]() { return WeightedSum(Stack({a, b}, 0)); };
+    return c;
+  });
+  Register("Slice", [](Rng& rng) {
+    return UnaryCase("Slice", SignedLeaf({3, 4}, rng),
+                     [](const Tensor& x) { return Slice(x, 1, 1, 3); });
+  });
+  Register("Select", [](Rng& rng) {
+    return UnaryCase("Select", SignedLeaf({3, 4}, rng),
+                     [](const Tensor& x) { return Select(x, 0, 1); });
+  });
+  Register("PadFront", [](Rng& rng) {
+    return UnaryCase("PadFront", SignedLeaf({2, 3}, rng),
+                     [](const Tensor& x) { return PadFront(x, 0, 2); });
+  });
+  Register("ReduceToShape", [](Rng& rng) {
+    return UnaryCase("ReduceToShape", SignedLeaf({2, 3, 4}, rng),
+                     [](const Tensor& x) { return ReduceToShape(x, {3, 1}); });
+  });
+
+  // --- Indexing / regularization. ---
+  Register("EmbeddingLookup", [](Rng& rng) {
+    OpGradCheckCase c;
+    c.op = "EmbeddingLookup";
+    Tensor weight = SignedLeaf({5, 3}, rng);
+    c.params = {weight};
+    // The repeated index 2 exercises the scatter-add in the backward.
+    c.loss = [weight]() {
+      return WeightedSum(EmbeddingLookup(weight, {0, 2, 2, 4}, {4}));
+    };
+    return c;
+  });
+  Register("Dropout", [](Rng& rng) {
+    OpGradCheckCase c;
+    c.op = "Dropout";
+    Tensor x = SignedLeaf({3, 4}, rng);
+    c.params = {x};
+    // A fresh fixed-seed generator per evaluation keeps the mask identical
+    // across the analytic and the perturbed re-evaluations.
+    c.loss = [x]() {
+      Rng mask_rng(123);
+      return WeightedSum(Dropout(x, 0.4f, /*training=*/true, mask_rng));
+    };
+    return c;
+  });
+}
+
+}  // namespace d2stgnn

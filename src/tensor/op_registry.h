@@ -1,0 +1,73 @@
+#ifndef D2STGNN_TENSOR_OP_REGISTRY_H_
+#define D2STGNN_TENSOR_OP_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+// Op-coverage gradcheck registry: every differentiable op exported by
+// tensor/ops.h registers a sample-input factory here, and the test suite
+// (tests/op_gradcheck_test.cc) both finite-difference-checks every entry
+// and fails when an op declared in ops.h lacks one — so an op whose
+// backward was never verified cannot ship.
+
+namespace d2stgnn {
+
+/// One ready-to-run gradient-check scenario for a single op.
+struct OpGradCheckCase {
+  /// The ops.h function name this case exercises ("MatMul", "Softmax", ...).
+  std::string op;
+  /// Leaf parameters (requires_grad set) that `loss` closes over.
+  std::vector<Tensor> params;
+  /// Deterministic, re-evaluable scalar loss whose graph contains `op`.
+  std::function<Tensor()> loss;
+};
+
+/// Builds a case from a seeded generator. Factories that need exact kink
+/// placement (Relu, Max, Clamp, ...) may ignore the generator and use fixed
+/// data.
+using OpGradCheckFactory = std::function<OpGradCheckCase(Rng&)>;
+
+/// Process-wide registry mapping op name -> gradcheck case factory.
+class OpGradCheckRegistry {
+ public:
+  /// The singleton, with every built-in op of ops.h pre-registered.
+  static OpGradCheckRegistry& Instance();
+
+  /// Registers (or replaces) the factory for `op`.
+  void Register(const std::string& op, OpGradCheckFactory factory);
+
+  /// True if `op` has a factory.
+  bool Contains(const std::string& op) const;
+
+  /// All registered op names, sorted.
+  std::vector<std::string> OpNames() const;
+
+  /// Instantiates the case for `op`. Aborts if `op` is unregistered.
+  OpGradCheckCase MakeCase(const std::string& op, Rng& rng) const;
+
+  /// Ops declared in ops.h that are exempt from gradcheck coverage (shape
+  /// or bookkeeping helpers with no backward of their own). Currently
+  /// empty: every Tensor-returning function in ops.h is differentiable.
+  static const std::vector<std::string>& NonDifferentiableAllowlist();
+
+ private:
+  OpGradCheckRegistry();
+
+  std::map<std::string, OpGradCheckFactory> factories_;
+};
+
+/// Extracts the op names from the text of tensor/ops.h: every free function
+/// declared at column zero returning `Tensor` (operator overloads are
+/// excluded; overload sets collapse to one name). The completeness test
+/// compares this against the registry, making the coverage requirement
+/// self-enforcing as ops.h grows.
+std::vector<std::string> ParseOpsHeaderOpNames(const std::string& header_text);
+
+}  // namespace d2stgnn
+
+#endif  // D2STGNN_TENSOR_OP_REGISTRY_H_

@@ -1,0 +1,148 @@
+#include "tensor/tape_analyzer.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace d2stgnn {
+namespace {
+
+// DFS colors: absent = white (unvisited), false = gray (on the active
+// path), true = black (fully explored).
+using ColorMap = std::unordered_map<internal::TensorImpl*, bool>;
+
+}  // namespace
+
+TapeReport AnalyzeTape(const Tensor& root) {
+  D2_CHECK(root.defined());
+  TapeReport report;
+  report.live_gradfn = internal::LiveGradFnCount();
+  report.backward_runs = root.impl()->backward_runs;
+  if (report.backward_runs > 1) {
+    std::ostringstream os;
+    os << "Backward() ran " << report.backward_runs
+       << " times on this root; every run re-accumulates all gradients";
+    report.issues.push_back({"double-backward", os.str()});
+  }
+  if (root.impl()->grad_fn == nullptr) return report;
+
+  // Saved tensors are counted per GradFn node (a tensor saved by two nodes
+  // is alive twice over), but each distinct impl's elements count once.
+  std::unordered_set<internal::TensorImpl*> counted_saved;
+
+  struct Frame {
+    internal::TensorImpl* node;
+    size_t next_child = 0;
+    int64_t depth = 1;
+  };
+  ColorMap colors;
+  std::vector<Frame> stack;
+  colors[root.impl().get()] = false;
+  stack.push_back({root.impl().get(), 0, 1});
+  report.nodes = 1;
+  report.max_depth = 1;
+
+  while (!stack.empty()) {
+    Frame& frame = stack.back();
+    internal::GradFn* fn = frame.node->grad_fn.get();
+    const size_t num_children = fn != nullptr ? fn->inputs.size() : 0;
+    if (frame.next_child == 0 && fn != nullptr) {
+      for (const Tensor& input : fn->inputs) {
+        if (!input.defined()) continue;
+        ++report.saved_tensors;
+        if (counted_saved.insert(input.impl().get()).second) {
+          report.saved_elements += input.numel();
+        }
+      }
+    }
+    if (frame.next_child < num_children) {
+      const Tensor& child_tensor = fn->inputs[frame.next_child++];
+      internal::TensorImpl* child =
+          child_tensor.defined() ? child_tensor.impl().get() : nullptr;
+      if (child == nullptr || child->grad_fn == nullptr) continue;
+      ++report.edges;
+      auto it = colors.find(child);
+      if (it == colors.end()) {
+        colors[child] = false;
+        stack.push_back({child, 0, frame.depth + 1});
+        ++report.nodes;
+        report.max_depth = std::max(report.max_depth, frame.depth + 1);
+      } else if (!it->second) {
+        // Gray: the child is on the active path — a cycle. The tape would
+        // never terminate a backward walk through it.
+        report.has_cycle = true;
+      }
+    } else {
+      colors[frame.node] = true;
+      stack.pop_back();
+    }
+  }
+
+  if (report.has_cycle) {
+    report.issues.push_back(
+        {"cycle", "autograd graph contains a cycle; Backward() over it "
+                  "would visit a node before its consumers"});
+  }
+  return report;
+}
+
+std::string TapeReport::ToString() const {
+  std::ostringstream os;
+  os << "tape: nodes=" << nodes << " edges=" << edges
+     << " max_depth=" << max_depth << " saved_tensors=" << saved_tensors
+     << " saved_elements=" << saved_elements << " live_gradfn=" << live_gradfn
+     << " backward_runs=" << backward_runs;
+  for (const TapeIssue& issue : issues) {
+    os << "\n  issue[" << issue.kind << "]: " << issue.detail;
+  }
+  return os.str();
+}
+
+TapeWatchdog::TapeWatchdog(int64_t window) : window_(window) {
+  D2_CHECK_GE(window, 2) << "growth detection needs at least two steps";
+}
+
+TapeReport TapeWatchdog::EndStep(const Tensor& loss) {
+  TapeReport report = AnalyzeTape(loss);
+  ++steps_;
+
+  node_history_.push_back(report.nodes);
+  unreachable_history_.push_back(report.live_gradfn - report.nodes);
+  if (static_cast<int64_t>(node_history_.size()) > window_) {
+    node_history_.erase(node_history_.begin());
+    unreachable_history_.erase(unreachable_history_.begin());
+  }
+
+  const auto strictly_increasing = [](const std::vector<int64_t>& v) {
+    for (size_t i = 1; i < v.size(); ++i) {
+      if (v[i] <= v[i - 1]) return false;
+    }
+    return true;
+  };
+
+  if (static_cast<int64_t>(node_history_.size()) == window_) {
+    if (strictly_increasing(node_history_)) {
+      std::ostringstream os;
+      os << "reachable tape grew every step for " << window_ << " steps ("
+         << node_history_.front() << " -> " << node_history_.back()
+         << " nodes); the loss likely chains onto earlier iterations";
+      report.issues.push_back({"tape-growth", os.str()});
+    }
+    if (strictly_increasing(unreachable_history_) &&
+        unreachable_history_.back() > 0) {
+      std::ostringstream os;
+      os << "live GradFn nodes outside the current tape grew every step for "
+         << window_ << " steps (" << unreachable_history_.front() << " -> "
+         << unreachable_history_.back()
+         << "); earlier steps' saved inputs are being kept alive after "
+            "Backward";
+      report.issues.push_back({"tape-leak", os.str()});
+    }
+  }
+  return report;
+}
+
+}  // namespace d2stgnn

@@ -1,0 +1,90 @@
+#ifndef D2STGNN_TENSOR_TAPE_ANALYZER_H_
+#define D2STGNN_TENSOR_TAPE_ANALYZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Static validator of the recorded autograd graph. AnalyzeTape walks the
+// GradFn DAG under a tensor and reports structural problems — cycles,
+// double-backward misuse — plus size statistics; TapeWatchdog compares
+// those statistics across training steps to catch per-step tape growth
+// (e.g. a loss accumulated as `total = total + loss`) and GradFn nodes
+// leaked past the end of a step (saved inputs kept alive after Backward).
+//
+// The trainer runs a watchdog automatically in debug builds at the end of
+// each training step; tests call AnalyzeTape directly.
+
+namespace d2stgnn {
+
+/// One structural problem found in (or across) tapes.
+struct TapeIssue {
+  /// Stable machine-readable kind: "cycle", "double-backward",
+  /// "tape-growth", or "tape-leak".
+  std::string kind;
+  /// Human-readable detail.
+  std::string detail;
+};
+
+/// Statistics and findings of one tape walk.
+struct TapeReport {
+  /// GradFn nodes reachable from the root.
+  int64_t nodes = 0;
+  /// Edges (input references to non-leaf tensors).
+  int64_t edges = 0;
+  /// Longest producer chain from the root.
+  int64_t max_depth = 0;
+  /// Input tensors kept alive by reachable GradFn nodes.
+  int64_t saved_tensors = 0;
+  /// Total elements of those saved tensors (memory proxy).
+  int64_t saved_elements = 0;
+  /// Process-wide live GradFn count at analysis time (includes nodes that
+  /// belong to other tapes).
+  int64_t live_gradfn = 0;
+  /// Times Backward() ran with the analyzed tensor as root.
+  int64_t backward_runs = 0;
+  /// True if the walk re-entered a node on the active DFS path.
+  bool has_cycle = false;
+  /// Problems found; empty means the tape is structurally sound.
+  std::vector<TapeIssue> issues;
+
+  bool ok() const { return issues.empty(); }
+
+  /// Multi-line summary for logs.
+  std::string ToString() const;
+};
+
+/// Walks the autograd graph under `root` and validates it. Never mutates
+/// the tape; safe to call before or after Backward().
+TapeReport AnalyzeTape(const Tensor& root);
+
+/// Cross-step tape health monitor. Call EndStep once per training step
+/// (after the optimizer update, with the step's loss still in scope); after
+/// `window` steps of history it flags monotonic growth of the reachable
+/// tape and of the process-wide live GradFn count.
+class TapeWatchdog {
+ public:
+  explicit TapeWatchdog(int64_t window = 4);
+
+  /// Analyzes `loss`'s tape, appends cross-step findings, and records this
+  /// step's sizes for future calls.
+  TapeReport EndStep(const Tensor& loss);
+
+  /// Steps observed so far.
+  int64_t steps() const { return steps_; }
+
+ private:
+  int64_t window_;
+  int64_t steps_ = 0;
+  /// Reachable-node counts of the last `window_` steps.
+  std::vector<int64_t> node_history_;
+  /// live GradFn count minus reachable nodes, per step: tape allocated by
+  /// earlier steps that should have been freed.
+  std::vector<int64_t> unreachable_history_;
+};
+
+}  // namespace d2stgnn
+
+#endif  // D2STGNN_TENSOR_TAPE_ANALYZER_H_

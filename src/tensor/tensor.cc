@@ -1,12 +1,30 @@
 #include "tensor/tensor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 #include <unordered_set>
 
 #include "common/check.h"
+#include "common/logging.h"
+#include "tensor/checker.h"
 
 namespace d2stgnn {
+
+namespace internal {
+namespace {
+std::atomic<int64_t> g_live_gradfn{0};
+}  // namespace
+
+GradFn::GradFn() { g_live_gradfn.fetch_add(1, std::memory_order_relaxed); }
+
+GradFn::~GradFn() { g_live_gradfn.fetch_sub(1, std::memory_order_relaxed); }
+
+int64_t LiveGradFnCount() {
+  return g_live_gradfn.load(std::memory_order_relaxed);
+}
+
+}  // namespace internal
 
 int64_t NumElements(const Shape& shape) {
   int64_t n = 1;
@@ -211,6 +229,11 @@ void TopologicalOrder(const std::shared_ptr<internal::TensorImpl>& root,
 void Tensor::Backward() const {
   D2_CHECK(defined());
   D2_CHECK_EQ(numel(), 1) << "Backward() requires a scalar loss";
+  if (++impl_->backward_runs > 1 && CheckNumericsEnabled()) {
+    D2_LOG(WARNING) << "Backward() called " << impl_->backward_runs
+                    << " times on the same tape root; gradients accumulate "
+                       "once per run";
+  }
   // Seed dLoss/dLoss = 1.
   impl_->grad.assign(impl_->data.size(), 0.0f);
   impl_->grad[0] = 1.0f;
@@ -218,6 +241,7 @@ void Tensor::Backward() const {
   std::vector<std::shared_ptr<internal::TensorImpl>> order;
   TopologicalOrder(impl_, &order);
   // Post-order lists children before parents; walk parents first.
+  const bool check_numerics = CheckNumericsEnabled();
   NoGradGuard no_grad;
   for (auto it = order.rbegin(); it != order.rend(); ++it) {
     const std::shared_ptr<internal::TensorImpl>& node = *it;
@@ -226,6 +250,7 @@ void Tensor::Backward() const {
       continue;
     }
     node->grad_fn->backward(Tensor::FromImpl(node));
+    if (check_numerics) CheckBackwardInputs(*node->grad_fn);
   }
 }
 

@@ -157,6 +157,11 @@ namespace internal {
 /// it captured, and the function that maps the output gradient to input
 /// gradients.
 struct GradFn {
+  GradFn();
+  ~GradFn();
+  GradFn(const GradFn&) = delete;
+  GradFn& operator=(const GradFn&) = delete;
+
   /// Op name for debugging ("MatMul", "Add", ...).
   std::string name;
   /// The op's inputs (kept alive for the backward pass).
@@ -166,6 +171,10 @@ struct GradFn {
   std::function<void(const Tensor& output)> backward;
 };
 
+/// Number of GradFn nodes currently alive in the process. The tape analyzer
+/// uses this to spot nodes that leak past the end of a training step.
+int64_t LiveGradFnCount();
+
 /// Storage + autograd metadata behind a Tensor handle.
 struct TensorImpl {
   Shape shape;
@@ -173,6 +182,10 @@ struct TensorImpl {
   std::vector<float> grad;  // empty until first accumulation
   bool requires_grad = false;
   std::shared_ptr<GradFn> grad_fn;  // null for leaves
+  /// Times Backward() was invoked with this tensor as the root. A second
+  /// run re-accumulates every gradient (usually a bug); the tape analyzer
+  /// flags it.
+  int32_t backward_runs = 0;
 };
 
 }  // namespace internal

@@ -2,12 +2,16 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <string>
 
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "optim/adam.h"
+#include "tensor/checker.h"
 #include "tensor/ops.h"
+#include "tensor/tape_analyzer.h"
 
 namespace d2stgnn::train {
 namespace {
@@ -61,6 +65,19 @@ FitResult Trainer::Fit(data::WindowDataLoader* train_loader,
     curriculum_step = std::max<int64_t>(1, total_updates * 2 / (5 * horizon));
   }
 
+  // Correctness instrumentation: with the numerics sentinel on, every op
+  // output and gradient buffer is scanned (see tensor/checker.h) and the
+  // diagnostic of a failing step names the epoch/batch via the context
+  // stack. Debug builds additionally validate the autograd tape after each
+  // step.
+  const bool check_numerics = CheckNumericsEnabled();
+  if (check_numerics && options_.verbose) {
+    D2_LOG(INFO) << "numerics sentinel active (D2STGNN_CHECK_NUMERICS)";
+  }
+#ifndef NDEBUG
+  TapeWatchdog tape_watchdog;
+#endif
+
   for (int64_t epoch = 0; epoch < options_.epochs; ++epoch) {
     model_->SetTraining(true);
     train_loader->Shuffle(shuffle_rng);
@@ -73,6 +90,12 @@ FitResult Trainer::Fit(data::WindowDataLoader* train_loader,
     const int64_t num_batches = static_cast<int64_t>(batches.size());
     for (int64_t b = 0; b < num_batches; ++b) {
       const data::Batch& batch = batches[static_cast<size_t>(b)];
+      std::optional<ScopedCheckContext> check_context;
+      if (check_numerics) {
+        check_context.emplace("training step: epoch " + std::to_string(epoch) +
+                              " batch " + std::to_string(b) + " of " +
+                              model_->name());
+      }
       Tensor prediction = scaler_->InverseTransform(model_->Forward(batch));
 
       // Curriculum learning: supervise a prefix of the horizon that grows
@@ -96,7 +119,22 @@ FitResult Trainer::Fit(data::WindowDataLoader* train_loader,
       }
       optimizer.Step();
       ++updates;
-      loss_sum += loss.Item();
+      const float loss_value = loss.Item();
+      if (check_numerics && !std::isfinite(loss_value)) {
+        // Ops that bypass the dispatch layer could still poison the loss;
+        // fail the step here rather than training on garbage.
+        D2_CHECK(false) << "non-finite training loss " << loss_value
+                        << " at epoch " << epoch << " batch " << b;
+      }
+#ifndef NDEBUG
+      const TapeReport tape_report = tape_watchdog.EndStep(loss);
+      for (const TapeIssue& issue : tape_report.issues) {
+        D2_LOG(WARNING) << "tape analyzer [" << issue.kind
+                        << "] at epoch " << epoch << " batch " << b << ": "
+                        << issue.detail;
+      }
+#endif
+      loss_sum += loss_value;
     }
 
     EpochStats stats;
