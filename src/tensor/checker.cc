@@ -4,8 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
 #include <mutex>
 #include <sstream>
+#include <utility>
 
 #include "common/logging.h"
 
@@ -40,7 +42,22 @@ std::atomic<int64_t> g_violations{0};
 std::mutex g_last_diagnostic_mutex;
 std::string g_last_diagnostic;  // guarded by g_last_diagnostic_mutex
 
-thread_local std::vector<std::string> g_check_contexts;
+// Process-wide context stack, keyed by owner so destruction order across
+// threads cannot pop someone else's entry. A violation detected on a
+// thread-pool worker still reports the trainer's epoch/batch context.
+std::mutex g_check_context_mutex;
+std::vector<std::pair<const ScopedCheckContext*, std::string>>
+    g_check_contexts;  // guarded by g_check_context_mutex
+
+std::vector<std::string> SnapshotCheckContexts() {
+  std::lock_guard<std::mutex> lock(g_check_context_mutex);
+  std::vector<std::string> contexts;
+  contexts.reserve(g_check_contexts.size());
+  for (const auto& [owner, context] : g_check_contexts) {
+    contexts.push_back(context);
+  }
+  return contexts;
+}
 
 // Returns the flat index of the first non-finite element, or -1.
 int64_t FirstNonFinite(const std::vector<float>& values) {
@@ -62,7 +79,7 @@ void ReportViolation(const std::string& op, const char* phase,
      << buffer_kind << " [phase=" << phase << "] [op=" << op << "] at flat index "
      << index << " of shape " << ShapeToString(shape) << "\n  tape: "
      << provenance;
-  for (const std::string& context : g_check_contexts) {
+  for (const std::string& context : SnapshotCheckContexts()) {
     os << "\n  context: " << context;
   }
   const std::string diagnostic = os.str();
@@ -151,10 +168,20 @@ void CheckBackwardInputs(const internal::GradFn& fn) {
 }
 
 ScopedCheckContext::ScopedCheckContext(std::string context) {
-  g_check_contexts.push_back(std::move(context));
+  std::lock_guard<std::mutex> lock(g_check_context_mutex);
+  g_check_contexts.emplace_back(this, std::move(context));
 }
 
-ScopedCheckContext::~ScopedCheckContext() { g_check_contexts.pop_back(); }
+ScopedCheckContext::~ScopedCheckContext() {
+  std::lock_guard<std::mutex> lock(g_check_context_mutex);
+  for (auto it = g_check_contexts.rbegin(); it != g_check_contexts.rend();
+       ++it) {
+    if (it->first == this) {
+      g_check_contexts.erase(std::next(it).base());
+      break;
+    }
+  }
+}
 
 int64_t NumericsViolationCount() {
   return g_violations.load(std::memory_order_relaxed);

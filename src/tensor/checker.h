@@ -67,9 +67,10 @@ void CheckForwardOutput(const std::string& name, const Tensor& out,
 /// Called by Tensor::Backward whenever the sentinel is on.
 void CheckBackwardInputs(const internal::GradFn& fn);
 
-/// Pushes a context line ("epoch 3 batch 17") onto a thread-local stack
-/// that is appended to every sentinel diagnostic while alive. The trainer
-/// uses this so an abort mid-step names the step that failed.
+/// Pushes a context line ("epoch 3 batch 17") onto a process-wide,
+/// mutex-guarded stack that is appended to every sentinel diagnostic while
+/// alive — including diagnostics raised on thread-pool worker threads. The
+/// trainer uses this so an abort mid-step names the step that failed.
 class ScopedCheckContext {
  public:
   explicit ScopedCheckContext(std::string context);

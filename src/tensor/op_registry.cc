@@ -103,25 +103,61 @@ OpGradCheckRegistry::NonDifferentiableAllowlist() {
   return *allowlist;
 }
 
+namespace {
+
+// Parses an identifier starting at `pos` that is immediately followed by
+// '(' — a declaration, not an operator overload or a stray mention.
+// Returns "" if the text at `pos` is not of that form.
+std::string ParseCalleeName(const std::string& line, size_t pos) {
+  size_t end = pos;
+  while (end < line.size() &&
+         (std::isalnum(static_cast<unsigned char>(line[end])) ||
+          line[end] == '_')) {
+    ++end;
+  }
+  if (end == pos || end >= line.size() || line[end] != '(') return "";
+  return line.substr(pos, end - pos);
+}
+
+}  // namespace
+
 std::vector<std::string> ParseOpsHeaderOpNames(
     const std::string& header_text) {
   std::set<std::string> names;
-  std::istringstream lines(header_text);
-  std::string line;
-  while (std::getline(lines, line)) {
-    constexpr const char kPrefix[] = "Tensor ";
-    if (line.rfind(kPrefix, 0) != 0) continue;
-    size_t pos = sizeof(kPrefix) - 1;
-    size_t end = pos;
-    while (end < line.size() &&
-           (std::isalnum(static_cast<unsigned char>(line[end])) ||
-            line[end] == '_')) {
-      ++end;
+  std::vector<std::string> lines;
+  {
+    std::istringstream in(header_text);
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+  }
+  for (size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    // Top-level declarations start at column 0, optionally behind
+    // [[attribute]] prefixes ([[nodiscard]] Tensor Foo(...)).
+    size_t pos = 0;
+    while (line.compare(pos, 2, "[[") == 0) {
+      const size_t close = line.find("]]", pos);
+      if (close == std::string::npos) break;
+      pos = close + 2;
+      while (pos < line.size() && line[pos] == ' ') ++pos;
     }
-    // A declaration, not an operator overload or a stray mention: the
-    // identifier must be non-empty and immediately followed by '('.
-    if (end == pos || end >= line.size() || line[end] != '(') continue;
-    names.insert(line.substr(pos, end - pos));
+    constexpr const char kType[] = "Tensor";
+    constexpr size_t kTypeLen = sizeof(kType) - 1;
+    if (line.compare(pos, kTypeLen, kType) != 0) continue;
+    pos += kTypeLen;
+    if (line.find_first_not_of(" \t", pos) == std::string::npos) {
+      // Return type alone on its line: the name starts the next line.
+      if (i + 1 >= lines.size()) continue;
+      const std::string& next = lines[i + 1];
+      const size_t name_pos = next.find_first_not_of(" \t");
+      if (name_pos == std::string::npos) continue;
+      const std::string name = ParseCalleeName(next, name_pos);
+      if (!name.empty()) names.insert(name);
+      continue;
+    }
+    if (line[pos] != ' ') continue;  // e.g. "TensorImpl ..." — another type
+    const std::string name = ParseCalleeName(line, pos + 1);
+    if (!name.empty()) names.insert(name);
   }
   return {names.begin(), names.end()};
 }

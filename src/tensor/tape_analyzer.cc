@@ -66,10 +66,13 @@ TapeReport AnalyzeTape(const Tensor& root) {
       ++report.edges;
       auto it = colors.find(child);
       if (it == colors.end()) {
+        // Copy the depth first: push_back may reallocate `stack` and
+        // invalidate `frame`, which references stack.back().
+        const int64_t child_depth = frame.depth + 1;
         colors[child] = false;
-        stack.push_back({child, 0, frame.depth + 1});
+        stack.push_back({child, 0, child_depth});
         ++report.nodes;
-        report.max_depth = std::max(report.max_depth, frame.depth + 1);
+        report.max_depth = std::max(report.max_depth, child_depth);
       } else if (!it->second) {
         // Gray: the child is on the active path — a cycle. The tape would
         // never terminate a backward walk through it.

@@ -47,9 +47,14 @@ TEST(OpsHeaderParserTest, ExtractsDeclarationsOnly) {
       "Shape BroadcastShapes(const Shape& a, const Shape& b);\n"
       "  Tensor indented_is_not_a_declaration(int x);\n"
       "Tensor EmbeddingLookup(const Tensor& weight,\n"
-      "                       const std::vector<int64_t>& indices);\n";
+      "                       const std::vector<int64_t>& indices);\n"
+      "[[nodiscard]] Tensor Clamp(const Tensor& x, float lo, float hi);\n"
+      "Tensor\n"
+      "Softmax(const Tensor& x, int64_t dim);\n"
+      "TensorImpl not_a_tensor_declaration(int x);\n";
   const std::vector<std::string> names = ParseOpsHeaderOpNames(header);
-  EXPECT_EQ(names, (std::vector<std::string>{"Add", "EmbeddingLookup", "Sum"}));
+  EXPECT_EQ(names, (std::vector<std::string>{"Add", "Clamp", "EmbeddingLookup",
+                                             "Softmax", "Sum"}));
 }
 
 TEST(OpGradCheckRegistryTest, CoversEveryOpDeclaredInOpsHeader) {
