@@ -2,7 +2,12 @@
 // it with the paper's recipe, evaluate at horizons 3/6/12, and print one
 // forecast.
 //
-//   ./build/examples/quickstart
+//   ./build/examples/quickstart [--checkpoint-dir DIR] [--checkpoint-every N]
+//                               [--resume PATH]
+//
+// With --checkpoint-dir, a full-state checkpoint is written every N epochs
+// (and on Ctrl-C, after the current batch finishes); --resume continues a
+// previous run bitwise-identically from such a checkpoint.
 //
 // Everything here is the public API a downstream user would touch:
 //   data::      synthetic datasets, scaler, sliding windows
@@ -10,7 +15,11 @@
 //   train::     Trainer (Adam + masked MAE + curriculum learning)
 //   metrics::   masked MAE / RMSE / MAPE
 
+#include <sys/stat.h>
+
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "common/rng.h"
 #include "core/d2stgnn.h"
@@ -20,8 +29,30 @@
 #include "train/evaluator.h"
 #include "train/trainer.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace d2stgnn;
+
+  // Fault-tolerance flags (see DESIGN.md §8).
+  std::string checkpoint_dir;
+  std::string resume_from;
+  int64_t checkpoint_every = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      checkpoint_every = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
+      resume_from = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--checkpoint-dir DIR] [--checkpoint-every N] "
+                   "[--resume PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!checkpoint_dir.empty()) ::mkdir(checkpoint_dir.c_str(), 0755);
 
   // 1. Data: a METR-LA-like synthetic speed dataset (16 sensors, 16 days).
   data::SyntheticTrafficOptions options = data::MetrLaOptions(/*scale=*/0.05f);
@@ -70,8 +101,21 @@ int main() {
   train::TrainerOptions trainer_options;
   trainer_options.epochs = 8;
   trainer_options.verbose = true;
+  trainer_options.checkpoint_dir = checkpoint_dir;
+  trainer_options.checkpoint_every = checkpoint_every;
+  trainer_options.resume_from = resume_from;
+  trainer_options.handle_signals = !checkpoint_dir.empty();
   train::Trainer trainer(&model, &scaler, trainer_options);
   const train::FitResult fit = trainer.Fit(&train_loader, &val_loader);
+  if (fit.stop_reason == train::StopReason::kResumeFailed) {
+    std::fprintf(stderr, "cannot resume from %s\n", resume_from.c_str());
+    return 1;
+  }
+  if (fit.stop_reason == train::StopReason::kInterrupted) {
+    std::printf("interrupted; resume with --resume %s\n",
+                fit.interrupt_checkpoint.c_str());
+    return 0;
+  }
   std::printf("best validation MAE %.3f at epoch %lld (%.2fs/epoch)\n",
               fit.best_val_mae, static_cast<long long>(fit.best_epoch),
               fit.mean_epoch_seconds);

@@ -4,9 +4,19 @@
 // with rush-hour congestion and sensor failures, then show how the model
 // rides through a sensor-failure burst instead of predicting zeros.
 //
-//   ./build/examples/speed_forecasting
+//   ./build/examples/speed_forecasting [--checkpoint-dir DIR]
+//       [--checkpoint-every N] [--resume PATH]
+//
+// The checkpoint flags apply to the D2STGNN run (each deep model would
+// otherwise overwrite the other's files): with --checkpoint-dir its full
+// training state is saved every N epochs, and --resume continues an
+// interrupted D2STGNN run from a checkpoint.
+
+#include <sys/stat.h>
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 #include "baselines/historical_average.h"
 #include "baselines/registry.h"
@@ -31,7 +41,29 @@ std::vector<int64_t> EveryNth(const std::vector<int64_t>& v, int64_t n) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Fault-tolerance flags, applied to the D2STGNN run below.
+  std::string checkpoint_dir;
+  std::string resume_from;
+  int64_t checkpoint_every = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
+               i + 1 < argc) {
+      checkpoint_every = std::atoll(argv[++i]);
+    } else if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
+      resume_from = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--checkpoint-dir DIR] [--checkpoint-every N] "
+                   "[--resume PATH]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (!checkpoint_dir.empty()) ::mkdir(checkpoint_dir.c_str(), 0755);
+
   // A mid-size city: 16 sensors, 16 days of 5-minute speeds, frequent
   // loop-detector failures (like METR-LA).
   data::SyntheticTrafficOptions options = data::MetrLaOptions(0.05f);
@@ -93,8 +125,23 @@ int main() {
         baselines::MakeModel(name, config, dataset.network.adjacency, rng);
     train::TrainerOptions trainer_options;
     trainer_options.epochs = 8;
+    if (name == "D2STGNN") {
+      trainer_options.checkpoint_dir = checkpoint_dir;
+      trainer_options.checkpoint_every = checkpoint_every;
+      trainer_options.resume_from = resume_from;
+      trainer_options.handle_signals = !checkpoint_dir.empty();
+    }
     train::Trainer trainer(model.get(), &scaler, trainer_options);
-    trainer.Fit(&train_loader, &val_loader);
+    const train::FitResult fit = trainer.Fit(&train_loader, &val_loader);
+    if (fit.stop_reason == train::StopReason::kResumeFailed) {
+      std::fprintf(stderr, "cannot resume from %s\n", resume_from.c_str());
+      return 1;
+    }
+    if (fit.stop_reason == train::StopReason::kInterrupted) {
+      std::printf("interrupted; resume with --resume %s\n",
+                  fit.interrupt_checkpoint.c_str());
+      return 0;
+    }
     const auto horizons =
         train::EvaluateHorizons(model.get(), &scaler, &test_loader);
     table.AddRow({name, TablePrinter::Num(horizons[0].metrics.mae),

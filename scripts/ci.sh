@@ -5,7 +5,12 @@
 #   2. ThreadSanitizer    — the execution-layer and tensor tests, to catch
 #      data races in the thread pool and parallel kernels.
 #   3. UBSanitizer        — the full suite under -fsanitize=undefined.
-#   4. Lint               — clang-tidy over the compilation database
+#   4. ASan+UBSan         — the fault-injection / crash-safety suite
+#      (checkpoints, durable I/O, divergence recovery, death tests), where
+#      torn buffers and use-after-free bugs would hide.
+#   5. Corruption smoke   — end-to-end: train with checkpointing, flip one
+#      byte in the newest checkpoint, assert resume rejects it.
+#   6. Lint               — clang-tidy over the compilation database
 #      (skipped with a notice when clang-tidy is not installed).
 #
 # Both ctest invocations pass --no-tests=error so a filter that matches zero
@@ -39,6 +44,32 @@ cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
 cmake --build build-ubsan -j "$(nproc)"
 ctest --test-dir build-ubsan --output-on-failure -j "$(nproc)" \
   --no-tests=error
+
+echo "=== ASan+UBSan build + fault-injection suite ==="
+cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DD2STGNN_SANITIZE=address,undefined
+cmake --build build-asan -j "$(nproc)" \
+  --target fault_injection_test checkpoint_test death_test io_test
+ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
+  -R 'FaultInjection|CheckpointFault|CheckpointResume|DivergenceRecovery|Checkpoint|CsvLoader|DeathTest' \
+  --no-tests=error
+
+echo "=== Checkpoint corruption smoke (save -> corrupt -> resume rejects) ==="
+smoke_dir="build/ckpt-smoke"
+rm -rf "$smoke_dir"
+mkdir -p "$smoke_dir"
+build/examples/quickstart --checkpoint-dir "$smoke_dir" \
+  --checkpoint-every 4 > /dev/null
+latest="$(ls "$smoke_dir"/ckpt-*.d2ck | sort | tail -n 1)"
+# An intact checkpoint resumes cleanly...
+build/examples/quickstart --resume "$latest" > /dev/null
+# ...and a single flipped byte must be detected and rejected.
+printf '\x5a' | dd of="$latest" bs=1 seek=100 conv=notrunc status=none
+if build/examples/quickstart --resume "$latest" > /dev/null 2>&1; then
+  echo "FAIL: corrupt checkpoint was accepted on resume" >&2
+  exit 1
+fi
+echo "corrupt checkpoint rejected as expected"
 
 echo "=== Lint (clang-tidy) ==="
 scripts/lint.sh build

@@ -1,0 +1,138 @@
+#include "common/fault_injection.h"
+
+#include <csignal>
+#include <map>
+#include <mutex>
+#include <atomic>
+
+#include "common/logging.h"
+
+namespace d2stgnn::fault {
+namespace {
+
+// Per-point state: the script plus how far the point has progressed
+// (payload bytes seen for write points, calls seen for event points).
+struct ArmedPoint {
+  FaultScript script;
+  int64_t progress = 0;
+};
+
+std::mutex g_mutex;
+std::map<std::string, ArmedPoint>& Registry() {
+  static auto* registry = new std::map<std::string, ArmedPoint>();
+  return *registry;
+}
+// Fast path: instrumented code checks this before taking the mutex.
+std::atomic<int> g_armed_count{0};
+std::atomic<int64_t> g_fire_count{0};
+
+}  // namespace
+
+void CrashProcess(const std::string& point) {
+  // A real crash: no stream flush, no atexit, no unwinding. SIGKILL cannot
+  // be caught, so this models `kill -9` / OOM-kill exactly.
+  D2_LOG(WARNING) << "fault injection: crashing at point '" << point << "'";
+  ::raise(SIGKILL);
+  // SIGKILL is not deliverable in some sandboxes; keep the no-return
+  // contract unconditional.
+  ::abort();
+}
+
+void ArmFaultPoint(const std::string& point, const FaultScript& script) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  auto& registry = Registry();
+  if (registry.find(point) == registry.end()) {
+    g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  registry[point] = ArmedPoint{script, 0};
+}
+
+void DisarmFaultPoint(const std::string& point) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  if (Registry().erase(point) > 0) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAllFaultPoints() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  Registry().clear();
+  g_armed_count.store(0, std::memory_order_relaxed);
+  g_fire_count.store(0, std::memory_order_relaxed);
+}
+
+bool AnyFaultArmed() {
+  return g_armed_count.load(std::memory_order_relaxed) > 0;
+}
+
+int64_t FaultFireCount() {
+  return g_fire_count.load(std::memory_order_relaxed);
+}
+
+bool ConsumeFault(const std::string& point) {
+  if (!AnyFaultArmed()) return false;
+  std::unique_lock<std::mutex> lock(g_mutex);
+  auto& registry = Registry();
+  const auto it = registry.find(point);
+  if (it == registry.end()) return false;
+  ArmedPoint& armed = it->second;
+  if (armed.progress < armed.script.trigger_offset) {
+    ++armed.progress;
+    return false;
+  }
+  const FaultKind kind = armed.script.kind;
+  if (!armed.script.repeat) {
+    registry.erase(it);
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  g_fire_count.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  if (kind == FaultKind::kCrash) CrashProcess(point);
+  return kind != FaultKind::kNone;
+}
+
+WriteFaultResult ConsumeWriteFault(const std::string& point, int64_t offset,
+                                   int64_t size) {
+  WriteFaultResult result;
+  result.allowed = size;
+  if (!AnyFaultArmed()) return result;
+  std::unique_lock<std::mutex> lock(g_mutex);
+  auto& registry = Registry();
+  const auto it = registry.find(point);
+  if (it == registry.end()) return result;
+  ArmedPoint& armed = it->second;
+  const int64_t trigger = armed.script.trigger_offset;
+  if (offset + size <= trigger) return result;  // fault is further ahead
+  const FaultKind kind = armed.script.kind;
+  const int error_code = armed.script.error_code;
+  if (!armed.script.repeat) {
+    registry.erase(it);
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+  g_fire_count.fetch_add(1, std::memory_order_relaxed);
+  lock.unlock();
+  switch (kind) {
+    case FaultKind::kCrash:
+      // The caller persists the prefix up to the trigger, then calls
+      // CrashProcess — byte-exact crash-at-offset.
+      result.allowed = trigger > offset ? trigger - offset : 0;
+      result.crash = true;
+      break;
+    case FaultKind::kShortWrite:
+      result.allowed = trigger > offset ? trigger - offset : 0;
+      result.fail = true;
+      result.error_code = 5;  // EIO: torn write then error
+      break;
+    case FaultKind::kErrno:
+      result.allowed = trigger > offset ? trigger - offset : 0;
+      result.fail = true;
+      result.error_code = error_code;
+      break;
+    case FaultKind::kNone:
+    default:
+      break;
+  }
+  return result;
+}
+
+}  // namespace d2stgnn::fault

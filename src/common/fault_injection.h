@@ -1,0 +1,97 @@
+#ifndef D2STGNN_COMMON_FAULT_INJECTION_H_
+#define D2STGNN_COMMON_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <string>
+
+// Scriptable fault-injection harness for crash-safety and recovery tests.
+//
+// Production code declares *fault points* — named places where an injected
+// failure is observable (a file write, a training step) — by calling
+// ConsumeFault / ConsumeWriteFault. Tests arm a point with a FaultScript
+// describing what should go wrong and when:
+//
+//   fault::ArmFaultPoint("checkpoint.write",
+//                        {fault::FaultKind::kCrash, /*trigger_offset=*/512});
+//   ...  // the process SIGKILLs itself 512 payload bytes into the next save
+//
+// Unarmed points cost one relaxed atomic load, so the harness is always
+// compiled in. All functions are thread-safe. Scripts fire once and then
+// disarm themselves unless `repeat` is set.
+
+namespace d2stgnn::fault {
+
+/// What an armed fault point does when it triggers.
+enum class FaultKind {
+  kNone = 0,
+  /// Write calls truncate the payload at `trigger_offset` bytes and then
+  /// report failure (a torn write followed by an error, as when a process
+  /// dies between write() calls or a disk drops a cached page).
+  kShortWrite,
+  /// The operation fails with `error_code` (default ENOSPC) without writing
+  /// anything past `trigger_offset`.
+  kErrno,
+  /// The process raises SIGKILL at the trigger — a real crash, no unwind,
+  /// no flush. Only useful under death tests / forked children.
+  kCrash,
+};
+
+/// A scripted failure for one fault point.
+struct FaultScript {
+  FaultKind kind = FaultKind::kNone;
+  /// For write-shaped points: the byte offset at which the fault fires
+  /// (faults fire when the cumulative payload offset reaches this value).
+  /// For event-shaped points: the 0-based count of ConsumeFault calls that
+  /// complete normally before the fault fires. 0 fires immediately.
+  int64_t trigger_offset = 0;
+  /// errno reported by kErrno faults.
+  int error_code = 28;  // ENOSPC
+  /// Fire on every matching call instead of disarming after the first.
+  bool repeat = false;
+};
+
+/// Arms `point` with `script`. Re-arming overwrites the previous script.
+void ArmFaultPoint(const std::string& point, const FaultScript& script);
+
+/// Disarms one point.
+void DisarmFaultPoint(const std::string& point);
+
+/// Disarms every point (test teardown).
+void DisarmAllFaultPoints();
+
+/// True if any point is armed (the fast path used by instrumented code).
+bool AnyFaultArmed();
+
+/// Number of times any fault actually fired since the last DisarmAll.
+int64_t FaultFireCount();
+
+/// Event-shaped fault point. Returns true if an armed fault fired at this
+/// call (kErrno / kShortWrite scripts just report true; kCrash never
+/// returns). Unarmed or not-yet-triggered points return false.
+bool ConsumeFault(const std::string& point);
+
+/// Write-shaped fault point: `offset` is the cumulative payload offset
+/// before this chunk, `size` the chunk length. Outcome of one write call.
+struct WriteFaultResult {
+  /// Bytes of this chunk the caller should actually write (== size when no
+  /// fault fired; < size for a torn write).
+  int64_t allowed = 0;
+  /// True if the write must then report failure.
+  bool fail = false;
+  /// errno to report when `fail` (0 otherwise).
+  int error_code = 0;
+  /// True if the caller must crash the process (via CrashProcess) after
+  /// persisting the `allowed` prefix — crash-at-offset semantics where the
+  /// bytes before the trigger make it to disk and nothing after does.
+  bool crash = false;
+};
+WriteFaultResult ConsumeWriteFault(const std::string& point, int64_t offset,
+                                   int64_t size);
+
+/// Raises SIGKILL — a real crash with no unwinding, flushing, or atexit.
+/// Called by instrumented writers when ConsumeWriteFault sets `crash`.
+[[noreturn]] void CrashProcess(const std::string& point);
+
+}  // namespace d2stgnn::fault
+
+#endif  // D2STGNN_COMMON_FAULT_INJECTION_H_

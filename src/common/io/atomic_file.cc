@@ -1,0 +1,199 @@
+#include "common/io/atomic_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/fault_injection.h"
+#include "common/logging.h"
+
+namespace d2stgnn::io {
+namespace {
+
+IoHooks& Hooks() {
+  static auto* hooks = new IoHooks();
+  return *hooks;
+}
+
+// Resolves the decision for one chunk: function hooks win, then the
+// fault-injection registry, then "write it all".
+WriteDecision DecideWrite(const std::string& path, const std::string& label,
+                          int64_t offset, int64_t size) {
+  if (Hooks().on_write) return Hooks().on_write(path, offset, size);
+  WriteDecision decision;
+  decision.allowed = size;
+  if (fault::AnyFaultArmed()) {
+    const fault::WriteFaultResult f =
+        fault::ConsumeWriteFault(label + ".write", offset, size);
+    decision.allowed = f.allowed;
+    decision.fail = f.fail;
+    decision.error_code = f.error_code;
+    decision.crash = f.crash;
+  }
+  return decision;
+}
+
+bool WriteAll(int fd, const unsigned char* data, int64_t size) {
+  int64_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, static_cast<size_t>(size - done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += n;
+  }
+  return true;
+}
+
+std::string DirName(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+void SetIoHooks(IoHooks hooks) { Hooks() = std::move(hooks); }
+
+void ClearIoHooks() { Hooks() = IoHooks(); }
+
+AtomicFileWriter::AtomicFileWriter(std::string path, std::string fault_label)
+    : path_(std::move(path)),
+      temp_path_(path_ + ".tmp." + std::to_string(::getpid())),
+      fault_label_(std::move(fault_label)) {
+  fd_ = ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) Fail("open " + temp_path_, errno);
+}
+
+AtomicFileWriter::~AtomicFileWriter() {
+  if (!committed_) Abandon();
+}
+
+void AtomicFileWriter::Fail(const std::string& what, int err) {
+  if (!ok_) return;  // keep the first failure
+  ok_ = false;
+  error_ = what;
+  if (err != 0) {
+    error_ += ": ";
+    error_ += std::strerror(err);
+  }
+  D2_LOG(ERROR) << "atomic write to " << path_ << " failed (" << error_
+                << ")";
+}
+
+bool AtomicFileWriter::Write(const void* data, int64_t size) {
+  if (!ok_) return false;
+  if (size <= 0) return true;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  const WriteDecision decision =
+      DecideWrite(path_, fault_label_, offset_, size);
+  const int64_t allowed = decision.allowed < size ? decision.allowed : size;
+  if (allowed > 0) {
+    if (!WriteAll(fd_, bytes, allowed)) {
+      Fail("write " + temp_path_, errno);
+      return false;
+    }
+    offset_ += allowed;
+  }
+  if (decision.crash) {
+    // Crash-at-offset: persist the prefix, then die without unwinding.
+    ::fsync(fd_);
+    fault::CrashProcess(fault_label_ + ".write");
+  }
+  if (decision.fail || allowed < size) {
+    Fail("write " + temp_path_,
+         decision.error_code != 0 ? decision.error_code : EIO);
+    return false;
+  }
+  return true;
+}
+
+bool AtomicFileWriter::Commit() {
+  if (!ok_) return false;
+  bool sync_ok = true;
+  if (Hooks().on_sync) {
+    sync_ok = Hooks().on_sync(path_);
+  } else if (fault::AnyFaultArmed() &&
+             fault::ConsumeFault(fault_label_ + ".fsync")) {
+    sync_ok = false;
+  }
+  if (sync_ok) sync_ok = ::fsync(fd_) == 0;
+  if (!sync_ok) {
+    Fail("fsync " + temp_path_, errno);
+    Abandon();
+    return false;
+  }
+  if (::close(fd_) != 0) {
+    fd_ = -1;
+    Fail("close " + temp_path_, errno);
+    Abandon();
+    return false;
+  }
+  fd_ = -1;
+
+  bool rename_ok = true;
+  if (Hooks().on_rename) {
+    rename_ok = Hooks().on_rename(temp_path_, path_);
+  } else if (fault::AnyFaultArmed() &&
+             fault::ConsumeFault(fault_label_ + ".rename")) {
+    rename_ok = false;
+  }
+  if (rename_ok) rename_ok = ::rename(temp_path_.c_str(), path_.c_str()) == 0;
+  if (!rename_ok) {
+    Fail("rename " + temp_path_ + " -> " + path_, errno);
+    Abandon();
+    return false;
+  }
+  committed_ = true;
+
+  // Make the rename durable: fsync the containing directory. Failure here
+  // is logged but not fatal — the data is already safely in place for every
+  // non-power-loss fault model.
+  const std::string dir = DirName(path_);
+  const int dir_fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dir_fd >= 0) {
+    if (::fsync(dir_fd) != 0) {
+      D2_LOG(WARNING) << "fsync of directory " << dir << " failed: "
+                      << std::strerror(errno);
+    }
+    ::close(dir_fd);
+  }
+  return true;
+}
+
+void AtomicFileWriter::Abandon() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!committed_) ::unlink(temp_path_.c_str());
+}
+
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  out->clear();
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    D2_LOG(ERROR) << "cannot open " << path << ": " << std::strerror(errno);
+    return false;
+  }
+  unsigned char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      D2_LOG(ERROR) << "read " << path << " failed: " << std::strerror(errno);
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out->insert(out->end(), buf, buf + n);
+  }
+  ::close(fd);
+  return true;
+}
+
+}  // namespace d2stgnn::io

@@ -1,0 +1,102 @@
+#ifndef D2STGNN_COMMON_IO_ATOMIC_FILE_H_
+#define D2STGNN_COMMON_IO_ATOMIC_FILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+// Durable file I/O: crash-safe atomic writes for checkpoints.
+//
+// AtomicFileWriter stages every byte in `<path>.tmp.<pid>`, then Commit()
+// flushes to the device (fsync), renames the temp file over `path` (atomic
+// on POSIX), and fsyncs the parent directory so the rename itself is
+// durable. A crash at any point leaves either the complete old file or the
+// complete new file — never a torn mix — which is the invariant the whole
+// checkpoint subsystem is built on.
+//
+// Two injection seams exist for tests:
+//  * SetIoHooks installs function hooks that see every write/sync/rename
+//    and can truncate or fail them (unit tests of the I/O layer);
+//  * without hooks, each writer consults the fault-injection points
+//    "<label>.write", "<label>.fsync" and "<label>.rename" (see
+//    common/fault_injection.h), so scenario tests can script ENOSPC, short
+//    writes, and crash-at-offset against production call sites.
+
+namespace d2stgnn::io {
+
+/// Decision a write hook returns for one chunk.
+struct WriteDecision {
+  int64_t allowed = 0;   ///< bytes of the chunk to actually write
+  bool fail = false;     ///< report failure after writing `allowed`
+  int error_code = 0;    ///< errno to report when failing
+  bool crash = false;    ///< SIGKILL the process after writing `allowed`
+};
+
+/// Injectable hooks observing every durable-write operation. Unset members
+/// mean "proceed normally".
+struct IoHooks {
+  /// Called before each chunk write with (path, offset, chunk size).
+  std::function<WriteDecision(const std::string&, int64_t, int64_t)> on_write;
+  /// Called before fsync; return false to fail the sync.
+  std::function<bool(const std::string&)> on_sync;
+  /// Called before rename(temp, final); return false to fail it.
+  std::function<bool(const std::string&, const std::string&)> on_rename;
+};
+
+/// Installs process-wide hooks (tests only; not thread-safe against
+/// concurrent writers). ClearIoHooks restores the default behavior.
+void SetIoHooks(IoHooks hooks);
+void ClearIoHooks();
+
+/// Crash-safe file writer. Usage:
+///   AtomicFileWriter w(path, "checkpoint");
+///   w.Write(buf, n); ...
+///   if (!w.Commit()) { /* old file intact; w.error() says why */ }
+class AtomicFileWriter {
+ public:
+  /// `fault_label` names the fault-injection points this writer consults
+  /// ("<label>.write" etc.); pass a stable identifier per call site.
+  AtomicFileWriter(std::string path, std::string fault_label);
+  /// Abandons (closes + unlinks the temp file) unless Commit succeeded.
+  ~AtomicFileWriter();
+  AtomicFileWriter(const AtomicFileWriter&) = delete;
+  AtomicFileWriter& operator=(const AtomicFileWriter&) = delete;
+
+  /// Appends `size` bytes. Errors are sticky; returns false once failed.
+  bool Write(const void* data, int64_t size);
+
+  /// Flushes, fsyncs, renames over the final path, fsyncs the directory.
+  /// On failure the final path is untouched and the temp file is removed.
+  bool Commit();
+
+  /// Drops the temp file without touching the final path.
+  void Abandon();
+
+  /// False after any failed operation.
+  bool ok() const { return ok_; }
+  /// Human-readable description of the first failure ("" while ok).
+  const std::string& error() const { return error_; }
+  /// Bytes successfully staged so far.
+  int64_t bytes_written() const { return offset_; }
+
+ private:
+  void Fail(const std::string& what, int err);
+
+  std::string path_;
+  std::string temp_path_;
+  std::string fault_label_;
+  int fd_ = -1;
+  int64_t offset_ = 0;
+  bool committed_ = false;
+  bool ok_ = true;
+  std::string error_;
+};
+
+/// Reads a whole file into `out`. Returns false (after logging) when the
+/// file cannot be opened or read.
+bool ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+}  // namespace d2stgnn::io
+
+#endif  // D2STGNN_COMMON_IO_ATOMIC_FILE_H_

@@ -1,0 +1,29 @@
+#ifndef D2STGNN_COMMON_IO_CRC32_H_
+#define D2STGNN_COMMON_IO_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace d2stgnn::io {
+
+/// CRC-32 (IEEE 802.3, the zlib/gzip polynomial 0xEDB88320), used to
+/// checksum checkpoint sections. `seed` allows incremental computation:
+/// Crc32(b, n2, Crc32(a, n1)) == Crc32(concat(a, b), n1 + n2).
+uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0);
+
+/// Incremental CRC-32 accumulator for streamed writes.
+class Crc32Accumulator {
+ public:
+  void Update(const void* data, size_t size) {
+    crc_ = Crc32(data, size, crc_);
+  }
+  uint32_t value() const { return crc_; }
+  void Reset() { crc_ = 0; }
+
+ private:
+  uint32_t crc_ = 0;
+};
+
+}  // namespace d2stgnn::io
+
+#endif  // D2STGNN_COMMON_IO_CRC32_H_

@@ -91,6 +91,20 @@ std::vector<int64_t> Rng::Permutation(int64_t n) {
   return perm;
 }
 
+RngState Rng::GetState() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.words[i] = state_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::SetState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) state_[i] = state.words[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
+}
+
 Rng& GlobalRng() {
   static Rng rng(42);
   return rng;

@@ -6,6 +6,15 @@
 
 namespace d2stgnn {
 
+/// Complete serializable state of an Rng. Capturing and restoring it
+/// reproduces the stream exactly — required for bitwise-identical resume of
+/// a checkpointed training run.
+struct RngState {
+  uint64_t words[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  float cached_normal = 0.0f;
+};
+
 /// Deterministic random number generator used everywhere in the project so
 /// that experiments are reproducible from a single seed. Wraps a
 /// SplitMix64-seeded xoshiro256** core.
@@ -42,6 +51,13 @@ class Rng {
 
   /// Returns a random permutation of {0, ..., n-1} (Fisher–Yates).
   std::vector<int64_t> Permutation(int64_t n);
+
+  /// Snapshot of the full generator state (checkpointing).
+  RngState GetState() const;
+
+  /// Restores a state captured with GetState; the stream continues exactly
+  /// where the snapshot was taken.
+  void SetState(const RngState& state);
 
  private:
   uint64_t state_[4];

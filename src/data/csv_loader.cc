@@ -51,33 +51,41 @@ bool LoadCsvDataset(const std::string& readings_path,
   std::vector<float> values;
   int64_t num_nodes = -1;
   int64_t num_steps = 0;
+  int64_t line_number = 0;  // physical 1-based line, for diagnostics
   std::string line;
   while (std::getline(readings, line)) {
+    ++line_number;
     if (line.empty()) continue;
     const std::vector<std::string> cells = SplitCsvLine(line);
     std::vector<float> row;
     row.reserve(cells.size());
     bool numeric = true;
-    for (const std::string& cell : cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
       float v;
-      if (!ParseFloat(cell, &v)) {
-        numeric = false;
-        break;
+      if (!ParseFloat(cells[c], &v)) {
+        if (num_steps == 0) {
+          numeric = false;  // header row
+          break;
+        }
+        D2_LOG(ERROR) << readings_path << ":" << line_number << ": column "
+                      << c + 1 << ": non-numeric value '" << cells[c] << "'";
+        return false;
+      }
+      if (!std::isfinite(v)) {
+        D2_LOG(ERROR) << readings_path << ":" << line_number << ": column "
+                      << c + 1 << ": non-finite value '" << cells[c]
+                      << "' (mark missing data with the null value instead)";
+        return false;
       }
       row.push_back(v);
     }
-    if (!numeric) {
-      if (num_steps == 0) continue;  // header row
-      D2_LOG(ERROR) << "non-numeric row " << num_steps << " in "
-                    << readings_path;
-      return false;
-    }
+    if (!numeric) continue;  // header row
     if (num_nodes < 0) {
       num_nodes = static_cast<int64_t>(row.size());
     } else if (static_cast<int64_t>(row.size()) != num_nodes) {
-      D2_LOG(ERROR) << "ragged row " << num_steps << " in " << readings_path
-                    << ": expected " << num_nodes << " columns, got "
-                    << row.size();
+      D2_LOG(ERROR) << readings_path << ":" << line_number
+                    << ": ragged row: expected " << num_nodes
+                    << " columns, got " << row.size();
       return false;
     }
     values.insert(values.end(), row.begin(), row.end());
@@ -101,25 +109,37 @@ bool LoadCsvDataset(const std::string& readings_path,
     dist[static_cast<size_t>(i * num_nodes + i)] = 0.0f;
   }
   int64_t edges = 0;
+  line_number = 0;
   while (std::getline(distances, line)) {
+    ++line_number;
     if (line.empty()) continue;
     const std::vector<std::string> cells = SplitCsvLine(line);
     if (cells.size() != 3) {
-      D2_LOG(ERROR) << "bad distance row '" << line << "' in "
-                    << distances_path;
+      D2_LOG(ERROR) << distances_path << ":" << line_number
+                    << ": expected 3 columns (from,to,distance), got "
+                    << cells.size();
       return false;
     }
     float from_f, to_f, d;
     if (!ParseFloat(cells[0], &from_f) || !ParseFloat(cells[1], &to_f) ||
         !ParseFloat(cells[2], &d)) {
       if (edges == 0) continue;  // header row
-      D2_LOG(ERROR) << "non-numeric distance row '" << line << "'";
+      D2_LOG(ERROR) << distances_path << ":" << line_number
+                    << ": non-numeric distance row '" << line << "'";
+      return false;
+    }
+    if (!std::isfinite(d) || d < 0.0f) {
+      D2_LOG(ERROR) << distances_path << ":" << line_number << ": column 3"
+                    << ": bad distance '" << cells[2]
+                    << "' (must be finite and non-negative)";
       return false;
     }
     const int64_t from = static_cast<int64_t>(from_f);
     const int64_t to = static_cast<int64_t>(to_f);
     if (from < 0 || from >= num_nodes || to < 0 || to >= num_nodes) {
-      D2_LOG(ERROR) << "sensor index out of range in '" << line << "'";
+      D2_LOG(ERROR) << distances_path << ":" << line_number
+                    << ": sensor index out of range in '" << line << "' ("
+                    << num_nodes << " sensors)";
       return false;
     }
     dist[static_cast<size_t>(from * num_nodes + to)] = d;

@@ -122,10 +122,14 @@ std::vector<Batch> WindowDataLoader::AssembleAllBatches() const {
 }
 
 void WindowDataLoader::Shuffle(Rng& rng) {
+  // Permute the canonical (construction-time) order, not the current one:
+  // composing permutations would make the order depend on the shuffle
+  // history, which a resumed training run does not have.
+  if (canonical_starts_.empty()) canonical_starts_ = starts_;
   const std::vector<int64_t> perm = rng.Permutation(num_samples());
-  std::vector<int64_t> shuffled(starts_.size());
-  for (size_t i = 0; i < starts_.size(); ++i) {
-    shuffled[i] = starts_[static_cast<size_t>(perm[i])];
+  std::vector<int64_t> shuffled(canonical_starts_.size());
+  for (size_t i = 0; i < canonical_starts_.size(); ++i) {
+    shuffled[i] = canonical_starts_[static_cast<size_t>(perm[i])];
   }
   starts_ = std::move(shuffled);
 }

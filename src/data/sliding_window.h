@@ -72,6 +72,11 @@ class WindowDataLoader {
   std::vector<Batch> AssembleAllBatches() const;
 
   /// Reshuffles the sample order (call between epochs during training).
+  /// Path-independent: the order after the call is the drawn permutation
+  /// applied to the *construction-time* order, so it depends only on the
+  /// rng state — never on earlier shuffles. A training run resumed from a
+  /// checkpointed rng state therefore reproduces the same batch order on a
+  /// freshly constructed loader (the bitwise-resume contract).
   void Shuffle(Rng& rng);
 
   int64_t num_samples() const {
@@ -82,6 +87,7 @@ class WindowDataLoader {
   const TimeSeriesDataset* dataset_;
   const StandardScaler* scaler_;
   std::vector<int64_t> starts_;
+  std::vector<int64_t> canonical_starts_;  ///< construction-time order
   int64_t input_len_;
   int64_t output_len_;
   int64_t batch_size_;

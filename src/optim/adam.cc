@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/logging.h"
 
 namespace d2stgnn::optim {
 
@@ -49,6 +50,38 @@ void Adam::Step() {
       data[j] -= learning_rate_ * m_hat / (std::sqrt(v_hat) + epsilon_);
     }
   }
+}
+
+OptimizerState Adam::ExportState() const {
+  OptimizerState state;
+  state.type = "adam";
+  state.step_count = step_count_;
+  state.learning_rate = learning_rate_;
+  state.slots.emplace_back("m", m_);
+  state.slots.emplace_back("v", v_);
+  return state;
+}
+
+bool Adam::ImportState(const OptimizerState& state) {
+  if (state.type != "adam") {
+    D2_LOG(ERROR) << "cannot import optimizer state of type '" << state.type
+                  << "' into Adam";
+    return false;
+  }
+  if (state.slots.size() != 2 || state.slots[0].first != "m" ||
+      state.slots[1].first != "v") {
+    D2_LOG(ERROR) << "Adam state must have slots m, v";
+    return false;
+  }
+  if (!SlotMatchesParams("m", state.slots[0].second) ||
+      !SlotMatchesParams("v", state.slots[1].second)) {
+    return false;
+  }
+  step_count_ = state.step_count;
+  learning_rate_ = state.learning_rate;
+  m_ = state.slots[0].second;
+  v_ = state.slots[1].second;
+  return true;
 }
 
 }  // namespace d2stgnn::optim

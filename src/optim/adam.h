@@ -18,6 +18,12 @@ class Adam : public Optimizer {
 
   void Step() override;
 
+  /// Captures learning rate, step count, and both moment buffers.
+  OptimizerState ExportState() const override;
+
+  /// Restores a state exported from an Adam over the same parameters.
+  bool ImportState(const OptimizerState& state) override;
+
  private:
   float beta1_;
   float beta2_;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/logging.h"
 
 namespace d2stgnn::optim {
 
@@ -17,6 +18,26 @@ Optimizer::Optimizer(std::vector<Tensor> params, float learning_rate)
 
 void Optimizer::ZeroGrad() {
   for (Tensor& p : params_) p.ZeroGrad();
+}
+
+bool Optimizer::SlotMatchesParams(
+    const std::string& name,
+    const std::vector<std::vector<float>>& slot) const {
+  if (slot.size() != params_.size()) {
+    D2_LOG(ERROR) << "optimizer state slot '" << name << "' has "
+                  << slot.size() << " entries, optimizer has "
+                  << params_.size() << " parameters";
+    return false;
+  }
+  for (size_t i = 0; i < slot.size(); ++i) {
+    if (slot[i].size() != params_[i].Data().size()) {
+      D2_LOG(ERROR) << "optimizer state slot '" << name << "' entry " << i
+                    << " has " << slot[i].size() << " elements, parameter has "
+                    << params_[i].Data().size();
+      return false;
+    }
+  }
+  return true;
 }
 
 float ClipGradNorm(const std::vector<Tensor>& params, float max_norm) {

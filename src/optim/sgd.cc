@@ -1,6 +1,7 @@
 #include "optim/sgd.h"
 
 #include "common/check.h"
+#include "common/logging.h"
 
 namespace d2stgnn::optim {
 
@@ -26,6 +27,30 @@ void Sgd::Step() {
       data[j] -= learning_rate_ * vel[j];
     }
   }
+}
+
+OptimizerState Sgd::ExportState() const {
+  OptimizerState state;
+  state.type = "sgd";
+  state.learning_rate = learning_rate_;
+  state.slots.emplace_back("velocity", velocity_);
+  return state;
+}
+
+bool Sgd::ImportState(const OptimizerState& state) {
+  if (state.type != "sgd") {
+    D2_LOG(ERROR) << "cannot import optimizer state of type '" << state.type
+                  << "' into Sgd";
+    return false;
+  }
+  if (state.slots.size() != 1 || state.slots[0].first != "velocity") {
+    D2_LOG(ERROR) << "Sgd state must have slot velocity";
+    return false;
+  }
+  if (!SlotMatchesParams("velocity", state.slots[0].second)) return false;
+  learning_rate_ = state.learning_rate;
+  velocity_ = state.slots[0].second;
+  return true;
 }
 
 }  // namespace d2stgnn::optim

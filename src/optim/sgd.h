@@ -16,6 +16,12 @@ class Sgd : public Optimizer {
 
   void Step() override;
 
+  /// Captures learning rate and the momentum buffer.
+  OptimizerState ExportState() const override;
+
+  /// Restores a state exported from an Sgd over the same parameters.
+  bool ImportState(const OptimizerState& state) override;
+
  private:
   float momentum_;
   std::vector<std::vector<float>> velocity_;

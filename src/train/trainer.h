@@ -2,6 +2,7 @@
 #define D2STGNN_TRAIN_TRAINER_H_
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "data/scaler.h"
@@ -31,6 +32,34 @@ struct TrainerOptions {
   uint64_t seed = 7;
   /// Log a line per epoch.
   bool verbose = false;
+
+  // --- fault tolerance (see DESIGN.md §8) ---
+  /// Directory for periodic full-state checkpoints ("" disables
+  /// checkpointing). Created by the caller; files inside are managed by
+  /// the trainer (write + retention pruning).
+  std::string checkpoint_dir;
+  /// Epochs between periodic checkpoints when `checkpoint_dir` is set.
+  int64_t checkpoint_every = 1;
+  /// Retention: keep the newest N periodic checkpoints plus the best-
+  /// validation checkpoint. <= 0 keeps everything.
+  int64_t keep_checkpoints = 3;
+  /// Path of a full-state checkpoint to resume from ("" = fresh run).
+  /// The resumed run reproduces the uninterrupted run bitwise (same
+  /// options, data, and thread count — see the determinism contract in
+  /// common/thread_pool.h).
+  std::string resume_from;
+  /// Install cooperative SIGINT/SIGTERM handlers for the duration of Fit:
+  /// on the first signal the current batch finishes, a mid-epoch
+  /// checkpoint is written (when `checkpoint_dir` is set), and Fit
+  /// returns a clean FitResult with StopReason::kInterrupted.
+  bool handle_signals = false;
+  /// Divergence recovery: when a non-finite loss or gradient norm shows
+  /// up, roll back to the state at the start of the epoch, scale the
+  /// learning rate by `lr_decay_on_divergence`, and retry the epoch — at
+  /// most `max_divergence_retries` times across the whole run before Fit
+  /// gives up with StopReason::kDiverged.
+  int64_t max_divergence_retries = 3;
+  float lr_decay_on_divergence = 0.5f;
 };
 
 /// Per-epoch training record.
@@ -40,13 +69,45 @@ struct EpochStats {
   double seconds = 0.0;            ///< wall-clock time of the epoch
 };
 
-/// Result of Trainer::Fit.
+/// Why Trainer::Fit returned.
+enum class StopReason {
+  kCompleted = 0,  ///< ran every epoch
+  kEarlyStopped,   ///< validation patience exhausted
+  kInterrupted,    ///< cooperative SIGINT/SIGTERM (or RequestStop)
+  kDiverged,       ///< non-finite loss survived every recovery retry
+  kResumeFailed,   ///< `resume_from` could not be loaded; nothing ran
+};
+
+/// Human-readable name of a StopReason ("completed", "interrupted", ...).
+const char* StopReasonName(StopReason reason);
+
+/// Result of Trainer::Fit. After a resume, `history` covers the whole run
+/// (restored epochs plus the ones executed now) and `start_epoch` marks
+/// where this invocation picked up.
 struct FitResult {
   std::vector<EpochStats> history;
   int64_t best_epoch = -1;
   double best_val_mae = 0.0;
   double mean_epoch_seconds = 0.0;  ///< training time only (Figure 6)
+  StopReason stop_reason = StopReason::kCompleted;
+  int64_t start_epoch = 0;
+  /// Divergence-recovery rollbacks performed during this invocation.
+  int64_t divergence_rollbacks = 0;
+  /// Checkpoint written on interruption ("" unless kInterrupted with a
+  /// checkpoint_dir) — pass it back as `resume_from` to continue.
+  std::string interrupt_checkpoint;
 };
+
+/// Requests a cooperative stop of any in-flight Fit (async-signal-safe;
+/// this is what the SIGINT/SIGTERM handlers call). The trainer finishes
+/// the current batch, checkpoints, and returns kInterrupted.
+void RequestStop();
+
+/// True once a stop has been requested and not yet consumed by Fit.
+bool StopRequested();
+
+/// Clears the stop flag (Fit does this on entry and after honoring one).
+void ClearStopRequest();
 
 /// Trains a ForecastingModel with Adam + masked MAE + curriculum learning +
 /// early stopping — the paper's recipe, shared across D²STGNN and all deep

@@ -2,13 +2,19 @@
 // abort with a diagnostic on contract violations instead of corrupting
 // state.
 
+#include <unistd.h>
+
+#include <csignal>
+
 #include <gtest/gtest.h>
 
 #include "common/check.h"
+#include "common/fault_injection.h"
 #include "common/rng.h"
 #include "data/sliding_window.h"
 #include "nn/linear.h"
 #include "tensor/ops.h"
+#include "train/checkpoint.h"
 
 namespace d2stgnn {
 namespace {
@@ -63,6 +69,42 @@ TEST(DeathTest, LinearWrongInputWidthAborts) {
 TEST(DeathTest, ItemOnMultiElementAborts) {
   Tensor a({3});
   EXPECT_DEATH(a.Item(), "single-element");
+}
+
+// Crash safety: SIGKILL the process mid-checkpoint-write and assert the
+// previously committed checkpoint is still fully loadable (the atomic
+// temp+rename protocol never exposes a torn file under the final name).
+TEST(DeathTest, SigkillMidCheckpointWriteKeepsPreviousLoadable) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  const std::string path =
+      ::testing::TempDir() + "/death_midwrite.d2ck";
+  ::unlink(path.c_str());
+  EXPECT_EXIT(
+      {
+        Rng rng(3);
+        nn::Linear layer(4, 2, rng);
+        std::vector<Tensor> params = layer.Parameters();
+        for (Tensor& p : params) {
+          for (float& x : p.Data()) x = 1.25f;
+        }
+        if (!train::SaveCheckpoint(layer, path)) ::_exit(1);
+        for (Tensor& p : params) {
+          for (float& x : p.Data()) x = 2.5f;
+        }
+        fault::FaultScript script;
+        script.kind = fault::FaultKind::kCrash;
+        script.trigger_offset = 24;
+        fault::ArmFaultPoint("checkpoint.write", script);
+        train::SaveCheckpoint(layer, path);  // SIGKILLs itself mid-write
+        ::_exit(0);                          // never reached
+      },
+      ::testing::KilledBySignal(SIGKILL), "");
+  Rng rng(9);
+  nn::Linear loaded(4, 2, rng);
+  ASSERT_TRUE(train::LoadCheckpoint(&loaded, path));
+  for (const Tensor& p : loaded.Parameters()) {
+    for (float x : p.Data()) EXPECT_EQ(x, 1.25f);
+  }
 }
 
 }  // namespace

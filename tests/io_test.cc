@@ -90,6 +90,61 @@ TEST(CsvLoader, RejectsRaggedRows) {
                                     data::CsvDatasetOptions(), &loaded));
 }
 
+TEST(CsvLoader, RejectsNonFiniteReadings) {
+  const std::string readings = TempPath("nonfinite.csv");
+  const std::string distances = TempPath("nonfinite_dist.csv");
+  {
+    std::ofstream r(readings);
+    r << "1.0,2.0\n3.0,nan\n";
+    std::ofstream d(distances);
+    d << "0,1,1.0\n";
+  }
+  data::TimeSeriesDataset loaded;
+  EXPECT_FALSE(data::LoadCsvDataset(readings, distances,
+                                    data::CsvDatasetOptions(), &loaded));
+  // inf is rejected the same way.
+  {
+    std::ofstream r(readings);
+    r << "1.0,2.0\ninf,4.0\n";
+  }
+  EXPECT_FALSE(data::LoadCsvDataset(readings, distances,
+                                    data::CsvDatasetOptions(), &loaded));
+}
+
+TEST(CsvLoader, RejectsNonFiniteOrNegativeDistance) {
+  const std::string readings = TempPath("baddist.csv");
+  const std::string distances = TempPath("baddist_dist.csv");
+  {
+    std::ofstream r(readings);
+    r << "1.0,2.0\n3.0,4.0\n";
+    std::ofstream d(distances);
+    d << "0,1,inf\n";
+  }
+  data::TimeSeriesDataset loaded;
+  EXPECT_FALSE(data::LoadCsvDataset(readings, distances,
+                                    data::CsvDatasetOptions(), &loaded));
+  {
+    std::ofstream d(distances);
+    d << "0,1,-2.0\n";
+  }
+  EXPECT_FALSE(data::LoadCsvDataset(readings, distances,
+                                    data::CsvDatasetOptions(), &loaded));
+}
+
+TEST(CsvLoader, RejectsWrongDistanceColumnCount) {
+  const std::string readings = TempPath("cols.csv");
+  const std::string distances = TempPath("cols_dist.csv");
+  {
+    std::ofstream r(readings);
+    r << "1.0,2.0\n3.0,4.0\n";
+    std::ofstream d(distances);
+    d << "0,1\n";
+  }
+  data::TimeSeriesDataset loaded;
+  EXPECT_FALSE(data::LoadCsvDataset(readings, distances,
+                                    data::CsvDatasetOptions(), &loaded));
+}
+
 TEST(CsvLoader, RejectsMissingFile) {
   data::TimeSeriesDataset loaded;
   EXPECT_FALSE(data::LoadCsvDataset("/nonexistent/readings.csv",
