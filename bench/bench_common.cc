@@ -109,9 +109,17 @@ TrainedModelResult TrainAndEvaluateModel(
 
   TrainedModelResult result;
   result.horizons =
-      train::EvaluateHorizons(model, &prepared.scaler, &test_loader);
+      train::EvaluateHorizons(model, &prepared.scaler, &test_loader,
+                              /*horizons=*/{3, 6, 12}, /*null_value=*/0.0f,
+                              &result.eval_timing);
   result.mean_epoch_seconds = fit.mean_epoch_seconds;
   result.parameter_count = model->ParameterCount();
+  std::printf(
+      "  eval forward latency over %lld batches: p50 %.2f ms  p95 %.2f ms  "
+      "p99 %.2f ms\n",
+      static_cast<long long>(result.eval_timing.batches),
+      result.eval_timing.forward_ms.p50, result.eval_timing.forward_ms.p95,
+      result.eval_timing.forward_ms.p99);
   return result;
 }
 

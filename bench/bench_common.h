@@ -64,6 +64,7 @@ std::vector<int64_t> StrideSubsample(const std::vector<int64_t>& starts,
 /// Result of training one deep model on one dataset.
 struct TrainedModelResult {
   std::vector<train::HorizonMetrics> horizons;  // at 3 / 6 / 12
+  train::EvaluationTiming eval_timing;          // test-pass forward latency
   double mean_epoch_seconds = 0.0;
   int64_t parameter_count = 0;
 };

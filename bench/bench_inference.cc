@@ -1,0 +1,297 @@
+// Serving-latency benchmark for the forward-only inference engine.
+//
+// Sweeps the InferenceSession across execution threads {1, 2, 4} and batch
+// sizes {1, 4, 8}, reporting per-call p50/p95/p99 latency and request
+// throughput, then drives the BatchingServer with closed-loop concurrent
+// producers for the end-to-end serving numbers. Machine-readable results go
+// to bench/results/BENCH_inference.json (override the directory with
+// D2STGNN_BENCH_OUT_DIR); the JSON's `summary` records the headline
+// acceptance ratio — batched throughput at batch 8 vs single-request
+// throughput on 4 threads.
+//
+// Knobs (environment):
+//   D2STGNN_INFER_BENCH_ITERS      timed calls per configuration (default 40)
+//   D2STGNN_INFER_BENCH_SERVER_REQS  requests per server producer (default 80)
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <filesystem>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "core/d2stgnn.h"
+#include "data/sliding_window.h"
+#include "data/synthetic_traffic.h"
+#include "infer/batching_server.h"
+#include "infer/session.h"
+#include "metrics/metrics.h"
+
+namespace d2stgnn {
+namespace {
+
+constexpr int64_t kNodes = 4;
+constexpr int64_t kInputLen = 12;
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoll(value) : fallback;
+}
+
+struct BenchRecord {
+  std::string mode;  // "session" or "server"
+  int threads = 1;
+  int64_t batch_size = 1;
+  int64_t requests = 0;
+  metrics::LatencyStats latency_ms;
+  double throughput_rps = 0.0;
+};
+
+struct Workload {
+  data::SyntheticTraffic traffic;
+  data::StandardScaler scaler;
+  std::unique_ptr<infer::InferenceSession> session;
+  std::vector<infer::ForecastRequest> requests;  // a ring of real windows
+};
+
+Workload BuildWorkload() {
+  Workload w;
+  data::SyntheticTrafficOptions options;
+  options.network.num_nodes = kNodes;
+  options.network.neighbors = 2;
+  options.num_steps = 600;
+  options.seed = 17;
+  w.traffic = data::GenerateSyntheticTraffic(options);
+  w.scaler.Fit(w.traffic.dataset.values, 400, true);
+
+  core::D2StgnnConfig config;
+  config.num_nodes = kNodes;
+  config.input_len = kInputLen;
+  config.output_len = 12;
+  config.hidden_dim = 8;
+  config.embed_dim = 4;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.steps_per_day = w.traffic.dataset.steps_per_day;
+  Rng rng(3);
+  auto model = std::make_unique<core::D2Stgnn>(
+      config, w.traffic.dataset.network.adjacency, rng);
+
+  infer::SessionOptions session_options;
+  session_options.num_nodes = kNodes;
+  session_options.input_len = kInputLen;
+  session_options.steps_per_day = w.traffic.dataset.steps_per_day;
+  w.session = infer::InferenceSession::Wrap(std::move(model), w.scaler,
+                                            session_options);
+
+  const std::vector<float>& values = w.traffic.dataset.values.Data();
+  for (int64_t start = 0; start < 64; ++start) {
+    infer::ForecastRequest request;
+    request.window.assign(values.data() + start * kNodes,
+                          values.data() + (start + kInputLen) * kNodes);
+    request.time_of_day = w.traffic.dataset.TimeOfDay(start);
+    request.day_of_week = w.traffic.dataset.DayOfWeek(start);
+    w.requests.push_back(std::move(request));
+  }
+  return w;
+}
+
+// Direct PredictRequests calls at a fixed batch size: the cost of one
+// coalesced forward, and how batching amortizes it per request.
+BenchRecord BenchSession(Workload& w, int threads, int64_t batch_size,
+                         int64_t iters) {
+  SetNumThreads(threads);
+  std::vector<infer::ForecastRequest> batch;
+  for (int64_t i = 0; i < batch_size; ++i) {
+    batch.push_back(w.requests[static_cast<size_t>(i) % w.requests.size()]);
+  }
+  w.session->Warmup(batch_size, /*runs=*/2);
+
+  using clock = std::chrono::steady_clock;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<size_t>(iters));
+  const auto sweep_start = clock::now();
+  for (int64_t i = 0; i < iters; ++i) {
+    const auto start = clock::now();
+    const std::vector<infer::Forecast> results =
+        w.session->PredictRequests(batch);
+    for (const infer::Forecast& f : results) {
+      if (!f.ok) {
+        std::fprintf(stderr, "bench forward failed: %s\n", f.error.c_str());
+        std::exit(1);
+      }
+    }
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(clock::now() - start)
+            .count());
+  }
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - sweep_start).count();
+
+  BenchRecord r;
+  r.mode = "session";
+  r.threads = threads;
+  r.batch_size = batch_size;
+  r.requests = iters * batch_size;
+  r.latency_ms = metrics::SummarizeLatencies(latencies_ms);
+  r.throughput_rps = static_cast<double>(r.requests) / elapsed;
+  return r;
+}
+
+// Closed-loop producers against the BatchingServer: each submits its next
+// request as soon as the previous future resolves, so the dispatcher always
+// has traffic to coalesce — the saturated end-to-end serving throughput.
+BenchRecord BenchServer(Workload& w, int threads, int producers,
+                        int64_t per_producer) {
+  SetNumThreads(threads);
+  infer::BatchingOptions options;
+  options.max_batch_size = 8;
+  options.max_wait_us = 500;
+  infer::BatchingServer server(w.session.get(), options);
+
+  using clock = std::chrono::steady_clock;
+  std::vector<std::vector<double>> latencies(
+      static_cast<size_t>(producers));
+  const auto start = clock::now();
+  std::vector<std::thread> workers;
+  for (int p = 0; p < producers; ++p) {
+    workers.emplace_back([&, p] {
+      std::vector<double>& mine = latencies[static_cast<size_t>(p)];
+      mine.reserve(static_cast<size_t>(per_producer));
+      for (int64_t i = 0; i < per_producer; ++i) {
+        const infer::ForecastRequest& request =
+            w.requests[static_cast<size_t>(p * per_producer + i) %
+                       w.requests.size()];
+        const auto submit = clock::now();
+        infer::Forecast f = server.Submit(request).get();
+        if (!f.ok) {
+          std::fprintf(stderr, "server request failed: %s\n",
+                       f.error.c_str());
+          std::exit(1);
+        }
+        mine.push_back(
+            std::chrono::duration<double, std::milli>(clock::now() - submit)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  server.Shutdown();
+
+  std::vector<double> all;
+  for (const std::vector<double>& chunk : latencies) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  BenchRecord r;
+  r.mode = "server";
+  r.threads = threads;
+  r.batch_size = options.max_batch_size;
+  r.requests = static_cast<int64_t>(all.size());
+  r.latency_ms = metrics::SummarizeLatencies(all);
+  r.throughput_rps = static_cast<double>(all.size()) / elapsed;
+  return r;
+}
+
+void PrintRecord(const BenchRecord& r) {
+  std::printf(
+      "%-7s threads=%d batch=%-2lld  p50 %7.3f ms  p95 %7.3f ms  "
+      "p99 %7.3f ms  %9.1f req/s\n",
+      r.mode.c_str(), r.threads, static_cast<long long>(r.batch_size),
+      r.latency_ms.p50, r.latency_ms.p95, r.latency_ms.p99,
+      r.throughput_rps);
+}
+
+int WriteJson(const std::string& path, const std::vector<BenchRecord>& records,
+              double single_rps, double batch8_rps) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n  \"records\": [\n",
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"threads\": %d, \"batch_size\": %lld, "
+        "\"requests\": %lld, \"p50_ms\": %.6f, \"p95_ms\": %.6f, "
+        "\"p99_ms\": %.6f, \"mean_ms\": %.6f, \"max_ms\": %.6f, "
+        "\"throughput_rps\": %.3f}%s\n",
+        r.mode.c_str(), r.threads, static_cast<long long>(r.batch_size),
+        static_cast<long long>(r.requests), r.latency_ms.p50,
+        r.latency_ms.p95, r.latency_ms.p99, r.latency_ms.mean,
+        r.latency_ms.max, r.throughput_rps,
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"summary\": {\"single_request_rps_4t\": %.3f, "
+               "\"batch8_rps_4t\": %.3f, \"batch8_speedup_vs_single\": "
+               "%.3f}\n}\n",
+               single_rps, batch8_rps,
+               single_rps > 0.0 ? batch8_rps / single_rps : 0.0);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+int Run() {
+  const int64_t iters = EnvInt("D2STGNN_INFER_BENCH_ITERS", 40);
+  const int64_t server_reqs = EnvInt("D2STGNN_INFER_BENCH_SERVER_REQS", 80);
+  Workload w = BuildWorkload();
+  if (w.session == nullptr) {
+    std::fprintf(stderr, "failed to build inference session\n");
+    return 1;
+  }
+
+  std::vector<BenchRecord> records;
+  double single_rps_4t = 0.0;
+  double batch8_rps_4t = 0.0;
+  for (int threads : {1, 2, 4}) {
+    for (int64_t batch_size : {1, 4, 8}) {
+      const BenchRecord r = BenchSession(w, threads, batch_size, iters);
+      PrintRecord(r);
+      if (threads == 4 && batch_size == 1) single_rps_4t = r.throughput_rps;
+      if (threads == 4 && batch_size == 8) batch8_rps_4t = r.throughput_rps;
+      records.push_back(r);
+    }
+  }
+  for (int threads : {1, 2, 4}) {
+    const BenchRecord r =
+        BenchServer(w, threads, /*producers=*/4, server_reqs);
+    PrintRecord(r);
+    records.push_back(r);
+  }
+  SetNumThreads(1);
+
+  const double speedup =
+      single_rps_4t > 0.0 ? batch8_rps_4t / single_rps_4t : 0.0;
+  std::printf("batch-8 throughput on 4 threads: %.1f req/s = %.2fx "
+              "single-request (%.1f req/s)\n",
+              batch8_rps_4t, speedup, single_rps_4t);
+
+  const char* out_dir = std::getenv("D2STGNN_BENCH_OUT_DIR");
+  const std::string dir =
+      out_dir != nullptr ? out_dir : D2STGNN_BENCH_RESULTS_DIR;
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", dir.c_str(),
+                 ec.message().c_str());
+    return 1;
+  }
+  return WriteJson(dir + "/BENCH_inference.json", records, single_rps_4t,
+                   batch8_rps_4t);
+}
+
+}  // namespace
+}  // namespace d2stgnn
+
+int main() { return d2stgnn::Run(); }

@@ -1,0 +1,210 @@
+// Serving a trained model with the inference engine: an InferenceSession
+// wrapping D2STGNN behind a micro-batching BatchingServer, driven by an
+// open-loop load generator — producers submit on a fixed schedule whether
+// or not earlier requests have finished, like real traffic does — then a
+// latency/throughput report.
+//
+//   ./build/examples/serve_forecasts [rate_rps] [seconds] [producers]
+//
+// Defaults: 200 req/s for 2 seconds from 2 producers.
+
+#include <cstdio>
+#include <cstdlib>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/d2stgnn.h"
+#include "data/sliding_window.h"
+#include "data/synthetic_traffic.h"
+#include "infer/batching_server.h"
+#include "infer/session.h"
+#include "metrics/metrics.h"
+
+using namespace d2stgnn;
+
+int main(int argc, char** argv) {
+  const double rate_rps = argc > 1 ? std::atof(argv[1]) : 200.0;
+  const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
+  const int producers = argc > 3 ? std::atoi(argv[3]) : 2;
+  if (rate_rps <= 0.0 || seconds <= 0.0 || producers <= 0) {
+    std::fprintf(stderr, "usage: %s [rate_rps] [seconds] [producers]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  // A road network and a model to serve. A real deployment would
+  // InferenceSession::Load() a trained checkpoint instead of Wrap()-ing
+  // fresh weights; the serving path is identical.
+  constexpr int64_t kNodes = 20;
+  constexpr int64_t kInputLen = 12;
+  data::SyntheticTrafficOptions traffic_options;
+  traffic_options.network.num_nodes = kNodes;
+  traffic_options.num_steps = 600;
+  traffic_options.seed = 11;
+  const data::SyntheticTraffic traffic =
+      data::GenerateSyntheticTraffic(traffic_options);
+  data::StandardScaler scaler;
+  scaler.Fit(traffic.dataset.values, 400, true);
+
+  core::D2StgnnConfig config;
+  config.num_nodes = kNodes;
+  config.input_len = kInputLen;
+  config.output_len = 12;
+  config.hidden_dim = 16;
+  config.embed_dim = 8;
+  config.steps_per_day = traffic.dataset.steps_per_day;
+  Rng rng(3);
+  auto model = std::make_unique<core::D2Stgnn>(
+      config, traffic.dataset.network.adjacency, rng);
+
+  infer::SessionOptions session_options;
+  session_options.num_nodes = kNodes;
+  session_options.input_len = kInputLen;
+  session_options.steps_per_day = traffic.dataset.steps_per_day;
+  auto session =
+      infer::InferenceSession::Wrap(std::move(model), scaler, session_options);
+  if (session == nullptr) return 1;
+
+  infer::BatchingOptions batching;
+  batching.max_batch_size = 8;
+  batching.max_wait_us = 1000;
+  batching.max_queue_depth = 1024;
+  infer::BatchingServer server(session.get(), batching);
+
+  // A ring of real sensor windows to request forecasts for.
+  std::vector<infer::ForecastRequest> ring;
+  const std::vector<float>& values = traffic.dataset.values.Data();
+  for (int64_t start = 0; start < 64; ++start) {
+    infer::ForecastRequest request;
+    request.window.assign(values.data() + start * kNodes,
+                          values.data() + (start + kInputLen) * kNodes);
+    request.time_of_day = traffic.dataset.TimeOfDay(start);
+    request.day_of_week = traffic.dataset.DayOfWeek(start);
+    ring.push_back(std::move(request));
+  }
+
+  std::printf("open-loop load: %.0f req/s for %.1f s from %d producer%s\n",
+              rate_rps, seconds, producers, producers == 1 ? "" : "s");
+
+  using clock = std::chrono::steady_clock;
+  struct InFlight {
+    clock::time_point submitted;
+    std::future<infer::Forecast> future;
+  };
+  // Each producer hands its in-flight requests to a harvester thread that
+  // waits on the futures in submission order, so latency is stamped when a
+  // forecast arrives, not when a post-run sweep gets around to it.
+  struct ProducerLane {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<InFlight> pending;
+    bool done = false;
+    std::vector<double> latencies_ms;
+    int64_t shed = 0;
+  };
+  std::vector<ProducerLane> lanes(static_cast<size_t>(producers));
+  const auto interval = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(static_cast<double>(producers) /
+                                    rate_rps));
+  const auto bench_start = clock::now();
+  const auto bench_end =
+      bench_start + std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double>(seconds));
+
+  std::vector<std::thread> workers;
+  for (int p = 0; p < producers; ++p) {
+    ProducerLane& lane = lanes[static_cast<size_t>(p)];
+    workers.emplace_back([&, p] {
+      auto next = bench_start + interval * p / producers;
+      size_t i = static_cast<size_t>(p);
+      while (next < bench_end) {
+        std::this_thread::sleep_until(next);
+        InFlight entry{clock::now(), server.Submit(ring[i % ring.size()])};
+        {
+          std::lock_guard<std::mutex> hold(lane.mu);
+          lane.pending.push_back(std::move(entry));
+        }
+        lane.cv.notify_one();
+        i += static_cast<size_t>(producers);
+        next += interval;  // open loop: the schedule never waits on results
+      }
+      {
+        std::lock_guard<std::mutex> hold(lane.mu);
+        lane.done = true;
+      }
+      lane.cv.notify_one();
+    });
+    workers.emplace_back([&lane] {
+      for (;;) {
+        std::unique_lock<std::mutex> hold(lane.mu);
+        lane.cv.wait(hold,
+                     [&lane] { return lane.done || !lane.pending.empty(); });
+        if (lane.pending.empty()) break;
+        InFlight entry = std::move(lane.pending.front());
+        lane.pending.pop_front();
+        hold.unlock();
+        const infer::Forecast forecast = entry.future.get();
+        if (forecast.ok) {
+          lane.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(clock::now() -
+                                                        entry.submitted)
+                  .count());
+        } else {
+          ++lane.shed;  // "queue full" under overload
+        }
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - bench_start).count();
+  server.Shutdown();
+
+  std::vector<double> latencies_ms;
+  int64_t shed = 0;
+  for (const ProducerLane& lane : lanes) {
+    latencies_ms.insert(latencies_ms.end(), lane.latencies_ms.begin(),
+                        lane.latencies_ms.end());
+    shed += lane.shed;
+  }
+
+  const metrics::LatencyStats stats =
+      metrics::SummarizeLatencies(latencies_ms);
+  const infer::BatchingServerStats server_stats = server.stats();
+  std::printf("served %lld requests in %.2f s (%.1f req/s), %lld shed\n",
+              static_cast<long long>(stats.count), elapsed,
+              static_cast<double>(stats.count) / elapsed,
+              static_cast<long long>(shed));
+  std::printf("latency: p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  max %.3f ms\n",
+              stats.p50, stats.p95, stats.p99, stats.max);
+  std::printf("batches: %lld (%lld full, %lld by timer), mean %.2f req/batch, "
+              "peak queue %lld\n",
+              static_cast<long long>(server_stats.batches),
+              static_cast<long long>(server_stats.full_flushes),
+              static_cast<long long>(server_stats.timeout_flushes),
+              server_stats.batches > 0
+                  ? static_cast<double>(server_stats.completed) /
+                        static_cast<double>(server_stats.batches)
+                  : 0.0,
+              static_cast<long long>(server_stats.max_queue_depth_seen));
+
+  // One forecast, end to end, for show: the model's 12-step speed forecast
+  // for sensor 0.
+  const infer::Forecast sample = session->PredictOne(ring[0]);
+  if (sample.ok) {
+    std::printf("sensor 0 forecast (mph):");
+    for (int64_t t = 0; t < sample.horizon; ++t) {
+      std::printf(" %.1f", sample.values[static_cast<size_t>(
+                               t * sample.num_nodes)]);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

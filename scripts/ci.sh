@@ -1,16 +1,19 @@
 #!/usr/bin/env bash
-# CI entry point: builds and tests the repo in four stages.
+# CI entry point: builds and tests the repo in stages.
 #
 #   1. Release (+Werror)  — the full tier-1 suite; warnings are errors.
 #   2. ThreadSanitizer    — the execution-layer and tensor tests, to catch
 #      data races in the thread pool and parallel kernels.
-#   3. UBSanitizer        — the full suite under -fsanitize=undefined.
-#   4. ASan+UBSan         — the fault-injection / crash-safety suite
+#   3. Inference suite    — the inference session and batching server under
+#      TSan (concurrent submitters), then a reduced bench_inference run
+#      asserting BENCH_inference.json is produced and well-formed.
+#   4. UBSanitizer        — the full suite under -fsanitize=undefined.
+#   5. ASan+UBSan         — the fault-injection / crash-safety suite
 #      (checkpoints, durable I/O, divergence recovery, death tests), where
 #      torn buffers and use-after-free bugs would hide.
-#   5. Corruption smoke   — end-to-end: train with checkpointing, flip one
+#   6. Corruption smoke   — end-to-end: train with checkpointing, flip one
 #      byte in the newest checkpoint, assert resume rejects it.
-#   6. Lint               — clang-tidy over the compilation database
+#   7. Lint               — clang-tidy over the compilation database
 #      (skipped with a notice when clang-tidy is not installed).
 #
 # Both ctest invocations pass --no-tests=error so a filter that matches zero
@@ -37,6 +40,31 @@ cmake --build build-tsan -j "$(nproc)" \
   --target thread_pool_test parallel_determinism_test tensor_test
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
   -R 'ThreadPool|ParallelDeterminism|Tensor' --no-tests=error
+
+echo "=== Inference suite: batching server under TSan + bench smoke ==="
+cmake --build build-tsan -j "$(nproc)" \
+  --target infer_server_test infer_session_test
+ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+  -R 'InferServer|InferSession' --no-tests=error
+cmake --build build -j "$(nproc)" --target bench_inference
+bench_out="build/infer-bench-smoke"
+rm -rf "$bench_out"
+D2STGNN_BENCH_OUT_DIR="$bench_out" \
+D2STGNN_INFER_BENCH_ITERS=3 D2STGNN_INFER_BENCH_SERVER_REQS=8 \
+  build/bench/bench_inference > /dev/null
+python3 - "$bench_out/BENCH_inference.json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+records = doc["records"]
+assert records, "BENCH_inference.json has no records"
+for r in records:
+    assert r["mode"] in ("session", "server"), r
+    assert r["throughput_rps"] > 0, r
+    assert r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"], r
+assert "batch8_speedup_vs_single" in doc["summary"]
+print("BENCH_inference.json well-formed:", len(records), "records")
+EOF
 
 echo "=== UBSanitizer build + full test suite ==="
 cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

@@ -1,0 +1,169 @@
+#include "infer/batching_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+
+namespace d2stgnn::infer {
+
+namespace {
+
+// A future that is already resolved with an error (rejections never touch
+// the queue or the dispatcher).
+std::future<Forecast> RejectedFuture(std::string error) {
+  std::promise<Forecast> promise;
+  Forecast forecast;
+  forecast.error = std::move(error);
+  promise.set_value(std::move(forecast));
+  return promise.get_future();
+}
+
+}  // namespace
+
+BatchingServer::BatchingServer(InferenceSession* session,
+                               const BatchingOptions& options)
+    : session_(session), options_(options) {
+  D2_CHECK(session != nullptr);
+  D2_CHECK_GT(options_.max_batch_size, 0);
+  D2_CHECK_GE(options_.max_wait_us, 0);
+  if (options_.warmup) {
+    session_->Warmup(1);
+    if (options_.max_batch_size > 1) session_->Warmup(options_.max_batch_size);
+  }
+  dispatcher_ = std::thread([this] { DispatcherLoop(); });
+}
+
+BatchingServer::~BatchingServer() { Shutdown(/*drain=*/true); }
+
+std::future<Forecast> BatchingServer::Submit(ForecastRequest request) {
+  std::string error = session_->ValidateRequest(request);
+  if (!error.empty()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.rejected;
+    return RejectedFuture(std::move(error));
+  }
+  Pending pending;
+  pending.request = std::move(request);
+  pending.enqueued = std::chrono::steady_clock::now();
+  std::future<Forecast> future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (shutdown_) {
+      ++stats_.rejected;
+      return RejectedFuture("shutting down");
+    }
+    if (options_.max_queue_depth > 0 &&
+        static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
+      ++stats_.rejected;
+      return RejectedFuture("queue full");
+    }
+    queue_.push_back(std::move(pending));
+    ++stats_.submitted;
+    stats_.max_queue_depth_seen = std::max(
+        stats_.max_queue_depth_seen, static_cast<int64_t>(queue_.size()));
+  }
+  cv_.notify_all();
+  return future;
+}
+
+void BatchingServer::DispatcherLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) break;  // shutdown with nothing left to do
+    if (shutdown_ && !drain_) break;  // leave the queue for cancellation
+
+    // Coalesce: hold the batch open until it fills, the oldest request's
+    // max-wait deadline passes, or shutdown asks for an immediate flush.
+    const auto deadline =
+        queue_.front().enqueued + std::chrono::microseconds(options_.max_wait_us);
+    bool timed_out = false;
+    while (!shutdown_ &&
+           static_cast<int64_t>(queue_.size()) < options_.max_batch_size) {
+      if (cv_.wait_until(lock, deadline) == std::cv_status::timeout) {
+        timed_out = true;
+        break;
+      }
+    }
+    if (shutdown_ && !drain_) break;
+
+    const int64_t take = std::min<int64_t>(
+        static_cast<int64_t>(queue_.size()), options_.max_batch_size);
+    std::vector<Pending> batch;
+    batch.reserve(static_cast<size_t>(take));
+    for (int64_t i = 0; i < take; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    ++stats_.batches;
+    if (take >= options_.max_batch_size) {
+      ++stats_.full_flushes;
+    } else if (timed_out) {
+      ++stats_.timeout_flushes;
+    } else {
+      ++stats_.shutdown_flushes;  // drain flush: partial batch, no timer
+    }
+    lock.unlock();
+
+    // Test seam: a slow consumer stalls here, *after* dequeuing — newly
+    // arriving requests must still be served by the next max-wait flush.
+    if (fault::ConsumeFault("infer.slow_consumer")) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+
+    std::vector<ForecastRequest> requests;
+    requests.reserve(batch.size());
+    for (Pending& p : batch) requests.push_back(std::move(p.request));
+    std::vector<Forecast> results = session_->PredictRequests(requests);
+    D2_CHECK_EQ(results.size(), batch.size());
+
+    // Count the batch before resolving its futures, so a client that just
+    // saw its future become ready also sees itself in stats().completed.
+    lock.lock();
+    stats_.completed += static_cast<int64_t>(batch.size());
+    lock.unlock();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].promise.set_value(std::move(results[i]));
+    }
+
+    lock.lock();
+  }
+
+  // Cancel whatever remains (non-drain shutdown only; a drain leaves the
+  // queue empty). Promises are resolved outside the lock.
+  std::deque<Pending> leftover;
+  leftover.swap(queue_);
+  stats_.cancelled += static_cast<int64_t>(leftover.size());
+  lock.unlock();
+  for (Pending& p : leftover) {
+    Forecast cancelled;
+    cancelled.error = "cancelled";
+    p.promise.set_value(std::move(cancelled));
+  }
+}
+
+void BatchingServer::Shutdown(bool drain) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!shutdown_) {
+      shutdown_ = true;
+      drain_ = drain;
+    }
+  }
+  cv_.notify_all();
+  if (dispatcher_.joinable()) dispatcher_.join();
+}
+
+int64_t BatchingServer::QueueDepth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+BatchingServerStats BatchingServer::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace d2stgnn::infer

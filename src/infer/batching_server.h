@@ -1,0 +1,119 @@
+#ifndef D2STGNN_INFER_BATCHING_SERVER_H_
+#define D2STGNN_INFER_BATCHING_SERVER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "infer/session.h"
+
+// Micro-batching request server (DESIGN.md §9).
+//
+// Concurrent producers Submit() single-window requests and get futures; a
+// dispatcher thread coalesces queued requests into batches and runs them
+// through one InferenceSession forward, amortizing the per-op dispatch cost
+// of the model across the batch — the standard pattern for serving a model
+// under heavy traffic. The coalescing policy is the classic two-knob one:
+//
+//   * flush as soon as max_batch_size requests are waiting (full flush), or
+//   * flush whatever is queued once the oldest request has waited
+//     max_wait_us (timeout flush), so sparse traffic is never stalled
+//     waiting for a batch that will not fill.
+//
+// Backpressure: the queue is bounded by max_queue_depth; Submit fails fast
+// with an error Forecast ("queue full") instead of buffering unboundedly —
+// callers see overload immediately and can shed or retry.
+//
+// Shutdown is graceful: every accepted request's future is resolved — with
+// its prediction when draining (the default), with ok=false / "cancelled"
+// otherwise. Submit after shutdown resolves immediately with "shutting
+// down".
+
+namespace d2stgnn::infer {
+
+/// Coalescing and backpressure knobs.
+struct BatchingOptions {
+  /// Largest batch one forward serves (also the warm-up size).
+  int64_t max_batch_size = 8;
+  /// Longest a queued request may wait for its batch to fill before a
+  /// partial batch is flushed.
+  int64_t max_wait_us = 2000;
+  /// Submit rejects once this many requests are queued (<= 0: unbounded).
+  int64_t max_queue_depth = 4096;
+  /// Run session warm-up forwards at batch sizes 1 and max_batch_size on
+  /// construction, so the first real requests already hit the buffer pool.
+  bool warmup = true;
+};
+
+/// Counters describing server traffic (a consistent snapshot).
+struct BatchingServerStats {
+  int64_t submitted = 0;        ///< accepted into the queue
+  int64_t rejected = 0;         ///< refused at Submit (full / shutting down)
+  int64_t completed = 0;        ///< resolved with a session result
+  int64_t cancelled = 0;        ///< resolved with "cancelled" at shutdown
+  int64_t batches = 0;          ///< dispatched forwards
+  int64_t full_flushes = 0;     ///< batches flushed at max_batch_size
+  int64_t timeout_flushes = 0;  ///< batches flushed by the max-wait timer
+  int64_t shutdown_flushes = 0; ///< batches flushed while draining
+  int64_t max_queue_depth_seen = 0;
+};
+
+/// The dispatcher + bounded queue around one InferenceSession.
+class BatchingServer {
+ public:
+  /// Borrows `session` (must outlive the server) and starts the dispatcher
+  /// thread.
+  BatchingServer(InferenceSession* session, const BatchingOptions& options);
+
+  /// Graceful drain-and-join (Shutdown(true)).
+  ~BatchingServer();
+
+  BatchingServer(const BatchingServer&) = delete;
+  BatchingServer& operator=(const BatchingServer&) = delete;
+
+  /// Enqueues one request. The future always becomes ready: with a
+  /// prediction, a validation error, "queue full", "shutting down", or
+  /// "cancelled". Malformed requests are rejected here, before queuing.
+  std::future<Forecast> Submit(ForecastRequest request);
+
+  /// Stops accepting requests and joins the dispatcher. drain=true serves
+  /// everything already queued (in max_batch_size chunks, without waiting
+  /// on the flush timer); drain=false resolves queued requests as
+  /// "cancelled". Idempotent; the first call's drain mode wins.
+  void Shutdown(bool drain = true);
+
+  /// Requests currently queued (waiting for a batch).
+  int64_t QueueDepth() const;
+
+  BatchingServerStats stats() const;
+
+ private:
+  struct Pending {
+    ForecastRequest request;
+    std::promise<Forecast> promise;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  void DispatcherLoop();
+
+  InferenceSession* session_;
+  BatchingOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Pending> queue_;
+  bool shutdown_ = false;
+  bool drain_ = true;
+  BatchingServerStats stats_;
+
+  std::thread dispatcher_;
+};
+
+}  // namespace d2stgnn::infer
+
+#endif  // D2STGNN_INFER_BATCHING_SERVER_H_

@@ -1,0 +1,198 @@
+#include "infer/session.h"
+
+#include <optional>
+#include <sstream>
+#include <utility>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+#include "common/logging.h"
+#include "train/checkpoint.h"
+
+namespace d2stgnn::infer {
+
+InferenceSession::InferenceSession(
+    std::unique_ptr<train::ForecastingModel> model,
+    const data::StandardScaler& scaler, const SessionOptions& options)
+    : model_(std::move(model)), scaler_(scaler), options_(options) {
+  model_->SetTraining(false);  // frozen: no dropout, no tape (see Predict)
+  if (options_.use_arena) arena_ = std::make_shared<BufferArena>();
+}
+
+std::unique_ptr<InferenceSession> InferenceSession::Wrap(
+    std::unique_ptr<train::ForecastingModel> model,
+    const data::StandardScaler& scaler, const SessionOptions& options) {
+  if (model == nullptr) {
+    D2_LOG(ERROR) << "infer: cannot create a session around a null model";
+    return nullptr;
+  }
+  if (options.num_nodes <= 0 || options.input_len <= 0 ||
+      options.steps_per_day <= 0) {
+    D2_LOG(ERROR) << "infer: invalid session options (num_nodes="
+                  << options.num_nodes << ", input_len=" << options.input_len
+                  << ", steps_per_day=" << options.steps_per_day << ")";
+    return nullptr;
+  }
+  return std::unique_ptr<InferenceSession>(
+      new InferenceSession(std::move(model), scaler, options));
+}
+
+std::unique_ptr<InferenceSession> InferenceSession::Load(
+    std::unique_ptr<train::ForecastingModel> model,
+    const std::string& checkpoint_path, const data::StandardScaler& scaler,
+    const SessionOptions& options) {
+  if (model == nullptr) {
+    D2_LOG(ERROR) << "infer: cannot load " << checkpoint_path
+                  << " into a null model";
+    return nullptr;
+  }
+  if (fault::ConsumeFault("infer.checkpoint_load")) {
+    D2_LOG(ERROR) << "infer: injected fault while loading "
+                  << checkpoint_path;
+    return nullptr;
+  }
+  // LoadCheckpoint is transactional: on corrupt / truncated / mismatched
+  // files the model is untouched and we fail before any session exists.
+  if (!train::LoadCheckpoint(model.get(), checkpoint_path)) {
+    D2_LOG(ERROR) << "infer: checkpoint " << checkpoint_path
+                  << " rejected; no session created";
+    return nullptr;
+  }
+  return Wrap(std::move(model), scaler, options);
+}
+
+std::string InferenceSession::ValidateRequest(
+    const ForecastRequest& request) const {
+  const int64_t expected = options_.input_len * options_.num_nodes;
+  if (static_cast<int64_t>(request.window.size()) != expected) {
+    std::ostringstream os;
+    os << "bad request: window has " << request.window.size()
+       << " readings, expected input_len * num_nodes = " << expected;
+    return os.str();
+  }
+  if (request.time_of_day < 0 || request.time_of_day >= options_.steps_per_day) {
+    return "bad request: time_of_day out of [0, steps_per_day)";
+  }
+  if (request.day_of_week < 0 || request.day_of_week >= 7) {
+    return "bad request: day_of_week out of [0, 7)";
+  }
+  return "";
+}
+
+data::Batch InferenceSession::AssembleBatch(
+    const std::vector<ForecastRequest>& requests) const {
+  const int64_t b = static_cast<int64_t>(requests.size());
+  const int64_t th = options_.input_len;
+  const int64_t n = options_.num_nodes;
+  D2_CHECK_GT(b, 0);
+
+  data::Batch batch;
+  batch.batch_size = b;
+  batch.input_len = th;
+  batch.time_of_day.resize(static_cast<size_t>(b * th));
+  batch.day_of_week.resize(static_cast<size_t>(b * th));
+
+  // Same feature construction as WindowDataLoader::GetBatch: channel 0 the
+  // z-scored reading, channel 1 the time-of-day fraction, channel 2 the
+  // day-of-week fraction; slot indices advance from the request's first
+  // step, wrapping across midnight.
+  Tensor x({b, th, n, data::kInputFeatures});
+  float* xd = x.Data().data();
+  const float mean = scaler_.mean();
+  const float inv_std = 1.0f / scaler_.std_dev();
+  const float inv_day = 1.0f / static_cast<float>(options_.steps_per_day);
+  for (int64_t i = 0; i < b; ++i) {
+    const ForecastRequest& req = requests[static_cast<size_t>(i)];
+    D2_CHECK_EQ(static_cast<int64_t>(req.window.size()), th * n)
+        << "unvalidated request reached AssembleBatch";
+    for (int64_t t = 0; t < th; ++t) {
+      const int64_t slot = req.time_of_day + t;
+      const int64_t tod = slot % options_.steps_per_day;
+      const int64_t dow =
+          (req.day_of_week + slot / options_.steps_per_day) % 7;
+      const float* src = req.window.data() + t * n;
+      float* dst = xd + (i * th + t) * n * data::kInputFeatures;
+      for (int64_t node = 0; node < n; ++node) {
+        dst[node * 3] = (src[node] - mean) * inv_std;
+        dst[node * 3 + 1] = static_cast<float>(tod) * inv_day;
+        dst[node * 3 + 2] = static_cast<float>(dow) / 7.0f;
+      }
+      batch.time_of_day[static_cast<size_t>(i * th + t)] = tod;
+      batch.day_of_week[static_cast<size_t>(i * th + t)] = dow;
+    }
+  }
+  batch.x = std::move(x);
+  return batch;
+}
+
+Tensor InferenceSession::Predict(const data::Batch& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  NoGradGuard no_grad;
+  std::optional<ArenaGuard> arena_scope;
+  if (arena_ != nullptr) arena_scope.emplace(arena_);
+  return scaler_.InverseTransform(model_->Forward(batch));
+}
+
+std::vector<Forecast> InferenceSession::PredictRequests(
+    const std::vector<ForecastRequest>& requests) {
+  std::vector<Forecast> results(requests.size());
+  std::vector<size_t> valid;
+  valid.reserve(requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    std::string error = ValidateRequest(requests[i]);
+    if (error.empty()) {
+      valid.push_back(i);
+    } else {
+      results[i].error = std::move(error);
+    }
+  }
+  if (valid.empty()) return results;
+
+  std::vector<ForecastRequest> batch_requests;
+  batch_requests.reserve(valid.size());
+  for (size_t i : valid) batch_requests.push_back(requests[i]);
+
+  const int64_t tf = horizon();
+  const int64_t n = options_.num_nodes;
+  std::lock_guard<std::mutex> lock(mu_);
+  NoGradGuard no_grad;
+  std::optional<ArenaGuard> arena_scope;
+  if (arena_ != nullptr) arena_scope.emplace(arena_);
+  const data::Batch batch = AssembleBatch(batch_requests);
+  const Tensor prediction =
+      scaler_.InverseTransform(model_->Forward(batch));  // [k, Tf, N, 1]
+  D2_CHECK_EQ(prediction.numel(),
+              static_cast<int64_t>(valid.size()) * tf * n);
+  const float* pd = prediction.Data().data();
+  for (size_t k = 0; k < valid.size(); ++k) {
+    Forecast& out = results[valid[k]];
+    out.ok = true;
+    out.horizon = tf;
+    out.num_nodes = n;
+    const float* src = pd + static_cast<int64_t>(k) * tf * n;
+    out.values.assign(src, src + tf * n);
+  }
+  return results;
+}
+
+Forecast InferenceSession::PredictOne(const ForecastRequest& request) {
+  std::vector<Forecast> results = PredictRequests({request});
+  return std::move(results.front());
+}
+
+void InferenceSession::Warmup(int64_t batch_size, int64_t runs) {
+  D2_CHECK_GT(batch_size, 0);
+  ForecastRequest blank;
+  blank.window.assign(
+      static_cast<size_t>(options_.input_len * options_.num_nodes), 0.0f);
+  const std::vector<ForecastRequest> requests(
+      static_cast<size_t>(batch_size), blank);
+  for (int64_t r = 0; r < runs; ++r) PredictRequests(requests);
+}
+
+BufferArenaStats InferenceSession::arena_stats() const {
+  if (arena_ == nullptr) return BufferArenaStats{};
+  return arena_->stats();
+}
+
+}  // namespace d2stgnn::infer

@@ -1,0 +1,141 @@
+#ifndef D2STGNN_INFER_SESSION_H_
+#define D2STGNN_INFER_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/scaler.h"
+#include "data/sliding_window.h"
+#include "tensor/buffer_arena.h"
+#include "train/forecasting_model.h"
+
+// Forward-only inference engine (DESIGN.md §9).
+//
+// An InferenceSession is the serving counterpart of the Trainer: it loads
+// trained weights from a checkpoint into a frozen ForecastingModel and runs
+// batched no-grad forwards with pooled tensor storage, so steady-state
+// inference builds no autograd tape and allocates no new tensor buffers.
+// Sessions are the unit every serving layer (BatchingServer today; sharding
+// and caching later) composes over.
+
+namespace d2stgnn::infer {
+
+/// One serving request: the raw (original-unit) readings of every sensor
+/// over the input window, plus the wall-clock position of the window's
+/// first step so the time-of-day / day-of-week features the models embed
+/// can be derived.
+struct ForecastRequest {
+  /// Raw readings, row-major [t][node], size input_len * num_nodes.
+  std::vector<float> window;
+  /// Time-of-day slot (0 .. steps_per_day-1) of the first input step.
+  int64_t time_of_day = 0;
+  /// Day of week (0 .. 6) of the first input step.
+  int64_t day_of_week = 0;
+};
+
+/// The answer to one request.
+struct Forecast {
+  bool ok = false;
+  /// Why `ok` is false ("cancelled", "queue full", "bad request: ...").
+  std::string error;
+  /// Predicted readings in original units, row-major [t][node], size
+  /// horizon * num_nodes. Empty when !ok.
+  std::vector<float> values;
+  int64_t horizon = 0;
+  int64_t num_nodes = 0;
+};
+
+/// Static description of the stream a session serves. The model itself only
+/// exposes its horizon, so the serving-side window geometry comes from here
+/// (it must match what the model was trained on).
+struct SessionOptions {
+  int64_t num_nodes = 0;       ///< required
+  int64_t input_len = 12;      ///< T_h
+  int64_t steps_per_day = 288; ///< time-of-day slots (Table 2 presets: 288)
+  /// Pool tensor buffers across requests (zero steady-state allocations).
+  /// Off = plain no-grad forwards; useful for A/B-ing the arena.
+  bool use_arena = true;
+};
+
+/// A frozen model + scaler + reusable buffer arena, serving predictions.
+///
+/// Thread safety: every Predict* call is serialized on an internal mutex
+/// (models are not reentrant; their kernels parallelize internally over the
+/// shared thread pool). Concurrent callers should go through BatchingServer,
+/// which amortizes the model cost over coalesced batches instead of queuing
+/// on the mutex.
+class InferenceSession {
+ public:
+  /// Loads `checkpoint_path` (v1 or v2; only the params section is used)
+  /// into `model` and wraps the result. Returns null after logging on any
+  /// failure — missing file, corrupt or truncated checkpoint, architecture
+  /// mismatch — with no partially-initialized session escaping (the fault
+  /// point "infer.checkpoint_load" injects such failures in tests).
+  static std::unique_ptr<InferenceSession> Load(
+      std::unique_ptr<train::ForecastingModel> model,
+      const std::string& checkpoint_path, const data::StandardScaler& scaler,
+      const SessionOptions& options);
+
+  /// Wraps an already-initialized model (tests, benches, freshly trained
+  /// models served without a checkpoint round-trip). Returns null after
+  /// logging when `model` is null or `options` is inconsistent.
+  static std::unique_ptr<InferenceSession> Wrap(
+      std::unique_ptr<train::ForecastingModel> model,
+      const data::StandardScaler& scaler, const SessionOptions& options);
+
+  /// Serves a coalesced batch of requests in one model forward. Requests
+  /// that fail validation get an error Forecast; the valid remainder runs
+  /// as one batch. Order of results matches the request order.
+  std::vector<Forecast> PredictRequests(
+      const std::vector<ForecastRequest>& requests);
+
+  /// Single-request convenience (a batch of one).
+  Forecast PredictOne(const ForecastRequest& request);
+
+  /// Runs an assembled batch through the frozen model and returns
+  /// predictions in original units, [B, Tf, N, 1]. This is the exact
+  /// computation the training-stack evaluator performs (the parity tests
+  /// assert bitwise equality), minus tape and allocation traffic.
+  Tensor Predict(const data::Batch& batch);
+
+  /// Builds the model input batch for `requests` — z-scored readings plus
+  /// time-of-day / day-of-week channels and index vectors, mirroring
+  /// WindowDataLoader::GetBatch. Requests must be pre-validated.
+  data::Batch AssembleBatch(const std::vector<ForecastRequest>& requests) const;
+
+  /// "" when `request` is well-formed, else the reason it is not.
+  std::string ValidateRequest(const ForecastRequest& request) const;
+
+  /// Primes the buffer arena for batches of `batch_size` by running `runs`
+  /// synthetic forwards, so the first real request at that size already hits
+  /// the pool. Distinct batch sizes pool independently.
+  void Warmup(int64_t batch_size, int64_t runs = 1);
+
+  /// Allocation counters of the session arena (all zeros when use_arena is
+  /// off). After warm-up at a given batch size, further forwards at that
+  /// size must not move fresh_allocations or external_adopts.
+  BufferArenaStats arena_stats() const;
+
+  int64_t horizon() const { return model_->horizon(); }
+  int64_t num_nodes() const { return options_.num_nodes; }
+  int64_t input_len() const { return options_.input_len; }
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  InferenceSession(std::unique_ptr<train::ForecastingModel> model,
+                   const data::StandardScaler& scaler,
+                   const SessionOptions& options);
+
+  std::mutex mu_;
+  std::unique_ptr<train::ForecastingModel> model_;
+  data::StandardScaler scaler_;
+  SessionOptions options_;
+  std::shared_ptr<BufferArena> arena_;  ///< null when use_arena is off
+};
+
+}  // namespace d2stgnn::infer
+
+#endif  // D2STGNN_INFER_SESSION_H_

@@ -1,5 +1,6 @@
 #include "metrics/metrics.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.h"
@@ -42,6 +43,46 @@ MetricSet ComputeMetrics(const Tensor& prediction, const Tensor& truth,
   }
   if (ape_count > 0) m.mape = ape_sum / static_cast<double>(ape_count);
   return m;
+}
+
+double Percentile(const std::vector<double>& samples, double pct) {
+  if (samples.empty()) return 0.0;
+  D2_CHECK_GE(pct, 0.0);
+  D2_CHECK_LE(pct, 100.0);
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  const double rank =
+      pct / 100.0 * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+LatencyStats SummarizeLatencies(const std::vector<double>& samples) {
+  LatencyStats stats;
+  if (samples.empty()) return stats;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  // Interpolate on the already-sorted copy rather than calling Percentile
+  // three times (each would re-sort).
+  const auto at = [&sorted](double pct) {
+    const double rank =
+        pct / 100.0 * static_cast<double>(sorted.size() - 1);
+    const size_t lo = static_cast<size_t>(rank);
+    const size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  };
+  stats.p50 = at(50.0);
+  stats.p95 = at(95.0);
+  stats.p99 = at(99.0);
+  stats.max = sorted.back();
+  double sum = 0.0;
+  for (double s : sorted) sum += s;
+  stats.mean = sum / static_cast<double>(sorted.size());
+  stats.count = static_cast<int64_t>(sorted.size());
+  return stats;
 }
 
 Tensor MaskedMaeLoss(const Tensor& prediction, const Tensor& truth,

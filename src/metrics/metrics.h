@@ -1,6 +1,9 @@
 #ifndef D2STGNN_METRICS_METRICS_H_
 #define D2STGNN_METRICS_METRICS_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "tensor/tensor.h"
 
 namespace d2stgnn::metrics {
@@ -29,6 +32,26 @@ Tensor MaskedMaeLoss(const Tensor& prediction, const Tensor& truth,
 /// Differentiable (unmasked) mean-squared-error loss, for baselines that
 /// train on MSE.
 Tensor MseLoss(const Tensor& prediction, const Tensor& truth);
+
+/// The `pct`-th percentile (0..100) of `samples` with linear interpolation
+/// between order statistics (the "linear"/type-7 estimator NumPy defaults
+/// to). 0 for an empty sample vector. Does not require sorted input.
+double Percentile(const std::vector<double>& samples, double pct);
+
+/// Latency summary of a sample vector — the serving-side numbers (p50 the
+/// typical request, p95/p99 the tail SLO figures).
+struct LatencyStats {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+  int64_t count = 0;
+};
+
+/// Computes LatencyStats over `samples` (any unit; callers pass ms). All
+/// zeros for an empty vector.
+LatencyStats SummarizeLatencies(const std::vector<double>& samples);
 
 /// Differentiable masked Huber (smooth-L1) loss with threshold `delta`:
 /// quadratic within |err| <= delta, linear outside. Some traffic baselines

@@ -1,0 +1,89 @@
+#include "tensor/buffer_arena.h"
+
+#include <utility>
+
+#include "common/check.h"
+
+namespace d2stgnn {
+
+std::vector<float> BufferArena::Acquire(int64_t n) {
+  D2_CHECK_GE(n, 0);
+  std::vector<float> buffer;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = free_.find(n);
+    if (it != free_.end() && !it->second.empty()) {
+      buffer = std::move(it->second.back());
+      it->second.pop_back();
+      ++stats_.pool_hits;
+      --stats_.pooled_buffers;
+      stats_.pooled_floats -= n;
+    } else {
+      ++stats_.fresh_allocations;
+    }
+  }
+  // Zero-fill outside the lock. A pooled buffer already has size == n, so
+  // assign never reallocates and the data pointer stays stable.
+  buffer.assign(static_cast<size_t>(n), 0.0f);
+  if (buffer.data() != nullptr) {
+    std::lock_guard<std::mutex> lock(mu_);
+    outstanding_.insert(buffer.data());
+  }
+  return buffer;
+}
+
+void BufferArena::Release(std::vector<float>&& buffer) {
+  if (buffer.empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  outstanding_.erase(buffer.data());  // usually a no-op (adopt claimed it)
+  const int64_t n = static_cast<int64_t>(buffer.size());
+  ++stats_.released;
+  ++stats_.pooled_buffers;
+  stats_.pooled_floats += n;
+  free_[n].push_back(std::move(buffer));
+}
+
+void BufferArena::NoteAdopt(const float* ptr) {
+  if (ptr == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (outstanding_.erase(ptr) == 0) ++stats_.external_adopts;
+}
+
+BufferArenaStats BufferArena::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+void BufferArena::Trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.clear();
+  stats_.pooled_buffers = 0;
+  stats_.pooled_floats = 0;
+}
+
+namespace {
+thread_local std::shared_ptr<BufferArena> g_active_arena;
+}  // namespace
+
+ArenaGuard::ArenaGuard(std::shared_ptr<BufferArena> arena)
+    : previous_(std::move(g_active_arena)) {
+  g_active_arena = std::move(arena);
+}
+
+ArenaGuard::~ArenaGuard() { g_active_arena = std::move(previous_); }
+
+const std::shared_ptr<BufferArena>& ArenaGuard::Active() {
+  return g_active_arena;
+}
+
+namespace internal {
+
+std::vector<float> AcquireBuffer(int64_t n) {
+  const std::shared_ptr<BufferArena>& arena = ArenaGuard::Active();
+  if (arena != nullptr) return arena->Acquire(n);
+  return std::vector<float>(static_cast<size_t>(n));
+}
+
+}  // namespace internal
+
+}  // namespace d2stgnn

@@ -1,0 +1,146 @@
+#ifndef D2STGNN_TENSOR_BUFFER_ARENA_H_
+#define D2STGNN_TENSOR_BUFFER_ARENA_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Pooled tensor storage for forward-only execution.
+//
+// Training churns through short-lived tensors whose buffers the allocator
+// hands back and forth on every op. Serving runs the *same* shapes forever,
+// so a BufferArena recycles the float storage instead: while an ArenaGuard
+// is active on a thread, every tensor created on it draws its buffer from
+// the arena's free lists and returns it there when the tensor dies. After a
+// warm-up pass per distinct shape, a steady-state no-grad forward performs
+// zero new tensor-buffer allocations (asserted by the inference tests; the
+// arena's stats make the claim checkable).
+//
+// Scope of the guarantee: "tensor buffer" means the float storage behind a
+// TensorImpl. Small metadata (shape vectors, shared_ptr control blocks,
+// integer scratch) is not pooled — it is orders of magnitude smaller than
+// the data buffers that dominate inference allocation traffic.
+//
+// Thread model: the guard is thread-local (only the activating thread
+// allocates from the arena), but tensors may be *destroyed* on any thread —
+// a prediction handed to a client releases its buffer from the client's
+// thread — so the arena itself is mutex-guarded. Tensors tagged with an
+// arena keep it alive via shared_ptr; dropping the last reference frees the
+// pooled memory.
+
+namespace d2stgnn {
+
+/// Counters describing one arena's allocation traffic. The invariant the
+/// inference tests assert: after warm-up, `fresh_allocations` and
+/// `external_adopts` stay flat while `pool_hits` keeps growing.
+struct BufferArenaStats {
+  /// Acquire calls that had no pooled buffer of the right size and had to
+  /// heap-allocate a new one (warm-up traffic).
+  int64_t fresh_allocations = 0;
+  /// Acquire calls served from the free lists (steady-state traffic).
+  int64_t pool_hits = 0;
+  /// Tensors created under the guard that adopted a buffer the arena never
+  /// handed out (an allocation site that bypassed AcquireBuffer — each op on
+  /// such a path shows up here every call, so leaks are visible).
+  int64_t external_adopts = 0;
+  /// Buffers returned to the free lists by dying tensors.
+  int64_t released = 0;
+  /// Buffers currently parked in the free lists.
+  int64_t pooled_buffers = 0;
+  /// Total floats parked in the free lists (memory held for reuse).
+  int64_t pooled_floats = 0;
+};
+
+/// A mutex-guarded pool of float buffers keyed by element count.
+class BufferArena {
+ public:
+  BufferArena() = default;
+  ~BufferArena() = default;
+  BufferArena(const BufferArena&) = delete;
+  BufferArena& operator=(const BufferArena&) = delete;
+
+  /// Returns a zero-filled buffer of `n` floats — semantically identical to
+  /// `std::vector<float>(n)`, but served from the free list when a buffer
+  /// of that size is parked there.
+  std::vector<float> Acquire(int64_t n);
+
+  /// Parks a dead tensor's buffer in the free list for reuse.
+  void Release(std::vector<float>&& buffer);
+
+  /// Bookkeeping for the Tensor constructor: `ptr` is the storage a tensor
+  /// is adopting. Buffers born from Acquire are recognized (pool-tracked);
+  /// anything else counts as an external adopt in the stats.
+  void NoteAdopt(const float* ptr);
+
+  /// Snapshot of the counters.
+  BufferArenaStats stats() const;
+
+  /// Drops every pooled buffer (frees the held memory; stats counters for
+  /// past traffic are preserved).
+  void Trim();
+
+ private:
+  mutable std::mutex mu_;
+  /// Free lists: element count -> parked buffers of exactly that size.
+  std::unordered_map<int64_t, std::vector<std::vector<float>>> free_;
+  /// Data pointers handed out by Acquire and not yet adopted by a tensor.
+  std::unordered_set<const float*> outstanding_;
+  BufferArenaStats stats_;
+};
+
+/// Activates `arena` for tensors created on this thread, for the guard's
+/// lifetime. Nests: the previous arena (if any) is restored on destruction.
+class ArenaGuard {
+ public:
+  explicit ArenaGuard(std::shared_ptr<BufferArena> arena);
+  ~ArenaGuard();
+  ArenaGuard(const ArenaGuard&) = delete;
+  ArenaGuard& operator=(const ArenaGuard&) = delete;
+
+  /// The arena active on this thread (null when none).
+  static const std::shared_ptr<BufferArena>& Active();
+
+ private:
+  std::shared_ptr<BufferArena> previous_;
+};
+
+/// Forward-only execution mode: no autograd tape (NoGradGuard) plus pooled
+/// tensor storage (ArenaGuard). This is what the evaluator, the trainer's
+/// validation pass, and InferenceSession run under.
+class InferenceModeGuard {
+ public:
+  /// Uses a private arena that dies with the guard (buffers are reused
+  /// across ops and batches within the scope, freed at the end).
+  InferenceModeGuard() : InferenceModeGuard(std::make_shared<BufferArena>()) {}
+
+  /// Uses a caller-owned arena (InferenceSession passes its long-lived one
+  /// so the pool persists across requests).
+  explicit InferenceModeGuard(std::shared_ptr<BufferArena> arena)
+      : arena_(std::move(arena)), no_grad_(), guard_(arena_) {}
+
+  const std::shared_ptr<BufferArena>& arena() const { return arena_; }
+
+ private:
+  std::shared_ptr<BufferArena> arena_;
+  NoGradGuard no_grad_;
+  ArenaGuard guard_;
+};
+
+namespace internal {
+
+/// The allocation primitive of the op layer: a zero-filled buffer of `n`
+/// floats, drawn from the thread's active arena when one is installed and
+/// heap-allocated otherwise. Every op output buffer in ops.cc comes from
+/// here so inference steady state allocates nothing new.
+std::vector<float> AcquireBuffer(int64_t n);
+
+}  // namespace internal
+
+}  // namespace d2stgnn
+
+#endif  // D2STGNN_TENSOR_BUFFER_ARENA_H_

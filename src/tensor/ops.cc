@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "tensor/autograd.h"
+#include "tensor/buffer_arena.h"
 #include "tensor/kernels.h"
 
 // ops.cc is the dispatch layer of the tensor engine: it validates shapes,
@@ -23,7 +24,7 @@ Tensor BinaryOp(const std::string& name, const Tensor& a, const Tensor& b,
   D2_CHECK(a.defined());
   D2_CHECK(b.defined());
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
-  std::vector<float> out(static_cast<size_t>(NumElements(out_shape)));
+  std::vector<float> out = internal::AcquireBuffer(NumElements(out_shape));
   const std::vector<float>& av = a.Data();
   const std::vector<float>& bv = b.Data();
   if (a.shape() == b.shape()) {
@@ -50,7 +51,8 @@ Tensor UnaryOp(const std::string& name, const Tensor& a, Fwd forward,
                Dfn dfn) {
   D2_CHECK(a.defined());
   const std::vector<float>& av = a.Data();
-  std::vector<float> out(av.size());
+  std::vector<float> out =
+      internal::AcquireBuffer(static_cast<int64_t>(av.size()));
   kernels::EwiseUnary(av.data(), out.data(),
                       static_cast<int64_t>(av.size()), forward);
   return MakeOpResult(
@@ -333,7 +335,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   out_shape.push_back(m);
   out_shape.push_back(n);
 
-  std::vector<float> out(static_cast<size_t>(NumElements(out_shape)), 0.0f);
+  std::vector<float> out = internal::AcquireBuffer(NumElements(out_shape));
   const std::vector<int64_t> as =
       kernels::BroadcastStrides(a_batch, out_batch);
   const std::vector<int64_t> bs =
@@ -377,7 +379,9 @@ Tensor Sum(const Tensor& a) {
   D2_CHECK(a.defined());
   const double total = kernels::ReduceSumAll(
       a.Data().data(), static_cast<int64_t>(a.Data().size()));
-  return MakeOpResult("Sum", Shape{}, {static_cast<float>(total)}, {a},
+  std::vector<float> out = internal::AcquireBuffer(1);
+  out[0] = static_cast<float>(total);
+  return MakeOpResult("Sum", Shape{}, std::move(out), {a},
                       [a](const Tensor& output) {
                         if (!a.RequiresGrad()) return;
                         const float g = output.GradData()[0];
@@ -404,7 +408,7 @@ Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
     out_shape.erase(out_shape.begin() + dim);
   }
 
-  std::vector<float> out(static_cast<size_t>(outer * inner));
+  std::vector<float> out = internal::AcquireBuffer(outer * inner);
   kernels::ReduceSumDim(a.Data().data(), out.data(), outer, size, inner);
 
   const Shape in_shape = a.shape();
@@ -444,7 +448,7 @@ Tensor ExtremumDim(const char* name, const Tensor& a, int64_t dim,
     out_shape.erase(out_shape.begin() + d);
   }
 
-  std::vector<float> out(static_cast<size_t>(outer * inner));
+  std::vector<float> out = internal::AcquireBuffer(outer * inner);
   std::vector<int64_t> arg(static_cast<size_t>(outer * inner));
   kernels::ExtremumDim(a.Data().data(), out.data(), arg.data(), outer, size,
                        inner, sign);
@@ -481,7 +485,8 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
   SplitAtDim(a.shape(), d, &outer, &size, &inner);
   D2_CHECK_GT(size, 0);
 
-  std::vector<float> out(a.Data().size());
+  std::vector<float> out =
+      internal::AcquireBuffer(static_cast<int64_t>(a.Data().size()));
   kernels::SoftmaxKernel(a.Data().data(), out.data(), outer, size, inner);
 
   return MakeOpResult(
@@ -521,8 +526,10 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
       << "Reshape to " << ShapeToString(shape) << " from "
       << ShapeToString(a.shape());
 
+  std::vector<float> out = internal::AcquireBuffer(a.numel());
+  std::copy(a.Data().begin(), a.Data().end(), out.begin());
   const Shape in_shape = a.shape();
-  return MakeOpResult("Reshape", resolved, a.Data(), {a},
+  return MakeOpResult("Reshape", resolved, std::move(out), {a},
                       [a, in_shape](const Tensor& output) {
                         if (!a.RequiresGrad()) return;
                         AccumulateGrad(
@@ -550,7 +557,8 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
         in_strides[static_cast<size_t>(NormalizeDim(perm[d], rank))];
   }
 
-  std::vector<float> out(a.Data().size());
+  std::vector<float> out =
+      internal::AcquireBuffer(static_cast<int64_t>(a.Data().size()));
   kernels::GatherStrided(out_shape, gather_strides, a.Data().data(),
                          out.data());
 
@@ -602,7 +610,7 @@ Tensor BroadcastTo(const Tensor& a, const Shape& shape) {
   D2_CHECK(a.defined());
   if (a.shape() == shape) return a;
   const std::vector<int64_t> as = kernels::BroadcastStrides(a.shape(), shape);
-  std::vector<float> out(static_cast<size_t>(NumElements(shape)));
+  std::vector<float> out = internal::AcquireBuffer(NumElements(shape));
   kernels::GatherStrided(shape, as, a.Data().data(), out.data());
   const Shape in_shape = a.shape();
   return MakeOpResult("BroadcastTo", shape, std::move(out), {a},
@@ -636,7 +644,7 @@ Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
   SplitAtDim(out_shape, d, &outer, &unused_size, &inner);
   (void)unused_size;
 
-  std::vector<float> out(static_cast<size_t>(NumElements(out_shape)));
+  std::vector<float> out = internal::AcquireBuffer(NumElements(out_shape));
   int64_t offset = 0;  // running offset along dim d
   for (const Tensor& t : tensors) {
     const int64_t size = t.size(d);
@@ -689,7 +697,7 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end) {
   out_shape[static_cast<size_t>(d)] = out_size;
 
   const std::vector<float>& av = a.Data();
-  std::vector<float> out(static_cast<size_t>(outer * out_size * inner));
+  std::vector<float> out = internal::AcquireBuffer(outer * out_size * inner);
   for (int64_t o = 0; o < outer; ++o) {
     const float* src = av.data() + (o * in_size + start) * inner;
     float* dst = out.data() + o * out_size * inner;
@@ -746,8 +754,8 @@ Tensor EmbeddingLookup(const Tensor& weight,
   Shape out_shape = index_shape;
   out_shape.push_back(width);
   const std::vector<float>& wv = weight.Data();
-  std::vector<float> out(static_cast<size_t>(indices.size()) *
-                         static_cast<size_t>(width));
+  std::vector<float> out = internal::AcquireBuffer(
+      static_cast<int64_t>(indices.size()) * width);
   for (size_t i = 0; i < indices.size(); ++i) {
     const int64_t row = indices[i];
     D2_CHECK_GE(row, 0);

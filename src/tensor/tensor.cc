@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "tensor/buffer_arena.h"
 #include "tensor/checker.h"
 
 namespace d2stgnn {
@@ -22,6 +23,10 @@ GradFn::~GradFn() { g_live_gradfn.fetch_sub(1, std::memory_order_relaxed); }
 
 int64_t LiveGradFnCount() {
   return g_live_gradfn.load(std::memory_order_relaxed);
+}
+
+TensorImpl::~TensorImpl() {
+  if (arena != nullptr) arena->Release(std::move(data));
 }
 
 }  // namespace internal
@@ -63,7 +68,18 @@ Tensor::Tensor(const Shape& shape) : Tensor(shape, 0.0f) {}
 Tensor::Tensor(const Shape& shape, float value) {
   impl_ = std::make_shared<internal::TensorImpl>();
   impl_->shape = shape;
-  impl_->data.assign(static_cast<size_t>(NumElements(shape)), value);
+  const int64_t n = NumElements(shape);
+  const std::shared_ptr<BufferArena>& arena = ArenaGuard::Active();
+  if (arena != nullptr) {
+    impl_->data = arena->Acquire(n);  // zero-filled
+    arena->NoteAdopt(impl_->data.data());
+    if (value != 0.0f) {
+      std::fill(impl_->data.begin(), impl_->data.end(), value);
+    }
+    impl_->arena = arena;
+  } else {
+    impl_->data.assign(static_cast<size_t>(n), value);
+  }
 }
 
 Tensor::Tensor(const Shape& shape, std::vector<float> data) {
@@ -71,6 +87,11 @@ Tensor::Tensor(const Shape& shape, std::vector<float> data) {
       << "data size does not match shape " << ShapeToString(shape);
   impl_ = std::make_shared<internal::TensorImpl>();
   impl_->shape = shape;
+  const std::shared_ptr<BufferArena>& arena = ArenaGuard::Active();
+  if (arena != nullptr) {
+    arena->NoteAdopt(data.data());
+    impl_->arena = arena;
+  }
   impl_->data = std::move(data);
 }
 
@@ -186,7 +207,15 @@ Tensor Tensor::Detach() const {
   D2_CHECK(defined());
   auto impl = std::make_shared<internal::TensorImpl>();
   impl->shape = impl_->shape;
-  impl->data = impl_->data;  // copy; safe and simple at this project's sizes
+  const std::shared_ptr<BufferArena>& arena = ArenaGuard::Active();
+  if (arena != nullptr) {
+    impl->data = arena->Acquire(static_cast<int64_t>(impl_->data.size()));
+    arena->NoteAdopt(impl->data.data());
+    std::copy(impl_->data.begin(), impl_->data.end(), impl->data.begin());
+    impl->arena = arena;
+  } else {
+    impl->data = impl_->data;  // copy; safe and simple at this project's sizes
+  }
   return FromImpl(std::move(impl));
 }
 

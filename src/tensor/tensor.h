@@ -23,6 +23,8 @@ std::string ShapeToString(const Shape& shape);
 /// Returns row-major strides for `shape`.
 std::vector<int64_t> RowMajorStrides(const Shape& shape);
 
+class BufferArena;  // tensor/buffer_arena.h
+
 namespace internal {
 struct TensorImpl;
 struct GradFn;
@@ -177,11 +179,21 @@ int64_t LiveGradFnCount();
 
 /// Storage + autograd metadata behind a Tensor handle.
 struct TensorImpl {
+  TensorImpl() = default;
+  /// Returns `data` to `arena` when the tensor was created under an
+  /// ArenaGuard (see tensor/buffer_arena.h).
+  ~TensorImpl();
+  TensorImpl(const TensorImpl&) = delete;
+  TensorImpl& operator=(const TensorImpl&) = delete;
+
   Shape shape;
   std::vector<float> data;
   std::vector<float> grad;  // empty until first accumulation
   bool requires_grad = false;
   std::shared_ptr<GradFn> grad_fn;  // null for leaves
+  /// The pool `data` is recycled into on destruction (null = plain heap
+  /// buffer). Keeps the arena alive as long as any of its tensors is.
+  std::shared_ptr<BufferArena> arena;
   /// Times Backward() was invoked with this tensor as the root. A second
   /// run re-accumulates every gradient (usually a bug); the tape analyzer
   /// flags it.

@@ -1,8 +1,10 @@
 #include "train/evaluator.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "common/check.h"
+#include "tensor/buffer_arena.h"
 #include "tensor/ops.h"
 
 namespace d2stgnn::train {
@@ -71,20 +73,36 @@ void AccumulateHorizons(const Tensor& prediction, const Tensor& truth,
 std::vector<HorizonMetrics> EvaluateHorizons(
     ForecastingModel* model, const data::StandardScaler* scaler,
     data::WindowDataLoader* loader, const std::vector<int64_t>& horizons,
-    float null_value) {
+    float null_value, EvaluationTiming* timing) {
   D2_CHECK(model != nullptr);
   D2_CHECK(loader != nullptr);
+  using clock = std::chrono::steady_clock;
+  const auto pass_start = clock::now();
   model->SetTraining(false);
-  NoGradGuard no_grad;
+  // Inference mode: no tape, and after the first batch every forward reuses
+  // the first batch's buffers instead of allocating.
+  InferenceModeGuard inference_mode;
   std::vector<Accumulator> accs(horizons.size());
+  std::vector<double> forward_ms;
   // Batch assembly runs on the pool; Forward stays sequential (models are
   // not required to be reentrant) but its kernels parallelize internally.
   const std::vector<data::Batch> batches = loader->AssembleAllBatches();
+  forward_ms.reserve(batches.size());
   for (const data::Batch& batch : batches) {
+    const auto start = clock::now();
     const Tensor prediction = scaler->InverseTransform(model->Forward(batch));
+    forward_ms.push_back(
+        std::chrono::duration<double, std::milli>(clock::now() - start)
+            .count());
     AccumulateHorizons(prediction, batch.y, horizons, null_value, &accs);
   }
   model->SetTraining(true);
+  if (timing != nullptr) {
+    timing->forward_ms = metrics::SummarizeLatencies(forward_ms);
+    timing->total_seconds =
+        std::chrono::duration<double>(clock::now() - pass_start).count();
+    timing->batches = static_cast<int64_t>(batches.size());
+  }
   std::vector<HorizonMetrics> out(horizons.size());
   for (size_t h = 0; h < horizons.size(); ++h) {
     out[h].horizon = horizons[h];
@@ -113,6 +131,8 @@ Tensor CollectPredictions(ForecastingModel* model,
   D2_CHECK(loader != nullptr);
   model->SetTraining(false);
   NoGradGuard no_grad;
+  // No arena here: the chunks all survive until the final Concat, so pooling
+  // would only grow the pool without ever reusing a buffer.
   std::vector<Tensor> chunks;
   const std::vector<data::Batch> batches = loader->AssembleAllBatches();
   for (const data::Batch& batch : batches) {

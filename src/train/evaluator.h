@@ -16,14 +16,23 @@ struct HorizonMetrics {
   metrics::MetricSet metrics;
 };
 
+/// Wall-clock profile of one evaluation pass: per-batch forward latencies
+/// (inverse transform included, assembly excluded), in milliseconds.
+struct EvaluationTiming {
+  metrics::LatencyStats forward_ms;  ///< p50/p95/p99 over per-batch forwards
+  double total_seconds = 0.0;        ///< whole pass, assembly included
+  int64_t batches = 0;
+};
+
 /// Evaluates a trained model per horizon on a loader, the layout of the
-/// paper's Table 3 (horizons 3, 6 and 12 by default). Runs without autograd
-/// and in eval mode.
+/// paper's Table 3 (horizons 3, 6 and 12 by default). Runs in inference
+/// mode: eval flags set, no autograd tape, tensor buffers pooled across
+/// batches. `timing`, when non-null, receives the pass's latency profile.
 std::vector<HorizonMetrics> EvaluateHorizons(
     ForecastingModel* model, const data::StandardScaler* scaler,
     data::WindowDataLoader* loader,
     const std::vector<int64_t>& horizons = {3, 6, 12},
-    float null_value = 0.0f);
+    float null_value = 0.0f, EvaluationTiming* timing = nullptr);
 
 /// Same per-horizon evaluation for precomputed predictions (used by the
 /// non-neural baselines HA/VAR/SVR). `prediction` and `truth` are

@@ -14,6 +14,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "optim/adam.h"
+#include "tensor/buffer_arena.h"
 #include "tensor/checker.h"
 #include "tensor/ops.h"
 #include "tensor/tape_analyzer.h"
@@ -475,7 +476,9 @@ FitResult Trainer::Fit(data::WindowDataLoader* train_loader,
 metrics::MetricSet Trainer::Evaluate(data::WindowDataLoader* loader) const {
   D2_CHECK(loader != nullptr);
   model_->SetTraining(false);
-  NoGradGuard no_grad;
+  // Validation runs in inference mode: no tape, buffers pooled across
+  // batches within this pass.
+  InferenceModeGuard inference_mode;
   // Accumulate sufficient statistics across batches.
   double abs_sum = 0.0;
   double sq_sum = 0.0;

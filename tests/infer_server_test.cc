@@ -1,0 +1,344 @@
+// Tests of the micro-batching request server: concurrent submitters (the
+// TSan target), coalescing policy (full flush vs max-wait flush), slow
+// consumers, bounded-queue backpressure, and graceful shutdown semantics
+// (drain resolves everything, cancel resolves everything as cancelled).
+
+#include "infer/batching_server.h"
+
+#include <chrono>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "data/sliding_window.h"
+#include "data/synthetic_traffic.h"
+#include "nn/linear.h"
+#include "train/forecasting_model.h"
+
+namespace d2stgnn {
+namespace {
+
+// Linear readout of the last frame (same as train_test.cc). Its forward is
+// elementwise per sample, so a request's forecast is bitwise independent of
+// which batch the dispatcher put it in — the property the equality
+// assertions below lean on.
+class TinyModel : public train::ForecastingModel {
+ public:
+  TinyModel(int64_t num_nodes, int64_t horizon, Rng& rng)
+      : ForecastingModel("tiny"),
+        num_nodes_(num_nodes),
+        horizon_(horizon),
+        proj_(data::kInputFeatures, horizon, rng) {
+    RegisterChild(&proj_);
+  }
+
+  Tensor Forward(const data::Batch& batch) override {
+    const int64_t b = batch.batch_size;
+    const Tensor last = Reshape(
+        Slice(batch.x, 1, batch.input_len - 1, batch.input_len),
+        {b, num_nodes_, data::kInputFeatures});
+    Tensor out = proj_.Forward(last);
+    out = Permute(out, {0, 2, 1});
+    return Reshape(out, {b, horizon_, num_nodes_, 1});
+  }
+
+  int64_t horizon() const override { return horizon_; }
+
+ private:
+  int64_t num_nodes_;
+  int64_t horizon_;
+  nn::Linear proj_;
+};
+
+constexpr int64_t kNodes = 6;
+constexpr int64_t kInputLen = 12;
+constexpr int64_t kHorizon = 12;
+
+class InferServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data::SyntheticTrafficOptions options;
+    options.network.num_nodes = kNodes;
+    options.num_steps = 600;
+    options.seed = 31;
+    traffic_ = data::GenerateSyntheticTraffic(options);
+    scaler_.Fit(traffic_.dataset.values, 400, true);
+
+    infer::SessionOptions session_options;
+    session_options.num_nodes = kNodes;
+    session_options.input_len = kInputLen;
+    session_options.steps_per_day = traffic_.dataset.steps_per_day;
+    Rng rng(5);
+    session_ = infer::InferenceSession::Wrap(
+        std::make_unique<TinyModel>(kNodes, kHorizon, rng), scaler_,
+        session_options);
+    ASSERT_NE(session_, nullptr);
+  }
+
+  void TearDown() override { fault::DisarmAllFaultPoints(); }
+
+  infer::ForecastRequest MakeRequest(int64_t start) const {
+    infer::ForecastRequest request;
+    const std::vector<float>& values = traffic_.dataset.values.Data();
+    request.window.assign(values.data() + start * kNodes,
+                          values.data() + (start + kInputLen) * kNodes);
+    request.time_of_day = traffic_.dataset.TimeOfDay(start);
+    request.day_of_week = traffic_.dataset.DayOfWeek(start);
+    return request;
+  }
+
+  data::SyntheticTraffic traffic_;
+  data::StandardScaler scaler_;
+  std::unique_ptr<infer::InferenceSession> session_;
+};
+
+// The TSan target: 8 producers hammer Submit while the dispatcher batches.
+// Every future resolves with the forecast the session gives the same
+// request on its own.
+TEST_F(InferServerTest, EightConcurrentSubmittersGetCorrectForecasts) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20;
+  constexpr int kStarts = 50;
+
+  // Per-start references, computed serially before the server exists.
+  std::vector<std::vector<float>> reference(kStarts);
+  for (int s = 0; s < kStarts; ++s) {
+    const infer::Forecast f = session_->PredictOne(MakeRequest(s));
+    ASSERT_TRUE(f.ok) << f.error;
+    reference[static_cast<size_t>(s)] = f.values;
+  }
+
+  infer::BatchingOptions options;
+  options.max_batch_size = 8;
+  options.max_wait_us = 500;
+  options.max_queue_depth = 0;  // unbounded: nothing may be shed here
+  infer::BatchingServer server(session_.get(), options);
+
+  std::vector<std::vector<std::future<infer::Forecast>>> futures(kThreads);
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int start = (t * kPerThread + i) % kStarts;
+        futures[static_cast<size_t>(t)].push_back(
+            server.Submit(MakeRequest(start)));
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      infer::Forecast f = futures[static_cast<size_t>(t)]
+                              [static_cast<size_t>(i)].get();
+      ASSERT_TRUE(f.ok) << f.error;
+      const int start = (t * kPerThread + i) % kStarts;
+      EXPECT_EQ(f.values, reference[static_cast<size_t>(start)])
+          << "thread " << t << " request " << i;
+    }
+  }
+
+  server.Shutdown();
+  const infer::BatchingServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, kThreads * kPerThread);
+  EXPECT_EQ(stats.completed, kThreads * kPerThread);
+  EXPECT_EQ(stats.rejected, 0);
+  EXPECT_EQ(stats.cancelled, 0);
+  EXPECT_GT(stats.batches, 0);
+}
+
+TEST_F(InferServerTest, IdenticalRequestsInOneBatchForecastIdentically) {
+  infer::BatchingOptions options;
+  options.max_batch_size = 8;
+  options.max_wait_us = 1'000'000;  // only a full batch flushes
+  infer::BatchingServer server(session_.get(), options);
+
+  std::vector<std::future<infer::Forecast>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(server.Submit(MakeRequest(3)));
+  infer::Forecast first = futures[0].get();
+  ASSERT_TRUE(first.ok) << first.error;
+  for (size_t i = 1; i < futures.size(); ++i) {
+    const infer::Forecast f = futures[i].get();
+    ASSERT_TRUE(f.ok);
+    EXPECT_EQ(f.values, first.values) << "slot " << i;
+  }
+  EXPECT_EQ(server.stats().full_flushes, 1);
+}
+
+// Sparse traffic must never stall: with a batch that cannot fill, the
+// max-wait timer flushes whatever is queued.
+TEST_F(InferServerTest, MaxWaitFlushesSparseTraffic) {
+  infer::BatchingOptions options;
+  options.max_batch_size = 64;
+  options.max_wait_us = 2000;
+  infer::BatchingServer server(session_.get(), options);
+
+  for (int i = 0; i < 3; ++i) {
+    std::future<infer::Forecast> future = server.Submit(MakeRequest(i));
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready)
+        << "max-wait flush never fired";
+    EXPECT_TRUE(future.get().ok);
+  }
+
+  const infer::BatchingServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 3);
+  EXPECT_GE(stats.timeout_flushes, 1);
+  EXPECT_EQ(stats.full_flushes, 0);
+}
+
+// Fault point "infer.slow_consumer": a dispatcher stalled in the model does
+// not wedge the queue — requests arriving during the stall are served by
+// the following flushes.
+TEST_F(InferServerTest, SlowConsumerStillServesEveryRequest) {
+  fault::FaultScript script;
+  script.kind = fault::FaultKind::kErrno;  // event-shaped: just fire
+  script.repeat = true;
+  fault::ArmFaultPoint("infer.slow_consumer", script);
+
+  infer::BatchingOptions options;
+  options.max_batch_size = 4;
+  options.max_wait_us = 1000;
+  options.warmup = false;
+  infer::BatchingServer server(session_.get(), options);
+
+  std::vector<std::future<infer::Forecast>> futures;
+  for (int i = 0; i < 8; ++i) {
+    futures.push_back(server.Submit(MakeRequest(i)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  for (std::future<infer::Forecast>& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(10)),
+              std::future_status::ready);
+    EXPECT_TRUE(f.get().ok);
+  }
+  const infer::BatchingServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 8);
+  EXPECT_GE(stats.timeout_flushes, 1);
+}
+
+TEST_F(InferServerTest, DrainShutdownResolvesEveryQueuedFuture) {
+  infer::BatchingOptions options;
+  options.max_batch_size = 64;
+  options.max_wait_us = 60'000'000;  // the timer must not beat Shutdown
+  infer::BatchingServer server(session_.get(), options);
+
+  std::vector<std::future<infer::Forecast>> futures;
+  for (int i = 0; i < 10; ++i) futures.push_back(server.Submit(MakeRequest(i)));
+  server.Shutdown(/*drain=*/true);
+
+  for (std::future<infer::Forecast>& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "Shutdown returned with an unresolved future";
+    EXPECT_TRUE(f.get().ok);
+  }
+  const infer::BatchingServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 10);
+  EXPECT_EQ(stats.cancelled, 0);
+  EXPECT_GE(stats.shutdown_flushes, 1);
+}
+
+TEST_F(InferServerTest, CancelShutdownResolvesEveryQueuedFutureAsCancelled) {
+  infer::BatchingOptions options;
+  options.max_batch_size = 64;
+  options.max_wait_us = 60'000'000;
+  infer::BatchingServer server(session_.get(), options);
+
+  std::vector<std::future<infer::Forecast>> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(server.Submit(MakeRequest(i)));
+  server.Shutdown(/*drain=*/false);
+
+  for (std::future<infer::Forecast>& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    const infer::Forecast forecast = f.get();
+    EXPECT_FALSE(forecast.ok);
+    EXPECT_EQ(forecast.error, "cancelled");
+  }
+  const infer::BatchingServerStats stats = server.stats();
+  EXPECT_EQ(stats.cancelled, 5);
+  EXPECT_EQ(stats.completed, 0);
+}
+
+TEST_F(InferServerTest, SubmitAfterShutdownIsRejected) {
+  infer::BatchingOptions options;
+  infer::BatchingServer server(session_.get(), options);
+  server.Shutdown();
+
+  std::future<infer::Forecast> future = server.Submit(MakeRequest(0));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const infer::Forecast forecast = future.get();
+  EXPECT_FALSE(forecast.ok);
+  EXPECT_EQ(forecast.error, "shutting down");
+  EXPECT_EQ(server.stats().rejected, 1);
+}
+
+TEST_F(InferServerTest, MalformedRequestRejectedBeforeQueueing) {
+  infer::BatchingOptions options;
+  infer::BatchingServer server(session_.get(), options);
+
+  infer::ForecastRequest bad = MakeRequest(0);
+  bad.window.resize(3);
+  std::future<infer::Forecast> future = server.Submit(std::move(bad));
+  ASSERT_EQ(future.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const infer::Forecast forecast = future.get();
+  EXPECT_FALSE(forecast.ok);
+  EXPECT_NE(forecast.error.find("bad request"), std::string::npos);
+  EXPECT_EQ(server.stats().rejected, 1);
+  EXPECT_EQ(server.stats().submitted, 0);
+}
+
+// Backpressure: with the dispatcher artificially slowed, a bounded queue
+// sheds load with "queue full" instead of buffering without limit — and
+// every request it did accept still completes.
+TEST_F(InferServerTest, BoundedQueueShedsLoadUnderPressure) {
+  fault::FaultScript script;
+  script.kind = fault::FaultKind::kErrno;
+  script.repeat = true;
+  fault::ArmFaultPoint("infer.slow_consumer", script);
+
+  infer::BatchingOptions options;
+  options.max_batch_size = 1;
+  options.max_wait_us = 0;
+  options.max_queue_depth = 2;
+  options.warmup = false;
+  infer::BatchingServer server(session_.get(), options);
+
+  std::vector<std::future<infer::Forecast>> futures;
+  for (int i = 0; i < 12; ++i) futures.push_back(server.Submit(MakeRequest(i)));
+
+  int64_t ok_count = 0;
+  int64_t shed = 0;
+  for (std::future<infer::Forecast>& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(30)),
+              std::future_status::ready);
+    const infer::Forecast forecast = f.get();
+    if (forecast.ok) {
+      ++ok_count;
+    } else {
+      EXPECT_EQ(forecast.error, "queue full");
+      ++shed;
+    }
+  }
+  EXPECT_GE(shed, 1) << "a 20ms/request consumer never filled a depth-2 queue";
+  EXPECT_EQ(ok_count + shed, 12);
+
+  server.Shutdown();
+  const infer::BatchingServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, ok_count);
+  EXPECT_EQ(stats.rejected, shed);
+  EXPECT_EQ(stats.completed, ok_count);
+  EXPECT_LE(stats.max_queue_depth_seen, 2);
+}
+
+}  // namespace
+}  // namespace d2stgnn

@@ -88,6 +88,43 @@ TEST(MaskedMaeLossTest, GradCheck) {
   EXPECT_TRUE(result.ok) << result.max_relative_error;
 }
 
+TEST(PercentileTest, InterpolatesBetweenRanks) {
+  // Type-7 (linear) interpolation over {1..4}: rank = pct/100 * (n-1).
+  const std::vector<double> samples = {4.0, 1.0, 3.0, 2.0};  // unsorted input
+  EXPECT_DOUBLE_EQ(Percentile(samples, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 50.0), 2.5);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 75.0), 3.25);
+  EXPECT_DOUBLE_EQ(Percentile(samples, 100.0), 4.0);
+}
+
+TEST(PercentileTest, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(Percentile({}, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(Percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(SummarizeLatenciesTest, MatchesPercentileAndMoments) {
+  std::vector<double> samples;
+  for (int i = 100; i >= 1; --i) samples.push_back(static_cast<double>(i));
+  const LatencyStats stats = SummarizeLatencies(samples);
+  EXPECT_EQ(stats.count, 100);
+  EXPECT_DOUBLE_EQ(stats.p50, Percentile(samples, 50.0));
+  EXPECT_DOUBLE_EQ(stats.p95, Percentile(samples, 95.0));
+  EXPECT_DOUBLE_EQ(stats.p99, Percentile(samples, 99.0));
+  EXPECT_DOUBLE_EQ(stats.mean, 50.5);
+  EXPECT_DOUBLE_EQ(stats.max, 100.0);
+  EXPECT_LE(stats.p50, stats.p95);
+  EXPECT_LE(stats.p95, stats.p99);
+}
+
+TEST(SummarizeLatenciesTest, EmptyIsAllZero) {
+  const LatencyStats stats = SummarizeLatencies({});
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_DOUBLE_EQ(stats.p50, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p99, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max, 0.0);
+}
+
 TEST(MseLossTest, ValueAndGrad) {
   Tensor pred({2}, {1.0f, 3.0f});
   pred.SetRequiresGrad(true);
