@@ -3,15 +3,25 @@
 // Sweeps the InferenceSession across execution threads {1, 2, 4} and batch
 // sizes {1, 4, 8}, reporting per-call p50/p95/p99 latency and request
 // throughput, then drives the BatchingServer with closed-loop concurrent
-// producers for the end-to-end serving numbers. Machine-readable results go
-// to bench/results/BENCH_inference.json (override the directory with
-// D2STGNN_BENCH_OUT_DIR); the JSON's `summary` records the headline
-// acceptance ratio — batched throughput at batch 8 vs single-request
-// throughput on 4 threads.
+// producers for the end-to-end serving numbers, and finally A/Bs plan
+// replay against the eager path on single requests (DESIGN.md §10) —
+// verifying the forecasts are bitwise identical and gating on the
+// plan-speedup acceptance floor. Machine-readable results go to
+// bench/results/BENCH_inference.json and BENCH_plan.json, with canonical
+// copies at the repo root (override the results directory with
+// D2STGNN_BENCH_OUT_DIR); BENCH_plan.json's `summary` records the headline
+// acceptance ratio — plan vs eager single-request p50 on 4 threads.
+//
+// `bench_inference --plan` runs only the plan-vs-eager sweep (the CI smoke
+// shape): reduced iterations, no speedup gate (CI boxes are noisy), but the
+// bitwise-parity check still applies.
 //
 // Knobs (environment):
 //   D2STGNN_INFER_BENCH_ITERS      timed calls per configuration (default 40)
 //   D2STGNN_INFER_BENCH_SERVER_REQS  requests per server producer (default 80)
+//   D2STGNN_PLAN_BENCH_ITERS       plan-A/B calls per mode (default 200)
+//   D2STGNN_PLAN_SPEEDUP_MIN       full-run gate on plan speedup at 4
+//                                  threads (default 1.3; 0 disables)
 
 #include <cstdio>
 #include <cstdlib>
@@ -20,6 +30,7 @@
 #include <future>
 #include <memory>
 #include <string>
+#include <utility>
 #include <thread>
 #include <vector>
 
@@ -43,6 +54,11 @@ int64_t EnvInt(const char* name, int64_t fallback) {
   return value != nullptr ? std::atoll(value) : fallback;
 }
 
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
 struct BenchRecord {
   std::string mode;  // "session" or "server"
   int threads = 1;
@@ -59,6 +75,33 @@ struct Workload {
   std::vector<infer::ForecastRequest> requests;  // a ring of real windows
 };
 
+// A fresh session over deterministically-initialized weights (seed 3), so
+// plan and eager sessions built from the same traffic compare bitwise.
+std::unique_ptr<infer::InferenceSession> BuildSession(
+    const data::SyntheticTraffic& traffic, const data::StandardScaler& scaler,
+    bool use_plans) {
+  core::D2StgnnConfig config;
+  config.num_nodes = kNodes;
+  config.input_len = kInputLen;
+  config.output_len = 12;
+  config.hidden_dim = 8;
+  config.embed_dim = 4;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.steps_per_day = traffic.dataset.steps_per_day;
+  Rng rng(3);
+  auto model = std::make_unique<core::D2Stgnn>(
+      config, traffic.dataset.network.adjacency, rng);
+
+  infer::SessionOptions session_options;
+  session_options.num_nodes = kNodes;
+  session_options.input_len = kInputLen;
+  session_options.steps_per_day = traffic.dataset.steps_per_day;
+  session_options.use_plans = use_plans;
+  return infer::InferenceSession::Wrap(std::move(model), scaler,
+                                       session_options);
+}
+
 Workload BuildWorkload() {
   Workload w;
   data::SyntheticTrafficOptions options;
@@ -68,26 +111,7 @@ Workload BuildWorkload() {
   options.seed = 17;
   w.traffic = data::GenerateSyntheticTraffic(options);
   w.scaler.Fit(w.traffic.dataset.values, 400, true);
-
-  core::D2StgnnConfig config;
-  config.num_nodes = kNodes;
-  config.input_len = kInputLen;
-  config.output_len = 12;
-  config.hidden_dim = 8;
-  config.embed_dim = 4;
-  config.num_layers = 1;
-  config.num_heads = 2;
-  config.steps_per_day = w.traffic.dataset.steps_per_day;
-  Rng rng(3);
-  auto model = std::make_unique<core::D2Stgnn>(
-      config, w.traffic.dataset.network.adjacency, rng);
-
-  infer::SessionOptions session_options;
-  session_options.num_nodes = kNodes;
-  session_options.input_len = kInputLen;
-  session_options.steps_per_day = w.traffic.dataset.steps_per_day;
-  w.session = infer::InferenceSession::Wrap(std::move(model), w.scaler,
-                                            session_options);
+  w.session = BuildSession(w.traffic, w.scaler, /*use_plans=*/true);
 
   const std::vector<float>& values = w.traffic.dataset.values.Data();
   for (int64_t start = 0; start < 64; ++start) {
@@ -199,6 +223,104 @@ BenchRecord BenchServer(Workload& w, int threads, int producers,
   return r;
 }
 
+// Plan replay vs eager dispatch on single requests: the same request stream
+// through two sessions around identical weights, one serving from a warmed
+// execution plan, one always eager. Also asserts the two paths forecast
+// bitwise identically — a perf mode that changed the numbers would be a
+// correctness bug, not a win.
+std::pair<BenchRecord, BenchRecord> BenchPlanVsEager(
+    Workload& w, infer::InferenceSession& eager_session, int threads,
+    int64_t iters) {
+  SetNumThreads(threads);
+  w.session->Warmup(/*batch_size=*/1, /*runs=*/2);
+
+  const auto time_one = [&](infer::InferenceSession& session,
+                            const char* mode) {
+    using clock = std::chrono::steady_clock;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(static_cast<size_t>(iters));
+    const auto sweep_start = clock::now();
+    for (int64_t i = 0; i < iters; ++i) {
+      const auto start = clock::now();
+      const infer::Forecast f = session.PredictOne(
+          w.requests[static_cast<size_t>(i) % w.requests.size()]);
+      if (!f.ok) {
+        std::fprintf(stderr, "%s forward failed: %s\n", mode,
+                     f.error.c_str());
+        std::exit(1);
+      }
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(clock::now() - start)
+              .count());
+    }
+    const double elapsed =
+        std::chrono::duration<double>(clock::now() - sweep_start).count();
+    BenchRecord r;
+    r.mode = mode;
+    r.threads = threads;
+    r.batch_size = 1;
+    r.requests = iters;
+    r.latency_ms = metrics::SummarizeLatencies(latencies_ms);
+    r.throughput_rps = static_cast<double>(r.requests) / elapsed;
+    return r;
+  };
+
+  // Bitwise parity before timing: every request in the ring agrees.
+  for (const infer::ForecastRequest& request : w.requests) {
+    const infer::Forecast plan = w.session->PredictOne(request);
+    const infer::Forecast eager = eager_session.PredictOne(request);
+    if (!plan.ok || !eager.ok || plan.values != eager.values) {
+      std::fprintf(stderr,
+                   "plan and eager forecasts diverge at %d threads\n",
+                   threads);
+      std::exit(1);
+    }
+  }
+  if (w.session->session_stats().plan_replays == 0) {
+    std::fprintf(stderr, "plan session never replayed a plan\n");
+    std::exit(1);
+  }
+
+  const BenchRecord eager = time_one(eager_session, "eager");
+  const BenchRecord plan = time_one(*w.session, "plan");
+  return {eager, plan};
+}
+
+int WritePlanJson(const std::string& path,
+                  const std::vector<BenchRecord>& records,
+                  double eager_p50_4t, double plan_p50_4t) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n  \"records\": [\n",
+               std::thread::hardware_concurrency());
+  for (size_t i = 0; i < records.size(); ++i) {
+    const BenchRecord& r = records[i];
+    std::fprintf(
+        f,
+        "    {\"mode\": \"%s\", \"threads\": %d, \"batch_size\": %lld, "
+        "\"requests\": %lld, \"p50_ms\": %.6f, \"p95_ms\": %.6f, "
+        "\"p99_ms\": %.6f, \"mean_ms\": %.6f, \"max_ms\": %.6f, "
+        "\"throughput_rps\": %.3f}%s\n",
+        r.mode.c_str(), r.threads, static_cast<long long>(r.batch_size),
+        static_cast<long long>(r.requests), r.latency_ms.p50,
+        r.latency_ms.p95, r.latency_ms.p99, r.latency_ms.mean,
+        r.latency_ms.max, r.throughput_rps,
+        i + 1 < records.size() ? "," : "");
+  }
+  std::fprintf(f,
+               "  ],\n  \"summary\": {\"eager_p50_ms_4t\": %.6f, "
+               "\"plan_p50_ms_4t\": %.6f, \"plan_speedup_4t\": %.3f, "
+               "\"bitwise_identical\": true}\n}\n",
+               eager_p50_4t, plan_p50_4t,
+               plan_p50_4t > 0.0 ? eager_p50_4t / plan_p50_4t : 0.0);
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
 void PrintRecord(const BenchRecord& r) {
   std::printf(
       "%-7s threads=%d batch=%-2lld  p50 %7.3f ms  p95 %7.3f ms  "
@@ -242,40 +364,16 @@ int WriteJson(const std::string& path, const std::vector<BenchRecord>& records,
   return 0;
 }
 
-int Run() {
+int Run(bool plan_only) {
   const int64_t iters = EnvInt("D2STGNN_INFER_BENCH_ITERS", 40);
   const int64_t server_reqs = EnvInt("D2STGNN_INFER_BENCH_SERVER_REQS", 80);
+  const int64_t plan_iters =
+      EnvInt("D2STGNN_PLAN_BENCH_ITERS", plan_only ? 20 : 200);
   Workload w = BuildWorkload();
   if (w.session == nullptr) {
     std::fprintf(stderr, "failed to build inference session\n");
     return 1;
   }
-
-  std::vector<BenchRecord> records;
-  double single_rps_4t = 0.0;
-  double batch8_rps_4t = 0.0;
-  for (int threads : {1, 2, 4}) {
-    for (int64_t batch_size : {1, 4, 8}) {
-      const BenchRecord r = BenchSession(w, threads, batch_size, iters);
-      PrintRecord(r);
-      if (threads == 4 && batch_size == 1) single_rps_4t = r.throughput_rps;
-      if (threads == 4 && batch_size == 8) batch8_rps_4t = r.throughput_rps;
-      records.push_back(r);
-    }
-  }
-  for (int threads : {1, 2, 4}) {
-    const BenchRecord r =
-        BenchServer(w, threads, /*producers=*/4, server_reqs);
-    PrintRecord(r);
-    records.push_back(r);
-  }
-  SetNumThreads(1);
-
-  const double speedup =
-      single_rps_4t > 0.0 ? batch8_rps_4t / single_rps_4t : 0.0;
-  std::printf("batch-8 throughput on 4 threads: %.1f req/s = %.2fx "
-              "single-request (%.1f req/s)\n",
-              batch8_rps_4t, speedup, single_rps_4t);
 
   const char* out_dir = std::getenv("D2STGNN_BENCH_OUT_DIR");
   const std::string dir =
@@ -287,11 +385,100 @@ int Run() {
                  ec.message().c_str());
     return 1;
   }
-  return WriteJson(dir + "/BENCH_inference.json", records, single_rps_4t,
-                   batch8_rps_4t);
+  // Canonical copies land at the repo root so the latest numbers are one
+  // `cat` away; the results directory keeps the versioned trajectory.
+  const std::string root = D2STGNN_REPO_ROOT;
+
+  if (!plan_only) {
+    std::vector<BenchRecord> records;
+    double single_rps_4t = 0.0;
+    double batch8_rps_4t = 0.0;
+    for (int threads : {1, 2, 4}) {
+      for (int64_t batch_size : {1, 4, 8}) {
+        const BenchRecord r = BenchSession(w, threads, batch_size, iters);
+        PrintRecord(r);
+        if (threads == 4 && batch_size == 1) single_rps_4t = r.throughput_rps;
+        if (threads == 4 && batch_size == 8) batch8_rps_4t = r.throughput_rps;
+        records.push_back(r);
+      }
+    }
+    for (int threads : {1, 2, 4}) {
+      const BenchRecord r =
+          BenchServer(w, threads, /*producers=*/4, server_reqs);
+      PrintRecord(r);
+      records.push_back(r);
+    }
+
+    const double speedup =
+        single_rps_4t > 0.0 ? batch8_rps_4t / single_rps_4t : 0.0;
+    std::printf("batch-8 throughput on 4 threads: %.1f req/s = %.2fx "
+                "single-request (%.1f req/s)\n",
+                batch8_rps_4t, speedup, single_rps_4t);
+    if (WriteJson(dir + "/BENCH_inference.json", records, single_rps_4t,
+                  batch8_rps_4t) != 0 ||
+        WriteJson(root + "/BENCH_inference.json", records, single_rps_4t,
+                  batch8_rps_4t) != 0) {
+      return 1;
+    }
+  }
+
+  // Plan-vs-eager A/B. The eager twin shares the workload's weights (same
+  // init seed) so the parity check inside the sweep is bitwise.
+  auto eager_session = BuildSession(w.traffic, w.scaler, /*use_plans=*/false);
+  if (eager_session == nullptr) {
+    std::fprintf(stderr, "failed to build eager session\n");
+    return 1;
+  }
+  std::vector<BenchRecord> plan_records;
+  double eager_p50_4t = 0.0;
+  double plan_p50_4t = 0.0;
+  for (int threads : {1, 2, 4}) {
+    const auto [eager, plan] =
+        BenchPlanVsEager(w, *eager_session, threads, plan_iters);
+    PrintRecord(eager);
+    PrintRecord(plan);
+    if (threads == 4) {
+      eager_p50_4t = eager.latency_ms.p50;
+      plan_p50_4t = plan.latency_ms.p50;
+    }
+    plan_records.push_back(eager);
+    plan_records.push_back(plan);
+  }
+  SetNumThreads(1);
+
+  const double plan_speedup =
+      plan_p50_4t > 0.0 ? eager_p50_4t / plan_p50_4t : 0.0;
+  std::printf("plan replay on 4 threads: p50 %.3f ms = %.2fx eager "
+              "(p50 %.3f ms), bitwise identical\n",
+              plan_p50_4t, plan_speedup, eager_p50_4t);
+
+  if (WritePlanJson(dir + "/BENCH_plan.json", plan_records, eager_p50_4t,
+                    plan_p50_4t) != 0 ||
+      WritePlanJson(root + "/BENCH_plan.json", plan_records, eager_p50_4t,
+                    plan_p50_4t) != 0) {
+    return 1;
+  }
+
+  // Acceptance gate (full runs only — the --plan smoke runs on noisy CI
+  // boxes with a handful of iterations).
+  const double speedup_min =
+      plan_only ? 0.0 : EnvDouble("D2STGNN_PLAN_SPEEDUP_MIN", 1.3);
+  if (speedup_min > 0.0 && plan_speedup < speedup_min) {
+    std::fprintf(stderr,
+                 "FAIL: plan speedup %.2fx is below the %.2fx floor\n",
+                 plan_speedup, speedup_min);
+    return 1;
+  }
+  return 0;
 }
 
 }  // namespace
 }  // namespace d2stgnn
 
-int main() { return d2stgnn::Run(); }
+int main(int argc, char** argv) {
+  bool plan_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--plan") plan_only = true;
+  }
+  return d2stgnn::Run(plan_only);
+}

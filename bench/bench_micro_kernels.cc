@@ -205,7 +205,7 @@ void SweepOp(const std::string& op, const std::string& workload, double items,
   }
 }
 
-void WriteKernelJson(const char* path) {
+std::vector<JsonRecord> CollectKernelRecords() {
   std::vector<JsonRecord> records;
   Rng rng(1);
   NoGradGuard no_grad;
@@ -238,7 +238,10 @@ void WriteKernelJson(const char* path) {
             &records);
   }
   SetNumThreads(1);
+  return records;
+}
 
+void WriteKernelJson(const char* path, const std::vector<JsonRecord>& records) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -280,6 +283,12 @@ int main(int argc, char** argv) {
                  ec.message().c_str());
     return 1;
   }
-  d2stgnn::WriteKernelJson((dir + "/BENCH_kernels.json").c_str());
+  // One timing sweep, two copies: the versioned results directory and the
+  // canonical repo-root file alongside BENCH_inference.json / BENCH_plan.json.
+  const auto records = d2stgnn::CollectKernelRecords();
+  d2stgnn::WriteKernelJson((dir + "/BENCH_kernels.json").c_str(), records);
+  d2stgnn::WriteKernelJson(
+      (std::string(D2STGNN_REPO_ROOT) + "/BENCH_kernels.json").c_str(),
+      records);
   return 0;
 }

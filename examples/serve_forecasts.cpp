@@ -2,20 +2,29 @@
 // wrapping D2STGNN behind a micro-batching BatchingServer, driven by an
 // open-loop load generator — producers submit on a fixed schedule whether
 // or not earlier requests have finished, like real traffic does — then a
-// latency/throughput report.
+// latency/throughput report (p50/p95/p99 via metrics::SummarizeLatencies).
+//
+// The generator runs once per serving mode, each against a fresh session
+// around identically-initialized weights:
+//   eager — every forward runs the normal op dispatch path
+//   plan  — warmed-up batch shapes replay captured execution plans
+//           (DESIGN.md §10); the report adds the plan-cache counters
 //
 //   ./build/examples/serve_forecasts [rate_rps] [seconds] [producers]
+//       [--mode=eager|plan|both]
 //
-// Defaults: 200 req/s for 2 seconds from 2 producers.
+// Defaults: 200 req/s for 2 seconds from 2 producers, --mode=both.
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -29,69 +38,25 @@
 
 using namespace d2stgnn;
 
-int main(int argc, char** argv) {
-  const double rate_rps = argc > 1 ? std::atof(argv[1]) : 200.0;
-  const double seconds = argc > 2 ? std::atof(argv[2]) : 2.0;
-  const int producers = argc > 3 ? std::atoi(argv[3]) : 2;
-  if (rate_rps <= 0.0 || seconds <= 0.0 || producers <= 0) {
-    std::fprintf(stderr, "usage: %s [rate_rps] [seconds] [producers]\n",
-                 argv[0]);
-    return 1;
-  }
+namespace {
 
-  // A road network and a model to serve. A real deployment would
-  // InferenceSession::Load() a trained checkpoint instead of Wrap()-ing
-  // fresh weights; the serving path is identical.
-  constexpr int64_t kNodes = 20;
-  constexpr int64_t kInputLen = 12;
-  data::SyntheticTrafficOptions traffic_options;
-  traffic_options.network.num_nodes = kNodes;
-  traffic_options.num_steps = 600;
-  traffic_options.seed = 11;
-  const data::SyntheticTraffic traffic =
-      data::GenerateSyntheticTraffic(traffic_options);
-  data::StandardScaler scaler;
-  scaler.Fit(traffic.dataset.values, 400, true);
+constexpr int64_t kNodes = 20;
+constexpr int64_t kInputLen = 12;
 
-  core::D2StgnnConfig config;
-  config.num_nodes = kNodes;
-  config.input_len = kInputLen;
-  config.output_len = 12;
-  config.hidden_dim = 16;
-  config.embed_dim = 8;
-  config.steps_per_day = traffic.dataset.steps_per_day;
-  Rng rng(3);
-  auto model = std::make_unique<core::D2Stgnn>(
-      config, traffic.dataset.network.adjacency, rng);
-
-  infer::SessionOptions session_options;
-  session_options.num_nodes = kNodes;
-  session_options.input_len = kInputLen;
-  session_options.steps_per_day = traffic.dataset.steps_per_day;
-  auto session =
-      infer::InferenceSession::Wrap(std::move(model), scaler, session_options);
-  if (session == nullptr) return 1;
-
+// Drives the open-loop load against one session and prints its report.
+// Returns false on setup failure.
+bool RunLoad(infer::InferenceSession* session, const char* label,
+             const std::vector<infer::ForecastRequest>& ring, double rate_rps,
+             double seconds, int producers) {
   infer::BatchingOptions batching;
   batching.max_batch_size = 8;
   batching.max_wait_us = 1000;
   batching.max_queue_depth = 1024;
-  infer::BatchingServer server(session.get(), batching);
+  infer::BatchingServer server(session, batching);
 
-  // A ring of real sensor windows to request forecasts for.
-  std::vector<infer::ForecastRequest> ring;
-  const std::vector<float>& values = traffic.dataset.values.Data();
-  for (int64_t start = 0; start < 64; ++start) {
-    infer::ForecastRequest request;
-    request.window.assign(values.data() + start * kNodes,
-                          values.data() + (start + kInputLen) * kNodes);
-    request.time_of_day = traffic.dataset.TimeOfDay(start);
-    request.day_of_week = traffic.dataset.DayOfWeek(start);
-    ring.push_back(std::move(request));
-  }
-
-  std::printf("open-loop load: %.0f req/s for %.1f s from %d producer%s\n",
-              rate_rps, seconds, producers, producers == 1 ? "" : "s");
+  std::printf("\n[%s] open-loop load: %.0f req/s for %.1f s from %d "
+              "producer%s\n",
+              label, rate_rps, seconds, producers, producers == 1 ? "" : "s");
 
   using clock = std::chrono::steady_clock;
   struct InFlight {
@@ -178,15 +143,16 @@ int main(int argc, char** argv) {
   const metrics::LatencyStats stats =
       metrics::SummarizeLatencies(latencies_ms);
   const infer::BatchingServerStats server_stats = server.stats();
-  std::printf("served %lld requests in %.2f s (%.1f req/s), %lld shed\n",
-              static_cast<long long>(stats.count), elapsed,
+  std::printf("[%s] served %lld requests in %.2f s (%.1f req/s), %lld shed\n",
+              label, static_cast<long long>(stats.count), elapsed,
               static_cast<double>(stats.count) / elapsed,
               static_cast<long long>(shed));
-  std::printf("latency: p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  max %.3f ms\n",
-              stats.p50, stats.p95, stats.p99, stats.max);
-  std::printf("batches: %lld (%lld full, %lld by timer), mean %.2f req/batch, "
-              "peak queue %lld\n",
-              static_cast<long long>(server_stats.batches),
+  std::printf("[%s] latency: p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  "
+              "max %.3f ms\n",
+              label, stats.p50, stats.p95, stats.p99, stats.max);
+  std::printf("[%s] batches: %lld (%lld full, %lld by timer), mean %.2f "
+              "req/batch, peak queue %lld\n",
+              label, static_cast<long long>(server_stats.batches),
               static_cast<long long>(server_stats.full_flushes),
               static_cast<long long>(server_stats.timeout_flushes),
               server_stats.batches > 0
@@ -194,12 +160,118 @@ int main(int argc, char** argv) {
                         static_cast<double>(server_stats.batches)
                   : 0.0,
               static_cast<long long>(server_stats.max_queue_depth_seen));
+  const infer::SessionStats session_stats = session->session_stats();
+  if (session_stats.plans_built > 0) {
+    std::printf("[%s] plans: %lld built, %lld replays (%lld padded), "
+                "%lld eager fallbacks\n",
+                label, static_cast<long long>(session_stats.plans_built),
+                static_cast<long long>(session_stats.plan_replays),
+                static_cast<long long>(session_stats.padded_replays),
+                static_cast<long long>(session_stats.eager_forwards));
+  }
+  return true;
+}
+
+// A session over deterministically-seeded weights. A real deployment would
+// InferenceSession::Load() a trained checkpoint instead of Wrap()-ing fresh
+// weights; the serving path is identical.
+std::unique_ptr<infer::InferenceSession> BuildSession(
+    const data::SyntheticTraffic& traffic, const data::StandardScaler& scaler,
+    bool use_plans) {
+  core::D2StgnnConfig config;
+  config.num_nodes = kNodes;
+  config.input_len = kInputLen;
+  config.output_len = 12;
+  config.hidden_dim = 16;
+  config.embed_dim = 8;
+  config.steps_per_day = traffic.dataset.steps_per_day;
+  Rng rng(3);
+  auto model = std::make_unique<core::D2Stgnn>(
+      config, traffic.dataset.network.adjacency, rng);
+
+  infer::SessionOptions session_options;
+  session_options.num_nodes = kNodes;
+  session_options.input_len = kInputLen;
+  session_options.steps_per_day = traffic.dataset.steps_per_day;
+  session_options.use_plans = use_plans;
+  return infer::InferenceSession::Wrap(std::move(model), scaler,
+                                       session_options);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double positional[3] = {200.0, 2.0, 2.0};  // rate_rps, seconds, producers
+  int positional_count = 0;
+  std::string mode = "both";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--mode=", 7) == 0) {
+      mode = argv[i] + 7;
+    } else if (positional_count < 3) {
+      positional[positional_count++] = std::atof(argv[i]);
+    }
+  }
+  const double rate_rps = positional[0];
+  const double seconds = positional[1];
+  const int producers = static_cast<int>(positional[2]);
+  const bool run_eager = mode == "eager" || mode == "both";
+  const bool run_plan = mode == "plan" || mode == "both";
+  if (rate_rps <= 0.0 || seconds <= 0.0 || producers <= 0 ||
+      (!run_eager && !run_plan)) {
+    std::fprintf(stderr,
+                 "usage: %s [rate_rps] [seconds] [producers] "
+                 "[--mode=eager|plan|both]\n",
+                 argv[0]);
+    return 1;
+  }
+
+  // A road network to serve forecasts for.
+  data::SyntheticTrafficOptions traffic_options;
+  traffic_options.network.num_nodes = kNodes;
+  traffic_options.num_steps = 600;
+  traffic_options.seed = 11;
+  const data::SyntheticTraffic traffic =
+      data::GenerateSyntheticTraffic(traffic_options);
+  data::StandardScaler scaler;
+  scaler.Fit(traffic.dataset.values, 400, true);
+
+  // A ring of real sensor windows to request forecasts for.
+  std::vector<infer::ForecastRequest> ring;
+  const std::vector<float>& values = traffic.dataset.values.Data();
+  for (int64_t start = 0; start < 64; ++start) {
+    infer::ForecastRequest request;
+    request.window.assign(values.data() + start * kNodes,
+                          values.data() + (start + kInputLen) * kNodes);
+    request.time_of_day = traffic.dataset.TimeOfDay(start);
+    request.day_of_week = traffic.dataset.DayOfWeek(start);
+    ring.push_back(std::move(request));
+  }
+
+  std::unique_ptr<infer::InferenceSession> last_session;
+  if (run_eager) {
+    auto session = BuildSession(traffic, scaler, /*use_plans=*/false);
+    if (session == nullptr) return 1;
+    if (!RunLoad(session.get(), "eager", ring, rate_rps, seconds, producers)) {
+      return 1;
+    }
+    last_session = std::move(session);
+  }
+  if (run_plan) {
+    auto session = BuildSession(traffic, scaler, /*use_plans=*/true);
+    if (session == nullptr) return 1;
+    // The BatchingServer warms up sizes 1 and max_batch_size on
+    // construction, so the load runs against captured plans from the start.
+    if (!RunLoad(session.get(), "plan", ring, rate_rps, seconds, producers)) {
+      return 1;
+    }
+    last_session = std::move(session);
+  }
 
   // One forecast, end to end, for show: the model's 12-step speed forecast
   // for sensor 0.
-  const infer::Forecast sample = session->PredictOne(ring[0]);
+  const infer::Forecast sample = last_session->PredictOne(ring[0]);
   if (sample.ok) {
-    std::printf("sensor 0 forecast (mph):");
+    std::printf("\nsensor 0 forecast (mph):");
     for (int64_t t = 0; t < sample.horizon; ++t) {
       std::printf(" %.1f", sample.values[static_cast<size_t>(
                                t * sample.num_nodes)]);

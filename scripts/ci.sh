@@ -7,13 +7,19 @@
 #   3. Inference suite    — the inference session and batching server under
 #      TSan (concurrent submitters), then a reduced bench_inference run
 #      asserting BENCH_inference.json is produced and well-formed.
-#   4. UBSanitizer        — the full suite under -fsanitize=undefined.
-#   5. ASan+UBSan         — the fault-injection / crash-safety suite
+#   4. Plan replay        — the capture/plan/replay suite under TSan
+#      (level-parallel replays, concurrent plan-serving submitters; the
+#      Release run happened in stage 1, where the plan-vs-eager latency
+#      floor is asserted), then a `bench_inference --plan` smoke plus a
+#      kernel-bench run, validating the canonical repo-root
+#      BENCH_inference.json / BENCH_plan.json / BENCH_kernels.json.
+#   5. UBSanitizer        — the full suite under -fsanitize=undefined.
+#   6. ASan+UBSan         — the fault-injection / crash-safety suite
 #      (checkpoints, durable I/O, divergence recovery, death tests), where
 #      torn buffers and use-after-free bugs would hide.
-#   6. Corruption smoke   — end-to-end: train with checkpointing, flip one
+#   7. Corruption smoke   — end-to-end: train with checkpointing, flip one
 #      byte in the newest checkpoint, assert resume rejects it.
-#   7. Lint               — clang-tidy over the compilation database
+#   8. Lint               — clang-tidy over the compilation database
 #      (skipped with a notice when clang-tidy is not installed).
 #
 # Both ctest invocations pass --no-tests=error so a filter that matches zero
@@ -49,8 +55,11 @@ ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
 cmake --build build -j "$(nproc)" --target bench_inference
 bench_out="build/infer-bench-smoke"
 rm -rf "$bench_out"
+# The speedup gates are disabled for the smoke: 3 iterations on a shared CI
+# box measure nothing; full runs keep the 1.3x plan floor.
 D2STGNN_BENCH_OUT_DIR="$bench_out" \
 D2STGNN_INFER_BENCH_ITERS=3 D2STGNN_INFER_BENCH_SERVER_REQS=8 \
+D2STGNN_PLAN_BENCH_ITERS=10 D2STGNN_PLAN_SPEEDUP_MIN=0 \
   build/bench/bench_inference > /dev/null
 python3 - "$bench_out/BENCH_inference.json" <<'EOF'
 import json, sys
@@ -59,11 +68,46 @@ with open(sys.argv[1]) as f:
 records = doc["records"]
 assert records, "BENCH_inference.json has no records"
 for r in records:
-    assert r["mode"] in ("session", "server"), r
+    assert r["mode"] in ("session", "server", "eager", "plan"), r
     assert r["throughput_rps"] > 0, r
     assert r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"], r
 assert "batch8_speedup_vs_single" in doc["summary"]
 print("BENCH_inference.json well-formed:", len(records), "records")
+EOF
+
+echo "=== Plan replay: exec suite under TSan + canonical bench JSONs ==="
+cmake --build build-tsan -j "$(nproc)" --target exec_plan_test
+ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
+  -R 'MemoryPlanner|ZooCapture|GraphCapture|ExecSession' --no-tests=error
+D2STGNN_BENCH_OUT_DIR="$bench_out" build/bench/bench_inference --plan \
+  > /dev/null
+cmake --build build -j "$(nproc)" --target bench_micro_kernels
+# Skip the google-benchmark section (nothing matches); the hand-timed sweep
+# that feeds BENCH_kernels.json still runs.
+build/bench/bench_micro_kernels --benchmark_filter='^$' > /dev/null
+python3 - BENCH_inference.json BENCH_plan.json BENCH_kernels.json <<'EOF'
+import json, sys
+infer_doc = json.load(open(sys.argv[1]))
+assert infer_doc["records"], "BENCH_inference.json has no records"
+assert "batch8_speedup_vs_single" in infer_doc["summary"]
+plan_doc = json.load(open(sys.argv[2]))
+modes = {r["mode"] for r in plan_doc["records"]}
+assert modes == {"eager", "plan"}, modes
+for r in plan_doc["records"]:
+    assert r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"], r
+summary = plan_doc["summary"]
+for key in ("eager_p50_ms_4t", "plan_p50_ms_4t", "plan_speedup_4t",
+            "bitwise_identical"):
+    assert key in summary, key
+assert summary["bitwise_identical"] is True
+kernel_doc = json.load(open(sys.argv[3]))
+assert kernel_doc["ops"], "BENCH_kernels.json has no ops"
+for r in kernel_doc["ops"]:
+    assert r["seconds_per_iter"] > 0, r
+print("canonical bench JSONs well-formed:",
+      len(infer_doc["records"]), "inference records,",
+      len(plan_doc["records"]), "plan records,",
+      len(kernel_doc["ops"]), "kernel records")
 EOF
 
 echo "=== UBSanitizer build + full test suite ==="

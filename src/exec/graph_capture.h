@@ -1,0 +1,141 @@
+#ifndef D2STGNN_EXEC_GRAPH_CAPTURE_H_
+#define D2STGNN_EXEC_GRAPH_CAPTURE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/plan.h"
+#include "tensor/tensor.h"
+
+// Records one eager forward pass into an ExecutionPlan (DESIGN.md §10).
+//
+// While a GraphCapture is alive on a thread, every op dispatched in
+// tensor/ops.cc additionally records a replay closure via the internal
+// hooks below. The caller binds the per-request tensors by identity
+// *before* running the forward, runs it once eagerly (the capture run
+// produces normal, correct results), then calls Finish() with the output:
+//
+//   exec::GraphCapture capture;
+//   capture.BindInput("x", batch.x);
+//   capture.BindIndexInput("tod", batch.time_of_day);
+//   Tensor out = model.Forward(batch);          // eager, but recorded
+//   auto plan = capture.Finish(out);            // null + error() on failure
+//
+// Any tensor an op reads that is neither a bound input nor produced by a
+// recorded op is captured as a plan constant (weights, scaler statistics).
+// Steps that do not contribute to the output are pruned, levels are
+// assigned for the parallel schedule, and the memory planner lays every
+// intermediate into one slab.
+
+namespace d2stgnn::exec {
+
+namespace internal {
+
+/// True when ops.cc should record the op it is about to dispatch. Kept as
+/// a cheap thread-local flag check so the eager fast path is unaffected.
+bool CaptureActive();
+
+/// Records a dispatched op. `inputs` are the tensors whose buffers the
+/// closure will read (in StepIo::inputs order), `output` the tensor it
+/// writes, `run` the shape-specialized kernel closure. `zero_output` marks
+/// kernels that accumulate (+=) into their output. No-op when capture is
+/// inactive — but callers should gate on CaptureActive() to skip closure
+/// construction entirely.
+void RecordStep(const char* op, std::vector<Tensor> inputs,
+                const Tensor& output, std::function<void(const StepIo&)> run,
+                bool zero_output = false);
+
+/// Records an op driven by an int64 index vector (EmbeddingLookup). The
+/// closure reads StepIo::indices: the bound vector when `indices` matches a
+/// BindIndexInput address, otherwise a snapshot taken here.
+void RecordIndexedStep(const char* op, std::vector<Tensor> inputs,
+                       const std::vector<int64_t>& indices,
+                       const Tensor& output,
+                       std::function<void(const StepIo&)> run);
+
+/// Poisons the active capture: the op being dispatched has no replay
+/// closure (e.g. Dropout in training mode). The eager result is still
+/// correct; Finish() will fail with `reason`.
+void MarkCaptureUnsupported(const char* reason);
+
+}  // namespace internal
+
+class GraphCapture {
+ public:
+  /// Activates capture on the current thread. At most one GraphCapture may
+  /// be alive per thread.
+  GraphCapture();
+  ~GraphCapture();
+  GraphCapture(const GraphCapture&) = delete;
+  GraphCapture& operator=(const GraphCapture&) = delete;
+
+  /// Declares `t` as a per-request float input: replay reads it from a
+  /// caller-provided pointer instead of a captured constant. Matched by
+  /// tensor identity, so bind the exact handle the forward will consume.
+  void BindInput(const std::string& name, const Tensor& t);
+
+  /// Declares `indices` as a per-request index vector (time-of-day /
+  /// day-of-week). Matched by vector address, so bind the exact vector the
+  /// forward will pass to EmbeddingLookup.
+  void BindIndexInput(const std::string& name,
+                      const std::vector<int64_t>& indices);
+
+  /// Resolves the recorded steps against `output` and builds the plan.
+  /// Returns null if the forward used an op capture does not support or
+  /// the output was not produced by a recorded op; error() says why.
+  /// Recording stops either way; Finish may be called once.
+  std::shared_ptr<const ExecutionPlan> Finish(const Tensor& output);
+
+  /// Why Finish() returned null (empty on success / before Finish).
+  const std::string& error() const { return error_; }
+
+  /// True if a capture is active on the current thread.
+  static bool Active();
+
+ private:
+  struct Recorded {
+    std::string op;
+    std::vector<Tensor> inputs;  // pins impl identity until Finish
+    Tensor output;
+    std::function<void(const StepIo&)> run;
+    bool zero_output = false;
+    bool indexed = false;
+    const std::vector<int64_t>* indices_addr = nullptr;
+    std::vector<int64_t> baked_indices;
+  };
+
+  struct FloatBinding {
+    std::string name;
+    Tensor tensor;
+  };
+  struct IndexBinding {
+    std::string name;
+    const std::vector<int64_t>* indices = nullptr;
+  };
+
+  void Record(Recorded recorded);
+  void MarkUnsupported(const char* reason);
+
+  std::vector<Recorded> recorded_;
+  std::vector<FloatBinding> float_bindings_;
+  std::vector<IndexBinding> index_bindings_;
+  std::string unsupported_;
+  std::string error_;
+  bool finished_ = false;
+
+  friend void internal::RecordStep(const char*, std::vector<Tensor>,
+                                   const Tensor&,
+                                   std::function<void(const StepIo&)>, bool);
+  friend void internal::RecordIndexedStep(const char*, std::vector<Tensor>,
+                                          const std::vector<int64_t>&,
+                                          const Tensor&,
+                                          std::function<void(const StepIo&)>);
+  friend void internal::MarkCaptureUnsupported(const char*);
+};
+
+}  // namespace d2stgnn::exec
+
+#endif  // D2STGNN_EXEC_GRAPH_CAPTURE_H_

@@ -1,0 +1,112 @@
+#include "exec/memory_planner.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace d2stgnn::exec {
+namespace {
+
+struct FreeBlock {
+  int64_t offset = 0;
+  int64_t size = 0;
+};
+
+int64_t AlignUp(int64_t v, int64_t alignment) {
+  return (v + alignment - 1) / alignment * alignment;
+}
+
+// Inserts [offset, offset+size) into the offset-sorted free list, merging
+// with adjacent blocks so first-fit sees the largest contiguous holes.
+void ReleaseBlock(std::vector<FreeBlock>& free_list, int64_t offset,
+                  int64_t size) {
+  if (size <= 0) return;
+  auto it = std::lower_bound(
+      free_list.begin(), free_list.end(), offset,
+      [](const FreeBlock& b, int64_t off) { return b.offset < off; });
+  it = free_list.insert(it, FreeBlock{offset, size});
+  if (it + 1 != free_list.end() && it->offset + it->size == (it + 1)->offset) {
+    it->size += (it + 1)->size;
+    free_list.erase(it + 1);
+  }
+  if (it != free_list.begin() &&
+      (it - 1)->offset + (it - 1)->size == it->offset) {
+    (it - 1)->size += it->size;
+    it = free_list.erase(it) - 1;
+  }
+}
+
+}  // namespace
+
+BufferAssignment PlanBuffers(const std::vector<BufferRequest>& requests,
+                             int64_t alignment) {
+  D2_CHECK_GT(alignment, 0);
+  BufferAssignment out;
+  out.offsets.assign(requests.size(), 0);
+  if (requests.empty()) return out;
+
+  int32_t max_level = 0;
+  for (const BufferRequest& r : requests) {
+    D2_CHECK_GE(r.numel, 0);
+    D2_CHECK_LE(r.def_level, r.last_use_level);
+    max_level = std::max(max_level, r.last_use_level);
+  }
+
+  // Buckets of request indices born / dying at each level.
+  std::vector<std::vector<size_t>> born(static_cast<size_t>(max_level) + 1);
+  std::vector<std::vector<size_t>> dies(static_cast<size_t>(max_level) + 1);
+  for (size_t i = 0; i < requests.size(); ++i) {
+    born[static_cast<size_t>(requests[i].def_level)].push_back(i);
+    dies[static_cast<size_t>(requests[i].last_use_level)].push_back(i);
+  }
+
+  std::vector<FreeBlock> free_list;
+  int64_t slab_end = 0;
+  for (int32_t level = 0; level <= max_level; ++level) {
+    // A buffer whose last use is at level L-1 is reusable from level L on:
+    // under level-parallel replay all steps of L-1 finish before L starts.
+    if (level > 0) {
+      for (size_t i : dies[static_cast<size_t>(level - 1)]) {
+        ReleaseBlock(free_list, out.offsets[i],
+                     AlignUp(requests[i].numel, alignment));
+      }
+    }
+    std::vector<size_t> batch = born[static_cast<size_t>(level)];
+    std::stable_sort(batch.begin(), batch.end(), [&](size_t a, size_t b) {
+      return requests[a].numel > requests[b].numel;
+    });
+    for (size_t i : batch) {
+      const int64_t need = AlignUp(requests[i].numel, alignment);
+      auto fit = free_list.end();
+      for (auto it = free_list.begin(); it != free_list.end(); ++it) {
+        if (it->size >= need) {
+          fit = it;
+          break;
+        }
+      }
+      if (fit != free_list.end()) {
+        out.offsets[i] = fit->offset;
+        fit->offset += need;
+        fit->size -= need;
+        if (fit->size == 0) free_list.erase(fit);
+        continue;
+      }
+      // No hole fits: grow the slab, absorbing a trailing hole if the free
+      // list ends flush against the slab end.
+      int64_t offset = slab_end;
+      if (!free_list.empty()) {
+        FreeBlock& last = free_list.back();
+        if (last.offset + last.size == slab_end) {
+          offset = last.offset;
+          free_list.pop_back();
+        }
+      }
+      out.offsets[i] = offset;
+      slab_end = offset + need;
+    }
+  }
+  out.slab_floats = slab_end;
+  return out;
+}
+
+}  // namespace d2stgnn::exec

@@ -1,0 +1,50 @@
+#ifndef D2STGNN_EXEC_MEMORY_PLANNER_H_
+#define D2STGNN_EXEC_MEMORY_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+// Static buffer planning for captured execution plans (DESIGN.md §10).
+//
+// A captured forward knows every intermediate buffer it will ever need and
+// the level interval over which each one is live, so instead of a pool of
+// individually recycled buffers (the eager arena) the whole forward can run
+// inside ONE preallocated slab: each buffer is assigned a fixed offset, and
+// buffers whose live intervals do not overlap share bytes. Replay then
+// performs zero allocator traffic by construction.
+//
+// Lifetimes are expressed in *levels* (the plan executor's scheduling unit)
+// rather than step indices: steps inside one level may run concurrently in
+// any order, so a buffer freed at level L can only be reused by a buffer
+// born at level L+1 or later. This makes one assignment valid for both the
+// serial and the level-parallel replay modes.
+
+namespace d2stgnn::exec {
+
+/// One buffer the plan needs: its size and the half-open-in-levels live
+/// interval [def_level, last_use_level] (inclusive on both ends).
+struct BufferRequest {
+  int64_t numel = 0;
+  int32_t def_level = 0;
+  int32_t last_use_level = 0;
+};
+
+/// The planner's output: an offset (in floats) per request into a slab of
+/// `slab_floats` total floats.
+struct BufferAssignment {
+  std::vector<int64_t> offsets;
+  int64_t slab_floats = 0;
+};
+
+/// Assigns slab offsets with greedy interval allocation: walk levels in
+/// ascending order, return buffers whose last use has passed to a free
+/// list (coalescing adjacent holes), and serve new buffers first-fit,
+/// largest-first within a level. Offsets are aligned to `alignment` floats
+/// (64-byte cache lines at the default 16). Deterministic for a given
+/// request vector.
+BufferAssignment PlanBuffers(const std::vector<BufferRequest>& requests,
+                             int64_t alignment = 16);
+
+}  // namespace d2stgnn::exec
+
+#endif  // D2STGNN_EXEC_MEMORY_PLANNER_H_

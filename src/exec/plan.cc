@@ -1,0 +1,30 @@
+#include "exec/plan.h"
+
+#include <sstream>
+
+namespace d2stgnn::exec {
+
+int64_t ExecutionPlan::total_slot_floats() const {
+  int64_t total = 0;
+  for (const SlotInfo& slot : slots_) total += slot.numel;
+  return total;
+}
+
+bool ExecutionPlan::ConstantsValid() const {
+  for (const PlanConstant& c : constants_) {
+    if (c.tensor.Data().data() != c.captured_data) return false;
+  }
+  return true;
+}
+
+std::string ExecutionPlan::Summary() const {
+  std::ostringstream os;
+  os << "plan{steps=" << steps_.size() << " levels=" << levels_.size()
+     << " slots=" << slots_.size() << " constants=" << constants_.size()
+     << " slab_floats=" << slab_floats_
+     << " unplanned_floats=" << total_slot_floats()
+     << " output=" << ShapeToString(output_shape_) << "}";
+  return os.str();
+}
+
+}  // namespace d2stgnn::exec

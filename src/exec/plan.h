@@ -1,0 +1,151 @@
+#ifndef D2STGNN_EXEC_PLAN_H_
+#define D2STGNN_EXEC_PLAN_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+// Captured execution plans (DESIGN.md §10).
+//
+// An ExecutionPlan is the record of one eager forward pass: the ordered
+// kernel dispatches it performed, where each dispatch read its inputs from,
+// and a static buffer assignment that lets the whole forward replay inside
+// one preallocated slab. Plans are built by exec::GraphCapture, are
+// immutable afterwards, and are replayed by exec::PlanExecutor — which
+// skips everything the eager path pays per op (shape inference, tape
+// bookkeeping, arena lookups, Tensor handle churn) and dispatches straight
+// to tensor/kernels.
+
+namespace d2stgnn::exec {
+
+/// Resolved pointers handed to a step's kernel closure at replay time.
+struct StepIo {
+  /// One pointer per recorded input, in recording order.
+  const float* const* inputs = nullptr;
+  /// The step's output buffer (a fixed slab slot).
+  float* output = nullptr;
+  /// Index vector for indexed steps (EmbeddingLookup); null otherwise.
+  const std::vector<int64_t>* indices = nullptr;
+};
+
+/// Where a step input comes from at replay time.
+struct ValueRef {
+  enum class Kind : uint8_t {
+    kSlot,      ///< output of an earlier step (slab slot)
+    kConstant,  ///< tensor captured by value (weights, biases, ...)
+    kInput,     ///< caller-bound per-request buffer ("x")
+  };
+  Kind kind = Kind::kSlot;
+  int32_t index = 0;
+};
+
+/// One recorded kernel dispatch. `run` is a shape-specialized closure that
+/// already holds every static attribute (strides, matmul offsets, reduce
+/// extents); the only per-replay state it sees is the StepIo pointers.
+struct PlanStep {
+  /// Op name as it appears in tensor/ops.h (registry completeness checks
+  /// cross-reference these; "SumDim" aliases the dim overload of Sum).
+  std::string op;
+  std::vector<ValueRef> inputs;
+  /// Slot this step writes. Slot ids are dense per plan.
+  int32_t output_slot = 0;
+  /// Scheduling level: 1 + max(level of producing steps), 1 for steps fed
+  /// only by inputs/constants. Steps of equal level are independent.
+  int32_t level = 1;
+  /// Id into ExecutionPlan::index_inputs() for steps whose index vector is
+  /// rebound per request, or -1 when `baked_indices` (possibly empty) apply.
+  int32_t index_input = -1;
+  /// Snapshot of the index vector for indexed steps not bound as an input.
+  std::vector<int64_t> baked_indices;
+  /// True when the kernel accumulates into its output (BatchedMatMul) and
+  /// the executor must zero the slot first.
+  bool zero_output = false;
+  std::function<void(const StepIo&)> run;
+};
+
+/// A per-request float buffer the caller rebinds on every replay.
+struct PlanInput {
+  std::string name;
+  int64_t numel = 0;
+};
+
+/// A per-request index vector the caller rebinds on every replay.
+struct PlanIndexInput {
+  std::string name;
+  int64_t count = 0;
+};
+
+/// A tensor captured by value. The Tensor handle keeps the buffer alive;
+/// `captured_data` is the buffer's address at capture time. The executor
+/// re-reads `tensor.Data()` on every replay — in-place parameter updates
+/// are picked up automatically — and treats an address change (the owner
+/// reassigned the tensor's storage) as a stale plan.
+struct PlanConstant {
+  Tensor tensor;
+  const float* captured_data = nullptr;
+  int64_t numel = 0;
+};
+
+/// One slab slot: size, assigned offset, and its live interval in levels.
+struct SlotInfo {
+  int64_t numel = 0;
+  int64_t offset = 0;
+  int32_t def_level = 1;
+  int32_t last_use_level = 1;
+};
+
+/// Immutable record of a captured forward. Thread-safe to share; all
+/// mutable replay state lives in PlanExecutor.
+class ExecutionPlan {
+ public:
+  /// Steps in execution order (sorted by level, capture order within one).
+  const std::vector<PlanStep>& steps() const { return steps_; }
+  /// Contiguous [begin, end) step ranges, one per level, ascending.
+  const std::vector<std::pair<int32_t, int32_t>>& levels() const {
+    return levels_;
+  }
+  const std::vector<SlotInfo>& slots() const { return slots_; }
+  const std::vector<PlanConstant>& constants() const { return constants_; }
+  const std::vector<PlanInput>& inputs() const { return inputs_; }
+  const std::vector<PlanIndexInput>& index_inputs() const {
+    return index_inputs_;
+  }
+
+  /// Slot holding the forward's result, and its shape.
+  int32_t output_slot() const { return output_slot_; }
+  const Shape& output_shape() const { return output_shape_; }
+
+  /// Size of the preallocated slab, in floats (after slot reuse).
+  int64_t slab_floats() const { return slab_floats_; }
+  /// Sum of all slot sizes — what the slab would cost without reuse.
+  int64_t total_slot_floats() const;
+
+  /// True while every constant still lives at its captured address.
+  bool ConstantsValid() const;
+
+  /// One-line summary for logs/benches: step, level, slab and reuse stats.
+  std::string Summary() const;
+
+ private:
+  friend class GraphCapture;
+  ExecutionPlan() = default;
+
+  std::vector<PlanStep> steps_;
+  std::vector<std::pair<int32_t, int32_t>> levels_;
+  std::vector<SlotInfo> slots_;
+  std::vector<PlanConstant> constants_;
+  std::vector<PlanInput> inputs_;
+  std::vector<PlanIndexInput> index_inputs_;
+  int32_t output_slot_ = 0;
+  Shape output_shape_;
+  int64_t slab_floats_ = 0;
+};
+
+}  // namespace d2stgnn::exec
+
+#endif  // D2STGNN_EXEC_PLAN_H_

@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/fault_injection.h"
 #include "common/logging.h"
+#include "exec/graph_capture.h"
 #include "train/checkpoint.h"
 
 namespace d2stgnn::infer {
@@ -130,7 +131,86 @@ Tensor InferenceSession::Predict(const data::Batch& batch) {
   NoGradGuard no_grad;
   std::optional<ArenaGuard> arena_scope;
   if (arena_ != nullptr) arena_scope.emplace(arena_);
+  if (const float* out = TryReplayLocked(batch)) {
+    const Shape& shape =
+        plans_.at(batch.batch_size)->plan().output_shape();
+    Tensor prediction(shape);
+    std::copy(out, out + NumElements(shape), prediction.Data().begin());
+    return prediction;
+  }
+  ++stats_.eager_forwards;
   return scaler_.InverseTransform(model_->Forward(batch));
+}
+
+const float* InferenceSession::TryReplayLocked(const data::Batch& batch) {
+  if (!options_.use_plans || !batch.x.defined()) return nullptr;
+  const auto it = plans_.find(batch.batch_size);
+  if (it == plans_.end()) return nullptr;
+  exec::PlanExecutor& executor = *it->second;
+
+  std::vector<exec::InputBinding> inputs;
+  inputs.push_back(exec::InputBinding{batch.x.Data().data(), batch.x.numel()});
+  const std::vector<const std::vector<int64_t>*> index_inputs = {
+      &batch.time_of_day, &batch.day_of_week};
+  std::string error;
+  const exec::ReplayMode mode = options_.plan_parallel
+                                    ? exec::ReplayMode::kLevelParallel
+                                    : exec::ReplayMode::kSerial;
+  switch (executor.Run(inputs, index_inputs, mode, &error)) {
+    case exec::ReplayStatus::kOk:
+      ++stats_.plan_replays;
+      return executor.output();
+    case exec::ReplayStatus::kStaleConstants:
+      // Parameter storage was reassigned; every cached plan captured the
+      // same parameters, so drop them all and fall back to eager (the next
+      // Warmup rebuilds).
+      D2_LOG(WARNING) << "infer: dropping " << plans_.size()
+                      << " stale execution plan(s): " << error;
+      stats_.plan_invalidations += static_cast<int64_t>(plans_.size());
+      plans_.clear();
+      return nullptr;
+    case exec::ReplayStatus::kBindingMismatch:
+      // A batch with this batch size but different geometry (input_len /
+      // nodes) than the plan captured; the eager path handles it.
+      D2_LOG(WARNING) << "infer: plan binding mismatch, running eager: "
+                      << error;
+      return nullptr;
+  }
+  return nullptr;
+}
+
+ForecastRequest InferenceSession::BlankRequest() const {
+  ForecastRequest blank;
+  blank.window.assign(
+      static_cast<size_t>(options_.input_len * options_.num_nodes), 0.0f);
+  return blank;
+}
+
+bool InferenceSession::CapturePlanLocked(int64_t batch_size) {
+  const std::vector<ForecastRequest> requests(static_cast<size_t>(batch_size),
+                                              BlankRequest());
+  NoGradGuard no_grad;
+  std::optional<ArenaGuard> arena_scope;
+  if (arena_ != nullptr) arena_scope.emplace(arena_);
+  const data::Batch batch = AssembleBatch(requests);
+  exec::GraphCapture capture;
+  capture.BindInput("x", batch.x);
+  capture.BindIndexInput("tod", batch.time_of_day);
+  capture.BindIndexInput("dow", batch.day_of_week);
+  const Tensor out = scaler_.InverseTransform(model_->Forward(batch));
+  std::shared_ptr<const exec::ExecutionPlan> plan = capture.Finish(out);
+  if (plan == nullptr) {
+    D2_LOG(WARNING) << "infer: plan capture failed for batch size "
+                    << batch_size << " (" << capture.error()
+                    << "); serving eagerly";
+    return false;
+  }
+  D2_LOG(INFO) << "infer: captured batch-" << batch_size << " "
+               << plan->Summary();
+  plans_[batch_size] =
+      std::make_unique<exec::PlanExecutor>(std::move(plan));
+  ++stats_.plans_built;
+  return true;
 }
 
 std::vector<Forecast> InferenceSession::PredictRequests(
@@ -154,16 +234,39 @@ std::vector<Forecast> InferenceSession::PredictRequests(
 
   const int64_t tf = horizon();
   const int64_t n = options_.num_nodes;
+  const int64_t num_valid = static_cast<int64_t>(valid.size());
   std::lock_guard<std::mutex> lock(mu_);
   NoGradGuard no_grad;
   std::optional<ArenaGuard> arena_scope;
   if (arena_ != nullptr) arena_scope.emplace(arena_);
+
+  // Serve from a captured plan when one matches. A batch smaller than every
+  // plan is padded with blank requests up to the nearest plan size — model
+  // forwards are batch-independent (asserted by the parity tests), so the
+  // padding rows only cost compute and are dropped below.
+  int64_t plan_size = 0;
+  if (options_.use_plans && !plans_.empty()) {
+    const auto it = plans_.lower_bound(num_valid);
+    if (it != plans_.end() &&
+        (it->first == num_valid || options_.pad_to_plan)) {
+      plan_size = it->first;
+    }
+  }
+  if (plan_size > num_valid) {
+    batch_requests.resize(static_cast<size_t>(plan_size), BlankRequest());
+  }
   const data::Batch batch = AssembleBatch(batch_requests);
-  const Tensor prediction =
-      scaler_.InverseTransform(model_->Forward(batch));  // [k, Tf, N, 1]
-  D2_CHECK_EQ(prediction.numel(),
-              static_cast<int64_t>(valid.size()) * tf * n);
-  const float* pd = prediction.Data().data();
+  const float* pd = plan_size > 0 ? TryReplayLocked(batch) : nullptr;
+  Tensor prediction;  // keeps the eager result alive for the copy below
+  if (pd != nullptr) {
+    if (plan_size > num_valid) ++stats_.padded_replays;
+  } else {
+    prediction =
+        scaler_.InverseTransform(model_->Forward(batch));  // [B, Tf, N, 1]
+    ++stats_.eager_forwards;
+    D2_CHECK_EQ(prediction.numel(), batch.batch_size * tf * n);
+    pd = prediction.Data().data();
+  }
   for (size_t k = 0; k < valid.size(); ++k) {
     Forecast& out = results[valid[k]];
     out.ok = true;
@@ -182,17 +285,39 @@ Forecast InferenceSession::PredictOne(const ForecastRequest& request) {
 
 void InferenceSession::Warmup(int64_t batch_size, int64_t runs) {
   D2_CHECK_GT(batch_size, 0);
-  ForecastRequest blank;
-  blank.window.assign(
-      static_cast<size_t>(options_.input_len * options_.num_nodes), 0.0f);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.use_plans && plans_.find(batch_size) == plans_.end()) {
+      CapturePlanLocked(batch_size);  // its eager forward also warms the pool
+    }
+  }
   const std::vector<ForecastRequest> requests(
-      static_cast<size_t>(batch_size), blank);
+      static_cast<size_t>(batch_size), BlankRequest());
   for (int64_t r = 0; r < runs; ++r) PredictRequests(requests);
 }
 
 BufferArenaStats InferenceSession::arena_stats() const {
   if (arena_ == nullptr) return BufferArenaStats{};
   return arena_->stats();
+}
+
+SessionStats InferenceSession::session_stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<int64_t> InferenceSession::planned_batch_sizes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int64_t> sizes;
+  sizes.reserve(plans_.size());
+  for (const auto& [size, executor] : plans_) sizes.push_back(size);
+  return sizes;
+}
+
+void InferenceSession::InvalidatePlans() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.plan_invalidations += static_cast<int64_t>(plans_.size());
+  plans_.clear();
 }
 
 }  // namespace d2stgnn::infer

@@ -2,6 +2,7 @@
 #define D2STGNN_INFER_SESSION_H_
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -9,15 +10,19 @@
 
 #include "data/scaler.h"
 #include "data/sliding_window.h"
+#include "exec/plan_executor.h"
 #include "tensor/buffer_arena.h"
 #include "train/forecasting_model.h"
 
-// Forward-only inference engine (DESIGN.md §9).
+// Forward-only inference engine (DESIGN.md §9, §10).
 //
 // An InferenceSession is the serving counterpart of the Trainer: it loads
 // trained weights from a checkpoint into a frozen ForecastingModel and runs
 // batched no-grad forwards with pooled tensor storage, so steady-state
 // inference builds no autograd tape and allocates no new tensor buffers.
+// Warmup additionally captures the forward into an ExecutionPlan per batch
+// size; matching requests then replay the plan (kernels only — no shape
+// checks, no dispatch, no Tensor churn) with bitwise-identical results.
 // Sessions are the unit every serving layer (BatchingServer today; sharding
 // and caching later) composes over.
 
@@ -58,6 +63,26 @@ struct SessionOptions {
   /// Pool tensor buffers across requests (zero steady-state allocations).
   /// Off = plain no-grad forwards; useful for A/B-ing the arena.
   bool use_arena = true;
+  /// Capture an ExecutionPlan per warmed-up batch size and replay it for
+  /// matching requests. Off = always eager (useful for A/B parity runs).
+  bool use_plans = true;
+  /// Replay independent plan steps concurrently (level schedule) instead of
+  /// serially. Bitwise-identical either way.
+  bool plan_parallel = true;
+  /// When a batch is smaller than every captured plan, pad it with blank
+  /// requests up to the nearest plan size and replay (valid because model
+  /// forwards are batch-independent — see the parity tests); the padding
+  /// rows are discarded. Off = undersized batches run eager.
+  bool pad_to_plan = true;
+};
+
+/// Plan-cache traffic counters (see SessionOptions::use_plans).
+struct SessionStats {
+  int64_t plans_built = 0;       ///< successful Warmup captures
+  int64_t plan_replays = 0;      ///< forwards served from a plan
+  int64_t padded_replays = 0;    ///< of which padded up to the plan size
+  int64_t eager_forwards = 0;    ///< forwards that ran the eager path
+  int64_t plan_invalidations = 0;  ///< plans dropped (stale constants)
 };
 
 /// A frozen model + scaler + reusable buffer arena, serving predictions.
@@ -109,15 +134,28 @@ class InferenceSession {
   /// "" when `request` is well-formed, else the reason it is not.
   std::string ValidateRequest(const ForecastRequest& request) const;
 
-  /// Primes the buffer arena for batches of `batch_size` by running `runs`
-  /// synthetic forwards, so the first real request at that size already hits
-  /// the pool. Distinct batch sizes pool independently.
+  /// Primes the session for batches of `batch_size`: captures an execution
+  /// plan at that size (when use_plans is on) and runs `runs` synthetic
+  /// forwards so the first real request replays a warm plan / hits the
+  /// buffer pool. Distinct batch sizes are planned and pooled independently.
   void Warmup(int64_t batch_size, int64_t runs = 1);
 
   /// Allocation counters of the session arena (all zeros when use_arena is
   /// off). After warm-up at a given batch size, further forwards at that
   /// size must not move fresh_allocations or external_adopts.
   BufferArenaStats arena_stats() const;
+
+  /// Plan-cache counters (a consistent snapshot).
+  SessionStats session_stats() const;
+
+  /// Batch sizes with a captured plan, ascending.
+  std::vector<int64_t> planned_batch_sizes() const;
+
+  /// Drops every captured plan (counted as invalidations). Call after
+  /// swapping parameter tensors; in-place mutation of existing parameter
+  /// buffers is picked up by replays automatically, and a reassigned
+  /// parameter buffer is detected and invalidates the plan on its own.
+  void InvalidatePlans();
 
   int64_t horizon() const { return model_->horizon(); }
   int64_t num_nodes() const { return options_.num_nodes; }
@@ -129,11 +167,28 @@ class InferenceSession {
                    const data::StandardScaler& scaler,
                    const SessionOptions& options);
 
-  std::mutex mu_;
+  /// Runs one eager forward under capture and caches the resulting plan.
+  /// Requires mu_ held. False (after logging) when capture fails; the
+  /// session keeps serving eagerly.
+  bool CapturePlanLocked(int64_t batch_size);
+
+  /// Replays the cached plan for `batch`'s batch size, if any. Requires mu_
+  /// held. Returns the output pointer (plan output shape) or null when no
+  /// plan matches — a stale plan is dropped and counted, then null.
+  const float* TryReplayLocked(const data::Batch& batch);
+
+  /// A blank (all-zero window) request sized for this session.
+  ForecastRequest BlankRequest() const;
+
+  mutable std::mutex mu_;
   std::unique_ptr<train::ForecastingModel> model_;
   data::StandardScaler scaler_;
   SessionOptions options_;
   std::shared_ptr<BufferArena> arena_;  ///< null when use_arena is off
+  /// Captured plans keyed by batch size (ordered: padding picks the nearest
+  /// size >= the request count).
+  std::map<int64_t, std::unique_ptr<exec::PlanExecutor>> plans_;
+  SessionStats stats_;
 };
 
 }  // namespace d2stgnn::infer

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "exec/graph_capture.h"
 #include "tensor/autograd.h"
 #include "tensor/buffer_arena.h"
 #include "tensor/kernels.h"
@@ -11,6 +12,12 @@
 // ops.cc is the dispatch layer of the tensor engine: it validates shapes,
 // wires autograd tape nodes, and routes every compute loop to the kernels
 // in tensor/kernels.{h,cc} (which parallelize over the shared thread pool).
+//
+// When a exec::GraphCapture is active on the thread, each dispatch also
+// records a shape-specialized replay closure (exec::internal::RecordStep)
+// holding the same static attributes the eager call just resolved, so the
+// forward can later replay without this layer (DESIGN.md §10). Capture is a
+// single thread-local pointer test on the off path.
 
 namespace d2stgnn {
 namespace {
@@ -27,21 +34,40 @@ Tensor BinaryOp(const std::string& name, const Tensor& a, const Tensor& b,
   std::vector<float> out = internal::AcquireBuffer(NumElements(out_shape));
   const std::vector<float>& av = a.Data();
   const std::vector<float>& bv = b.Data();
-  if (a.shape() == b.shape()) {
+  const bool same_shape = a.shape() == b.shape();
+  std::vector<int64_t> as;
+  std::vector<int64_t> bs;
+  if (same_shape) {
     kernels::EwiseBinary(av.data(), bv.data(), out.data(),
                          static_cast<int64_t>(out.size()), forward);
   } else {
-    const std::vector<int64_t> as =
-        kernels::BroadcastStrides(a.shape(), out_shape);
-    const std::vector<int64_t> bs =
-        kernels::BroadcastStrides(b.shape(), out_shape);
+    as = kernels::BroadcastStrides(a.shape(), out_shape);
+    bs = kernels::BroadcastStrides(b.shape(), out_shape);
     kernels::EwiseBinaryBroadcast(out_shape, as, bs, av.data(), bv.data(),
                                   out.data(), forward);
   }
-  return MakeOpResult(name, out_shape, std::move(out), {a, b},
-                      [a, b, backward](const Tensor& output) {
-                        backward(output, a, b);
-                      });
+  Tensor result = MakeOpResult(name, out_shape, std::move(out), {a, b},
+                               [a, b, backward](const Tensor& output) {
+                                 backward(output, a, b);
+                               });
+  if (exec::internal::CaptureActive()) {
+    if (same_shape) {
+      const int64_t n = NumElements(out_shape);
+      exec::internal::RecordStep(
+          name.c_str(), {a, b}, result, [n, forward](const exec::StepIo& io) {
+            kernels::EwiseBinary(io.inputs[0], io.inputs[1], io.output, n,
+                                 forward);
+          });
+    } else {
+      exec::internal::RecordStep(
+          name.c_str(), {a, b}, result,
+          [out_shape, as, bs, forward](const exec::StepIo& io) {
+            kernels::EwiseBinaryBroadcast(out_shape, as, bs, io.inputs[0],
+                                          io.inputs[1], io.output, forward);
+          });
+    }
+  }
+  return result;
 }
 
 // Elementwise unary op. `dfn(x, y, g)` returns dLoss/dx given input value x,
@@ -51,21 +77,29 @@ Tensor UnaryOp(const std::string& name, const Tensor& a, Fwd forward,
                Dfn dfn) {
   D2_CHECK(a.defined());
   const std::vector<float>& av = a.Data();
-  std::vector<float> out =
-      internal::AcquireBuffer(static_cast<int64_t>(av.size()));
-  kernels::EwiseUnary(av.data(), out.data(),
-                      static_cast<int64_t>(av.size()), forward);
-  return MakeOpResult(
+  const int64_t n = static_cast<int64_t>(av.size());
+  std::vector<float> out = internal::AcquireBuffer(n);
+  kernels::EwiseUnary(av.data(), out.data(), n, forward);
+  Tensor result = MakeOpResult(
       name, a.shape(), std::move(out), {a}, [a, dfn](const Tensor& output) {
         if (!a.RequiresGrad()) return;
         const std::vector<float>& g = output.GradData();
         const std::vector<float>& x = a.Data();
         const std::vector<float>& y = output.Data();
-        std::vector<float> ga(g.size());
+        std::vector<float> ga =
+            internal::AcquireBuffer(static_cast<int64_t>(g.size()));
         kernels::EwiseUnaryGrad(x.data(), y.data(), g.data(), ga.data(),
                                 static_cast<int64_t>(g.size()), dfn);
         AccumulateGrad(a, Tensor(a.shape(), std::move(ga)));
       });
+  if (exec::internal::CaptureActive()) {
+    exec::internal::RecordStep(name.c_str(), {a}, result,
+                               [n, forward](const exec::StepIo& io) {
+                                 kernels::EwiseUnary(io.inputs[0], io.output,
+                                                     n, forward);
+                               });
+  }
+  return result;
 }
 
 int64_t NormalizeDim(int64_t dim, int64_t rank) {
@@ -357,7 +391,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   kernels::BatchedMatMul(a.Data().data(), b.Data().data(), out.data(),
                          a_offsets, b_offsets, m, k, n);
 
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       "MatMul", out_shape, std::move(out), {a, b},
       [a, b](const Tensor& output) {
         const Tensor g = output.Grad();
@@ -370,6 +404,19 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
           AccumulateGrad(b, ReduceToShape(gb, b.shape()));
         }
       });
+  if (exec::internal::CaptureActive()) {
+    // BatchedMatMul accumulates into its output; zero_output makes the
+    // executor clear the slot first (the eager path gets zeros from
+    // AcquireBuffer).
+    exec::internal::RecordStep(
+        "MatMul", {a, b}, result,
+        [a_offsets, b_offsets, m, k, n](const exec::StepIo& io) {
+          kernels::BatchedMatMul(io.inputs[0], io.inputs[1], io.output,
+                                 a_offsets, b_offsets, m, k, n);
+        },
+        /*zero_output=*/true);
+  }
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -377,16 +424,24 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor Sum(const Tensor& a) {
   D2_CHECK(a.defined());
-  const double total = kernels::ReduceSumAll(
-      a.Data().data(), static_cast<int64_t>(a.Data().size()));
+  const int64_t n = static_cast<int64_t>(a.Data().size());
+  const double total = kernels::ReduceSumAll(a.Data().data(), n);
   std::vector<float> out = internal::AcquireBuffer(1);
   out[0] = static_cast<float>(total);
-  return MakeOpResult("Sum", Shape{}, std::move(out), {a},
-                      [a](const Tensor& output) {
-                        if (!a.RequiresGrad()) return;
-                        const float g = output.GradData()[0];
-                        AccumulateGrad(a, Tensor::Full(a.shape(), g));
-                      });
+  Tensor result = MakeOpResult("Sum", Shape{}, std::move(out), {a},
+                               [a](const Tensor& output) {
+                                 if (!a.RequiresGrad()) return;
+                                 const float g = output.GradData()[0];
+                                 AccumulateGrad(a, Tensor::Full(a.shape(), g));
+                               });
+  if (exec::internal::CaptureActive()) {
+    exec::internal::RecordStep(
+        "Sum", {a}, result, [n](const exec::StepIo& io) {
+          io.output[0] =
+              static_cast<float>(kernels::ReduceSumAll(io.inputs[0], n));
+        });
+  }
+  return result;
 }
 
 Tensor Mean(const Tensor& a) {
@@ -412,7 +467,7 @@ Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
   kernels::ReduceSumDim(a.Data().data(), out.data(), outer, size, inner);
 
   const Shape in_shape = a.shape();
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       "SumDim", out_shape, std::move(out), {a},
       [a, dim, keepdim, in_shape](const Tensor& output) {
         if (!a.RequiresGrad()) return;
@@ -420,6 +475,13 @@ Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
         if (!keepdim) g = Unsqueeze(g, dim);
         AccumulateGrad(a, BroadcastTo(g, in_shape));
       });
+  if (exec::internal::CaptureActive()) {
+    exec::internal::RecordStep(
+        "SumDim", {a}, result, [outer, size, inner](const exec::StepIo& io) {
+          kernels::ReduceSumDim(io.inputs[0], io.output, outer, size, inner);
+        });
+  }
+  return result;
 }
 
 Tensor Mean(const Tensor& a, int64_t dim, bool keepdim) {
@@ -454,18 +516,33 @@ Tensor ExtremumDim(const char* name, const Tensor& a, int64_t dim,
                        inner, sign);
 
   const Shape in_shape = a.shape();
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       name, out_shape, std::move(out), {a},
       [a, arg, d, in_shape](const Tensor& output) {
         if (!a.RequiresGrad()) return;
         int64_t outer, size, inner;
         SplitAtDim(in_shape, d, &outer, &size, &inner);
-        std::vector<float> grad(static_cast<size_t>(NumElements(in_shape)),
-                                0.0f);
+        // AcquireBuffer zero-fills; the scatter kernel needs that.
+        std::vector<float> grad =
+            internal::AcquireBuffer(NumElements(in_shape));
         kernels::ExtremumDimGrad(output.GradData().data(), arg.data(),
                                  grad.data(), outer, size, inner);
         AccumulateGrad(a, Tensor(in_shape, std::move(grad)));
       });
+  if (exec::internal::CaptureActive()) {
+    // The argmax scratch is owned by the closure and reused across replays
+    // (one executor never runs concurrently with itself).
+    auto replay_arg =
+        std::make_shared<std::vector<int64_t>>(static_cast<size_t>(outer) *
+                                               static_cast<size_t>(inner));
+    exec::internal::RecordStep(
+        name, {a}, result,
+        [outer, size, inner, sign, replay_arg](const exec::StepIo& io) {
+          kernels::ExtremumDim(io.inputs[0], io.output, replay_arg->data(),
+                               outer, size, inner, sign);
+        });
+  }
+  return result;
 }
 
 }  // namespace
@@ -489,7 +566,7 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
       internal::AcquireBuffer(static_cast<int64_t>(a.Data().size()));
   kernels::SoftmaxKernel(a.Data().data(), out.data(), outer, size, inner);
 
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       "Softmax", a.shape(), std::move(out), {a}, [a, d](const Tensor& output) {
         if (!a.RequiresGrad()) return;
         // dx = y * (g - sum(g * y, dim))
@@ -498,6 +575,14 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
         const Tensor dot = Sum(Mul(g, y), d, /*keepdim=*/true);
         AccumulateGrad(a, Mul(y, Sub(g, dot)));
       });
+  if (exec::internal::CaptureActive()) {
+    exec::internal::RecordStep(
+        "Softmax", {a}, result,
+        [outer, size, inner](const exec::StepIo& io) {
+          kernels::SoftmaxKernel(io.inputs[0], io.output, outer, size, inner);
+        });
+  }
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -529,12 +614,20 @@ Tensor Reshape(const Tensor& a, const Shape& shape) {
   std::vector<float> out = internal::AcquireBuffer(a.numel());
   std::copy(a.Data().begin(), a.Data().end(), out.begin());
   const Shape in_shape = a.shape();
-  return MakeOpResult("Reshape", resolved, std::move(out), {a},
-                      [a, in_shape](const Tensor& output) {
-                        if (!a.RequiresGrad()) return;
-                        AccumulateGrad(
-                            a, Tensor(in_shape, output.GradData()));
-                      });
+  Tensor result = MakeOpResult("Reshape", resolved, std::move(out), {a},
+                               [a, in_shape](const Tensor& output) {
+                                 if (!a.RequiresGrad()) return;
+                                 AccumulateGrad(
+                                     a, Tensor(in_shape, output.GradData()));
+                               });
+  if (exec::internal::CaptureActive()) {
+    const int64_t n = a.numel();
+    exec::internal::RecordStep(
+        "Reshape", {a}, result, [n](const exec::StepIo& io) {
+          std::copy(io.inputs[0], io.inputs[0] + n, io.output);
+        });
+  }
+  return result;
 }
 
 Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
@@ -566,7 +659,7 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
   for (size_t d = 0; d < perm.size(); ++d) {
     normalized[d] = NormalizeDim(perm[d], rank);
   }
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       "Permute", out_shape, std::move(out), {a},
       [a, normalized](const Tensor& output) {
         if (!a.RequiresGrad()) return;
@@ -576,6 +669,15 @@ Tensor Permute(const Tensor& a, const std::vector<int64_t>& perm) {
         }
         AccumulateGrad(a, Permute(output.Grad(), inverse));
       });
+  if (exec::internal::CaptureActive()) {
+    exec::internal::RecordStep(
+        "Permute", {a}, result,
+        [out_shape, gather_strides](const exec::StepIo& io) {
+          kernels::GatherStrided(out_shape, gather_strides, io.inputs[0],
+                                 io.output);
+        });
+  }
+  return result;
 }
 
 Tensor Transpose(const Tensor& a, int64_t d0, int64_t d1) {
@@ -613,12 +715,19 @@ Tensor BroadcastTo(const Tensor& a, const Shape& shape) {
   std::vector<float> out = internal::AcquireBuffer(NumElements(shape));
   kernels::GatherStrided(shape, as, a.Data().data(), out.data());
   const Shape in_shape = a.shape();
-  return MakeOpResult("BroadcastTo", shape, std::move(out), {a},
-                      [a, in_shape](const Tensor& output) {
-                        if (!a.RequiresGrad()) return;
-                        AccumulateGrad(
-                            a, ReduceToShape(output.Grad(), in_shape));
-                      });
+  Tensor result = MakeOpResult("BroadcastTo", shape, std::move(out), {a},
+                               [a, in_shape](const Tensor& output) {
+                                 if (!a.RequiresGrad()) return;
+                                 AccumulateGrad(
+                                     a, ReduceToShape(output.Grad(), in_shape));
+                               });
+  if (exec::internal::CaptureActive()) {
+    exec::internal::RecordStep(
+        "BroadcastTo", {a}, result, [shape, as](const exec::StepIo& io) {
+          kernels::GatherStrided(shape, as, io.inputs[0], io.output);
+        });
+  }
+  return result;
 }
 
 Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
@@ -658,7 +767,7 @@ Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
   }
 
   std::vector<Tensor> inputs = tensors;
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       "Concat", out_shape, std::move(out), inputs,
       [inputs, d](const Tensor& output) {
         int64_t offset = 0;
@@ -670,6 +779,26 @@ Tensor Concat(const std::vector<Tensor>& tensors, int64_t dim) {
           offset += size;
         }
       });
+  if (exec::internal::CaptureActive()) {
+    std::vector<int64_t> sizes;
+    sizes.reserve(tensors.size());
+    for (const Tensor& t : tensors) sizes.push_back(t.size(d));
+    exec::internal::RecordStep(
+        "Concat", inputs, result,
+        [outer, total, inner, sizes](const exec::StepIo& io) {
+          int64_t offset = 0;
+          for (size_t t = 0; t < sizes.size(); ++t) {
+            const int64_t size = sizes[t];
+            for (int64_t o = 0; o < outer; ++o) {
+              const float* src = io.inputs[t] + o * size * inner;
+              float* dst = io.output + (o * total + offset) * inner;
+              std::copy(src, src + size * inner, dst);
+            }
+            offset += size;
+          }
+        });
+  }
+  return result;
 }
 
 Tensor Stack(const std::vector<Tensor>& tensors, int64_t dim) {
@@ -705,14 +834,15 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end) {
   }
 
   const Shape in_shape = a.shape();
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       "Slice", out_shape, std::move(out), {a},
       [a, d, start, out_size, in_shape](const Tensor& output) {
         if (!a.RequiresGrad()) return;
         int64_t outer, in_size, inner;
         SplitAtDim(in_shape, d, &outer, &in_size, &inner);
-        std::vector<float> grad(static_cast<size_t>(NumElements(in_shape)),
-                                0.0f);
+        // AcquireBuffer zero-fills the positions outside the slice.
+        std::vector<float> grad =
+            internal::AcquireBuffer(NumElements(in_shape));
         const std::vector<float>& g = output.GradData();
         for (int64_t o = 0; o < outer; ++o) {
           const float* src = g.data() + o * out_size * inner;
@@ -721,6 +851,18 @@ Tensor Slice(const Tensor& a, int64_t dim, int64_t start, int64_t end) {
         }
         AccumulateGrad(a, Tensor(in_shape, std::move(grad)));
       });
+  if (exec::internal::CaptureActive()) {
+    exec::internal::RecordStep(
+        "Slice", {a}, result,
+        [outer, in_size, out_size, inner, start](const exec::StepIo& io) {
+          for (int64_t o = 0; o < outer; ++o) {
+            const float* src = io.inputs[0] + (o * in_size + start) * inner;
+            float* dst = io.output + o * out_size * inner;
+            std::copy(src, src + out_size * inner, dst);
+          }
+        });
+  }
+  return result;
 }
 
 Tensor Select(const Tensor& a, int64_t dim, int64_t index) {
@@ -764,12 +906,11 @@ Tensor EmbeddingLookup(const Tensor& weight,
               out.begin() + static_cast<int64_t>(i) * width);
   }
 
-  return MakeOpResult(
+  Tensor result = MakeOpResult(
       "EmbeddingLookup", out_shape, std::move(out), {weight},
       [weight, indices, vocab, width](const Tensor& output) {
         if (!weight.RequiresGrad()) return;
-        std::vector<float> grad(
-            static_cast<size_t>(vocab) * static_cast<size_t>(width), 0.0f);
+        std::vector<float> grad = internal::AcquireBuffer(vocab * width);
         const std::vector<float>& g = output.GradData();
         for (size_t i = 0; i < indices.size(); ++i) {
           const int64_t row = indices[i];
@@ -780,6 +921,26 @@ Tensor EmbeddingLookup(const Tensor& weight,
         }
         AccumulateGrad(weight, Tensor({vocab, width}, std::move(grad)));
       });
+  if (exec::internal::CaptureActive()) {
+    // Recorded with the index vector rebindable: when the caller bound
+    // `indices` (time-of-day / day-of-week features), replay reads the
+    // fresh per-request values; otherwise a snapshot is baked in. Bounds
+    // checks stay because replayed indices are request data.
+    exec::internal::RecordIndexedStep(
+        "EmbeddingLookup", {weight}, indices, result,
+        [vocab, width](const exec::StepIo& io) {
+          const std::vector<int64_t>& idx = *io.indices;
+          for (size_t i = 0; i < idx.size(); ++i) {
+            const int64_t row = idx[i];
+            D2_CHECK_GE(row, 0);
+            D2_CHECK_LT(row, vocab) << "embedding index out of range";
+            std::copy(io.inputs[0] + row * width,
+                      io.inputs[0] + (row + 1) * width,
+                      io.output + static_cast<int64_t>(i) * width);
+          }
+        });
+  }
+  return result;
 }
 
 Tensor Dropout(const Tensor& a, float p, bool training, Rng& rng) {
@@ -787,10 +948,14 @@ Tensor Dropout(const Tensor& a, float p, bool training, Rng& rng) {
   D2_CHECK_GE(p, 0.0f);
   D2_CHECK_LT(p, 1.0f);
   if (!training || p == 0.0f) return a;
+  // A fresh mask per call cannot be baked into a plan; the identity path
+  // above (inference) captures fine.
+  exec::internal::MarkCaptureUnsupported("Dropout with training=true");
   const float scale = 1.0f / (1.0f - p);
   // Mask generation stays serial: it must consume `rng` in a reproducible
   // order regardless of the thread count.
-  std::vector<float> mask(a.Data().size());
+  std::vector<float> mask =
+      internal::AcquireBuffer(static_cast<int64_t>(a.Data().size()));
   for (auto& m : mask) m = rng.Uniform() < p ? 0.0f : scale;
   Tensor mask_tensor(a.shape(), std::move(mask));
   return Mul(a, mask_tensor);

@@ -340,5 +340,72 @@ TEST_F(InferServerTest, BoundedQueueShedsLoadUnderPressure) {
   EXPECT_LE(stats.max_queue_depth_seen, 2);
 }
 
+// The plan-replay TSan target: the server's warmup captures execution plans
+// (sizes 1 and max_batch_size), so 8 concurrent submitters are served from
+// plan replays — which must match a plans-off twin session bitwise.
+TEST_F(InferServerTest, EightConcurrentSubmittersAreServedFromPlans) {
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 12;
+  constexpr int kStarts = 24;
+
+  // Eager references from a twin session around identically-seeded weights.
+  infer::SessionOptions eager_options;
+  eager_options.num_nodes = kNodes;
+  eager_options.input_len = kInputLen;
+  eager_options.steps_per_day = traffic_.dataset.steps_per_day;
+  eager_options.use_plans = false;
+  Rng rng(5);  // same seed as the fixture session's model
+  auto eager = infer::InferenceSession::Wrap(
+      std::make_unique<TinyModel>(kNodes, kHorizon, rng), scaler_,
+      eager_options);
+  ASSERT_NE(eager, nullptr);
+  std::vector<std::vector<float>> reference(kStarts);
+  for (int s = 0; s < kStarts; ++s) {
+    const infer::Forecast f = eager->PredictOne(MakeRequest(s));
+    ASSERT_TRUE(f.ok) << f.error;
+    reference[static_cast<size_t>(s)] = f.values;
+  }
+
+  infer::BatchingOptions options;
+  options.max_batch_size = 8;
+  options.max_wait_us = 500;
+  options.max_queue_depth = 0;
+  infer::BatchingServer server(session_.get(), options);
+  ASSERT_EQ(session_->planned_batch_sizes(),
+            (std::vector<int64_t>{1, 8}));
+  const int64_t replays_before = session_->session_stats().plan_replays;
+
+  std::vector<std::vector<std::future<infer::Forecast>>> futures(kThreads);
+  std::vector<std::thread> producers;
+  producers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    producers.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const int start = (t * kPerThread + i) % kStarts;
+        futures[static_cast<size_t>(t)].push_back(
+            server.Submit(MakeRequest(start)));
+      }
+    });
+  }
+  for (std::thread& p : producers) p.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      infer::Forecast f = futures[static_cast<size_t>(t)]
+                              [static_cast<size_t>(i)].get();
+      ASSERT_TRUE(f.ok) << f.error;
+      const int start = (t * kPerThread + i) % kStarts;
+      EXPECT_EQ(f.values, reference[static_cast<size_t>(start)])
+          << "thread " << t << " request " << i;
+    }
+  }
+  server.Shutdown();
+
+  // Coalesced batches pad into the size-8 plan (or hit size 1 exactly), so
+  // the bulk of the traffic must have been replays.
+  EXPECT_GT(session_->session_stats().plan_replays, replays_before);
+  EXPECT_EQ(session_->session_stats().plan_invalidations, 0);
+}
+
 }  // namespace
 }  // namespace d2stgnn

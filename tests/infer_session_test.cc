@@ -308,6 +308,53 @@ TEST_F(InferSessionTest, NoNewTensorBuffersAfterWarmup) {
   EXPECT_GT(after.pool_hits, before.pool_hits);
 }
 
+// The same contract with plans disabled: the EAGER forward path itself must
+// be allocation-free after warm-up — every op routes its result and scratch
+// buffers through BufferArena::AcquireBuffer, so steady-state eager serving
+// (the fallback path for unplanned shapes) performs no fresh allocations.
+TEST_F(InferSessionTest, EagerForwardIsAllocationFreeAfterWarmup) {
+  core::D2StgnnConfig config;
+  config.num_nodes = kNodes;
+  config.input_len = kInputLen;
+  config.output_len = 3;
+  config.hidden_dim = 8;
+  config.embed_dim = 4;
+  config.num_layers = 1;
+  config.num_heads = 2;
+  config.steps_per_day = traffic_.dataset.steps_per_day;
+  Rng rng(7);
+  auto model = std::make_unique<core::D2Stgnn>(
+      config, traffic_.dataset.network.adjacency, rng);
+  infer::SessionOptions options = Options();
+  options.use_plans = false;
+  auto session =
+      infer::InferenceSession::Wrap(std::move(model), scaler_, options);
+  ASSERT_NE(session, nullptr);
+
+  session->Warmup(/*batch_size=*/4, /*runs=*/2);
+  const BufferArenaStats before = session->arena_stats();
+  EXPECT_GT(before.fresh_allocations, 0);
+
+  std::vector<infer::ForecastRequest> requests;
+  for (int64_t i = 0; i < 4; ++i) {
+    requests.push_back(MakeRequest(splits_.test[static_cast<size_t>(i)]));
+  }
+  for (int iter = 0; iter < 3; ++iter) {
+    const std::vector<infer::Forecast> forecasts =
+        session->PredictRequests(requests);
+    for (const infer::Forecast& f : forecasts) ASSERT_TRUE(f.ok) << f.error;
+  }
+  EXPECT_EQ(session->session_stats().plan_replays, 0);
+  EXPECT_EQ(session->session_stats().eager_forwards, 5);  // 2 warmup + 3
+
+  const BufferArenaStats after = session->arena_stats();
+  EXPECT_EQ(after.fresh_allocations, before.fresh_allocations)
+      << "steady-state eager forward allocated a new tensor buffer";
+  EXPECT_EQ(after.external_adopts, before.external_adopts)
+      << "steady-state eager forward built a tensor bypassing the arena";
+  EXPECT_GT(after.pool_hits, before.pool_hits);
+}
+
 // The arena is an optimization, never a semantics change: pooled and
 // unpooled sessions around the same weights forecast identically.
 TEST_F(InferSessionTest, ArenaDoesNotChangeForecasts) {
