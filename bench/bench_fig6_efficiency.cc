@@ -11,10 +11,11 @@
 #include <string>
 #include <vector>
 
-#include "bench/bench_common.h"
+#include "experiment/protocol.h"
 #include "common/table_printer.h"
 
 namespace d2stgnn::bench {
+using namespace d2stgnn::experiment;  // the shared measurement protocol
 namespace {
 
 int Run() {

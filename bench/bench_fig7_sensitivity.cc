@@ -12,11 +12,12 @@
 #include <cstdlib>
 #include <vector>
 
-#include "bench/bench_common.h"
+#include "experiment/protocol.h"
 #include "common/table_printer.h"
 #include "core/d2stgnn.h"
 
 namespace d2stgnn::bench {
+using namespace d2stgnn::experiment;  // the shared measurement protocol
 namespace {
 
 double TrainWithConfig(const PreparedDataset& prepared, const BenchEnv& env,

@@ -10,12 +10,13 @@
 #include <filesystem>
 #include <vector>
 
-#include "bench/bench_common.h"
+#include "experiment/protocol.h"
 #include "common/text_plot.h"
 #include "core/d2stgnn.h"
 #include "train/evaluator.h"
 
 namespace d2stgnn::bench {
+using namespace d2stgnn::experiment;  // the shared measurement protocol
 namespace {
 
 int Run() {

@@ -3,10 +3,10 @@
 // one decoupled-layer forward, and a full forward+backward step.
 //
 // The main() additionally sweeps the hot tensor kernels at 1/2/4 execution
-// threads and writes machine-readable per-op throughput to
-// bench/results/BENCH_kernels.json (a git-tracked directory; override with
-// D2STGNN_BENCH_OUT_DIR), so successive PRs have a perf trajectory to
-// compare against.
+// threads and writes machine-readable per-op throughput through the
+// experiment MetricsSink to the canonical repo-root BENCH_kernels.json
+// (override the directory with D2STGNN_BENCH_OUT_DIR), so successive PRs
+// have a perf trajectory to compare against.
 
 #include <benchmark/benchmark.h>
 
@@ -22,6 +22,7 @@
 #include "common/thread_pool.h"
 #include "core/d2stgnn.h"
 #include "data/synthetic_traffic.h"
+#include "experiment/metrics_sink.h"
 #include "graph/localized_transition.h"
 #include "graph/transition.h"
 #include "metrics/metrics.h"
@@ -241,28 +242,30 @@ std::vector<JsonRecord> CollectKernelRecords() {
   return records;
 }
 
-void WriteKernelJson(const char* path, const std::vector<JsonRecord>& records) {
-  std::FILE* f = std::fopen(path, "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot write %s\n", path);
-    return;
+// Routes the sweep through the unified sink: same schema-versioned envelope
+// as every run_experiment result.
+int WriteKernelJson(const std::string& path,
+                    const std::vector<JsonRecord>& records) {
+  namespace exp = d2stgnn::experiment;
+  exp::MetricsSink sink("kernels", "kernels");
+  for (const JsonRecord& r : records) {
+    json::Value record = json::Value::Object();
+    record.Set("op", json::Value::Str(r.op));
+    record.Set("workload", json::Value::Str(r.workload));
+    record.Set("threads", json::Value::Int(r.threads));
+    record.Set("seconds_per_iter", json::Value::Number(r.seconds_per_iter));
+    record.Set("items_per_second", json::Value::Number(r.items_per_second));
+    record.Set("unit", json::Value::Str(r.unit));
+    record.Set("speedup_vs_1t", json::Value::Number(r.speedup_vs_1t));
+    sink.AddRecord(std::move(record));
   }
-  std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n  \"ops\": [\n",
-               std::thread::hardware_concurrency());
-  for (size_t i = 0; i < records.size(); ++i) {
-    const JsonRecord& r = records[i];
-    std::fprintf(
-        f,
-        "    {\"op\": \"%s\", \"workload\": \"%s\", \"threads\": %d, "
-        "\"seconds_per_iter\": %.6e, \"items_per_second\": %.6e, "
-        "\"unit\": \"%s\", \"speedup_vs_1t\": %.3f}%s\n",
-        r.op.c_str(), r.workload.c_str(), r.threads, r.seconds_per_iter,
-        r.items_per_second, r.unit.c_str(), r.speedup_vs_1t,
-        i + 1 < records.size() ? "," : "");
+  std::string error;
+  if (!sink.WriteJson(path, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 1;
   }
-  std::fprintf(f, "  ]\n}\n");
-  std::fclose(f);
-  std::printf("wrote %s\n", path);
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
 }
 
 }  // namespace
@@ -274,8 +277,7 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   const char* out_dir = std::getenv("D2STGNN_BENCH_OUT_DIR");
-  const std::string dir = out_dir != nullptr ? out_dir
-                                             : D2STGNN_BENCH_RESULTS_DIR;
+  const std::string dir = out_dir != nullptr ? out_dir : D2STGNN_REPO_ROOT;
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -283,12 +285,6 @@ int main(int argc, char** argv) {
                  ec.message().c_str());
     return 1;
   }
-  // One timing sweep, two copies: the versioned results directory and the
-  // canonical repo-root file alongside BENCH_inference.json / BENCH_plan.json.
   const auto records = d2stgnn::CollectKernelRecords();
-  d2stgnn::WriteKernelJson((dir + "/BENCH_kernels.json").c_str(), records);
-  d2stgnn::WriteKernelJson(
-      (std::string(D2STGNN_REPO_ROOT) + "/BENCH_kernels.json").c_str(),
-      records);
-  return 0;
+  return d2stgnn::WriteKernelJson(dir + "/BENCH_kernels.json", records);
 }

@@ -19,8 +19,8 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
+#include "common/flags.h"
 #include "common/rng.h"
 #include "core/d2stgnn.h"
 #include "data/presets.h"
@@ -36,21 +36,22 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   std::string resume_from;
   int64_t checkpoint_every = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
-      checkpoint_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
-               i + 1 < argc) {
-      checkpoint_every = std::atoll(argv[++i]);
-    } else if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
-      resume_from = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--checkpoint-dir DIR] [--checkpoint-every N] "
-                   "[--resume PATH]\n",
-                   argv[0]);
-      return 2;
+  FlagParser flags("quickstart",
+                   "train D2STGNN on a small synthetic dataset end to end");
+  flags.AddString("checkpoint-dir", &checkpoint_dir,
+                  "write full-state checkpoints into this directory");
+  flags.AddInt("checkpoint-every", &checkpoint_every,
+               "checkpoint every N epochs (default 1)");
+  flags.AddString("resume", &resume_from,
+                  "resume bitwise-identically from this checkpoint");
+  if (!flags.Parse(argc, argv)) {
+    if (flags.help_requested()) {
+      std::fputs(flags.Usage().c_str(), stdout);
+      return 0;
     }
+    std::fprintf(stderr, "%s: %s\n%s", argv[0], flags.error().c_str(),
+                 flags.Usage().c_str());
+    return 2;
   }
   if (!checkpoint_dir.empty()) ::mkdir(checkpoint_dir.c_str(), 0755);
 

@@ -17,7 +17,6 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
@@ -28,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/flags.h"
 #include "common/rng.h"
 #include "core/d2stgnn.h"
 #include "data/sliding_window.h"
@@ -201,26 +201,34 @@ std::unique_ptr<infer::InferenceSession> BuildSession(
 }  // namespace
 
 int main(int argc, char** argv) {
-  double positional[3] = {200.0, 2.0, 2.0};  // rate_rps, seconds, producers
-  int positional_count = 0;
+  double rate_rps = 200.0;
+  double seconds = 2.0;
+  int64_t producer_count = 2;
   std::string mode = "both";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--mode=", 7) == 0) {
-      mode = argv[i] + 7;
-    } else if (positional_count < 3) {
-      positional[positional_count++] = std::atof(argv[i]);
+  FlagParser flags("serve_forecasts",
+                   "open-loop serving demo against the BatchingServer");
+  flags.AddPositionalDouble("rate_rps", &rate_rps,
+                            "aggregate request rate (default 200)");
+  flags.AddPositionalDouble("seconds", &seconds,
+                            "run duration per mode (default 2)");
+  flags.AddPositionalInt("producers", &producer_count,
+                         "concurrent request producers (default 2)");
+  flags.AddChoice("mode", &mode, {"eager", "plan", "both"},
+                  "which dispatch mode(s) to serve");
+  if (!flags.Parse(argc, argv)) {
+    if (flags.help_requested()) {
+      std::fputs(flags.Usage().c_str(), stdout);
+      return 0;
     }
+    std::fprintf(stderr, "%s: %s\n%s", argv[0], flags.error().c_str(),
+                 flags.Usage().c_str());
+    return 1;
   }
-  const double rate_rps = positional[0];
-  const double seconds = positional[1];
-  const int producers = static_cast<int>(positional[2]);
+  const int producers = static_cast<int>(producer_count);
   const bool run_eager = mode == "eager" || mode == "both";
   const bool run_plan = mode == "plan" || mode == "both";
-  if (rate_rps <= 0.0 || seconds <= 0.0 || producers <= 0 ||
-      (!run_eager && !run_plan)) {
-    std::fprintf(stderr,
-                 "usage: %s [rate_rps] [seconds] [producers] "
-                 "[--mode=eager|plan|both]\n",
+  if (rate_rps <= 0.0 || seconds <= 0.0 || producers <= 0) {
+    std::fprintf(stderr, "%s: rate_rps, seconds, and producers must be > 0\n",
                  argv[0]);
     return 1;
   }

@@ -16,10 +16,10 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
 #include "baselines/historical_average.h"
 #include "baselines/registry.h"
+#include "common/flags.h"
 #include "common/table_printer.h"
 #include "data/presets.h"
 #include "data/sliding_window.h"
@@ -46,21 +46,22 @@ int main(int argc, char** argv) {
   std::string checkpoint_dir;
   std::string resume_from;
   int64_t checkpoint_every = 1;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--checkpoint-dir") == 0 && i + 1 < argc) {
-      checkpoint_dir = argv[++i];
-    } else if (std::strcmp(argv[i], "--checkpoint-every") == 0 &&
-               i + 1 < argc) {
-      checkpoint_every = std::atoll(argv[++i]);
-    } else if (std::strcmp(argv[i], "--resume") == 0 && i + 1 < argc) {
-      resume_from = argv[++i];
-    } else {
-      std::fprintf(stderr,
-                   "usage: %s [--checkpoint-dir DIR] [--checkpoint-every N] "
-                   "[--resume PATH]\n",
-                   argv[0]);
-      return 2;
+  FlagParser flags("speed_forecasting",
+                   "HA vs DCRNN vs D2STGNN on a failure-prone speed dataset");
+  flags.AddString("checkpoint-dir", &checkpoint_dir,
+                  "write D2STGNN full-state checkpoints into this directory");
+  flags.AddInt("checkpoint-every", &checkpoint_every,
+               "checkpoint every N epochs (default 1)");
+  flags.AddString("resume", &resume_from,
+                  "resume the D2STGNN run from this checkpoint");
+  if (!flags.Parse(argc, argv)) {
+    if (flags.help_requested()) {
+      std::fputs(flags.Usage().c_str(), stdout);
+      return 0;
     }
+    std::fprintf(stderr, "%s: %s\n%s", argv[0], flags.error().c_str(),
+                 flags.Usage().c_str());
+    return 2;
   }
   if (!checkpoint_dir.empty()) ::mkdir(checkpoint_dir.c_str(), 0755);
 

@@ -5,21 +5,27 @@
 #   2. ThreadSanitizer    — the execution-layer and tensor tests, to catch
 #      data races in the thread pool and parallel kernels.
 #   3. Inference suite    — the inference session and batching server under
-#      TSan (concurrent submitters), then a reduced bench_inference run
-#      asserting BENCH_inference.json is produced and well-formed.
+#      TSan (concurrent submitters), then the smoke serving spec through
+#      run_experiment, asserting the emitted JSON is schema-versioned and
+#      well-formed.
 #   4. Plan replay        — the capture/plan/replay suite under TSan
 #      (level-parallel replays, concurrent plan-serving submitters; the
 #      Release run happened in stage 1, where the plan-vs-eager latency
-#      floor is asserted), then a `bench_inference --plan` smoke plus a
-#      kernel-bench run, validating the canonical repo-root
-#      BENCH_inference.json / BENCH_plan.json / BENCH_kernels.json.
-#   5. UBSanitizer        — the full suite under -fsanitize=undefined.
-#   6. ASan+UBSan         — the fault-injection / crash-safety suite
+#      floor is asserted), then the canonical repo-root artifacts:
+#      `run_experiment specs/serving_sweep.spec` (BENCH_serving.json, gated
+#      on bench/baselines/serving.json) and bench_micro_kernels
+#      (BENCH_kernels.json), both shape-validated.
+#   5. Experiments        — the declarative harness end to end: the smoke
+#      training spec runs gated against its checked-in baseline, --list
+#      enumerates the registry, and a run against an impossible baseline
+#      must exit 2 with a readable violation diff.
+#   6. UBSanitizer        — the full suite under -fsanitize=undefined.
+#   7. ASan+UBSan         — the fault-injection / crash-safety suite
 #      (checkpoints, durable I/O, divergence recovery, death tests), where
 #      torn buffers and use-after-free bugs would hide.
-#   7. Corruption smoke   — end-to-end: train with checkpointing, flip one
+#   8. Corruption smoke   — end-to-end: train with checkpointing, flip one
 #      byte in the newest checkpoint, assert resume rejects it.
-#   8. Lint               — clang-tidy over the compilation database
+#   9. Lint               — clang-tidy over the compilation database
 #      (skipped with a notice when clang-tidy is not installed).
 #
 # Both ctest invocations pass --no-tests=error so a filter that matches zero
@@ -47,68 +53,114 @@ cmake --build build-tsan -j "$(nproc)" \
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
   -R 'ThreadPool|ParallelDeterminism|Tensor' --no-tests=error
 
-echo "=== Inference suite: batching server under TSan + bench smoke ==="
+echo "=== Inference suite: batching server under TSan + serving smoke ==="
 cmake --build build-tsan -j "$(nproc)" \
   --target infer_server_test infer_session_test
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
   -R 'InferServer|InferSession' --no-tests=error
-cmake --build build -j "$(nproc)" --target bench_inference
-bench_out="build/infer-bench-smoke"
-rm -rf "$bench_out"
-# The speedup gates are disabled for the smoke: 3 iterations on a shared CI
-# box measure nothing; full runs keep the 1.3x plan floor.
-D2STGNN_BENCH_OUT_DIR="$bench_out" \
-D2STGNN_INFER_BENCH_ITERS=3 D2STGNN_INFER_BENCH_SERVER_REQS=8 \
-D2STGNN_PLAN_BENCH_ITERS=10 D2STGNN_PLAN_SPEEDUP_MIN=0 \
-  build/bench/bench_inference > /dev/null
-python3 - "$bench_out/BENCH_inference.json" <<'EOF'
+cmake --build build -j "$(nproc)" --target run_experiment
+smoke_out="build/experiment-smoke"
+rm -rf "$smoke_out"
+mkdir -p "$smoke_out"
+# Smoke scale: few iterations, gated only on sanity floors (the spec's
+# baseline bounds throughput > 1 rps and bitwise plan/eager parity).
+build/tools/run_experiment --out-dir "$smoke_out" \
+  specs/smoke_serving.spec > /dev/null
+python3 - "$smoke_out/BENCH_smoke_serving.json" <<'EOF'
 import json, sys
 with open(sys.argv[1]) as f:
     doc = json.load(f)
+assert doc["schema_version"] == 1, doc["schema_version"]
+assert doc["kind"] == "serving"
 records = doc["records"]
-assert records, "BENCH_inference.json has no records"
+assert records, "BENCH_smoke_serving.json has no records"
 for r in records:
-    assert r["mode"] in ("session", "server", "eager", "plan"), r
+    assert r["mode"] in ("session-eager", "session-plan", "server",
+                         "eager", "plan"), r
     assert r["throughput_rps"] > 0, r
     assert r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"], r
-assert "batch8_speedup_vs_single" in doc["summary"]
-print("BENCH_inference.json well-formed:", len(records), "records")
+summary = doc["summary"]
+for key in ("eager_p50_ms", "plan_p50_ms", "plan_speedup",
+            "bitwise_identical"):
+    assert key in summary, key
+assert summary["bitwise_identical"] == 1
+print("BENCH_smoke_serving.json well-formed:", len(records), "records")
 EOF
 
 echo "=== Plan replay: exec suite under TSan + canonical bench JSONs ==="
 cmake --build build-tsan -j "$(nproc)" --target exec_plan_test
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
   -R 'MemoryPlanner|ZooCapture|GraphCapture|ExecSession' --no-tests=error
-D2STGNN_BENCH_OUT_DIR="$bench_out" build/bench/bench_inference --plan \
-  > /dev/null
+# Full-scale serving sweep: regenerates the canonical repo-root
+# BENCH_serving.json and gates it on bench/baselines/serving.json
+# (plan-speedup floor, throughput floors, bitwise parity).
+build/tools/run_experiment specs/serving_sweep.spec > /dev/null
 cmake --build build -j "$(nproc)" --target bench_micro_kernels
 # Skip the google-benchmark section (nothing matches); the hand-timed sweep
 # that feeds BENCH_kernels.json still runs.
 build/bench/bench_micro_kernels --benchmark_filter='^$' > /dev/null
-python3 - BENCH_inference.json BENCH_plan.json BENCH_kernels.json <<'EOF'
+python3 - BENCH_serving.json BENCH_kernels.json <<'EOF'
 import json, sys
-infer_doc = json.load(open(sys.argv[1]))
-assert infer_doc["records"], "BENCH_inference.json has no records"
-assert "batch8_speedup_vs_single" in infer_doc["summary"]
-plan_doc = json.load(open(sys.argv[2]))
-modes = {r["mode"] for r in plan_doc["records"]}
-assert modes == {"eager", "plan"}, modes
-for r in plan_doc["records"]:
+serving_doc = json.load(open(sys.argv[1]))
+assert serving_doc["schema_version"] == 1
+modes = {r["mode"] for r in serving_doc["records"]}
+assert modes == {"session-eager", "session-plan", "server",
+                 "eager", "plan"}, modes
+for r in serving_doc["records"]:
     assert r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"], r
-summary = plan_doc["summary"]
-for key in ("eager_p50_ms_4t", "plan_p50_ms_4t", "plan_speedup_4t",
+summary = serving_doc["summary"]
+for key in ("eager_p50_ms", "plan_p50_ms", "plan_speedup",
             "bitwise_identical"):
     assert key in summary, key
-assert summary["bitwise_identical"] is True
-kernel_doc = json.load(open(sys.argv[3]))
-assert kernel_doc["ops"], "BENCH_kernels.json has no ops"
-for r in kernel_doc["ops"]:
+assert summary["bitwise_identical"] == 1
+kernel_doc = json.load(open(sys.argv[2]))
+assert kernel_doc["schema_version"] == 1
+assert kernel_doc["records"], "BENCH_kernels.json has no records"
+for r in kernel_doc["records"]:
     assert r["seconds_per_iter"] > 0, r
 print("canonical bench JSONs well-formed:",
-      len(infer_doc["records"]), "inference records,",
-      len(plan_doc["records"]), "plan records,",
-      len(kernel_doc["ops"]), "kernel records")
+      len(serving_doc["records"]), "serving records,",
+      len(kernel_doc["records"]), "kernel records")
 EOF
+
+echo "=== Experiments: smoke spec end-to-end + regression-gate demo ==="
+# The registry must enumerate cleanly...
+build/tools/run_experiment --list > /dev/null
+# ...and the smoke training spec must run end to end, gated against its
+# checked-in baseline (bench/baselines/smoke_training.json).
+build/tools/run_experiment --out-dir "$smoke_out" \
+  specs/smoke_training.spec > /dev/null
+python3 - "$smoke_out/BENCH_smoke_training.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1
+assert doc["kind"] == "training"
+models = {r["model"] for r in doc["records"]}
+assert models == {"HA", "D2STGNN"}, models
+for r in doc["records"]:
+    assert r["h3_mae"] > 0 and r["h12_mae"] > 0, r
+assert doc["summary"]["best_model"] in models
+print("BENCH_smoke_training.json well-formed:", len(doc["records"]),
+      "records")
+EOF
+# The gate must demonstrably fail: re-checking the same run against an
+# impossible baseline has to exit 2 with a readable violation diff.
+set +e
+gate_output="$(build/tools/run_experiment --out-dir "$smoke_out" \
+  --baseline bench/baselines/impossible.json specs/smoke_training.spec 2>&1)"
+gate_status=$?
+set -e
+if [[ "$gate_status" -ne 2 ]]; then
+  echo "FAIL: impossible baseline exited $gate_status, want 2" >&2
+  echo "$gate_output" >&2
+  exit 1
+fi
+if ! grep -q "regression gate FAILED" <<< "$gate_output"; then
+  echo "FAIL: exit 2 without a readable gate diff" >&2
+  echo "$gate_output" >&2
+  exit 1
+fi
+echo "regression gate failed loudly as expected (exit 2)"
 
 echo "=== UBSanitizer build + full test suite ==="
 cmake -B build-ubsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \

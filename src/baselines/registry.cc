@@ -13,9 +13,8 @@
 #include "core/d2stgnn.h"
 
 namespace d2stgnn::baselines {
-namespace {
 
-core::D2StgnnConfig D2ConfigFrom(const ModelConfig& c) {
+core::D2StgnnConfig ToD2Config(const ModelConfig& c) {
   core::D2StgnnConfig config;
   config.num_nodes = c.num_nodes;
   config.input_len = c.input_len;
@@ -28,11 +27,17 @@ core::D2StgnnConfig D2ConfigFrom(const ModelConfig& c) {
   return config;
 }
 
-}  // namespace
-
 std::vector<std::string> DeepModelNames() {
   return {"FC-LSTM", "DCRNN", "STGCN", "GWNet",  "ASTGCN",
           "STSGCN",  "MTGNN", "GMAN",  "DGCRN",  "D2STGNN"};
+}
+
+std::vector<std::string> AllModelNames() {
+  std::vector<std::string> names = DeepModelNames();
+  names.push_back("DGCRN-static");
+  names.push_back("D2STGNN-static");
+  names.push_back("D2STGNN-coupled");
+  return names;
 }
 
 std::unique_ptr<train::ForecastingModel> MakeModel(const std::string& name,
@@ -95,16 +100,16 @@ std::unique_ptr<train::ForecastingModel> MakeModel(const std::string& name,
                                    /*dynamic=*/false, rng);
   }
   if (name == "D2STGNN") {
-    return std::make_unique<core::D2Stgnn>(D2ConfigFrom(config), adjacency,
+    return std::make_unique<core::D2Stgnn>(ToD2Config(config), adjacency,
                                            rng);
   }
   if (name == "D2STGNN-static") {
     return std::make_unique<core::D2Stgnn>(
-        core::MakeStaticGraphConfig(D2ConfigFrom(config)), adjacency, rng);
+        core::MakeStaticGraphConfig(ToD2Config(config)), adjacency, rng);
   }
   if (name == "D2STGNN-coupled") {
     return std::make_unique<core::D2Stgnn>(
-        core::MakeCoupledConfig(D2ConfigFrom(config)), adjacency, rng);
+        core::MakeCoupledConfig(ToD2Config(config)), adjacency, rng);
   }
   D2_CHECK(false) << "unknown model name: " << name;
   return nullptr;

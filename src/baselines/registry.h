@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "core/d2stgnn.h"
 #include "tensor/tensor.h"
 #include "train/forecasting_model.h"
 
@@ -28,6 +29,16 @@ struct ModelConfig {
 /// "GMAN", "DGCRN", "D2STGNN" (plus variants "D2STGNN-static" = D²STGNN†,
 /// "D2STGNN-coupled" = D²STGNN‡, "DGCRN-static" = DGCRN†).
 std::vector<std::string> DeepModelNames();
+
+/// Every name MakeModel accepts: DeepModelNames() plus the Table-4 variants
+/// ("DGCRN-static", "D2STGNN-static", "D2STGNN-coupled"). The experiment
+/// harness uses this to validate specs and to power `run_experiment --list`.
+std::vector<std::string> AllModelNames();
+
+/// The D²STGNN configuration MakeModel derives from a ModelConfig — exposed
+/// so the experiment harness builds Table-5 ablation variants from the same
+/// base configuration the registry uses.
+core::D2StgnnConfig ToD2Config(const ModelConfig& config);
 
 /// Builds a model by name. Aborts on an unknown name.
 std::unique_ptr<train::ForecastingModel> MakeModel(const std::string& name,

@@ -1,0 +1,312 @@
+#include "common/flags.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <sstream>
+
+namespace d2stgnn {
+namespace {
+
+bool ParseInt(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDouble(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseBool(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text == "yes" || text == "on") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "no" || text == "off") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+std::string JoinChoices(const std::vector<std::string>& choices) {
+  std::string out;
+  for (size_t i = 0; i < choices.size(); ++i) {
+    if (i > 0) out += "|";
+    out += choices[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+FlagParser::FlagParser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void FlagParser::AddString(const std::string& name, std::string* value,
+                           const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.type = Type::kString;
+  flag.help = help;
+  flag.string_value = value;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddInt(const std::string& name, int64_t* value,
+                        const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.type = Type::kInt;
+  flag.help = help;
+  flag.int_value = value;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddDouble(const std::string& name, double* value,
+                           const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.type = Type::kDouble;
+  flag.help = help;
+  flag.double_value = value;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddBool(const std::string& name, bool* value,
+                         const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.type = Type::kBool;
+  flag.help = help;
+  flag.bool_value = value;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddChoice(const std::string& name, std::string* value,
+                           std::vector<std::string> choices,
+                           const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.type = Type::kChoice;
+  flag.help = help;
+  flag.choices = std::move(choices);
+  flag.string_value = value;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddStringList(const std::string& name,
+                               std::vector<std::string>* values,
+                               const std::string& help) {
+  Flag flag;
+  flag.name = name;
+  flag.type = Type::kStringList;
+  flag.help = help;
+  flag.list_value = values;
+  flags_.push_back(std::move(flag));
+}
+
+void FlagParser::AddPositionalString(const std::string& name,
+                                     std::string* value,
+                                     const std::string& help) {
+  Positional p;
+  p.name = name;
+  p.type = Type::kString;
+  p.help = help;
+  p.string_value = value;
+  positionals_.push_back(std::move(p));
+}
+
+void FlagParser::AddPositionalInt(const std::string& name, int64_t* value,
+                                  const std::string& help) {
+  Positional p;
+  p.name = name;
+  p.type = Type::kInt;
+  p.help = help;
+  p.int_value = value;
+  positionals_.push_back(std::move(p));
+}
+
+void FlagParser::AddPositionalDouble(const std::string& name, double* value,
+                                     const std::string& help) {
+  Positional p;
+  p.name = name;
+  p.type = Type::kDouble;
+  p.help = help;
+  p.double_value = value;
+  positionals_.push_back(std::move(p));
+}
+
+void FlagParser::AddTrailing(const std::string& name,
+                             std::vector<std::string>* values,
+                             const std::string& help) {
+  trailing_name_ = name;
+  trailing_help_ = help;
+  trailing_ = values;
+}
+
+FlagParser::Flag* FlagParser::FindFlag(const std::string& name) {
+  for (Flag& flag : flags_) {
+    if (flag.name == name) return &flag;
+  }
+  return nullptr;
+}
+
+bool FlagParser::Fail(const std::string& message) {
+  error_ = message;
+  return false;
+}
+
+bool FlagParser::Assign(const Flag& flag, const std::string& value) {
+  switch (flag.type) {
+    case Type::kString:
+      *flag.string_value = value;
+      return true;
+    case Type::kStringList:
+      flag.list_value->push_back(value);
+      return true;
+    case Type::kChoice:
+      for (const std::string& choice : flag.choices) {
+        if (value == choice) {
+          *flag.string_value = value;
+          return true;
+        }
+      }
+      return Fail("invalid value '" + value + "' for --" + flag.name +
+                  " (expected " + JoinChoices(flag.choices) + ")");
+    case Type::kInt:
+      if (!ParseInt(value, flag.int_value)) {
+        return Fail("invalid integer '" + value + "' for --" + flag.name);
+      }
+      return true;
+    case Type::kDouble:
+      if (!ParseDouble(value, flag.double_value)) {
+        return Fail("invalid number '" + value + "' for --" + flag.name);
+      }
+      return true;
+    case Type::kBool:
+      if (!ParseBool(value, flag.bool_value)) {
+        return Fail("invalid boolean '" + value + "' for --" + flag.name);
+      }
+      return true;
+  }
+  return false;
+}
+
+bool FlagParser::Parse(int argc, const char* const* argv) {
+  error_.clear();
+  help_requested_ = false;
+  size_t next_positional = 0;
+  bool flags_done = false;  // after "--"
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (!flags_done && arg == "--") {
+      flags_done = true;
+      continue;
+    }
+    if (!flags_done && (arg == "--help" || arg == "-h")) {
+      help_requested_ = true;
+      return false;
+    }
+    if (!flags_done && arg.size() > 2 && arg.compare(0, 2, "--") == 0) {
+      std::string name = arg.substr(2);
+      std::string value;
+      bool has_value = false;
+      const size_t eq = name.find('=');
+      if (eq != std::string::npos) {
+        value = name.substr(eq + 1);
+        name = name.substr(0, eq);
+        has_value = true;
+      }
+      Flag* flag = FindFlag(name);
+      if (flag == nullptr) return Fail("unknown flag --" + name);
+      if (!has_value) {
+        if (flag->type == Type::kBool) {
+          // A bool flag consumes a following token only when it parses as a
+          // boolean, so `--verbose positional` keeps the positional.
+          bool parsed = false;
+          if (i + 1 < argc && ParseBool(argv[i + 1], &parsed)) {
+            ++i;
+            *flag->bool_value = parsed;
+          } else {
+            *flag->bool_value = true;
+          }
+          continue;
+        }
+        if (i + 1 >= argc) return Fail("flag --" + name + " requires a value");
+        value = argv[++i];
+      }
+      if (!Assign(*flag, value)) return false;
+      continue;
+    }
+
+    // Positional.
+    if (next_positional < positionals_.size()) {
+      const Positional& p = positionals_[next_positional++];
+      switch (p.type) {
+        case Type::kString:
+        case Type::kChoice:
+        case Type::kBool:
+        case Type::kStringList:
+          *p.string_value = arg;
+          break;
+        case Type::kInt:
+          if (!ParseInt(arg, p.int_value)) {
+            return Fail("invalid integer '" + arg + "' for <" + p.name + ">");
+          }
+          break;
+        case Type::kDouble:
+          if (!ParseDouble(arg, p.double_value)) {
+            return Fail("invalid number '" + arg + "' for <" + p.name + ">");
+          }
+          break;
+      }
+      continue;
+    }
+    if (trailing_ != nullptr) {
+      trailing_->push_back(arg);
+      continue;
+    }
+    return Fail("unexpected argument '" + arg + "'");
+  }
+  return true;
+}
+
+std::string FlagParser::Usage() const {
+  std::ostringstream out;
+  out << "usage: " << program_;
+  for (const Positional& p : positionals_) out << " [" << p.name << "]";
+  if (trailing_ != nullptr) out << " [" << trailing_name_ << "...]";
+  if (!flags_.empty()) out << " [flags]";
+  out << "\n";
+  if (!summary_.empty()) out << "  " << summary_ << "\n";
+  for (const Positional& p : positionals_) {
+    out << "  " << p.name << ": " << p.help << "\n";
+  }
+  if (trailing_ != nullptr) {
+    out << "  " << trailing_name_ << ": " << trailing_help_ << "\n";
+  }
+  for (const Flag& flag : flags_) {
+    out << "  --" << flag.name;
+    if (flag.type == Type::kChoice) {
+      out << "=" << JoinChoices(flag.choices);
+    } else if (flag.type != Type::kBool) {
+      out << " VALUE";
+    }
+    out << ": " << flag.help << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace d2stgnn

@@ -1,0 +1,111 @@
+#ifndef D2STGNN_COMMON_FLAGS_H_
+#define D2STGNN_COMMON_FLAGS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace d2stgnn {
+
+/// Declarative argv parser shared by the examples and the experiment CLI.
+///
+/// Flags are `--name value` or `--name=value`; bool flags may omit the value
+/// (`--verbose`). Remaining tokens fill the declared positionals in order,
+/// then the trailing collector (if any). Parsing is strict: an unknown flag,
+/// a flag missing its value, a malformed number, a value outside a choice
+/// list, or an unexpected extra positional all fail with a message naming
+/// the offending token — nothing is silently ignored.
+///
+///   FlagParser flags("serve_forecasts", "open-loop serving demo");
+///   flags.AddPositionalDouble("rate_rps", &rate, "request rate");
+///   flags.AddChoice("mode", &mode, {"eager", "plan", "both"}, "exec mode");
+///   if (!flags.Parse(argc, argv)) {
+///     if (flags.help_requested()) { std::fputs(flags.Usage().c_str(), stdout); return 0; }
+///     std::fprintf(stderr, "%s: %s\n%s", argv[0], flags.error().c_str(),
+///                  flags.Usage().c_str());
+///     return 2;
+///   }
+class FlagParser {
+ public:
+  /// `program` and `summary` head the Usage() text.
+  FlagParser(std::string program, std::string summary);
+
+  // Named flags. The pointed-to value doubles as the default and is only
+  // written when the flag appears. `name` is given without the leading "--".
+  void AddString(const std::string& name, std::string* value,
+                 const std::string& help);
+  void AddInt(const std::string& name, int64_t* value, const std::string& help);
+  void AddDouble(const std::string& name, double* value,
+                 const std::string& help);
+  /// Presence sets true; `--name=false` / `--name false` also accepted.
+  void AddBool(const std::string& name, bool* value, const std::string& help);
+  /// A string flag whose value must be one of `choices`.
+  void AddChoice(const std::string& name, std::string* value,
+                 std::vector<std::string> choices, const std::string& help);
+  /// A repeatable string flag: each occurrence appends to `values`
+  /// (e.g. `--set a.b=1 --set c.d=2`).
+  void AddStringList(const std::string& name,
+                     std::vector<std::string>* values,
+                     const std::string& help);
+
+  // Optional positionals, consumed in declaration order.
+  void AddPositionalString(const std::string& name, std::string* value,
+                           const std::string& help);
+  void AddPositionalInt(const std::string& name, int64_t* value,
+                        const std::string& help);
+  void AddPositionalDouble(const std::string& name, double* value,
+                           const std::string& help);
+  /// Collects every positional beyond the declared ones (e.g. a list of
+  /// spec files). Without it, extra positionals are an error.
+  void AddTrailing(const std::string& name, std::vector<std::string>* values,
+                   const std::string& help);
+
+  /// Parses argv. Returns false on any error (see error()) and on
+  /// `--help`/`-h` (see help_requested()); values may be partially written
+  /// on failure.
+  bool Parse(int argc, const char* const* argv);
+
+  const std::string& error() const { return error_; }
+  bool help_requested() const { return help_requested_; }
+  std::string Usage() const;
+
+ private:
+  enum class Type { kString, kInt, kDouble, kBool, kChoice, kStringList };
+  struct Flag {
+    std::string name;
+    Type type = Type::kString;
+    std::string help;
+    std::vector<std::string> choices;  // kChoice only
+    std::string* string_value = nullptr;
+    int64_t* int_value = nullptr;
+    double* double_value = nullptr;
+    bool* bool_value = nullptr;
+    std::vector<std::string>* list_value = nullptr;  // kStringList only
+  };
+  struct Positional {
+    std::string name;
+    Type type = Type::kString;
+    std::string help;
+    std::string* string_value = nullptr;
+    int64_t* int_value = nullptr;
+    double* double_value = nullptr;
+  };
+
+  Flag* FindFlag(const std::string& name);
+  bool Assign(const Flag& flag, const std::string& value);
+  bool Fail(const std::string& message);
+
+  std::string program_;
+  std::string summary_;
+  std::vector<Flag> flags_;
+  std::vector<Positional> positionals_;
+  std::string trailing_name_;
+  std::string trailing_help_;
+  std::vector<std::string>* trailing_ = nullptr;
+  std::string error_;
+  bool help_requested_ = false;
+};
+
+}  // namespace d2stgnn
+
+#endif  // D2STGNN_COMMON_FLAGS_H_

@@ -1,0 +1,440 @@
+#include "common/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace d2stgnn::json {
+namespace {
+
+const Value& NullValue() {
+  static const Value kNull;
+  return kNull;
+}
+
+const std::string& EmptyString() {
+  static const std::string kEmpty;
+  return kEmpty;
+}
+
+/// Recursive-descent parser over a string view with offset tracking.
+class Parser {
+ public:
+  Parser(const std::string& text, std::string* error)
+      : text_(text), error_(error) {}
+
+  bool Run(Value* out) {
+    SkipWhitespace();
+    if (!ParseValue(out)) return false;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Fail("trailing characters");
+    return true;
+  }
+
+ private:
+  bool Fail(const std::string& message) {
+    if (error_ != nullptr) {
+      std::ostringstream out;
+      out << "JSON parse error at offset " << pos_ << ": " << message;
+      *error_ = out.str();
+    }
+    return false;
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeLiteral(const char* literal) {
+    const size_t len = std::string(literal).size();
+    if (text_.compare(pos_, len, literal) == 0) {
+      pos_ += len;
+      return true;
+    }
+    return false;
+  }
+
+  bool ParseValue(Value* out) {
+    if (pos_ >= text_.size()) return Fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') return ParseObject(out);
+    if (c == '[') return ParseArray(out);
+    if (c == '"') {
+      std::string s;
+      if (!ParseString(&s)) return false;
+      *out = Value::Str(std::move(s));
+      return true;
+    }
+    if (ConsumeLiteral("true")) {
+      *out = Value::Bool(true);
+      return true;
+    }
+    if (ConsumeLiteral("false")) {
+      *out = Value::Bool(false);
+      return true;
+    }
+    if (ConsumeLiteral("null")) {
+      *out = Value::Null();
+      return true;
+    }
+    return ParseNumber(out);
+  }
+
+  bool ParseObject(Value* out) {
+    ++pos_;  // '{'
+    *out = Value::Object();
+    SkipWhitespace();
+    if (Consume('}')) return true;
+    for (;;) {
+      SkipWhitespace();
+      std::string key;
+      if (!ParseString(&key)) return false;
+      SkipWhitespace();
+      if (!Consume(':')) return Fail("expected ':' after object key");
+      SkipWhitespace();
+      Value value;
+      if (!ParseValue(&value)) return false;
+      out->Set(key, std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume('}')) return true;
+      return Fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool ParseArray(Value* out) {
+    ++pos_;  // '['
+    *out = Value::Array();
+    SkipWhitespace();
+    if (Consume(']')) return true;
+    for (;;) {
+      SkipWhitespace();
+      Value value;
+      if (!ParseValue(&value)) return false;
+      out->Append(std::move(value));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      if (Consume(']')) return true;
+      return Fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return Fail("expected string");
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Fail("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Fail("truncated \\u escape");
+          const std::string hex = text_.substr(pos_, 4);
+          pos_ += 4;
+          char* end = nullptr;
+          const long code = std::strtol(hex.c_str(), &end, 16);
+          if (end != hex.c_str() + 4) return Fail("bad \\u escape");
+          out->push_back(code < 128 ? static_cast<char>(code) : '?');
+          break;
+        }
+        default:
+          return Fail("unknown escape");
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool ParseNumber(Value* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool is_int = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        is_int = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) return Fail("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    errno = 0;
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (errno != 0 || end != token.c_str() + token.size()) {
+      return Fail("malformed number '" + token + "'");
+    }
+    if (is_int && std::abs(value) < 9.0e15) {
+      *out = Value::Int(static_cast<int64_t>(value));
+    } else {
+      *out = Value::Number(value);
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::string* error_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::Bool(bool b) {
+  Value v;
+  v.type_ = Type::kBool;
+  v.bool_ = b;
+  return v;
+}
+
+Value Value::Number(double d) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = d;
+  return v;
+}
+
+Value Value::Int(int64_t i) {
+  Value v;
+  v.type_ = Type::kNumber;
+  v.number_ = static_cast<double>(i);
+  v.int_ = i;
+  v.is_exact_int_ = true;
+  return v;
+}
+
+Value Value::Str(std::string s) {
+  Value v;
+  v.type_ = Type::kString;
+  v.string_ = std::move(s);
+  return v;
+}
+
+Value Value::Array() {
+  Value v;
+  v.type_ = Type::kArray;
+  return v;
+}
+
+Value Value::Object() {
+  Value v;
+  v.type_ = Type::kObject;
+  return v;
+}
+
+bool Value::Parse(const std::string& text, Value* out, std::string* error) {
+  Parser parser(text, error);
+  return parser.Run(out);
+}
+
+bool Value::ParseFile(const std::string& path, Value* out,
+                      std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (!Parse(buffer.str(), out, error)) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+bool Value::AsBool(bool fallback) const {
+  if (type_ == Type::kBool) return bool_;
+  if (type_ == Type::kNumber) return number_ != 0.0;
+  return fallback;
+}
+
+double Value::AsDouble(double fallback) const {
+  if (type_ == Type::kNumber) return number_;
+  if (type_ == Type::kBool) return bool_ ? 1.0 : 0.0;
+  return fallback;
+}
+
+int64_t Value::AsInt(int64_t fallback) const {
+  if (type_ == Type::kNumber) {
+    return is_exact_int_ ? int_ : static_cast<int64_t>(number_);
+  }
+  if (type_ == Type::kBool) return bool_ ? 1 : 0;
+  return fallback;
+}
+
+const std::string& Value::AsString() const {
+  return type_ == Type::kString ? string_ : EmptyString();
+}
+
+size_t Value::size() const {
+  if (type_ == Type::kArray) return array_.size();
+  if (type_ == Type::kObject) return object_.size();
+  return 0;
+}
+
+const Value& Value::at(size_t index) const {
+  if (type_ == Type::kArray && index < array_.size()) return array_[index];
+  return NullValue();
+}
+
+void Value::Append(Value v) {
+  type_ = Type::kArray;
+  array_.push_back(std::move(v));
+}
+
+bool Value::Has(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return true;
+  }
+  return false;
+}
+
+const Value& Value::Get(const std::string& key) const {
+  for (const auto& [k, v] : object_) {
+    if (k == key) return v;
+  }
+  return NullValue();
+}
+
+void Value::Set(const std::string& key, Value v) {
+  type_ = Type::kObject;
+  for (auto& [k, existing] : object_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  object_.emplace_back(key, std::move(v));
+}
+
+std::string Quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  const bool pretty = indent >= 0;
+  const std::string pad =
+      pretty ? std::string(static_cast<size_t>(2 * (depth + 1)), ' ') : "";
+  const std::string close_pad =
+      pretty ? std::string(static_cast<size_t>(2 * depth), ' ') : "";
+  const char* nl = pretty ? "\n" : "";
+  switch (type_) {
+    case Type::kNull:
+      *out += "null";
+      break;
+    case Type::kBool:
+      *out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber: {
+      char buf[64];
+      if (is_exact_int_) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(int_));
+      } else if (std::isfinite(number_)) {
+        std::snprintf(buf, sizeof(buf), "%.9g", number_);
+      } else {
+        // JSON has no Inf/NaN; emit null so consumers fail loudly.
+        std::snprintf(buf, sizeof(buf), "null");
+      }
+      *out += buf;
+      break;
+    }
+    case Type::kString:
+      *out += Quote(string_);
+      break;
+    case Type::kArray:
+      if (array_.empty()) {
+        *out += "[]";
+        break;
+      }
+      *out += "[";
+      *out += nl;
+      for (size_t i = 0; i < array_.size(); ++i) {
+        *out += pad;
+        array_[i].DumpTo(out, indent, depth + 1);
+        if (i + 1 < array_.size()) *out += ",";
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += "]";
+      break;
+    case Type::kObject:
+      if (object_.empty()) {
+        *out += "{}";
+        break;
+      }
+      *out += "{";
+      *out += nl;
+      for (size_t i = 0; i < object_.size(); ++i) {
+        *out += pad;
+        *out += Quote(object_[i].first);
+        *out += pretty ? ": " : ":";
+        object_[i].second.DumpTo(out, indent, depth + 1);
+        if (i + 1 < object_.size()) *out += ",";
+        *out += nl;
+      }
+      *out += close_pad;
+      *out += "}";
+      break;
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  if (indent >= 0) out += "\n";
+  return out;
+}
+
+}  // namespace d2stgnn::json

@@ -1,0 +1,90 @@
+#ifndef D2STGNN_COMMON_JSON_H_
+#define D2STGNN_COMMON_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace d2stgnn::json {
+
+/// A minimal JSON document model: parse, inspect, build, serialize. No
+/// external dependencies — this backs the experiment harness (MetricsSink
+/// emission, RegressionGate baselines, CI schema validation helpers).
+///
+/// Restrictions vs. full JSON: \uXXXX escapes outside the ASCII range are
+/// replaced with '?', numbers are held as double (plus an exact int64 flag
+/// for round-tripping counters).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() : type_(Type::kNull) {}
+  static Value Null() { return Value(); }
+  static Value Bool(bool b);
+  static Value Number(double d);
+  static Value Int(int64_t i);
+  static Value Str(std::string s);
+  static Value Array();
+  static Value Object();
+
+  /// Parses `text`. On failure returns false and sets `error` (with a
+  /// character offset) when non-null.
+  static bool Parse(const std::string& text, Value* out, std::string* error);
+
+  /// Reads and parses a whole file; false on I/O or parse failure.
+  static bool ParseFile(const std::string& path, Value* out,
+                        std::string* error);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  // Typed access; defaults are returned on type mismatch.
+  bool AsBool(bool fallback = false) const;
+  double AsDouble(double fallback = 0.0) const;
+  int64_t AsInt(int64_t fallback = 0) const;
+  const std::string& AsString() const;  // empty string on mismatch
+
+  // Array access.
+  size_t size() const;
+  const Value& at(size_t index) const;  // null Value when out of range
+  void Append(Value v);
+
+  // Object access (insertion order preserved on serialization).
+  bool Has(const std::string& key) const;
+  const Value& Get(const std::string& key) const;  // null Value when absent
+  void Set(const std::string& key, Value v);
+  const std::vector<std::pair<std::string, Value>>& items() const {
+    return object_;
+  }
+
+  /// Serializes with 2-space indentation per `indent` level; `indent` < 0
+  /// emits the compact single-line form.
+  std::string Dump(int indent = 0) const;
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  int64_t int_ = 0;
+  bool is_exact_int_ = false;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> object_;
+};
+
+/// Escapes a string for embedding in JSON (quotes included).
+std::string Quote(const std::string& s);
+
+}  // namespace d2stgnn::json
+
+#endif  // D2STGNN_COMMON_JSON_H_

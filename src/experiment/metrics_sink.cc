@@ -1,0 +1,104 @@
+#include "experiment/metrics_sink.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <thread>
+
+#include "common/table_printer.h"
+
+namespace d2stgnn::experiment {
+namespace {
+
+std::string CellText(const json::Value& v) {
+  switch (v.type()) {
+    case json::Value::Type::kNull:
+      return "-";
+    case json::Value::Type::kBool:
+      return v.AsBool() ? "true" : "false";
+    case json::Value::Type::kString:
+      return v.AsString();
+    case json::Value::Type::kNumber: {
+      // Exact ints print as ints; everything else at 4 significant-ish
+      // decimals, which covers ms latencies and MAE-scale metrics alike.
+      const double d = v.AsDouble();
+      if (static_cast<double>(v.AsInt()) == d &&
+          v.Dump(-1).find('.') == std::string::npos) {
+        return v.Dump(-1);
+      }
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.4f", d);
+      return buf;
+    }
+    default:
+      return v.Dump(-1);
+  }
+}
+
+}  // namespace
+
+MetricsSink::MetricsSink(std::string experiment_name, std::string kind)
+    : name_(std::move(experiment_name)), kind_(std::move(kind)) {}
+
+void MetricsSink::AddRecord(json::Value record) {
+  records_.push_back(std::move(record));
+}
+
+void MetricsSink::SetSummary(const std::string& key, json::Value value) {
+  summary_.Set(key, std::move(value));
+}
+
+std::string MetricsSink::RenderTable() const {
+  // Columns: every field name, in order of first appearance.
+  std::vector<std::string> columns;
+  for (const json::Value& record : records_) {
+    for (const auto& [key, value] : record.items()) {
+      (void)value;
+      if (std::find(columns.begin(), columns.end(), key) == columns.end()) {
+        columns.push_back(key);
+      }
+    }
+  }
+  if (columns.empty()) return "(no records)\n";
+  TablePrinter table(columns);
+  for (const json::Value& record : records_) {
+    std::vector<std::string> row;
+    for (const std::string& column : columns) {
+      row.push_back(record.Has(column) ? CellText(record.Get(column)) : "-");
+    }
+    table.AddRow(row);
+  }
+  return table.ToString();
+}
+
+json::Value MetricsSink::ToJson() const {
+  json::Value doc = json::Value::Object();
+  doc.Set("schema_version", json::Value::Int(kMetricsSchemaVersion));
+  doc.Set("experiment", json::Value::Str(name_));
+  doc.Set("kind", json::Value::Str(kind_));
+  doc.Set("hardware_concurrency",
+          json::Value::Int(std::thread::hardware_concurrency()));
+  json::Value records = json::Value::Array();
+  for (const json::Value& record : records_) records.Append(record);
+  doc.Set("records", std::move(records));
+  doc.Set("summary", summary_);
+  return doc;
+}
+
+bool MetricsSink::WriteJson(const std::string& path,
+                            std::string* error) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    *error = "cannot write " + path;
+    return false;
+  }
+  out << ToJson().Dump();
+  out.close();
+  if (!out) {
+    *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace d2stgnn::experiment

@@ -1,0 +1,65 @@
+#ifndef D2STGNN_EXPERIMENT_METRICS_SINK_H_
+#define D2STGNN_EXPERIMENT_METRICS_SINK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace d2stgnn::experiment {
+
+/// Schema version stamped into every emitted BENCH_*.json. Bump when the
+/// document layout changes; scripts/ci.sh and the RegressionGate baselines
+/// check it.
+inline constexpr int64_t kMetricsSchemaVersion = 1;
+
+/// The single writer of experiment results: collects flat records (one JSON
+/// object per measured cell), renders them as an aligned table for the
+/// console, and emits the schema-versioned BENCH_*.json document:
+///
+///   {
+///     "schema_version": 1,
+///     "experiment": "<name>", "kind": "<training|serving|dataset>",
+///     "hardware_concurrency": N,
+///     "records": [ {flat key/value objects...} ],
+///     "summary": { headline numbers }
+///   }
+///
+/// Benches and the experiment runner must route their outputs through this
+/// class so every result file shares one layout and one canonical location
+/// (the repo root).
+class MetricsSink {
+ public:
+  MetricsSink(std::string experiment_name, std::string kind);
+
+  /// Appends one flat record (must be a JSON object).
+  void AddRecord(json::Value record);
+
+  /// Sets one headline summary value.
+  void SetSummary(const std::string& key, json::Value value);
+
+  size_t record_count() const { return records_.size(); }
+  const std::vector<json::Value>& records() const { return records_; }
+  const json::Value& summary() const { return summary_; }
+
+  /// Renders the records as an aligned table: one column per distinct field,
+  /// in first-seen order; numbers formatted compactly.
+  std::string RenderTable() const;
+
+  /// The full schema-versioned document.
+  json::Value ToJson() const;
+
+  /// Writes ToJson() to `path` (pretty-printed). False with `error` set on
+  /// I/O failure.
+  bool WriteJson(const std::string& path, std::string* error) const;
+
+ private:
+  std::string name_;
+  std::string kind_;
+  std::vector<json::Value> records_;
+  json::Value summary_ = json::Value::Object();
+};
+
+}  // namespace d2stgnn::experiment
+
+#endif  // D2STGNN_EXPERIMENT_METRICS_SINK_H_

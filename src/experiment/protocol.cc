@@ -1,4 +1,4 @@
-#include "bench/bench_common.h"
+#include "experiment/protocol.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -8,7 +8,7 @@
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
 
-namespace d2stgnn::bench {
+namespace d2stgnn::experiment {
 namespace {
 
 float EnvFloat(const char* name, float fallback) {
@@ -146,4 +146,4 @@ std::vector<std::string> MetricCells(const metrics::MetricSet& m) {
           TablePrinter::Percent(m.mape)};
 }
 
-}  // namespace d2stgnn::bench
+}  // namespace d2stgnn::experiment

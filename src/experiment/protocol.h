@@ -1,5 +1,5 @@
-#ifndef D2STGNN_BENCH_BENCH_COMMON_H_
-#define D2STGNN_BENCH_BENCH_COMMON_H_
+#ifndef D2STGNN_EXPERIMENT_PROTOCOL_H_
+#define D2STGNN_EXPERIMENT_PROTOCOL_H_
 
 #include <functional>
 #include <memory>
@@ -14,9 +14,15 @@
 #include "train/evaluator.h"
 #include "train/trainer.h"
 
-namespace d2stgnn::bench {
+// The shared measurement protocol every experiment and bench runs under:
+// dataset preparation (generate, fit scaler, split, subsample), the training
+// recipe (Adam + masked MAE + curriculum + early stopping), and horizon
+// evaluation. Lives in the library so the experiment runner, the figure
+// benches, and tests all measure the same way (formerly bench/bench_common).
 
-/// Bench-wide knobs, overridable by environment variables so the same
+namespace d2stgnn::experiment {
+
+/// Protocol-wide knobs, overridable by environment variables so the same
 /// binaries can run at laptop scale (defaults) or closer to paper scale:
 ///   D2_BENCH_SCALE   — dataset scale factor vs. Table 2 (default 0.06)
 ///   D2_BENCH_EPOCHS  — training epochs per model (default 5)
@@ -80,7 +86,7 @@ TrainedModelResult TrainAndEvaluateModel(
         nullptr);
 
 /// Same protocol for an already-constructed model (used by the ablation and
-/// sensitivity benches which build custom D²STGNN configs).
+/// sensitivity experiments which build custom D²STGNN configs).
 TrainedModelResult TrainAndEvaluateModel(
     train::ForecastingModel* model, const PreparedDataset& prepared,
     const BenchEnv& env,
@@ -96,6 +102,6 @@ Tensor GatherTargets(const data::TimeSeriesDataset& dataset,
 /// Formats "MAE RMSE MAPE" cells of one horizon for the result tables.
 std::vector<std::string> MetricCells(const metrics::MetricSet& m);
 
-}  // namespace d2stgnn::bench
+}  // namespace d2stgnn::experiment
 
-#endif  // D2STGNN_BENCH_BENCH_COMMON_H_
+#endif  // D2STGNN_EXPERIMENT_PROTOCOL_H_

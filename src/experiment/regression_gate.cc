@@ -1,0 +1,165 @@
+#include "experiment/regression_gate.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "experiment/metrics_sink.h"
+
+namespace d2stgnn::experiment {
+namespace {
+
+std::string Num(double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  return buf;
+}
+
+/// True when record field `field` equals the baseline's match value
+/// (numeric comparison for numbers, string/bool equality otherwise).
+bool FieldMatches(const json::Value& field, const json::Value& want) {
+  if (want.is_number()) return field.is_number() && field.AsDouble() == want.AsDouble();
+  if (want.is_string()) return field.is_string() && field.AsString() == want.AsString();
+  if (want.is_bool()) return field.is_bool() && field.AsBool() == want.AsBool();
+  return false;
+}
+
+std::string DescribeMatch(const json::Value& match) {
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const auto& [key, value] : match.items()) {
+    if (!first) out << ", ";
+    first = false;
+    out << key << "=" << (value.is_string() ? value.AsString()
+                                            : value.Dump(-1));
+  }
+  out << "}";
+  return out.str();
+}
+
+/// Checks `value` against the bound's optional min/max. Appends a diff line
+/// per violation; `subject` names what is being checked.
+void CheckValue(const json::Value& bound, const std::string& subject,
+                double value, GateReport* report) {
+  const std::string metric = bound.Get("metric").AsString();
+  if (bound.Has("min")) {
+    const double min = bound.Get("min").AsDouble();
+    if (value < min) {
+      report->violations.push_back(
+          subject + ": " + metric + " = " + Num(value) +
+          " is below the baseline floor " + Num(min) + " (short by " +
+          Num(min - value) + ")");
+    }
+  }
+  if (bound.Has("max")) {
+    const double max = bound.Get("max").AsDouble();
+    if (value > max) {
+      report->violations.push_back(
+          subject + ": " + metric + " = " + Num(value) +
+          " exceeds the baseline bound " + Num(max) + " (by +" +
+          Num(value - max) + ")");
+    }
+  }
+}
+
+}  // namespace
+
+std::string GateReport::ToString() const {
+  std::ostringstream out;
+  if (ok) {
+    out << "regression gate: " << bounds_checked << " bound"
+        << (bounds_checked == 1 ? "" : "s") << " OK\n";
+    return out.str();
+  }
+  out << "regression gate FAILED (" << violations.size() << " violation"
+      << (violations.size() == 1 ? "" : "s") << ", " << bounds_checked
+      << " bounds checked):\n";
+  for (const std::string& violation : violations) {
+    out << "  " << violation << "\n";
+  }
+  return out.str();
+}
+
+bool CheckAgainstBaseline(const json::Value& results,
+                          const json::Value& baseline, GateReport* report,
+                          std::string* error) {
+  *report = GateReport();
+  if (!baseline.is_object()) {
+    *error = "baseline is not a JSON object";
+    return false;
+  }
+  const int64_t version = baseline.Get("schema_version").AsInt(-1);
+  if (version != kMetricsSchemaVersion) {
+    *error = "baseline schema_version " + std::to_string(version) +
+             " != supported " + std::to_string(kMetricsSchemaVersion);
+    return false;
+  }
+  const json::Value& bounds = baseline.Get("bounds");
+  const json::Value& summary_bounds = baseline.Get("summary_bounds");
+  if (!bounds.is_array() && !summary_bounds.is_array()) {
+    *error = "baseline declares neither 'bounds' nor 'summary_bounds'";
+    return false;
+  }
+
+  const json::Value& records = results.Get("records");
+  for (size_t i = 0; i < bounds.size(); ++i) {
+    const json::Value& bound = bounds.at(i);
+    if (!bound.Has("metric") || (!bound.Has("min") && !bound.Has("max"))) {
+      *error = "bounds[" + std::to_string(i) +
+               "] needs a 'metric' and a 'min' and/or 'max'";
+      return false;
+    }
+    ++report->bounds_checked;
+    const json::Value& match = bound.Get("match");
+    const std::string metric = bound.Get("metric").AsString();
+    int64_t matched = 0;
+    for (size_t r = 0; r < records.size(); ++r) {
+      const json::Value& record = records.at(r);
+      bool matches = true;
+      for (const auto& [key, want] : match.items()) {
+        if (!record.Has(key) || !FieldMatches(record.Get(key), want)) {
+          matches = false;
+          break;
+        }
+      }
+      if (!matches) continue;
+      ++matched;
+      const std::string subject = "record " + DescribeMatch(match);
+      if (!record.Has(metric)) {
+        report->violations.push_back(subject + ": metric '" + metric +
+                                     "' is missing from the record");
+        continue;
+      }
+      CheckValue(bound, subject, record.Get(metric).AsDouble(), report);
+    }
+    if (matched == 0) {
+      report->violations.push_back(
+          "bound on '" + metric + "' matched no records (match " +
+          DescribeMatch(match) +
+          ") — a renamed label must not silently disable its gate");
+    }
+  }
+
+  const json::Value& summary = results.Get("summary");
+  for (size_t i = 0; i < summary_bounds.size(); ++i) {
+    const json::Value& bound = summary_bounds.at(i);
+    if (!bound.Has("metric") || (!bound.Has("min") && !bound.Has("max"))) {
+      *error = "summary_bounds[" + std::to_string(i) +
+               "] needs a 'metric' and a 'min' and/or 'max'";
+      return false;
+    }
+    ++report->bounds_checked;
+    const std::string metric = bound.Get("metric").AsString();
+    if (!summary.Has(metric)) {
+      report->violations.push_back("summary: metric '" + metric +
+                                   "' is missing");
+      continue;
+    }
+    CheckValue(bound, "summary", summary.Get(metric).AsDouble(), report);
+  }
+
+  report->ok = report->violations.empty();
+  return true;
+}
+
+}  // namespace d2stgnn::experiment

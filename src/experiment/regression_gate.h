@@ -1,0 +1,53 @@
+#ifndef D2STGNN_EXPERIMENT_REGRESSION_GATE_H_
+#define D2STGNN_EXPERIMENT_REGRESSION_GATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+
+namespace d2stgnn::experiment {
+
+/// Outcome of checking one run against a checked-in baseline.
+struct GateReport {
+  bool ok = true;
+  int64_t bounds_checked = 0;
+  /// One human-readable line per violated bound (the "diff").
+  std::vector<std::string> violations;
+
+  /// Renders "regression gate: N bounds OK" or the violation diff.
+  std::string ToString() const;
+};
+
+/// Compares a MetricsSink document against a baseline JSON of bounds:
+///
+///   {
+///     "schema_version": 1,
+///     "experiment": "<name it gates>",        // informational
+///     "bounds": [
+///       {"match": {"model": "D2STGNN", "dataset": "METR-LA"},
+///        "metric": "h12_mae", "max": 9.0},
+///       {"match": {"mode": "session-plan", "threads": 4},
+///        "metric": "throughput_rps", "min": 50.0}
+///     ],
+///     "summary_bounds": [
+///       {"metric": "plan_speedup", "min": 1.1}
+///     ]
+///   }
+///
+/// Each `bounds` entry selects the records whose fields equal every `match`
+/// key/value and requires the named metric of each within [min, max]
+/// (either side optional). A bound matching zero records is itself a
+/// violation — a renamed label must not silently disable its gate.
+/// `summary_bounds` applies the same min/max check to the run's summary.
+///
+/// Returns false with `error` set on a structurally invalid baseline
+/// (wrong schema version, missing fields); the report is only meaningful
+/// when the call returns true.
+bool CheckAgainstBaseline(const json::Value& results,
+                          const json::Value& baseline, GateReport* report,
+                          std::string* error);
+
+}  // namespace d2stgnn::experiment
+
+#endif  // D2STGNN_EXPERIMENT_REGRESSION_GATE_H_

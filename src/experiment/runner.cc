@@ -1,0 +1,774 @@
+#include "experiment/runner.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <thread>
+#include <utility>
+
+#include "baselines/historical_average.h"
+#include "baselines/linear_svr.h"
+#include "baselines/var.h"
+#include "common/thread_pool.h"
+#include "core/d2stgnn.h"
+#include "data/synthetic_traffic.h"
+#include "experiment/metrics_sink.h"
+#include "experiment/protocol.h"
+#include "experiment/registry.h"
+#include "experiment/regression_gate.h"
+#include "graph/sensor_graph.h"
+#include "infer/batching_server.h"
+#include "infer/session.h"
+#include "metrics/metrics.h"
+#include "train/evaluator.h"
+
+namespace d2stgnn::experiment {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Spec -> typed configurations. Every key a kind understands is consumed
+// here (or in the Resolve* calls), so Spec::Validate() afterwards reports
+// exactly the keys nobody understands.
+
+struct TrainingConfig {
+  std::vector<std::string> datasets;
+  std::vector<std::string> models;
+  float scale = 0.06f;
+  std::string scenario = "standard";
+  BenchEnv env;
+};
+
+TrainingConfig ParseTrainingConfig(const Spec& spec) {
+  TrainingConfig config;
+  config.datasets = spec.GetList("data", "datasets");
+  config.scale = static_cast<float>(spec.GetDouble("data", "scale", 0.06));
+  config.models = spec.GetList("models", "names");
+  config.scenario = spec.GetString("trainer", "scenario", "standard");
+  BenchEnv& env = config.env;
+  env.scale = config.scale;
+  env.epochs = spec.GetInt("trainer", "epochs", env.epochs);
+  env.batch_size = spec.GetInt("trainer", "batch_size", env.batch_size);
+  env.hidden_dim = spec.GetInt("trainer", "hidden_dim", env.hidden_dim);
+  env.embed_dim = spec.GetInt("trainer", "embed_dim", env.embed_dim);
+  env.train_samples =
+      spec.GetInt("trainer", "train_samples", env.train_samples);
+  env.eval_samples = spec.GetInt("trainer", "eval_samples", env.eval_samples);
+  env.seed = static_cast<uint64_t>(
+      spec.GetInt("trainer", "seed", static_cast<int64_t>(env.seed)));
+  env.threads = GetNumThreads();
+  return config;
+}
+
+struct ServingConfig {
+  // [model] — the served D2STGNN.
+  int64_t num_nodes = 4;
+  int64_t input_len = 12;
+  int64_t output_len = 12;
+  int64_t hidden_dim = 8;
+  int64_t embed_dim = 4;
+  int64_t num_layers = 1;
+  int64_t num_heads = 2;
+  uint64_t model_seed = 3;
+  // [workload] — the request stream.
+  int64_t num_steps = 600;
+  uint64_t workload_seed = 17;
+  int64_t ring_size = 64;
+  // [serving] — what to sweep.
+  std::vector<std::string> scenarios;
+  std::vector<int64_t> threads;
+  std::vector<int64_t> batch_sizes;
+  int64_t iters = 40;
+  int64_t server_requests = 80;
+  int64_t producers = 4;
+  int64_t parity_iters = 200;
+  int64_t max_batch_size = 8;
+  int64_t max_wait_us = 500;
+};
+
+ServingConfig ParseServingConfig(const Spec& spec) {
+  ServingConfig c;
+  c.num_nodes = spec.GetInt("model", "num_nodes", c.num_nodes);
+  c.input_len = spec.GetInt("model", "input_len", c.input_len);
+  c.output_len = spec.GetInt("model", "output_len", c.output_len);
+  c.hidden_dim = spec.GetInt("model", "hidden_dim", c.hidden_dim);
+  c.embed_dim = spec.GetInt("model", "embed_dim", c.embed_dim);
+  c.num_layers = spec.GetInt("model", "num_layers", c.num_layers);
+  c.num_heads = spec.GetInt("model", "num_heads", c.num_heads);
+  c.model_seed = static_cast<uint64_t>(
+      spec.GetInt("model", "seed", static_cast<int64_t>(c.model_seed)));
+  c.num_steps = spec.GetInt("workload", "num_steps", c.num_steps);
+  c.workload_seed = static_cast<uint64_t>(spec.GetInt(
+      "workload", "seed", static_cast<int64_t>(c.workload_seed)));
+  c.ring_size = spec.GetInt("workload", "requests", c.ring_size);
+  c.scenarios = spec.GetList("serving", "scenarios");
+  c.threads = spec.GetIntList("serving", "threads");
+  c.batch_sizes = spec.GetIntList("serving", "batch_sizes");
+  if (c.threads.empty()) c.threads = {1, 2, 4};
+  if (c.batch_sizes.empty()) c.batch_sizes = {1, 4, 8};
+  c.iters = spec.GetInt("serving", "iters", c.iters);
+  c.server_requests =
+      spec.GetInt("serving", "server_requests", c.server_requests);
+  c.producers = spec.GetInt("serving", "producers", c.producers);
+  c.parity_iters = spec.GetInt("serving", "parity_iters", c.parity_iters);
+  c.max_batch_size =
+      spec.GetInt("serving", "max_batch_size", c.max_batch_size);
+  c.max_wait_us = spec.GetInt("serving", "max_wait_us", c.max_wait_us);
+  return c;
+}
+
+struct DatasetConfig {
+  std::vector<std::string> datasets;
+  float scale = 0.06f;
+};
+
+DatasetConfig ParseDatasetConfig(const Spec& spec) {
+  DatasetConfig config;
+  config.datasets = spec.GetList("data", "datasets");
+  config.scale = static_cast<float>(spec.GetDouble("data", "scale", 0.06));
+  return config;
+}
+
+// ---------------------------------------------------------------------------
+// Matrix expansion (shared by --dry-run, tests, and the run itself).
+
+bool ExpandTraining(const Spec& spec, const TrainingConfig& config,
+                    std::vector<std::string>* cells, std::string* error) {
+  if (config.datasets.empty()) {
+    *error = "[data] datasets lists no datasets";
+    return false;
+  }
+  if (config.models.empty()) {
+    *error = "[models] names lists no models";
+    return false;
+  }
+  train::TrainerOptions probe;
+  if (!ApplyTrainerScenario(config.scenario, &probe, error)) return false;
+  for (const std::string& dataset : config.datasets) {
+    data::DatasetPreset preset;
+    if (!ResolveDataset(dataset, config.scale, spec, &preset, error)) {
+      return false;
+    }
+    for (const std::string& model : config.models) {
+      ModelEntry entry;
+      if (!ResolveModel(model, &entry, error)) return false;
+      cells->push_back("dataset=" + dataset + " model=" + model);
+    }
+  }
+  return true;
+}
+
+bool ExpandServing(const ServingConfig& config,
+                   std::vector<std::string>* cells, std::string* error) {
+  if (config.scenarios.empty()) {
+    *error = "[serving] scenarios lists no scenarios";
+    return false;
+  }
+  for (const std::string& scenario : config.scenarios) {
+    if (!ResolveServingScenario(scenario, error)) return false;
+    for (const int64_t threads : config.threads) {
+      if (scenario == "session-eager" || scenario == "session-plan") {
+        for (const int64_t batch : config.batch_sizes) {
+          cells->push_back("scenario=" + scenario +
+                           " threads=" + std::to_string(threads) +
+                           " batch_size=" + std::to_string(batch));
+        }
+      } else {
+        cells->push_back("scenario=" + scenario +
+                         " threads=" + std::to_string(threads));
+      }
+    }
+  }
+  return true;
+}
+
+bool ExpandDataset(const Spec& spec, const DatasetConfig& config,
+                   std::vector<std::string>* cells, std::string* error) {
+  if (config.datasets.empty()) {
+    *error = "[data] datasets lists no datasets";
+    return false;
+  }
+  for (const std::string& dataset : config.datasets) {
+    data::DatasetPreset preset;
+    if (!ResolveDataset(dataset, config.scale, spec, &preset, error)) {
+      return false;
+    }
+    cells->push_back("dataset=" + dataset);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// kind = training
+
+json::Value HorizonRecord(const std::string& dataset,
+                          const std::string& model,
+                          const std::vector<train::HorizonMetrics>& horizons) {
+  json::Value record = json::Value::Object();
+  record.Set("dataset", json::Value::Str(dataset));
+  record.Set("model", json::Value::Str(model));
+  for (const train::HorizonMetrics& h : horizons) {
+    const std::string prefix = "h" + std::to_string(h.horizon) + "_";
+    record.Set(prefix + "mae", json::Value::Number(h.metrics.mae));
+    record.Set(prefix + "rmse", json::Value::Number(h.metrics.rmse));
+    record.Set(prefix + "mape", json::Value::Number(h.metrics.mape));
+  }
+  return record;
+}
+
+bool RunTraining(const Spec& spec, const TrainingConfig& config,
+                 MetricsSink* sink, std::string* error) {
+  int64_t cell = 0;
+  const int64_t total = static_cast<int64_t>(config.datasets.size()) *
+                        static_cast<int64_t>(config.models.size());
+  std::string best_model;
+  double best_h12_mae = 0.0;
+  for (const std::string& dataset_name : config.datasets) {
+    data::DatasetPreset preset;
+    if (!ResolveDataset(dataset_name, config.scale, spec, &preset, error)) {
+      return false;
+    }
+    const PreparedDataset prepared = PrepareDataset(preset, config.env);
+    const Tensor test_truth =
+        GatherTargets(prepared.dataset(), prepared.splits.test, 12, 12);
+
+    for (const std::string& model_name : config.models) {
+      ModelEntry entry;
+      if (!ResolveModel(model_name, &entry, error)) return false;
+      std::printf("[%lld/%lld] dataset=%s model=%s\n",
+                  static_cast<long long>(++cell),
+                  static_cast<long long>(total), dataset_name.c_str(),
+                  model_name.c_str());
+      std::fflush(stdout);
+
+      json::Value record;
+      if (entry.family == "statistical") {
+        Tensor prediction;
+        if (entry.name == "HA") {
+          baselines::HistoricalAverage ha;
+          ha.Fit(prepared.dataset(), prepared.train_steps);
+          prediction =
+              ha.Predict(prepared.dataset(), prepared.splits.test, 12, 12);
+        } else if (entry.name == "VAR") {
+          baselines::Var var(3);
+          var.Fit(prepared.dataset(), prepared.train_steps);
+          prediction =
+              var.Predict(prepared.dataset(), prepared.splits.test, 12, 12);
+        } else {  // SVR
+          baselines::LinearSvr svr;
+          svr.Fit(prepared.dataset(), prepared.train_steps, 12, 12);
+          prediction =
+              svr.Predict(prepared.dataset(), prepared.splits.test, 12, 12);
+        }
+        const auto horizons =
+            train::EvaluatePredictionHorizons(prediction, test_truth);
+        record = HorizonRecord(dataset_name, model_name, horizons);
+        record.Set("params", json::Value::Int(0));
+        record.Set("epoch_seconds", json::Value::Number(0.0));
+        if (best_model.empty()) {
+          best_model = model_name;
+          best_h12_mae = horizons.back().metrics.mae;
+        }
+      } else {
+        baselines::ModelConfig model_config;
+        model_config.num_nodes = prepared.dataset().num_nodes();
+        model_config.hidden_dim = config.env.hidden_dim;
+        model_config.embed_dim = config.env.embed_dim;
+        model_config.steps_per_day = prepared.dataset().steps_per_day;
+        Rng rng(config.env.seed);
+        auto model =
+            BuildModel(entry, model_config,
+                       prepared.dataset().network.adjacency, rng, error);
+        if (model == nullptr) return false;
+        const std::string scenario = config.scenario;
+        const TrainedModelResult result = TrainAndEvaluateModel(
+            model.get(), prepared, config.env,
+            [&](train::TrainerOptions* options) {
+              std::string scenario_error;
+              ApplyTrainerScenario(scenario, options, &scenario_error);
+              if (entry.disable_curriculum) {
+                options->curriculum_learning = false;
+              }
+            });
+        record = HorizonRecord(dataset_name, model_name, result.horizons);
+        record.Set("params", json::Value::Int(result.parameter_count));
+        record.Set("epoch_seconds",
+                   json::Value::Number(result.mean_epoch_seconds));
+        const double h12 = result.horizons.back().metrics.mae;
+        if (best_model.empty() || h12 < best_h12_mae) {
+          best_model = model_name;
+          best_h12_mae = h12;
+        }
+      }
+      sink->AddRecord(std::move(record));
+    }
+  }
+  sink->SetSummary("datasets",
+                   json::Value::Int(static_cast<int64_t>(
+                       config.datasets.size())));
+  sink->SetSummary("models", json::Value::Int(static_cast<int64_t>(
+                                 config.models.size())));
+  sink->SetSummary("best_model", json::Value::Str(best_model));
+  sink->SetSummary("best_h12_mae", json::Value::Number(best_h12_mae));
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// kind = serving (the bench_inference protocol behind scenario names)
+
+struct ServingWorkload {
+  data::SyntheticTraffic traffic;
+  data::StandardScaler scaler;
+  std::vector<infer::ForecastRequest> ring;
+};
+
+ServingWorkload BuildServingWorkload(const ServingConfig& config) {
+  ServingWorkload w;
+  data::SyntheticTrafficOptions options;
+  options.network.num_nodes = config.num_nodes;
+  options.network.neighbors = 2;
+  options.num_steps = config.num_steps;
+  options.seed = config.workload_seed;
+  w.traffic = data::GenerateSyntheticTraffic(options);
+  w.scaler.Fit(w.traffic.dataset.values, config.num_steps * 2 / 3, true);
+  const std::vector<float>& values = w.traffic.dataset.values.Data();
+  for (int64_t start = 0; start < config.ring_size; ++start) {
+    infer::ForecastRequest request;
+    request.window.assign(
+        values.data() + start * config.num_nodes,
+        values.data() + (start + config.input_len) * config.num_nodes);
+    request.time_of_day = w.traffic.dataset.TimeOfDay(start);
+    request.day_of_week = w.traffic.dataset.DayOfWeek(start);
+    w.ring.push_back(std::move(request));
+  }
+  return w;
+}
+
+std::unique_ptr<infer::InferenceSession> BuildServingSession(
+    const ServingWorkload& w, const ServingConfig& config, bool use_plans) {
+  core::D2StgnnConfig model_config;
+  model_config.num_nodes = config.num_nodes;
+  model_config.input_len = config.input_len;
+  model_config.output_len = config.output_len;
+  model_config.hidden_dim = config.hidden_dim;
+  model_config.embed_dim = config.embed_dim;
+  model_config.num_layers = config.num_layers;
+  model_config.num_heads = config.num_heads;
+  model_config.steps_per_day = w.traffic.dataset.steps_per_day;
+  Rng rng(config.model_seed);
+  auto model = std::make_unique<core::D2Stgnn>(
+      model_config, w.traffic.dataset.network.adjacency, rng);
+
+  infer::SessionOptions session_options;
+  session_options.num_nodes = config.num_nodes;
+  session_options.input_len = config.input_len;
+  session_options.steps_per_day = w.traffic.dataset.steps_per_day;
+  session_options.use_plans = use_plans;
+  return infer::InferenceSession::Wrap(std::move(model), w.scaler,
+                                       session_options);
+}
+
+json::Value ServingRecord(const std::string& scenario,
+                          const std::string& mode, int64_t threads,
+                          int64_t batch_size, int64_t requests,
+                          const metrics::LatencyStats& latency_ms,
+                          double throughput_rps) {
+  json::Value record = json::Value::Object();
+  record.Set("scenario", json::Value::Str(scenario));
+  record.Set("mode", json::Value::Str(mode));
+  record.Set("threads", json::Value::Int(threads));
+  record.Set("batch_size", json::Value::Int(batch_size));
+  record.Set("requests", json::Value::Int(requests));
+  record.Set("p50_ms", json::Value::Number(latency_ms.p50));
+  record.Set("p95_ms", json::Value::Number(latency_ms.p95));
+  record.Set("p99_ms", json::Value::Number(latency_ms.p99));
+  record.Set("mean_ms", json::Value::Number(latency_ms.mean));
+  record.Set("max_ms", json::Value::Number(latency_ms.max));
+  record.Set("throughput_rps", json::Value::Number(throughput_rps));
+  return record;
+}
+
+/// Direct PredictRequests calls at a fixed batch size.
+bool SweepSession(infer::InferenceSession* session, const ServingConfig& c,
+                  const ServingWorkload& w, const std::string& scenario,
+                  int64_t threads, int64_t batch_size, MetricsSink* sink,
+                  std::string* error) {
+  SetNumThreads(static_cast<int>(threads));
+  std::vector<infer::ForecastRequest> batch;
+  for (int64_t i = 0; i < batch_size; ++i) {
+    batch.push_back(w.ring[static_cast<size_t>(i) % w.ring.size()]);
+  }
+  session->Warmup(batch_size, /*runs=*/2);
+
+  using clock = std::chrono::steady_clock;
+  std::vector<double> latencies_ms;
+  latencies_ms.reserve(static_cast<size_t>(c.iters));
+  const auto sweep_start = clock::now();
+  for (int64_t i = 0; i < c.iters; ++i) {
+    const auto start = clock::now();
+    for (const infer::Forecast& f : session->PredictRequests(batch)) {
+      if (!f.ok) {
+        *error = "serving forward failed: " + f.error;
+        return false;
+      }
+    }
+    latencies_ms.push_back(
+        std::chrono::duration<double, std::milli>(clock::now() - start)
+            .count());
+  }
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - sweep_start).count();
+  const int64_t requests = c.iters * batch_size;
+  sink->AddRecord(ServingRecord(
+      scenario, scenario, threads, batch_size, requests,
+      metrics::SummarizeLatencies(latencies_ms),
+      elapsed > 0.0 ? static_cast<double>(requests) / elapsed : 0.0));
+  return true;
+}
+
+/// Closed-loop producers against the BatchingServer.
+bool SweepServer(infer::InferenceSession* session, const ServingConfig& c,
+                 const ServingWorkload& w, int64_t threads, MetricsSink* sink,
+                 std::string* error) {
+  SetNumThreads(static_cast<int>(threads));
+  infer::BatchingOptions options;
+  options.max_batch_size = c.max_batch_size;
+  options.max_wait_us = c.max_wait_us;
+  infer::BatchingServer server(session, options);
+
+  using clock = std::chrono::steady_clock;
+  const int producers = static_cast<int>(c.producers);
+  std::vector<std::vector<double>> latencies(static_cast<size_t>(producers));
+  std::vector<std::string> failures(static_cast<size_t>(producers));
+  const auto start = clock::now();
+  std::vector<std::thread> workers;
+  for (int p = 0; p < producers; ++p) {
+    workers.emplace_back([&, p] {
+      std::vector<double>& mine = latencies[static_cast<size_t>(p)];
+      mine.reserve(static_cast<size_t>(c.server_requests));
+      for (int64_t i = 0; i < c.server_requests; ++i) {
+        const infer::ForecastRequest& request =
+            w.ring[static_cast<size_t>(p * c.server_requests + i) %
+                   w.ring.size()];
+        const auto submit = clock::now();
+        infer::Forecast f = server.Submit(request).get();
+        if (!f.ok) {
+          failures[static_cast<size_t>(p)] = f.error;
+          return;
+        }
+        mine.push_back(
+            std::chrono::duration<double, std::milli>(clock::now() - submit)
+                .count());
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - start).count();
+  server.Shutdown();
+  for (const std::string& failure : failures) {
+    if (!failure.empty()) {
+      *error = "server request failed: " + failure;
+      return false;
+    }
+  }
+
+  std::vector<double> all;
+  for (const std::vector<double>& chunk : latencies) {
+    all.insert(all.end(), chunk.begin(), chunk.end());
+  }
+  sink->AddRecord(ServingRecord(
+      "server", "server", threads, c.max_batch_size,
+      static_cast<int64_t>(all.size()), metrics::SummarizeLatencies(all),
+      elapsed > 0.0 ? static_cast<double>(all.size()) / elapsed : 0.0));
+  return true;
+}
+
+/// Plan replay vs eager dispatch on single requests, with the bitwise
+/// parity check of DESIGN.md §10.
+bool SweepParity(infer::InferenceSession* plan_session,
+                 infer::InferenceSession* eager_session,
+                 const ServingConfig& c, const ServingWorkload& w,
+                 int64_t threads, MetricsSink* sink, double* eager_p50,
+                 double* plan_p50, std::string* error) {
+  SetNumThreads(static_cast<int>(threads));
+  plan_session->Warmup(/*batch_size=*/1, /*runs=*/2);
+
+  for (const infer::ForecastRequest& request : w.ring) {
+    const infer::Forecast plan = plan_session->PredictOne(request);
+    const infer::Forecast eager = eager_session->PredictOne(request);
+    if (!plan.ok || !eager.ok || plan.values != eager.values) {
+      *error = "plan and eager forecasts diverge at " +
+               std::to_string(threads) + " threads";
+      return false;
+    }
+  }
+  if (plan_session->session_stats().plan_replays == 0) {
+    *error = "plan session never replayed a plan";
+    return false;
+  }
+
+  const auto time_one = [&](infer::InferenceSession* session,
+                            const std::string& mode,
+                            double* p50) -> bool {
+    using clock = std::chrono::steady_clock;
+    std::vector<double> latencies_ms;
+    latencies_ms.reserve(static_cast<size_t>(c.parity_iters));
+    const auto sweep_start = clock::now();
+    for (int64_t i = 0; i < c.parity_iters; ++i) {
+      const auto start = clock::now();
+      const infer::Forecast f = session->PredictOne(
+          w.ring[static_cast<size_t>(i) % w.ring.size()]);
+      if (!f.ok) {
+        *error = mode + " forward failed: " + f.error;
+        return false;
+      }
+      latencies_ms.push_back(
+          std::chrono::duration<double, std::milli>(clock::now() - start)
+              .count());
+    }
+    const double elapsed =
+        std::chrono::duration<double>(clock::now() - sweep_start).count();
+    const metrics::LatencyStats stats =
+        metrics::SummarizeLatencies(latencies_ms);
+    *p50 = stats.p50;
+    sink->AddRecord(ServingRecord(
+        "parity", mode, threads, 1, c.parity_iters, stats,
+        elapsed > 0.0 ? static_cast<double>(c.parity_iters) / elapsed : 0.0));
+    return true;
+  };
+  return time_one(eager_session, "eager", eager_p50) &&
+         time_one(plan_session, "plan", plan_p50);
+}
+
+bool RunServing(const ServingConfig& config, MetricsSink* sink,
+                std::string* error) {
+  const ServingWorkload w = BuildServingWorkload(config);
+  auto plan_session = BuildServingSession(w, config, /*use_plans=*/true);
+  if (plan_session == nullptr) {
+    *error = "failed to build the plan-serving inference session";
+    return false;
+  }
+  std::unique_ptr<infer::InferenceSession> eager_session;
+
+  double eager_p50 = 0.0;
+  double plan_p50 = 0.0;
+  bool parity_ran = false;
+  bool ok = true;
+  for (const std::string& scenario : config.scenarios) {
+    if (!ResolveServingScenario(scenario, error)) {
+      ok = false;
+      break;
+    }
+    std::printf("serving scenario: %s\n", scenario.c_str());
+    std::fflush(stdout);
+    if (scenario == "session-eager" || scenario == "session-plan") {
+      if (scenario == "session-eager" && eager_session == nullptr) {
+        eager_session = BuildServingSession(w, config, /*use_plans=*/false);
+        if (eager_session == nullptr) {
+          *error = "failed to build the eager inference session";
+          ok = false;
+          break;
+        }
+      }
+      infer::InferenceSession* session = scenario == "session-plan"
+                                             ? plan_session.get()
+                                             : eager_session.get();
+      for (const int64_t threads : config.threads) {
+        for (const int64_t batch : config.batch_sizes) {
+          if (!SweepSession(session, config, w, scenario, threads, batch,
+                            sink, error)) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) break;
+      }
+    } else if (scenario == "server") {
+      for (const int64_t threads : config.threads) {
+        if (!SweepServer(plan_session.get(), config, w, threads, sink,
+                         error)) {
+          ok = false;
+          break;
+        }
+      }
+    } else {  // parity
+      if (eager_session == nullptr) {
+        eager_session = BuildServingSession(w, config, /*use_plans=*/false);
+        if (eager_session == nullptr) {
+          *error = "failed to build the eager inference session";
+          ok = false;
+          break;
+        }
+      }
+      for (const int64_t threads : config.threads) {
+        if (!SweepParity(plan_session.get(), eager_session.get(), config, w,
+                         threads, sink, &eager_p50, &plan_p50, error)) {
+          ok = false;
+          break;
+        }
+        parity_ran = true;
+      }
+    }
+    if (!ok) break;
+  }
+  SetNumThreads(1);
+  if (!ok) return false;
+
+  if (parity_ran) {
+    // The headline numbers come from the last (largest) thread count.
+    sink->SetSummary("eager_p50_ms", json::Value::Number(eager_p50));
+    sink->SetSummary("plan_p50_ms", json::Value::Number(plan_p50));
+    sink->SetSummary(
+        "plan_speedup",
+        json::Value::Number(plan_p50 > 0.0 ? eager_p50 / plan_p50 : 0.0));
+    sink->SetSummary("bitwise_identical", json::Value::Int(1));
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// kind = dataset (Table 2)
+
+struct PaperDatasetRow {
+  const char* type;
+  const char* name;
+  int64_t nodes, edges, steps;
+};
+
+constexpr PaperDatasetRow kPaperRows[] = {
+    {"Speed", "METR-LA", 207, 1722, 34272},
+    {"Speed", "PEMS-BAY", 325, 2694, 52116},
+    {"Flow", "PEMS04", 307, 680, 16992},
+    {"Flow", "PEMS08", 170, 548, 17856},
+};
+
+bool RunDataset(const Spec& spec, const DatasetConfig& config,
+                MetricsSink* sink, std::string* error) {
+  for (const std::string& name : config.datasets) {
+    data::DatasetPreset preset;
+    if (!ResolveDataset(name, config.scale, spec, &preset, error)) {
+      return false;
+    }
+    const data::SyntheticTraffic traffic =
+        data::GenerateSyntheticTraffic(preset.options);
+    const auto& dataset = traffic.dataset;
+    json::Value record = json::Value::Object();
+    record.Set("dataset", json::Value::Str(name));
+    record.Set("nodes", json::Value::Int(dataset.num_nodes()));
+    record.Set("edges", json::Value::Int(
+                            graph::CountEdges(dataset.network.adjacency)));
+    record.Set("steps", json::Value::Int(dataset.num_steps()));
+    for (const PaperDatasetRow& row : kPaperRows) {
+      if (name == row.name) {
+        record.Set("type", json::Value::Str(row.type));
+        record.Set("paper_nodes", json::Value::Int(row.nodes));
+        record.Set("paper_edges", json::Value::Int(row.edges));
+        record.Set("paper_steps", json::Value::Int(row.steps));
+      }
+    }
+    sink->AddRecord(std::move(record));
+  }
+  sink->SetSummary("datasets", json::Value::Int(static_cast<int64_t>(
+                                   config.datasets.size())));
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+
+bool ExpandMatrix(const Spec& spec, std::vector<std::string>* cells,
+                  std::string* error) {
+  cells->clear();
+  const std::string kind = spec.GetString("experiment", "kind", "");
+  if (kind == "training") {
+    return ExpandTraining(spec, ParseTrainingConfig(spec), cells, error);
+  }
+  if (kind == "serving") {
+    return ExpandServing(ParseServingConfig(spec), cells, error);
+  }
+  if (kind == "dataset") {
+    return ExpandDataset(spec, ParseDatasetConfig(spec), cells, error);
+  }
+  *error = "[experiment] kind must be training, serving, or dataset, got '" +
+           kind + "'";
+  return false;
+}
+
+RunResult RunSpec(const Spec& spec, const RunOptions& options) {
+  RunResult result;
+  result.experiment = spec.GetString("experiment", "name", "");
+  result.kind = spec.GetString("experiment", "kind", "");
+  if (result.experiment.empty()) {
+    result.error = "[experiment] name is required";
+    return result;
+  }
+
+  // Consume the [output] keys up front so Validate() sees them as known.
+  const std::string out_file = spec.GetString(
+      "output", "file", "BENCH_" + result.experiment + ".json");
+  std::string baseline_path = spec.GetString("output", "baseline", "");
+  if (!options.baseline_path.empty()) baseline_path = options.baseline_path;
+  if (baseline_path == "none") baseline_path.clear();
+
+  std::vector<std::string> cells;
+  if (!ExpandMatrix(spec, &cells, &result.error)) return result;
+  result.cells = static_cast<int64_t>(cells.size());
+
+  // Every key the kind understands has been consumed; anything left is a
+  // typo the run must refuse (satellite: unknown keys rejected with line
+  // numbers).
+  const std::string validation = spec.Validate();
+  if (!validation.empty()) {
+    result.error = "spec validation failed:\n" + validation;
+    return result;
+  }
+
+  if (options.dry_run) {
+    result.ok = true;
+    std::string listing;
+    for (const std::string& cell : cells) listing += "  " + cell + "\n";
+    result.table = "matrix (" + std::to_string(cells.size()) + " cells):\n" +
+                   listing;
+    return result;
+  }
+
+  MetricsSink sink(result.experiment, result.kind);
+  bool ran = false;
+  if (result.kind == "training") {
+    ran = RunTraining(spec, ParseTrainingConfig(spec), &sink, &result.error);
+  } else if (result.kind == "serving") {
+    ran = RunServing(ParseServingConfig(spec), &sink, &result.error);
+  } else {
+    ran = RunDataset(spec, ParseDatasetConfig(spec), &sink, &result.error);
+  }
+  if (!ran) return result;
+
+  result.table = sink.RenderTable();
+  const std::string dir = options.out_dir.empty() ? "." : options.out_dir;
+  result.json_path = dir + "/" + out_file;
+  if (!sink.WriteJson(result.json_path, &result.error)) return result;
+
+  if (!baseline_path.empty()) {
+    json::Value baseline;
+    if (!json::Value::ParseFile(baseline_path, &baseline, &result.error)) {
+      return result;
+    }
+    GateReport report;
+    if (!CheckAgainstBaseline(sink.ToJson(), baseline, &report,
+                              &result.error)) {
+      result.error = baseline_path + ": " + result.error;
+      return result;
+    }
+    result.gate_report = report.ToString();
+    if (!report.ok) {
+      result.gate_violation = true;
+      result.error = result.gate_report;
+      return result;
+    }
+  }
+  result.ok = true;
+  return result;
+}
+
+}  // namespace d2stgnn::experiment

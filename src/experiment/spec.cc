@@ -1,0 +1,291 @@
+#include "experiment/spec.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace d2stgnn::experiment {
+namespace {
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin]))) {
+    ++begin;
+  }
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1]))) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+/// Strips a trailing comment: " # ..." (the '#' must follow whitespace, so
+/// values may contain '#' when glued to non-space characters).
+std::string StripInlineComment(const std::string& s) {
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '#' &&
+        (i == 0 || std::isspace(static_cast<unsigned char>(s[i - 1])))) {
+      return s.substr(0, i);
+    }
+  }
+  return s;
+}
+
+bool ParseIntStrict(const std::string& text, int64_t* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+bool ParseDoubleStrict(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+bool Spec::ParseText(const std::string& text, Spec* out, std::string* error,
+                     const std::string& source) {
+  *out = Spec();
+  out->source_ = source;
+  const std::string prefix = source.empty() ? "" : source + ": ";
+  std::istringstream in(text);
+  std::string raw;
+  std::string section;
+  int line_number = 0;
+  while (std::getline(in, raw)) {
+    ++line_number;
+    const std::string line = Trim(StripInlineComment(raw));
+    if (line.empty()) continue;
+    if (line.front() == '[') {
+      if (line.back() != ']') {
+        *error = prefix + "line " + std::to_string(line_number) +
+                 ": unterminated section header '" + line + "'";
+        return false;
+      }
+      section = Trim(line.substr(1, line.size() - 2));
+      if (section.empty()) {
+        *error = prefix + "line " + std::to_string(line_number) +
+                 ": empty section name";
+        return false;
+      }
+      if (std::find(out->section_order_.begin(), out->section_order_.end(),
+                    section) == out->section_order_.end()) {
+        out->section_order_.push_back(section);
+      }
+      continue;
+    }
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      *error = prefix + "line " + std::to_string(line_number) +
+               ": expected 'key = value', got '" + line + "'";
+      return false;
+    }
+    if (section.empty()) {
+      *error = prefix + "line " + std::to_string(line_number) +
+               ": key before any [section]";
+      return false;
+    }
+    Entry entry;
+    entry.section = section;
+    entry.key = Trim(line.substr(0, eq));
+    entry.value = Trim(line.substr(eq + 1));
+    entry.line = line_number;
+    if (entry.key.empty()) {
+      *error = prefix + "line " + std::to_string(line_number) +
+               ": empty key";
+      return false;
+    }
+    if (const Entry* existing = out->Find(section, entry.key)) {
+      *error = prefix + "line " + std::to_string(line_number) +
+               ": duplicate key '" + entry.key + "' in [" + section +
+               "] (first defined on line " + std::to_string(existing->line) +
+               ")";
+      return false;
+    }
+    out->entries_.push_back(std::move(entry));
+  }
+  return true;
+}
+
+bool Spec::ParseFile(const std::string& path, Spec* out, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    *error = "cannot open spec file " + path;
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseText(buffer.str(), out, error, path);
+}
+
+std::string Spec::ToText() const {
+  std::ostringstream out;
+  bool first = true;
+  for (const std::string& section : section_order_) {
+    if (!first) out << "\n";
+    first = false;
+    out << "[" << section << "]\n";
+    for (const Entry& entry : entries_) {
+      if (entry.section == section) {
+        out << entry.key << " = " << entry.value << "\n";
+      }
+    }
+  }
+  return out.str();
+}
+
+const Spec::Entry* Spec::Find(const std::string& section,
+                              const std::string& key) const {
+  for (const Entry& entry : entries_) {
+    if (entry.section == section && entry.key == key) return &entry;
+  }
+  return nullptr;
+}
+
+bool Spec::Has(const std::string& section, const std::string& key) const {
+  return Find(section, key) != nullptr;
+}
+
+std::string Spec::GetString(const std::string& section,
+                            const std::string& key,
+                            const std::string& fallback) const {
+  const Entry* entry = Find(section, key);
+  if (entry == nullptr) return fallback;
+  entry->consumed = true;
+  return entry->value;
+}
+
+int64_t Spec::GetInt(const std::string& section, const std::string& key,
+                     int64_t fallback) const {
+  const Entry* entry = Find(section, key);
+  if (entry == nullptr) return fallback;
+  entry->consumed = true;
+  int64_t value = 0;
+  if (!ParseIntStrict(entry->value, &value)) {
+    type_errors_.push_back("line " + std::to_string(entry->line) + ": [" +
+                           section + "] " + key + " = '" + entry->value +
+                           "' is not an integer");
+    return fallback;
+  }
+  return value;
+}
+
+double Spec::GetDouble(const std::string& section, const std::string& key,
+                       double fallback) const {
+  const Entry* entry = Find(section, key);
+  if (entry == nullptr) return fallback;
+  entry->consumed = true;
+  double value = 0.0;
+  if (!ParseDoubleStrict(entry->value, &value)) {
+    type_errors_.push_back("line " + std::to_string(entry->line) + ": [" +
+                           section + "] " + key + " = '" + entry->value +
+                           "' is not a number");
+    return fallback;
+  }
+  return value;
+}
+
+bool Spec::GetBool(const std::string& section, const std::string& key,
+                   bool fallback) const {
+  const Entry* entry = Find(section, key);
+  if (entry == nullptr) return fallback;
+  entry->consumed = true;
+  const std::string& v = entry->value;
+  if (v == "true" || v == "1" || v == "yes" || v == "on") return true;
+  if (v == "false" || v == "0" || v == "no" || v == "off") return false;
+  type_errors_.push_back("line " + std::to_string(entry->line) + ": [" +
+                         section + "] " + key + " = '" + v +
+                         "' is not a boolean");
+  return fallback;
+}
+
+std::vector<std::string> Spec::GetList(const std::string& section,
+                                       const std::string& key) const {
+  const Entry* entry = Find(section, key);
+  if (entry == nullptr) return {};
+  entry->consumed = true;
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(entry->value);
+  while (std::getline(in, item, ',')) {
+    const std::string trimmed = Trim(item);
+    if (!trimmed.empty()) out.push_back(trimmed);
+  }
+  return out;
+}
+
+std::vector<int64_t> Spec::GetIntList(const std::string& section,
+                                      const std::string& key) const {
+  const Entry* entry = Find(section, key);
+  if (entry == nullptr) return {};
+  std::vector<int64_t> out;
+  for (const std::string& item : GetList(section, key)) {
+    int64_t value = 0;
+    if (!ParseIntStrict(item, &value)) {
+      type_errors_.push_back("line " + std::to_string(entry->line) + ": [" +
+                             section + "] " + key + " entry '" + item +
+                             "' is not an integer");
+      continue;
+    }
+    out.push_back(value);
+  }
+  return out;
+}
+
+void Spec::Set(const std::string& section, const std::string& key,
+               const std::string& value) {
+  for (Entry& entry : entries_) {
+    if (entry.section == section && entry.key == key) {
+      entry.value = value;
+      entry.consumed = false;
+      return;
+    }
+  }
+  if (std::find(section_order_.begin(), section_order_.end(), section) ==
+      section_order_.end()) {
+    section_order_.push_back(section);
+  }
+  Entry entry;
+  entry.section = section;
+  entry.key = key;
+  entry.value = value;
+  entry.line = 0;  // synthetic (CLI override)
+  entries_.push_back(std::move(entry));
+}
+
+int Spec::LineOf(const std::string& section, const std::string& key) const {
+  const Entry* entry = Find(section, key);
+  return entry != nullptr ? entry->line : 0;
+}
+
+std::vector<std::string> Spec::SectionNames() const { return section_order_; }
+
+std::string Spec::Validate() const {
+  std::ostringstream out;
+  const std::string prefix = source_.empty() ? "" : source_ + ": ";
+  for (const std::string& err : type_errors_) out << prefix << err << "\n";
+  for (const Entry& entry : entries_) {
+    if (!entry.consumed) {
+      out << prefix << "line " << entry.line << ": unknown key '" << entry.key
+          << "' in [" << entry.section << "]\n";
+    }
+  }
+  std::string report = out.str();
+  if (!report.empty() && report.back() == '\n') report.pop_back();
+  return report;
+}
+
+}  // namespace d2stgnn::experiment

@@ -1,0 +1,100 @@
+#ifndef D2STGNN_EXPERIMENT_SPEC_H_
+#define D2STGNN_EXPERIMENT_SPEC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace d2stgnn::experiment {
+
+/// Declarative experiment spec: a sectioned key/value text format with no
+/// external dependencies (DESIGN.md §11). Example:
+///
+///   # Table-3-style comparison at smoke scale.
+///   [experiment]
+///   name = table3_smoke
+///   kind = training
+///
+///   [data]
+///   datasets = METR-LA, PEMS08
+///   scale = 0.05
+///
+///   [models]
+///   names = HA, FC-LSTM, D2STGNN
+///
+/// Rules: full-line `#` comments and trailing ` #` comments; keys live in
+/// exactly one `[section]`; duplicate keys in a section are an error; lists
+/// are comma-separated. Every key records its source line so consumers can
+/// reject unknown or ill-typed keys with a line number: Get* marks a key as
+/// consumed, and Validate() reports every key nobody read (typo detection)
+/// plus every type error accumulated by the Get* calls.
+class Spec {
+ public:
+  /// Parses `text`; on failure returns false and sets `error` to a
+  /// "line N: ..." message. `source` names the input in errors ("" for
+  /// in-memory text).
+  static bool ParseText(const std::string& text, Spec* out,
+                        std::string* error, const std::string& source = "");
+
+  /// Reads and parses a file.
+  static bool ParseFile(const std::string& path, Spec* out,
+                        std::string* error);
+
+  /// Serializes back to the text format (comments dropped, ordering kept).
+  /// ParseText(ToText()) reproduces every section/key/value.
+  std::string ToText() const;
+
+  bool Has(const std::string& section, const std::string& key) const;
+
+  // Typed accessors. The key (when present) is marked consumed; a value
+  // that does not parse as the requested type records a type error for
+  // Validate() and returns the fallback.
+  std::string GetString(const std::string& section, const std::string& key,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& section, const std::string& key,
+                 int64_t fallback) const;
+  double GetDouble(const std::string& section, const std::string& key,
+                   double fallback) const;
+  bool GetBool(const std::string& section, const std::string& key,
+               bool fallback) const;
+  /// Comma-separated list; empty vector when the key is absent.
+  std::vector<std::string> GetList(const std::string& section,
+                                   const std::string& key) const;
+  std::vector<int64_t> GetIntList(const std::string& section,
+                                  const std::string& key) const;
+
+  /// Overrides (or inserts) one key, as if it had appeared in the text.
+  /// Used by the CLI's --set section.key=value.
+  void Set(const std::string& section, const std::string& key,
+           const std::string& value);
+
+  /// Source line of a key, or 0 when absent.
+  int LineOf(const std::string& section, const std::string& key) const;
+
+  std::vector<std::string> SectionNames() const;
+
+  /// "" when every present key was consumed by a Get* call and no type
+  /// errors were recorded; otherwise a newline-separated report, each line
+  /// carrying the offending key's line number.
+  std::string Validate() const;
+
+ private:
+  struct Entry {
+    std::string section;
+    std::string key;
+    std::string value;
+    int line = 0;
+    mutable bool consumed = false;
+  };
+
+  const Entry* Find(const std::string& section, const std::string& key) const;
+
+  std::vector<Entry> entries_;            // in declaration order
+  std::vector<std::string> section_order_;
+  std::string source_;
+  mutable std::vector<std::string> type_errors_;
+};
+
+}  // namespace d2stgnn::experiment
+
+#endif  // D2STGNN_EXPERIMENT_SPEC_H_

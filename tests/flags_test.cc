@@ -1,0 +1,175 @@
+// Tests of the shared argv parser (src/common/flags.h): typed flags,
+// positionals, strict error reporting, and the repeatable-list flag the
+// experiment CLI's --set rides on.
+
+#include "common/flags.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace d2stgnn {
+namespace {
+
+// Builds argv from an initializer list (argv[0] is the program name).
+std::vector<const char*> Argv(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv = {"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return argv;
+}
+
+TEST(FlagParserTest, ParsesTypedFlagsBothSyntaxes) {
+  std::string name = "default";
+  int64_t count = 1;
+  double rate = 0.5;
+  bool verbose = false;
+  FlagParser flags("prog", "");
+  flags.AddString("name", &name, "");
+  flags.AddInt("count", &count, "");
+  flags.AddDouble("rate", &rate, "");
+  flags.AddBool("verbose", &verbose, "");
+
+  const auto argv =
+      Argv({"--name", "abc", "--count=7", "--rate", "2.25", "--verbose"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()))
+      << flags.error();
+  EXPECT_EQ(name, "abc");
+  EXPECT_EQ(count, 7);
+  EXPECT_DOUBLE_EQ(rate, 2.25);
+  EXPECT_TRUE(verbose);
+}
+
+TEST(FlagParserTest, DefaultsSurviveWhenFlagsAbsent) {
+  std::string name = "default";
+  int64_t count = 42;
+  FlagParser flags("prog", "");
+  flags.AddString("name", &name, "");
+  flags.AddInt("count", &count, "");
+  const auto argv = Argv({});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(name, "default");
+  EXPECT_EQ(count, 42);
+}
+
+TEST(FlagParserTest, UnknownFlagFails) {
+  FlagParser flags("prog", "");
+  const auto argv = Argv({"--nope"});
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(flags.error().find("unknown flag --nope"), std::string::npos)
+      << flags.error();
+}
+
+TEST(FlagParserTest, MissingValueFails) {
+  std::string name;
+  FlagParser flags("prog", "");
+  flags.AddString("name", &name, "");
+  const auto argv = Argv({"--name"});
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(flags.error().find("requires a value"), std::string::npos)
+      << flags.error();
+}
+
+TEST(FlagParserTest, MalformedNumberFails) {
+  int64_t count = 0;
+  FlagParser flags("prog", "");
+  flags.AddInt("count", &count, "");
+  const auto argv = Argv({"--count", "12x"});
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(flags.error().find("invalid integer '12x'"), std::string::npos)
+      << flags.error();
+}
+
+TEST(FlagParserTest, ChoiceRejectsValuesOutsideTheList) {
+  std::string mode = "both";
+  FlagParser flags("prog", "");
+  flags.AddChoice("mode", &mode, {"eager", "plan", "both"}, "");
+
+  auto argv = Argv({"--mode", "plan"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_EQ(mode, "plan");
+
+  argv = Argv({"--mode", "warp"});
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(flags.error().find("eager|plan|both"), std::string::npos)
+      << flags.error();
+}
+
+TEST(FlagParserTest, StringListAppendsPerOccurrence) {
+  std::vector<std::string> sets;
+  FlagParser flags("prog", "");
+  flags.AddStringList("set", &sets, "");
+  const auto argv =
+      Argv({"--set", "trainer.epochs=2", "--set=data.scale=0.1"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()))
+      << flags.error();
+  ASSERT_EQ(sets.size(), 2u);
+  EXPECT_EQ(sets[0], "trainer.epochs=2");
+  EXPECT_EQ(sets[1], "data.scale=0.1");
+}
+
+TEST(FlagParserTest, PositionalsFillInOrderThenTrailing) {
+  double rate = 0.0;
+  int64_t producers = 0;
+  std::vector<std::string> rest;
+  FlagParser flags("prog", "");
+  flags.AddPositionalDouble("rate", &rate, "");
+  flags.AddPositionalInt("producers", &producers, "");
+  flags.AddTrailing("spec", &rest, "");
+  const auto argv = Argv({"12.5", "4", "a.spec", "b.spec"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()))
+      << flags.error();
+  EXPECT_DOUBLE_EQ(rate, 12.5);
+  EXPECT_EQ(producers, 4);
+  ASSERT_EQ(rest.size(), 2u);
+  EXPECT_EQ(rest[0], "a.spec");
+  EXPECT_EQ(rest[1], "b.spec");
+}
+
+TEST(FlagParserTest, UnexpectedPositionalFailsWithoutTrailing) {
+  FlagParser flags("prog", "");
+  const auto argv = Argv({"stray"});
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_NE(flags.error().find("unexpected argument 'stray'"),
+            std::string::npos)
+      << flags.error();
+}
+
+TEST(FlagParserTest, BoolFlagDoesNotEatNonBooleanPositional) {
+  bool verbose = false;
+  std::string spec;
+  FlagParser flags("prog", "");
+  flags.AddBool("verbose", &verbose, "");
+  flags.AddPositionalString("spec", &spec, "");
+  const auto argv = Argv({"--verbose", "a.spec"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()))
+      << flags.error();
+  EXPECT_TRUE(verbose);
+  EXPECT_EQ(spec, "a.spec");
+}
+
+TEST(FlagParserTest, DoubleDashEndsFlagParsing) {
+  std::vector<std::string> rest;
+  FlagParser flags("prog", "");
+  flags.AddTrailing("arg", &rest, "");
+  const auto argv = Argv({"--", "--not-a-flag"});
+  ASSERT_TRUE(flags.Parse(static_cast<int>(argv.size()), argv.data()))
+      << flags.error();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0], "--not-a-flag");
+}
+
+TEST(FlagParserTest, HelpSetsFlagAndUsageNamesEverything) {
+  std::string mode;
+  FlagParser flags("prog", "summary line");
+  flags.AddChoice("mode", &mode, {"a", "b"}, "pick one");
+  const auto argv = Argv({"--help"});
+  EXPECT_FALSE(flags.Parse(static_cast<int>(argv.size()), argv.data()));
+  EXPECT_TRUE(flags.help_requested());
+  const std::string usage = flags.Usage();
+  EXPECT_NE(usage.find("summary line"), std::string::npos);
+  EXPECT_NE(usage.find("--mode=a|b"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace d2stgnn
