@@ -23,10 +23,14 @@
 #   7. ASan+UBSan         — the fault-injection / crash-safety suite
 #      (checkpoints, durable I/O, divergence recovery, death tests), where
 #      torn buffers and use-after-free bugs would hide.
-#   8. Corruption smoke   — end-to-end: train with checkpointing, flip one
+#   8. Plan verification  — tools/verify_plan under ASan+UBSan: every
+#      registry model's captured plans must prove race- and lifetime-sound
+#      (exit 0), and the --inject corrupted-plan fixture must be caught
+#      (exit 2) — the verifier failing open fails CI loudly.
+#   9. Corruption smoke   — end-to-end: train with checkpointing, flip one
 #      byte in the newest checkpoint, assert resume rejects it.
-#   9. Lint               — clang-tidy over the compilation database
-#      (skipped with a notice when clang-tidy is not installed).
+#  10. Lint               — clang-tidy in parallel over src/, tests/, and
+#      tools/ (skipped with a notice when clang-tidy is not installed).
 #
 # Both ctest invocations pass --no-tests=error so a filter that matches zero
 # tests (e.g. after a rename) fails CI instead of silently passing.
@@ -177,6 +181,23 @@ cmake --build build-asan -j "$(nproc)" \
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
   -R 'FaultInjection|CheckpointFault|CheckpointResume|DivergenceRecovery|Checkpoint|CsvLoader|DeathTest' \
   --no-tests=error
+
+echo "=== Plan verification: registry-wide verify_plan under ASan+UBSan ==="
+cmake --build build-asan -j "$(nproc)" --target verify_plan
+# Every captured plan across the model registry must verify clean...
+build-asan/tools/verify_plan
+# ...and each injected corruption class must be detected (exit 2; a missed
+# corruption exits 0, failing this assertion).
+set +e
+build-asan/tools/verify_plan --inject
+inject_status=$?
+set -e
+if [[ "$inject_status" -ne 2 ]]; then
+  echo "FAIL: verify_plan --inject exited $inject_status, want 2" >&2
+  echo "      (a corrupted plan slipped past the static verifier)" >&2
+  exit 1
+fi
+echo "corrupted plans rejected as expected (exit 2)"
 
 echo "=== Checkpoint corruption smoke (save -> corrupt -> resume rejects) ==="
 smoke_dir="build/ckpt-smoke"

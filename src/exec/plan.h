@@ -133,6 +133,10 @@ class ExecutionPlan {
 
  private:
   friend class GraphCapture;
+  /// Test-only corruption harness (plan_mutator.h) used to prove the static
+  /// verifier detects each class of malformed plan. Never part of the
+  /// production capture/replay path.
+  friend class PlanMutator;
   ExecutionPlan() = default;
 
   std::vector<PlanStep> steps_;

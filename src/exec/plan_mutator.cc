@@ -1,0 +1,80 @@
+#include "exec/plan_mutator.h"
+
+#include <memory>
+
+namespace d2stgnn::exec {
+
+/// The friend-of-ExecutionPlan surface lives on this class so plan.h only
+/// has to name one test hook; the public entry point is MutatePlan below.
+class PlanMutator {
+ public:
+  static std::shared_ptr<const ExecutionPlan> Apply(const ExecutionPlan& plan,
+                                                    PlanMutation mutation) {
+    auto mutant = std::shared_ptr<ExecutionPlan>(new ExecutionPlan(plan));
+    switch (mutation) {
+      case PlanMutation::kOverlapSameLevelWrites: {
+        // Alias the second step's slot onto the first within some level
+        // that schedules two real (non-empty) outputs.
+        for (const auto& [begin, end] : mutant->levels_) {
+          for (int32_t a = begin; a < end; ++a) {
+            if (mutant->slots_[static_cast<size_t>(a)].numel <= 0) continue;
+            for (int32_t b = a + 1; b < end; ++b) {
+              if (mutant->slots_[static_cast<size_t>(b)].numel <= 0) continue;
+              mutant->slots_[static_cast<size_t>(b)].offset =
+                  mutant->slots_[static_cast<size_t>(a)].offset;
+              return mutant;
+            }
+          }
+        }
+        return nullptr;
+      }
+      case PlanMutation::kReadReusedSlabRegion: {
+        // Find a slot consumed at a level past its def level and retire it
+        // at birth — the planner's intervals now say the consumer reads a
+        // region that may already hold another value.
+        for (const PlanStep& step : mutant->steps_) {
+          for (const ValueRef& ref : step.inputs) {
+            if (ref.kind != ValueRef::Kind::kSlot) continue;
+            SlotInfo& slot = mutant->slots_[static_cast<size_t>(ref.index)];
+            if (step.level > slot.def_level) {
+              slot.last_use_level = slot.def_level;
+              return mutant;
+            }
+          }
+        }
+        return nullptr;
+      }
+      case PlanMutation::kDanglingValueRef: {
+        for (PlanStep& step : mutant->steps_) {
+          for (ValueRef& ref : step.inputs) {
+            if (ref.kind != ValueRef::Kind::kSlot) continue;
+            ref.index = static_cast<int32_t>(mutant->slots_.size()) + 7;
+            return mutant;
+          }
+        }
+        return nullptr;
+      }
+      case PlanMutation::kWrongZeroOutput: {
+        if (mutant->steps_.empty()) return nullptr;
+        PlanStep& step = mutant->steps_.front();
+        step.zero_output = !step.zero_output;
+        return mutant;
+      }
+      case PlanMutation::kStaleConstantPointer: {
+        if (mutant->constants_.empty()) return nullptr;
+        // One float past the real storage: a plausible stale pointer after
+        // the owner reassigned the tensor's buffer.
+        mutant->constants_.front().captured_data += 1;
+        return mutant;
+      }
+    }
+    return nullptr;
+  }
+};
+
+std::shared_ptr<const ExecutionPlan> MutatePlan(const ExecutionPlan& plan,
+                                                PlanMutation mutation) {
+  return PlanMutator::Apply(plan, mutation);
+}
+
+}  // namespace d2stgnn::exec

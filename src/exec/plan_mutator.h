@@ -1,0 +1,44 @@
+#ifndef D2STGNN_EXEC_PLAN_MUTATOR_H_
+#define D2STGNN_EXEC_PLAN_MUTATOR_H_
+
+#include <memory>
+
+#include "exec/plan.h"
+
+// Test-only plan corruption (the mutation-testing half of the static
+// verifier): clone a valid captured plan, then break exactly one invariant
+// so tests can assert the verifier reports the matching diagnostic. Mutated
+// plans must only ever be *verified* — several corruption classes would
+// read or write out of bounds if replayed.
+
+namespace d2stgnn::exec {
+
+/// One corruption class, mirroring a DiagCode the verifier must raise.
+enum class PlanMutation {
+  /// Alias the slab offsets of two same-level steps → write/write race
+  /// (DiagCode::kSameLevelWriteOverlap, and slab interference).
+  kOverlapSameLevelWrites,
+  /// Shrink a consumed slot's last_use_level below its consumer's level —
+  /// the planner would hand its region to a later value
+  /// (DiagCode::kLifetimeTooShort).
+  kReadReusedSlabRegion,
+  /// Point a slot ValueRef past the slot table
+  /// (DiagCode::kValueRefOutOfRange).
+  kDanglingValueRef,
+  /// Flip one step's zero_output against its op's accumulate trait
+  /// (DiagCode::kWrongZeroOutput).
+  kWrongZeroOutput,
+  /// Shift one constant's captured_data off its tensor's storage
+  /// (DiagCode::kConstantMismatch).
+  kStaleConstantPointer,
+};
+
+/// Deep-copies `plan` and applies `mutation`. Returns nullptr when the plan
+/// lacks the shape the mutation needs (e.g. no level holds two steps).
+/// Never mutates `plan` itself.
+std::shared_ptr<const ExecutionPlan> MutatePlan(const ExecutionPlan& plan,
+                                                PlanMutation mutation);
+
+}  // namespace d2stgnn::exec
+
+#endif  // D2STGNN_EXEC_PLAN_MUTATOR_H_

@@ -1,0 +1,576 @@
+#include "exec/plan_verifier.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "tensor/op_registry.h"
+
+namespace d2stgnn::exec {
+namespace {
+
+/// Fragmentation below this share of the slab is considered healthy packing
+/// overhead (alignment padding, first-fit holes) and not worth an advisory.
+constexpr double kFragmentationAdvisoryPct = 25.0;
+
+/// Must match the PlanBuffers default: offsets are handed out in aligned
+/// units, so peak-live accounting has to align the same way.
+constexpr int64_t kSlabAlignFloats = 16;
+
+int64_t AlignUp(int64_t v, int64_t alignment) {
+  return (v + alignment - 1) / alignment * alignment;
+}
+
+/// Half-open float range inside the slab.
+struct Range {
+  int64_t begin = 0;
+  int64_t end = 0;
+  bool Overlaps(const Range& o) const {
+    return begin < o.end && o.begin < end;
+  }
+};
+
+std::string RangeString(const Range& r) {
+  std::ostringstream os;
+  os << "[" << r.begin << ", " << r.end << ") floats (bytes ["
+     << r.begin * static_cast<int64_t>(sizeof(float)) << ", "
+     << r.end * static_cast<int64_t>(sizeof(float)) << "))";
+  return os.str();
+}
+
+class Verifier {
+ public:
+  explicit Verifier(const ExecutionPlan& plan) : plan_(plan) {}
+
+  VerifierReport Run() {
+    CheckSteps();
+    CheckLevelRanges();
+    CheckConstants();
+    CheckOutputSlot();
+    // The memory-level analyses index slots by step position; with the
+    // counts out of sync (already an error above) they would read garbage.
+    if (plan_.slots().size() == plan_.steps().size()) {
+      CheckSlots();
+      CheckLevelSchedule();
+      CheckLifetimes();
+      CheckInterference();
+      EmitAdvisories();
+    }
+    return std::move(report_);
+  }
+
+ private:
+  void Emit(DiagSeverity severity, DiagCode code, int32_t step,
+            int32_t other_step, std::string message) {
+    Diagnostic d;
+    d.severity = severity;
+    d.code = code;
+    d.step = step;
+    d.other_step = other_step;
+    if (step >= 0 && step < static_cast<int32_t>(plan_.steps().size())) {
+      d.op = plan_.steps()[static_cast<size_t>(step)].op;
+      d.level = plan_.steps()[static_cast<size_t>(step)].level;
+    }
+    d.message = std::move(message);
+    if (severity == DiagSeverity::kError) {
+      ++report_.errors;
+    } else {
+      ++report_.advisories;
+    }
+    report_.diagnostics.push_back(std::move(d));
+  }
+
+  void Error(DiagCode code, int32_t step, int32_t other_step,
+             std::string message) {
+    Emit(DiagSeverity::kError, code, step, other_step, std::move(message));
+  }
+
+  void Advise(DiagCode code, int32_t step, int32_t other_step,
+              std::string message) {
+    Emit(DiagSeverity::kAdvisory, code, step, other_step, std::move(message));
+  }
+
+  /// "step 12 (MatMul, level 4)" — the provenance prefix every message uses.
+  std::string Tag(int32_t step) const {
+    std::ostringstream os;
+    if (step < 0 || step >= static_cast<int32_t>(plan_.steps().size())) {
+      os << "step " << step << " (?)";
+      return os.str();
+    }
+    const PlanStep& s = plan_.steps()[static_cast<size_t>(step)];
+    os << "step " << step << " (" << s.op << ", level " << s.level << ")";
+    return os.str();
+  }
+
+  /// Step i's write range; slot id == step id once density holds.
+  Range WriteRange(int32_t step) const {
+    const SlotInfo& slot = plan_.slots()[static_cast<size_t>(step)];
+    return Range{slot.offset, slot.offset + slot.numel};
+  }
+
+  bool ValidSlotRef(const ValueRef& ref) const {
+    return ref.kind == ValueRef::Kind::kSlot && ref.index >= 0 &&
+           ref.index < static_cast<int32_t>(plan_.slots().size());
+  }
+
+  // ---- Structural invariants -------------------------------------------
+
+  void CheckSteps() {
+    const auto& steps = plan_.steps();
+    if (plan_.slots().size() != steps.size()) {
+      std::ostringstream os;
+      os << "plan has " << steps.size() << " steps but " << plan_.slots().size()
+         << " slots; slot ids cannot be dense";
+      Error(DiagCode::kSlotNotDense, -1, -1, os.str());
+    }
+    for (size_t i = 0; i < steps.size(); ++i) {
+      const PlanStep& step = steps[i];
+      const auto step_id = static_cast<int32_t>(i);
+
+      if (step.output_slot != step_id) {
+        std::ostringstream os;
+        os << Tag(step_id) << " writes slot " << step.output_slot
+           << " but slot ids are dense by construction (expected " << step_id
+           << ")";
+        Error(DiagCode::kSlotNotDense, step_id, -1, os.str());
+      }
+      if (step.run == nullptr) {
+        Error(DiagCode::kMissingRunClosure, step_id, -1,
+              Tag(step_id) + " has no run closure; replay would crash");
+      }
+      if (step.level < 1 ||
+          (i > 0 && step.level < steps[i - 1].level)) {
+        std::ostringstream os;
+        os << Tag(step_id) << " breaks the level-sorted step order (previous "
+           << "step level " << (i > 0 ? steps[i - 1].level : 0) << ")";
+        Error(DiagCode::kBadStepOrder, step_id, -1, os.str());
+      }
+
+      const PlanOpTraits* traits = FindPlanOpTraits(step.op);
+      if (traits == nullptr) {
+        Error(DiagCode::kUnknownOp, step_id, -1,
+              Tag(step_id) + " uses an op outside the recordable vocabulary "
+                             "(tensor/op_registry.h PlanOpNames)");
+      } else {
+        if (step.zero_output != traits->accumulates) {
+          std::ostringstream os;
+          os << Tag(step_id) << " has zero_output="
+             << (step.zero_output ? "true" : "false") << " but " << step.op
+             << (traits->accumulates
+                     ? " accumulates into its output and needs the slot "
+                       "zeroed first"
+                     : " overwrites its output; zeroing is wasted work and "
+                       "marks a non-accumulating op as accumulating");
+          Error(DiagCode::kWrongZeroOutput, step_id, -1, os.str());
+        }
+        const bool bound = step.index_input >= 0;
+        const bool baked = !step.baked_indices.empty();
+        if (!traits->indexed && (bound || baked)) {
+          Error(DiagCode::kIndexBindingConflict, step_id, -1,
+                Tag(step_id) + " carries index data but " + step.op +
+                    " is not an indexed op");
+        }
+        if (bound && baked) {
+          Error(DiagCode::kIndexBindingConflict, step_id, -1,
+                Tag(step_id) +
+                    " has both a bound index_input and baked_indices; they "
+                    "are mutually exclusive");
+        }
+        if (bound &&
+            step.index_input >=
+                static_cast<int32_t>(plan_.index_inputs().size())) {
+          std::ostringstream os;
+          os << Tag(step_id) << " binds index input " << step.index_input
+             << " but the plan declares only " << plan_.index_inputs().size();
+          Error(DiagCode::kValueRefOutOfRange, step_id, -1, os.str());
+        }
+      }
+
+      for (size_t j = 0; j < step.inputs.size(); ++j) {
+        const ValueRef& ref = step.inputs[j];
+        int64_t limit = -1;
+        const char* pool = "?";
+        switch (ref.kind) {
+          case ValueRef::Kind::kSlot:
+            limit = static_cast<int64_t>(plan_.slots().size());
+            pool = "slot";
+            break;
+          case ValueRef::Kind::kConstant:
+            limit = static_cast<int64_t>(plan_.constants().size());
+            pool = "constant";
+            break;
+          case ValueRef::Kind::kInput:
+            limit = static_cast<int64_t>(plan_.inputs().size());
+            pool = "input";
+            break;
+        }
+        if (limit < 0 || ref.index < 0 || ref.index >= limit) {
+          std::ostringstream os;
+          os << Tag(step_id) << " input " << j << " dangles: " << pool
+             << " index " << ref.index << " outside [0, " << limit << ")";
+          Error(DiagCode::kValueRefOutOfRange, step_id, -1, os.str());
+        }
+      }
+    }
+  }
+
+  void CheckLevelRanges() {
+    const auto& steps = plan_.steps();
+    const auto& levels = plan_.levels();
+    int32_t expect_begin = 0;
+    int32_t prev_level = 0;
+    bool ok = true;
+    for (const auto& [begin, end] : levels) {
+      if (begin != expect_begin || end <= begin ||
+          end > static_cast<int32_t>(steps.size())) {
+        ok = false;
+        break;
+      }
+      const int32_t lvl = steps[static_cast<size_t>(begin)].level;
+      if (lvl <= prev_level) ok = false;
+      for (int32_t pos = begin; pos < end && ok; ++pos) {
+        if (steps[static_cast<size_t>(pos)].level != lvl) ok = false;
+      }
+      if (!ok) break;
+      prev_level = lvl;
+      expect_begin = end;
+    }
+    if (ok && expect_begin != static_cast<int32_t>(steps.size())) ok = false;
+    if (!ok) {
+      Error(DiagCode::kBadStepOrder, -1, -1,
+            "levels() ranges do not partition the steps into contiguous, "
+            "strictly ascending same-level runs");
+    }
+  }
+
+  void CheckConstants() {
+    for (size_t i = 0; i < plan_.constants().size(); ++i) {
+      const PlanConstant& c = plan_.constants()[i];
+      const float* now = c.tensor.defined() ? c.tensor.Data().data() : nullptr;
+      if (now != c.captured_data || c.numel != c.tensor.numel()) {
+        std::ostringstream os;
+        os << "constant " << i << " is stale: captured data/numel ("
+           << static_cast<const void*>(c.captured_data) << ", " << c.numel
+           << ") vs current (" << static_cast<const void*>(now) << ", "
+           << c.tensor.numel()
+           << "); replay would read freed or reassigned storage";
+        Error(DiagCode::kConstantMismatch, -1, -1, os.str());
+      }
+    }
+  }
+
+  void CheckOutputSlot() {
+    const int32_t out = plan_.output_slot();
+    if (out < 0 || out >= static_cast<int32_t>(plan_.slots().size())) {
+      std::ostringstream os;
+      os << "output slot " << out << " outside [0, " << plan_.slots().size()
+         << ")";
+      Error(DiagCode::kBadOutputSlot, -1, -1, os.str());
+      return;
+    }
+    int32_t max_level = 0;
+    for (const PlanStep& step : plan_.steps()) {
+      max_level = std::max(max_level, step.level);
+    }
+    const SlotInfo& slot = plan_.slots()[static_cast<size_t>(out)];
+    if (slot.last_use_level < max_level) {
+      std::ostringstream os;
+      os << "output slot " << out << " retires at level "
+         << slot.last_use_level << " before the final level " << max_level
+         << "; the result region may be reused before the caller reads it";
+      Error(DiagCode::kBadOutputSlot, out, -1, os.str());
+    }
+  }
+
+  // ---- Slab geometry ---------------------------------------------------
+
+  void CheckSlots() {
+    for (size_t i = 0; i < plan_.slots().size(); ++i) {
+      const SlotInfo& slot = plan_.slots()[i];
+      const auto step_id = static_cast<int32_t>(i);
+      if (slot.numel < 0 || slot.offset < 0 ||
+          slot.offset + slot.numel > plan_.slab_floats()) {
+        std::ostringstream os;
+        os << Tag(step_id) << " slot range " << RangeString(WriteRange(step_id))
+           << " escapes the slab of " << plan_.slab_floats() << " floats";
+        Error(DiagCode::kSlotOutOfSlab, step_id, -1, os.str());
+      }
+      if (slot.def_level > slot.last_use_level ||
+          slot.def_level != plan_.steps()[i].level) {
+        std::ostringstream os;
+        os << Tag(step_id) << " has inconsistent lifetime metadata: interval ["
+           << slot.def_level << ", " << slot.last_use_level
+           << "] vs producing level " << plan_.steps()[i].level;
+        Error(DiagCode::kLifetimeTooShort, step_id, -1, os.str());
+      }
+    }
+  }
+
+  // ---- Level-schedule soundness ----------------------------------------
+
+  void CheckLevelSchedule() {
+    const auto& steps = plan_.steps();
+
+    // Producer ordering: every slot input must come from a strictly
+    // earlier level, else level-parallel replay races producer against
+    // consumer.
+    for (size_t i = 0; i < steps.size(); ++i) {
+      for (const ValueRef& ref : steps[i].inputs) {
+        if (!ValidSlotRef(ref)) continue;
+        const PlanStep& producer = steps[static_cast<size_t>(ref.index)];
+        if (producer.level >= steps[i].level) {
+          std::ostringstream os;
+          os << Tag(static_cast<int32_t>(i)) << " reads the output of "
+             << Tag(ref.index)
+             << " which is not in a strictly earlier level";
+          Error(DiagCode::kLevelOrderViolation, static_cast<int32_t>(i),
+                ref.index, os.str());
+        }
+      }
+    }
+
+    // Same-level overlap: group by the steps' own level field (robust to a
+    // corrupted levels() table) and compare step-derived read/write sets.
+    std::map<int32_t, std::vector<int32_t>> by_level;
+    for (size_t i = 0; i < steps.size(); ++i) {
+      by_level[steps[i].level].push_back(static_cast<int32_t>(i));
+    }
+    for (const auto& [level, members] : by_level) {
+      for (size_t a = 0; a < members.size(); ++a) {
+        const Range wa = WriteRange(members[a]);
+        for (size_t b = a + 1; b < members.size(); ++b) {
+          const Range wb = WriteRange(members[b]);
+          if (wa.Overlaps(wb)) {
+            std::ostringstream os;
+            os << Tag(members[a]) << " and " << Tag(members[b])
+               << " write overlapping slab ranges " << RangeString(wa)
+               << " / " << RangeString(wb)
+               << " in the same level — write/write race under parallel "
+                  "replay";
+            Error(DiagCode::kSameLevelWriteOverlap, members[a], members[b],
+                  os.str());
+          }
+        }
+        // Reads of `a` against writes of every other same-level step.
+        for (const ValueRef& ref : steps[static_cast<size_t>(members[a])]
+                                       .inputs) {
+          if (!ValidSlotRef(ref)) continue;
+          const Range read = WriteRange(ref.index);
+          if (read.begin >= read.end) continue;
+          for (const int32_t other : members) {
+            if (other == members[a]) continue;
+            // Reading `other`'s own output is the level-order violation
+            // reported above; here we catch distinct slots aliased by reuse.
+            if (other == ref.index) continue;
+            if (read.Overlaps(WriteRange(other))) {
+              std::ostringstream os;
+              os << Tag(members[a]) << " reads slot " << ref.index << " "
+                 << RangeString(read) << " while " << Tag(other)
+                 << " writes " << RangeString(WriteRange(other))
+                 << " in the same level — read/write race under parallel "
+                    "replay";
+              Error(DiagCode::kSameLevelReadWriteOverlap, members[a], other,
+                    os.str());
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ---- Slab-lifetime soundness -----------------------------------------
+
+  void CheckLifetimes() {
+    const auto& steps = plan_.steps();
+    for (size_t i = 0; i < steps.size(); ++i) {
+      for (const ValueRef& ref : steps[i].inputs) {
+        if (!ValidSlotRef(ref)) continue;
+        const SlotInfo& slot = plan_.slots()[static_cast<size_t>(ref.index)];
+        if (steps[i].level > slot.last_use_level) {
+          std::ostringstream os;
+          os << Tag(static_cast<int32_t>(i)) << " reads slot " << ref.index
+             << " (produced by " << Tag(ref.index)
+             << ") whose lifetime ended at level " << slot.last_use_level
+             << " — the planner may have reused " << RangeString(
+                    WriteRange(ref.index))
+             << " for a later value";
+          Error(DiagCode::kLifetimeTooShort, static_cast<int32_t>(i),
+                ref.index, os.str());
+        }
+      }
+    }
+  }
+
+  void CheckInterference() {
+    // Byte-granular check of the planner's claim: two slots may share slab
+    // bytes only if their inclusive level intervals are disjoint (a buffer
+    // freed at level L is reusable from L+1 on).
+    const auto& slots = plan_.slots();
+    for (size_t a = 0; a < slots.size(); ++a) {
+      if (slots[a].numel <= 0) continue;
+      const Range ra = WriteRange(static_cast<int32_t>(a));
+      for (size_t b = a + 1; b < slots.size(); ++b) {
+        if (slots[b].numel <= 0) continue;
+        if (!ra.Overlaps(WriteRange(static_cast<int32_t>(b)))) continue;
+        const bool levels_overlap =
+            slots[a].def_level <= slots[b].last_use_level &&
+            slots[b].def_level <= slots[a].last_use_level;
+        if (levels_overlap) {
+          std::ostringstream os;
+          os << "slots " << a << " and " << b << " (produced by "
+             << Tag(static_cast<int32_t>(a)) << " and "
+             << Tag(static_cast<int32_t>(b)) << ") share slab bytes "
+             << RangeString(ra) << " / "
+             << RangeString(WriteRange(static_cast<int32_t>(b)))
+             << " while live intervals [" << slots[a].def_level << ", "
+             << slots[a].last_use_level << "] and [" << slots[b].def_level
+             << ", " << slots[b].last_use_level << "] overlap";
+          Error(DiagCode::kSlabInterference, static_cast<int32_t>(a),
+                static_cast<int32_t>(b), os.str());
+        }
+      }
+    }
+  }
+
+  // ---- Advisories ------------------------------------------------------
+
+  void EmitAdvisories() {
+    const auto& steps = plan_.steps();
+
+    std::vector<int32_t> reads(steps.size(), 0);
+    for (const PlanStep& step : steps) {
+      for (const ValueRef& ref : step.inputs) {
+        if (ValidSlotRef(ref)) ++reads[static_cast<size_t>(ref.index)];
+      }
+    }
+    for (size_t i = 0; i < steps.size(); ++i) {
+      if (reads[i] == 0 && static_cast<int32_t>(i) != plan_.output_slot()) {
+        Advise(DiagCode::kDeadStep, static_cast<int32_t>(i), -1,
+               Tag(static_cast<int32_t>(i)) +
+                   " produces a value no step reads and is not the plan "
+                   "output — eliminable");
+      }
+      const PlanOpTraits* traits = FindPlanOpTraits(steps[i].op);
+      if (traits != nullptr && traits->pure_copy) {
+        std::string note;
+        if (steps[i].inputs.size() == 1 && ValidSlotRef(steps[i].inputs[0])) {
+          const PlanOpTraits* up = FindPlanOpTraits(
+              steps[static_cast<size_t>(steps[i].inputs[0].index)].op);
+          if (up != nullptr && up->pure_copy) {
+            note = " (copy chain: its input is itself a pure copy)";
+          }
+        }
+        Advise(DiagCode::kCopyStep, static_cast<int32_t>(i), -1,
+               Tag(static_cast<int32_t>(i)) +
+                   " is a verbatim element-order copy — fusion / "
+                   "copy-elimination candidate" +
+                   note);
+      }
+    }
+
+    // Fragmentation: peak aligned live floats over all levels vs slab size.
+    int32_t max_level = 0;
+    for (const PlanStep& step : steps) {
+      max_level = std::max(max_level, step.level);
+    }
+    int64_t peak = 0;
+    for (int32_t level = 1; level <= max_level; ++level) {
+      int64_t live = 0;
+      for (const SlotInfo& slot : plan_.slots()) {
+        if (slot.def_level <= level && level <= slot.last_use_level) {
+          live += AlignUp(slot.numel, kSlabAlignFloats);
+        }
+      }
+      peak = std::max(peak, live);
+    }
+    if (plan_.slab_floats() > 0) {
+      report_.slab_fragmentation_pct =
+          100.0 *
+          static_cast<double>(plan_.slab_floats() - std::min(
+              peak, plan_.slab_floats())) /
+          static_cast<double>(plan_.slab_floats());
+    }
+    if (report_.slab_fragmentation_pct > kFragmentationAdvisoryPct) {
+      std::ostringstream os;
+      os << "slab of " << plan_.slab_floats() << " floats is "
+         << report_.slab_fragmentation_pct
+         << "% larger than the peak live set of " << peak
+         << " floats — the interval allocator is fragmenting on this plan";
+      Advise(DiagCode::kSlabFragmentation, -1, -1, os.str());
+    }
+  }
+
+  const ExecutionPlan& plan_;
+  VerifierReport report_;
+};
+
+}  // namespace
+
+const char* DiagCodeName(DiagCode code) {
+  switch (code) {
+    case DiagCode::kSlotNotDense:
+      return "SlotNotDense";
+    case DiagCode::kValueRefOutOfRange:
+      return "ValueRefOutOfRange";
+    case DiagCode::kIndexBindingConflict:
+      return "IndexBindingConflict";
+    case DiagCode::kWrongZeroOutput:
+      return "WrongZeroOutput";
+    case DiagCode::kConstantMismatch:
+      return "ConstantMismatch";
+    case DiagCode::kUnknownOp:
+      return "UnknownOp";
+    case DiagCode::kMissingRunClosure:
+      return "MissingRunClosure";
+    case DiagCode::kBadOutputSlot:
+      return "BadOutputSlot";
+    case DiagCode::kBadStepOrder:
+      return "BadStepOrder";
+    case DiagCode::kLevelOrderViolation:
+      return "LevelOrderViolation";
+    case DiagCode::kSameLevelWriteOverlap:
+      return "SameLevelWriteOverlap";
+    case DiagCode::kSameLevelReadWriteOverlap:
+      return "SameLevelReadWriteOverlap";
+    case DiagCode::kLifetimeTooShort:
+      return "LifetimeTooShort";
+    case DiagCode::kSlabInterference:
+      return "SlabInterference";
+    case DiagCode::kSlotOutOfSlab:
+      return "SlotOutOfSlab";
+    case DiagCode::kDeadStep:
+      return "DeadStep";
+    case DiagCode::kCopyStep:
+      return "CopyStep";
+    case DiagCode::kSlabFragmentation:
+      return "SlabFragmentation";
+  }
+  return "Unknown";
+}
+
+bool VerifierReport::HasCode(DiagCode code) const {
+  for (const Diagnostic& d : diagnostics) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+std::string VerifierReport::ToString() const {
+  std::ostringstream os;
+  os << "plan verification: " << errors << " error(s), " << advisories
+     << " advisory(ies), slab fragmentation " << slab_fragmentation_pct
+     << "%";
+  for (const Diagnostic& d : diagnostics) {
+    os << "\n  "
+       << (d.severity == DiagSeverity::kError ? "error" : "advisory") << "["
+       << DiagCodeName(d.code) << "] " << d.message;
+  }
+  return os.str();
+}
+
+VerifierReport VerifyPlan(const ExecutionPlan& plan) {
+  return Verifier(plan).Run();
+}
+
+}  // namespace d2stgnn::exec

@@ -1,0 +1,122 @@
+#ifndef D2STGNN_EXEC_PLAN_VERIFIER_H_
+#define D2STGNN_EXEC_PLAN_VERIFIER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/plan.h"
+
+// Static plan-IR verifier (DESIGN.md §12).
+//
+// VerifyPlan analyzes a captured ExecutionPlan without running it and proves
+// the three properties replay correctness rests on:
+//
+//  1. Level-schedule soundness — per-step read/write float-ranges in the
+//     slab are derived from each step's ValueRefs and its output slot, and
+//     no two steps scheduled in the same level have write/write or
+//     read/write overlap; every slot input's producing step sits in a
+//     strictly earlier level. Level-parallel replay is then race-free by
+//     construction, not merely TSan-clean on the runs we happened to test.
+//  2. Slab-lifetime soundness — the memory planner may hand one byte range
+//     to several slots whose live intervals (inclusive, in levels) do not
+//     overlap; the verifier re-checks that byte-granular interference claim
+//     against the plan's recorded intervals, and separately that no step
+//     reads a slot at a level past the slot's last_use_level (the point
+//     after which its region may already hold another value).
+//  3. Structural invariants — dense slot ids (slot id == step position),
+//     in-range ValueRef indices, index_input/baked_indices mutual
+//     exclusion, zero_output set exactly for accumulating ops, constants
+//     whose captured_data still matches tensor.Data(), op names drawn from
+//     the recordable vocabulary (tensor/op_registry.h PlanOpNames), and a
+//     run closure on every step.
+//
+// Race detection is computed from the steps' own read/write sets,
+// independently of the slot lifetime metadata, so a plan whose intervals
+// were corrupted (or whose planner mis-assigned offsets) is still caught.
+//
+// Limits of the soundness claims: the verifier trusts each step's kernel
+// closure to touch exactly [slot.offset, slot.offset + slot.numel) of its
+// output and only read its declared inputs — the closure is opaque, so that
+// contract is established by the per-op traits table and the bitwise
+// eager-vs-replay parity tests, not by this analysis. Constants are
+// validated by address and size, not by content hash.
+//
+// Beyond errors the report carries advisories — dead steps, copy steps and
+// copy chains (Reshape), slab fragmentation — which are exactly the
+// worklist a future fusion / copy-elimination pass consumes.
+
+namespace d2stgnn::exec {
+
+enum class DiagSeverity : uint8_t { kError, kAdvisory };
+
+/// Stable machine-readable finding classes. Tests assert on these; the
+/// string form (DiagCodeName) appears in reports.
+enum class DiagCode : uint8_t {
+  // Structural errors.
+  kSlotNotDense,          ///< output_slot != step position, or slot/step count skew
+  kValueRefOutOfRange,    ///< input or index_input references a missing value
+  kIndexBindingConflict,  ///< index_input/baked_indices both set, or on a non-indexed op
+  kWrongZeroOutput,       ///< zero_output disagrees with the op's accumulate trait
+  kConstantMismatch,      ///< captured_data/numel no longer match the tensor
+  kUnknownOp,             ///< op name outside the recordable vocabulary
+  kMissingRunClosure,     ///< step.run is empty
+  kBadOutputSlot,         ///< plan output slot missing or retired early
+  kBadStepOrder,          ///< steps not level-sorted, or levels() ranges wrong
+  // Scheduling / memory errors.
+  kLevelOrderViolation,        ///< input produced in the same or a later level
+  kSameLevelWriteOverlap,      ///< two same-level steps write overlapping ranges
+  kSameLevelReadWriteOverlap,  ///< same-level read overlaps another step's write
+  kLifetimeTooShort,           ///< read past last_use_level, or interval metadata skew
+  kSlabInterference,           ///< overlapping-lifetime slots share slab bytes
+  kSlotOutOfSlab,              ///< slot range escapes [0, slab_floats)
+  // Advisories (fusion-pass worklist).
+  kDeadStep,           ///< non-output slot no step ever reads
+  kCopyStep,           ///< pure element-order copy (fusion/elimination candidate)
+  kSlabFragmentation,  ///< slab noticeably larger than peak live bytes
+};
+
+/// Stable name for `code` ("SameLevelWriteOverlap", ...).
+const char* DiagCodeName(DiagCode code);
+
+/// One finding, with step/op/level provenance. Pairwise findings (overlaps,
+/// interference) carry the second step in `other_step`.
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  DiagCode code = DiagCode::kUnknownOp;
+  /// Offending step index (== its output slot id), or -1 for plan-wide.
+  int32_t step = -1;
+  /// Second step for pairwise findings, else -1.
+  int32_t other_step = -1;
+  /// Op name of `step`, empty for plan-wide findings.
+  std::string op;
+  /// Scheduling level of `step`, or -1.
+  int32_t level = -1;
+  /// Self-contained human-readable sentence (includes provenance).
+  std::string message;
+};
+
+/// The verifier's lint-style output: every finding plus summary counters.
+struct VerifierReport {
+  std::vector<Diagnostic> diagnostics;
+  int errors = 0;
+  int advisories = 0;
+  /// 100 * (slab - peak live floats) / slab; 0 for an empty slab. Always
+  /// computed; reported as an advisory only past a threshold.
+  double slab_fragmentation_pct = 0.0;
+
+  /// True when the plan is safe to replay (advisories allowed).
+  bool ok() const { return errors == 0; }
+  /// True if any diagnostic carries `code`.
+  bool HasCode(DiagCode code) const;
+  /// Multi-line report: summary header, then one line per diagnostic.
+  std::string ToString() const;
+};
+
+/// Statically verifies `plan`. Never executes step closures; safe to call
+/// on corrupted plans (including ones that would crash if replayed).
+VerifierReport VerifyPlan(const ExecutionPlan& plan);
+
+}  // namespace d2stgnn::exec
+
+#endif  // D2STGNN_EXEC_PLAN_VERIFIER_H_

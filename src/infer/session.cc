@@ -1,5 +1,7 @@
 #include "infer/session.h"
 
+#include <cstdlib>
+#include <cstring>
 #include <optional>
 #include <sstream>
 #include <utility>
@@ -8,9 +10,19 @@
 #include "common/fault_injection.h"
 #include "common/logging.h"
 #include "exec/graph_capture.h"
+#include "exec/plan_verifier.h"
 #include "train/checkpoint.h"
 
 namespace d2stgnn::infer {
+
+bool DefaultVerifyPlans() {
+#ifndef NDEBUG
+  return true;  // debug builds always verify
+#else
+  const char* env = std::getenv("D2STGNN_VERIFY_PLANS");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+#endif
+}
 
 InferenceSession::InferenceSession(
     std::unique_ptr<train::ForecastingModel> model,
@@ -168,6 +180,7 @@ const float* InferenceSession::TryReplayLocked(const data::Batch& batch) {
                       << " stale execution plan(s): " << error;
       stats_.plan_invalidations += static_cast<int64_t>(plans_.size());
       plans_.clear();
+      verify_reports_.clear();  // the reports described the dropped plans
       return nullptr;
     case exec::ReplayStatus::kBindingMismatch:
       // A batch with this batch size but different geometry (input_len /
@@ -207,10 +220,43 @@ bool InferenceSession::CapturePlanLocked(int64_t batch_size) {
   }
   D2_LOG(INFO) << "infer: captured batch-" << batch_size << " "
                << plan->Summary();
+  if (options_.verify_plans) {
+    exec::VerifierReport report = exec::VerifyPlan(*plan);
+    ++stats_.plans_verified;
+    if (!report.ok()) {
+      stats_.plan_verifier_errors += report.errors;
+      D2_LOG(ERROR) << "infer: batch-" << batch_size
+                    << " plan rejected by the static verifier; serving "
+                    << "eagerly\n"
+                    << report.ToString();
+      return false;
+    }
+    verify_reports_[batch_size] = std::move(report);
+  }
   plans_[batch_size] =
       std::make_unique<exec::PlanExecutor>(std::move(plan));
   ++stats_.plans_built;
   return true;
+}
+
+void InferenceSession::VerifyCachedPlanLocked(int64_t batch_size) {
+  const auto it = plans_.find(batch_size);
+  if (it == plans_.end() ||
+      verify_reports_.find(batch_size) != verify_reports_.end()) {
+    return;
+  }
+  exec::VerifierReport report = exec::VerifyPlan(it->second->plan());
+  ++stats_.plans_verified;
+  if (!report.ok()) {
+    stats_.plan_verifier_errors += report.errors;
+    ++stats_.plan_invalidations;
+    D2_LOG(ERROR) << "infer: cached batch-" << batch_size
+                  << " plan rejected by the static verifier; dropping it\n"
+                  << report.ToString();
+    plans_.erase(it);
+    return;
+  }
+  verify_reports_[batch_size] = std::move(report);
 }
 
 std::vector<Forecast> InferenceSession::PredictRequests(
@@ -287,8 +333,14 @@ void InferenceSession::Warmup(int64_t batch_size, int64_t runs) {
   D2_CHECK_GT(batch_size, 0);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (options_.use_plans && plans_.find(batch_size) == plans_.end()) {
-      CapturePlanLocked(batch_size);  // its eager forward also warms the pool
+    if (options_.use_plans) {
+      if (plans_.find(batch_size) == plans_.end()) {
+        CapturePlanLocked(batch_size);  // eager forward also warms the pool
+      } else if (options_.verify_plans) {
+        // Cache hit: a plan captured before verification was enabled (or
+        // whose report was dropped) gets verified here.
+        VerifyCachedPlanLocked(batch_size);
+      }
     }
   }
   const std::vector<ForecastRequest> requests(
@@ -314,10 +366,17 @@ std::vector<int64_t> InferenceSession::planned_batch_sizes() const {
   return sizes;
 }
 
+std::map<int64_t, exec::VerifierReport> InferenceSession::verifier_reports()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return verify_reports_;
+}
+
 void InferenceSession::InvalidatePlans() {
   std::lock_guard<std::mutex> lock(mu_);
   stats_.plan_invalidations += static_cast<int64_t>(plans_.size());
   plans_.clear();
+  verify_reports_.clear();
 }
 
 }  // namespace d2stgnn::infer

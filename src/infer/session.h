@@ -11,6 +11,7 @@
 #include "data/scaler.h"
 #include "data/sliding_window.h"
 #include "exec/plan_executor.h"
+#include "exec/plan_verifier.h"
 #include "tensor/buffer_arena.h"
 #include "train/forecasting_model.h"
 
@@ -27,6 +28,10 @@
 // and caching later) composes over.
 
 namespace d2stgnn::infer {
+
+/// Default for SessionOptions::verify_plans: always on in debug builds,
+/// and opt-in via D2STGNN_VERIFY_PLANS=1 in release builds.
+bool DefaultVerifyPlans();
 
 /// One serving request: the raw (original-unit) readings of every sensor
 /// over the input window, plus the wall-clock position of the window's
@@ -74,6 +79,11 @@ struct SessionOptions {
   /// forwards are batch-independent — see the parity tests); the padding
   /// rows are discarded. Off = undersized batches run eager.
   bool pad_to_plan = true;
+  /// Statically verify every captured plan (exec/plan_verifier.h) before it
+  /// may serve: a plan with verification errors is rejected and its batch
+  /// size keeps running eagerly. Defaults on in debug builds and when
+  /// D2STGNN_VERIFY_PLANS=1.
+  bool verify_plans = DefaultVerifyPlans();
 };
 
 /// Plan-cache traffic counters (see SessionOptions::use_plans).
@@ -83,6 +93,8 @@ struct SessionStats {
   int64_t padded_replays = 0;    ///< of which padded up to the plan size
   int64_t eager_forwards = 0;    ///< forwards that ran the eager path
   int64_t plan_invalidations = 0;  ///< plans dropped (stale constants)
+  int64_t plans_verified = 0;    ///< static verifier runs over captured plans
+  int64_t plan_verifier_errors = 0;  ///< error diagnostics across those runs
 };
 
 /// A frozen model + scaler + reusable buffer arena, serving predictions.
@@ -151,6 +163,12 @@ class InferenceSession {
   /// Batch sizes with a captured plan, ascending.
   std::vector<int64_t> planned_batch_sizes() const;
 
+  /// Verifier reports for the currently cached plans, keyed by batch size.
+  /// Empty when verify_plans is off; entries disappear with their plans
+  /// (invalidation, staleness). Reports of *rejected* plans are not kept —
+  /// their error counts surface in SessionStats::plan_verifier_errors.
+  std::map<int64_t, exec::VerifierReport> verifier_reports() const;
+
   /// Drops every captured plan (counted as invalidations). Call after
   /// swapping parameter tensors; in-place mutation of existing parameter
   /// buffers is picked up by replays automatically, and a reassigned
@@ -167,10 +185,17 @@ class InferenceSession {
                    const data::StandardScaler& scaler,
                    const SessionOptions& options);
 
-  /// Runs one eager forward under capture and caches the resulting plan.
-  /// Requires mu_ held. False (after logging) when capture fails; the
+  /// Runs one eager forward under capture, statically verifies the result
+  /// (when verify_plans is on), and caches plans that pass. Requires mu_
+  /// held. False (after logging) when capture or verification fails; the
   /// session keeps serving eagerly.
   bool CapturePlanLocked(int64_t batch_size);
+
+  /// Verifies the already-cached plan for `batch_size` (cache-hit path:
+  /// plans captured before verification was enabled, or whose report was
+  /// dropped). Requires mu_ held. A failing plan is dropped and counted as
+  /// an invalidation.
+  void VerifyCachedPlanLocked(int64_t batch_size);
 
   /// Replays the cached plan for `batch`'s batch size, if any. Requires mu_
   /// held. Returns the output pointer (plan output shape) or null when no
@@ -188,6 +213,9 @@ class InferenceSession {
   /// Captured plans keyed by batch size (ordered: padding picks the nearest
   /// size >= the request count).
   std::map<int64_t, std::unique_ptr<exec::PlanExecutor>> plans_;
+  /// Verifier reports for plans_, same keys; cleared whenever the matching
+  /// plans are dropped so a stale report can never describe a live plan.
+  std::map<int64_t, exec::VerifierReport> verify_reports_;
   SessionStats stats_;
 };
 

@@ -162,6 +162,69 @@ std::vector<std::string> ParseOpsHeaderOpNames(
   return {names.begin(), names.end()};
 }
 
+namespace {
+
+// One row per op name GraphCapture records (the RecordStep/RecordIndexedStep
+// call sites in ops.cc). Composed ops (Mean, Neg, Transpose, Unsqueeze,
+// Squeeze, Stack, Select, PadFront, Dropout) lower to these and never appear
+// in plans under their own names.
+const std::map<std::string, PlanOpTraits>& PlanOpTable() {
+  static const auto* table = new std::map<std::string, PlanOpTraits>{
+      // Elementwise binary (same-shape and broadcast variants).
+      {"Add", {}},
+      {"Sub", {}},
+      {"Mul", {}},
+      {"Div", {}},
+      // Elementwise unary (scalar-parameterized included).
+      {"AddScalar", {}},
+      {"MulScalar", {}},
+      {"PowScalar", {}},
+      {"Relu", {}},
+      {"LeakyRelu", {}},
+      {"Sigmoid", {}},
+      {"Tanh", {}},
+      {"Exp", {}},
+      {"Log", {}},
+      {"Sqrt", {}},
+      {"Abs", {}},
+      {"Gelu", {}},
+      {"Clamp", {}},
+      // Linear algebra: BatchedMatMul accumulates into its output.
+      {"MatMul", {/*accumulates=*/true, /*indexed=*/false, /*pure_copy=*/false}},
+      // Reductions.
+      {"Sum", {}},
+      {"SumDim", {}},
+      {"Max", {}},
+      {"Min", {}},
+      {"Softmax", {}},
+      // Shape ops. Reshape replays as a verbatim std::copy.
+      {"Reshape", {/*accumulates=*/false, /*indexed=*/false, /*pure_copy=*/true}},
+      {"Permute", {}},
+      {"BroadcastTo", {}},
+      {"Concat", {}},
+      {"Slice", {}},
+      // Indexing.
+      {"EmbeddingLookup",
+       {/*accumulates=*/false, /*indexed=*/true, /*pure_copy=*/false}},
+  };
+  return *table;
+}
+
+}  // namespace
+
+const PlanOpTraits* FindPlanOpTraits(const std::string& op) {
+  const auto& table = PlanOpTable();
+  const auto it = table.find(op);
+  return it == table.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> PlanOpNames() {
+  std::vector<std::string> names;
+  names.reserve(PlanOpTable().size());
+  for (const auto& [name, traits] : PlanOpTable()) names.push_back(name);
+  return names;
+}
+
 OpGradCheckRegistry::OpGradCheckRegistry() {
   // --- Elementwise binary ops (each with a broadcast on one side). ---
   Register("Add", [](Rng& rng) {

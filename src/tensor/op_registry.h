@@ -68,6 +68,33 @@ class OpGradCheckRegistry {
 /// self-enforcing as ops.h grows.
 std::vector<std::string> ParseOpsHeaderOpNames(const std::string& header_text);
 
+/// Replay-time classification of one plan-step op — the read/write contract
+/// the static plan verifier (exec/plan_verifier.h) checks captured
+/// ExecutionPlans against. Every step reads each of its inputs in full and
+/// writes its whole output slot; the traits record the exceptions to the
+/// plain overwrite model.
+struct PlanOpTraits {
+  /// The kernel accumulates (+=) into its output, so the replay executor
+  /// must zero the slot first (PlanStep::zero_output must be set).
+  bool accumulates = false;
+  /// The op consumes an int64 index vector (PlanStep::index_input or
+  /// baked_indices); non-indexed ops must carry neither.
+  bool indexed = false;
+  /// The output is a verbatim element-order copy of the single input —
+  /// a copy-elimination / fusion candidate the verifier flags as advisory.
+  bool pure_copy = false;
+};
+
+/// Traits for `op`, or nullptr when `op` is not a name GraphCapture ever
+/// records ("SumDim" aliases the dim overload of Sum; composed ops such as
+/// Mean or Transpose never appear in plans — they lower to these). The
+/// verifier treats an unknown name as an error, so this table must grow
+/// with the capture surface in ops.cc.
+const PlanOpTraits* FindPlanOpTraits(const std::string& op);
+
+/// Every op name plans may contain, sorted (the domain of FindPlanOpTraits).
+std::vector<std::string> PlanOpNames();
+
 }  // namespace d2stgnn
 
 #endif  // D2STGNN_TENSOR_OP_REGISTRY_H_

@@ -29,6 +29,7 @@
 #include "data/synthetic_traffic.h"
 #include "exec/memory_planner.h"
 #include "exec/plan_executor.h"
+#include "exec/plan_verifier.h"
 #include "infer/session.h"
 #include "tensor/buffer_arena.h"
 #include "tensor/op_registry.h"
@@ -393,6 +394,27 @@ TEST_F(ZooCaptureTest, StepNamesComeFromTheOpsHeader) {
   }
 }
 
+// Every zoo-captured plan must prove race- and lifetime-sound under the
+// static verifier (DESIGN.md §12) — the same analysis Warmup applies to
+// session plans — with its Reshape surfacing as the copy-step advisory.
+TEST_F(ZooCaptureTest, CapturedPlansPassStaticVerification) {
+  auto plan = CapturePlan();
+  ASSERT_NE(plan, nullptr);
+  const exec::VerifierReport report = exec::VerifyPlan(*plan);
+  EXPECT_TRUE(report.ok()) << report.ToString();
+  EXPECT_TRUE(report.HasCode(exec::DiagCode::kCopyStep)) << report.ToString();
+
+  // The baked-indices variant verifies too (index_input = -1 everywhere).
+  NoGradGuard no_grad;
+  exec::GraphCapture capture;
+  capture.BindInput("x", x_);
+  Tensor out = Zoo(x_, w_, bias_, table_, idx_);
+  auto baked = capture.Finish(out);
+  ASSERT_NE(baked, nullptr) << capture.error();
+  const exec::VerifierReport baked_report = exec::VerifyPlan(*baked);
+  EXPECT_TRUE(baked_report.ok()) << baked_report.ToString();
+}
+
 TEST(GraphCaptureTest, StepsNotReachingTheOutputArePruned) {
   NoGradGuard no_grad;
   Rng rng(3);
@@ -551,14 +573,24 @@ TEST_P(ExecSessionParityTest, PlanReplayMatchesEagerBitwise) {
   for (const bool parallel : {false, true}) {
     infer::SessionOptions plan_options = Options();
     plan_options.plan_parallel = parallel;
+    // Every plan this test replays must first be accepted by the static
+    // verifier: the bitwise-parity assertions below are then exercised only
+    // on verifier-accepted plans, at 1 and 4 threads.
+    plan_options.verify_plans = true;
     auto planned = infer::InferenceSession::Wrap(NewModel(7), scaler_,
                                                  plan_options);
     ASSERT_NE(planned, nullptr);
     planned->Warmup(/*batch_size=*/4, /*runs=*/2);
     ASSERT_EQ(planned->planned_batch_sizes(), std::vector<int64_t>{4});
 
+    const auto reports = planned->verifier_reports();
+    ASSERT_EQ(reports.size(), 1u);
+    EXPECT_TRUE(reports.at(4).ok()) << reports.at(4).ToString();
+
     const infer::SessionStats before = planned->session_stats();
     EXPECT_EQ(before.plans_built, 1);
+    EXPECT_EQ(before.plans_verified, 1);
+    EXPECT_EQ(before.plan_verifier_errors, 0);
     EXPECT_GT(before.plan_replays, 0) << "warmup runs must replay";
 
     const std::vector<infer::Forecast> served =
@@ -640,10 +672,13 @@ TEST_F(ExecSessionTest, UndersizedBatchIsPaddedIntoThePlan) {
 TEST_F(ExecSessionTest, ParameterMutationAndInvalidationSemantics) {
   auto model = NewModel(7);
   core::D2Stgnn* raw = model.get();
+  infer::SessionOptions verify_options = Options();
+  verify_options.verify_plans = true;  // so staleness must also drop reports
   auto planned = infer::InferenceSession::Wrap(std::move(model), scaler_,
-                                               Options());
+                                               verify_options);
   ASSERT_NE(planned, nullptr);
   planned->Warmup(/*batch_size=*/1, /*runs=*/1);
+  ASSERT_EQ(planned->verifier_reports().size(), 1u);
 
   infer::SessionOptions eager_options = Options();
   eager_options.use_plans = false;
@@ -672,6 +707,8 @@ TEST_F(ExecSessionTest, ParameterMutationAndInvalidationSemantics) {
   EXPECT_EQ(after_realloc.values, mutated_ref.values);
   EXPECT_GE(planned->session_stats().plan_invalidations, 1);
   EXPECT_TRUE(planned->planned_batch_sizes().empty());
+  EXPECT_TRUE(planned->verifier_reports().empty())
+      << "the staleness path must drop the verifier reports with the plans";
 
   // Warmup rebuilds the plan against the new storage and serving resumes.
   planned->Warmup(/*batch_size=*/1);
@@ -680,6 +717,42 @@ TEST_F(ExecSessionTest, ParameterMutationAndInvalidationSemantics) {
   ASSERT_TRUE(rebuilt.ok);
   EXPECT_EQ(rebuilt.values, mutated_ref.values);
   EXPECT_GT(planned->session_stats().plan_replays, replays);
+}
+
+// Warmup verification semantics: every fresh capture is verified exactly
+// once, a warm cache hit does not re-verify (the report is cached with the
+// plan), and a session with verification off keeps no reports.
+TEST_F(ExecSessionTest, WarmupVerifiesFreshAndCacheHitPlansOnce) {
+  infer::SessionOptions verify_options = Options();
+  verify_options.verify_plans = true;
+  auto planned = infer::InferenceSession::Wrap(NewModel(7), scaler_,
+                                               verify_options);
+  ASSERT_NE(planned, nullptr);
+
+  planned->Warmup(/*batch_size=*/1);
+  planned->Warmup(/*batch_size=*/2);
+  infer::SessionStats stats = planned->session_stats();
+  EXPECT_EQ(stats.plans_verified, 2);
+  EXPECT_EQ(stats.plan_verifier_errors, 0);
+  const auto reports = planned->verifier_reports();
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& [batch_size, report] : reports) {
+    EXPECT_TRUE(report.ok()) << "batch " << batch_size << ":\n"
+                             << report.ToString();
+  }
+
+  // Cache hit: the plan and its report already exist, nothing re-runs.
+  planned->Warmup(/*batch_size=*/1);
+  EXPECT_EQ(planned->session_stats().plans_verified, 2);
+
+  infer::SessionOptions off_options = Options();
+  off_options.verify_plans = false;
+  auto unverified = infer::InferenceSession::Wrap(NewModel(7), scaler_,
+                                                  off_options);
+  ASSERT_NE(unverified, nullptr);
+  unverified->Warmup(/*batch_size=*/1);
+  EXPECT_EQ(unverified->session_stats().plans_verified, 0);
+  EXPECT_TRUE(unverified->verifier_reports().empty());
 }
 
 // The perf acceptance floor: plan-replayed single requests are at least
@@ -728,15 +801,19 @@ TEST_F(ExecSessionTest, PlanReplayBeatsEagerByThirtyPercent) {
 }
 
 TEST_F(ExecSessionTest, InvalidatePlansDropsEveryPlan) {
+  infer::SessionOptions verify_options = Options();
+  verify_options.verify_plans = true;
   auto planned = infer::InferenceSession::Wrap(NewModel(7), scaler_,
-                                               Options());
+                                               verify_options);
   ASSERT_NE(planned, nullptr);
   planned->Warmup(1);
   planned->Warmup(4);
   ASSERT_EQ(planned->planned_batch_sizes().size(), 2u);
+  ASSERT_EQ(planned->verifier_reports().size(), 2u);
 
   planned->InvalidatePlans();
   EXPECT_TRUE(planned->planned_batch_sizes().empty());
+  EXPECT_TRUE(planned->verifier_reports().empty());
   EXPECT_GE(planned->session_stats().plan_invalidations, 2);
 
   const int64_t eager_before = planned->session_stats().eager_forwards;
