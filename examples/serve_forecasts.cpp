@@ -11,15 +11,28 @@
 //           (DESIGN.md §10); the report adds the plan-cache counters
 //
 //   ./build/examples/serve_forecasts [rate_rps] [seconds] [producers]
-//       [--mode=eager|plan|both]
+//       [--mode=eager|plan|both] [--qps=N] [--deadline-ms=N]
+//       [--reload-dir=DIR]
 //
 // Defaults: 200 req/s for 2 seconds from 2 producers, --mode=both.
+//
+// Overload-resilience knobs (DESIGN.md §13):
+//   --qps=N         named override of the positional rate — push it past
+//                   what one core serves and watch the admission controller
+//                   shed with typed, retryable rejections
+//   --deadline-ms=N per-request deadline; requests that would go stale in
+//                   the queue are dropped before they waste a batch slot
+//   --reload-dir=D  watch D for checkpoints and hot-swap them in under
+//                   live traffic; the demo drops a differently-seeded twin
+//                   checkpoint into D halfway through each run, so the
+//                   post-swap forecasts visibly change mid-load
 
 #include <cstdio>
 #include <cstdlib>
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <filesystem>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -33,8 +46,10 @@
 #include "data/sliding_window.h"
 #include "data/synthetic_traffic.h"
 #include "infer/batching_server.h"
+#include "infer/hot_reload.h"
 #include "infer/session.h"
 #include "metrics/metrics.h"
+#include "train/checkpoint.h"
 
 using namespace d2stgnn;
 
@@ -43,16 +58,84 @@ namespace {
 constexpr int64_t kNodes = 20;
 constexpr int64_t kInputLen = 12;
 
+core::D2StgnnConfig ModelConfig(const data::SyntheticTraffic& traffic) {
+  core::D2StgnnConfig config;
+  config.num_nodes = kNodes;
+  config.input_len = kInputLen;
+  config.output_len = 12;
+  config.hidden_dim = 16;
+  config.embed_dim = 8;
+  config.steps_per_day = traffic.dataset.steps_per_day;
+  return config;
+}
+
+std::unique_ptr<core::D2Stgnn> BuildModel(
+    const data::SyntheticTraffic& traffic, uint64_t seed) {
+  Rng rng(seed);
+  return std::make_unique<core::D2Stgnn>(
+      ModelConfig(traffic), traffic.dataset.network.adjacency, rng);
+}
+
+infer::SessionOptions MakeSessionOptions(
+    const data::SyntheticTraffic& traffic, bool use_plans) {
+  infer::SessionOptions session_options;
+  session_options.num_nodes = kNodes;
+  session_options.input_len = kInputLen;
+  session_options.steps_per_day = traffic.dataset.steps_per_day;
+  session_options.use_plans = use_plans;
+  return session_options;
+}
+
+// Overload-resilience knobs threaded from main into each load run.
+struct LoadConfig {
+  int64_t deadline_us = 0;   // 0 = no deadline
+  std::string reload_dir;    // empty = no hot-reload watcher
+  bool use_plans = false;
+  const data::SyntheticTraffic* traffic = nullptr;
+  const data::StandardScaler* scaler = nullptr;
+};
+
 // Drives the open-loop load against one session and prints its report.
 // Returns false on setup failure.
 bool RunLoad(infer::InferenceSession* session, const char* label,
              const std::vector<infer::ForecastRequest>& ring, double rate_rps,
-             double seconds, int producers) {
+             double seconds, int producers, const LoadConfig& load) {
   infer::BatchingOptions batching;
   batching.max_batch_size = 8;
   batching.max_wait_us = 1000;
   batching.max_queue_depth = 1024;
   infer::BatchingServer server(session, batching);
+
+  // Hot-reload: watch --reload-dir and swap staged checkpoints in while
+  // the producers keep submitting. The demo seeds the directory itself: a
+  // twin model (different weights, same architecture) is checkpointed
+  // halfway through the run, so the swap happens under live traffic.
+  std::unique_ptr<infer::CheckpointReloader> reloader;
+  std::thread checkpoint_dropper;
+  std::string watch_dir;
+  if (!load.reload_dir.empty()) {
+    // Per-mode subdirectory so --mode=both does not replay the eager run's
+    // checkpoint into the plan run at t=0.
+    watch_dir = load.reload_dir + "/" + label;
+    std::filesystem::create_directories(watch_dir);
+    infer::HotReloadOptions reload_options;
+    reload_options.directory = watch_dir;
+    reload_options.poll_interval_ms = 50;
+    const data::SyntheticTraffic& traffic = *load.traffic;
+    reloader = std::make_unique<infer::CheckpointReloader>(
+        &server, [&traffic] { return BuildModel(traffic, 3); }, *load.scaler,
+        MakeSessionOptions(traffic, load.use_plans), reload_options);
+    reloader->Start();
+    checkpoint_dropper = std::thread([&traffic, &watch_dir, seconds] {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(seconds / 2.0));
+      const std::unique_ptr<core::D2Stgnn> twin = BuildModel(traffic, 7);
+      const std::string path = train::CheckpointPathForStep(watch_dir, 1);
+      if (!train::SaveCheckpoint(*twin, path)) {
+        std::fprintf(stderr, "checkpoint drop failed: %s\n", path.c_str());
+      }
+    });
+  }
 
   std::printf("\n[%s] open-loop load: %.0f req/s for %.1f s from %d "
               "producer%s\n",
@@ -73,6 +156,7 @@ bool RunLoad(infer::InferenceSession* session, const char* label,
     bool done = false;
     std::vector<double> latencies_ms;
     int64_t shed = 0;
+    int64_t expired = 0;
   };
   std::vector<ProducerLane> lanes(static_cast<size_t>(producers));
   const auto interval = std::chrono::duration_cast<clock::duration>(
@@ -91,7 +175,9 @@ bool RunLoad(infer::InferenceSession* session, const char* label,
       size_t i = static_cast<size_t>(p);
       while (next < bench_end) {
         std::this_thread::sleep_until(next);
-        InFlight entry{clock::now(), server.Submit(ring[i % ring.size()])};
+        infer::ForecastRequest request = ring[i % ring.size()];
+        request.deadline_us = load.deadline_us;
+        InFlight entry{clock::now(), server.Submit(std::move(request))};
         {
           std::lock_guard<std::mutex> hold(lane.mu);
           lane.pending.push_back(std::move(entry));
@@ -121,8 +207,11 @@ bool RunLoad(infer::InferenceSession* session, const char* label,
               std::chrono::duration<double, std::milli>(clock::now() -
                                                         entry.submitted)
                   .count());
+        } else if (forecast.reason ==
+                   infer::RejectReason::kDeadlineExceeded) {
+          ++lane.expired;  // went stale waiting in the queue
         } else {
-          ++lane.shed;  // "queue full" under overload
+          ++lane.shed;  // typed admission reject under overload
         }
       }
     });
@@ -130,23 +219,28 @@ bool RunLoad(infer::InferenceSession* session, const char* label,
   for (std::thread& t : workers) t.join();
   const double elapsed =
       std::chrono::duration<double>(clock::now() - bench_start).count();
+  if (checkpoint_dropper.joinable()) checkpoint_dropper.join();
+  reloader.reset();  // stop the watcher before the server drains
   server.Shutdown();
 
   std::vector<double> latencies_ms;
   int64_t shed = 0;
+  int64_t expired = 0;
   for (const ProducerLane& lane : lanes) {
     latencies_ms.insert(latencies_ms.end(), lane.latencies_ms.begin(),
                         lane.latencies_ms.end());
     shed += lane.shed;
+    expired += lane.expired;
   }
 
   const metrics::LatencyStats stats =
       metrics::SummarizeLatencies(latencies_ms);
   const infer::BatchingServerStats server_stats = server.stats();
-  std::printf("[%s] served %lld requests in %.2f s (%.1f req/s), %lld shed\n",
+  std::printf("[%s] served %lld requests in %.2f s (%.1f req/s), "
+              "%lld shed, %lld expired\n",
               label, static_cast<long long>(stats.count), elapsed,
               static_cast<double>(stats.count) / elapsed,
-              static_cast<long long>(shed));
+              static_cast<long long>(shed), static_cast<long long>(expired));
   std::printf("[%s] latency: p50 %.3f ms  p95 %.3f ms  p99 %.3f ms  "
               "max %.3f ms\n",
               label, stats.p50, stats.p95, stats.p99, stats.max);
@@ -160,6 +254,23 @@ bool RunLoad(infer::InferenceSession* session, const char* label,
                         static_cast<double>(server_stats.batches)
                   : 0.0,
               static_cast<long long>(server_stats.max_queue_depth_seen));
+  if (server_stats.rejected + server_stats.expired_deadlines > 0) {
+    std::printf("[%s] rejects: %lld queue-full, %lld rate-limited, "
+                "%lld overloaded, %lld low-priority, %lld deadline-expired "
+                "(tier %s)\n",
+                label, static_cast<long long>(server_stats.rejected_queue_full),
+                static_cast<long long>(server_stats.rejected_rate_limited),
+                static_cast<long long>(server_stats.rejected_overloaded),
+                static_cast<long long>(server_stats.rejected_low_priority),
+                static_cast<long long>(server_stats.expired_deadlines),
+                infer::OverloadTierName(server_stats.tier));
+  }
+  if (!watch_dir.empty()) {
+    std::printf("[%s] hot-reload: %lld session swap%s from %s\n", label,
+                static_cast<long long>(server_stats.session_swaps),
+                server_stats.session_swaps == 1 ? "" : "s",
+                watch_dir.c_str());
+  }
   const infer::SessionStats session_stats = session->session_stats();
   if (session_stats.plans_built > 0) {
     std::printf("[%s] plans: %lld built, %lld replays (%lld padded), "
@@ -178,24 +289,8 @@ bool RunLoad(infer::InferenceSession* session, const char* label,
 std::unique_ptr<infer::InferenceSession> BuildSession(
     const data::SyntheticTraffic& traffic, const data::StandardScaler& scaler,
     bool use_plans) {
-  core::D2StgnnConfig config;
-  config.num_nodes = kNodes;
-  config.input_len = kInputLen;
-  config.output_len = 12;
-  config.hidden_dim = 16;
-  config.embed_dim = 8;
-  config.steps_per_day = traffic.dataset.steps_per_day;
-  Rng rng(3);
-  auto model = std::make_unique<core::D2Stgnn>(
-      config, traffic.dataset.network.adjacency, rng);
-
-  infer::SessionOptions session_options;
-  session_options.num_nodes = kNodes;
-  session_options.input_len = kInputLen;
-  session_options.steps_per_day = traffic.dataset.steps_per_day;
-  session_options.use_plans = use_plans;
-  return infer::InferenceSession::Wrap(std::move(model), scaler,
-                                       session_options);
+  return infer::InferenceSession::Wrap(BuildModel(traffic, 3), scaler,
+                                       MakeSessionOptions(traffic, use_plans));
 }
 
 }  // namespace
@@ -205,6 +300,9 @@ int main(int argc, char** argv) {
   double seconds = 2.0;
   int64_t producer_count = 2;
   std::string mode = "both";
+  double qps = 0.0;
+  double deadline_ms = 0.0;
+  std::string reload_dir;
   FlagParser flags("serve_forecasts",
                    "open-loop serving demo against the BatchingServer");
   flags.AddPositionalDouble("rate_rps", &rate_rps,
@@ -215,6 +313,14 @@ int main(int argc, char** argv) {
                          "concurrent request producers (default 2)");
   flags.AddChoice("mode", &mode, {"eager", "plan", "both"},
                   "which dispatch mode(s) to serve");
+  flags.AddDouble("qps", &qps,
+                  "named override of rate_rps (0 = use the positional)");
+  flags.AddDouble("deadline-ms", &deadline_ms,
+                  "per-request deadline in ms (0 = none); stale requests "
+                  "are dropped before dispatch");
+  flags.AddString("reload-dir", &reload_dir,
+                  "watch this directory for checkpoints and hot-swap them "
+                  "in under load (a twin checkpoint is dropped mid-run)");
   if (!flags.Parse(argc, argv)) {
     if (flags.help_requested()) {
       std::fputs(flags.Usage().c_str(), stdout);
@@ -227,9 +333,14 @@ int main(int argc, char** argv) {
   const int producers = static_cast<int>(producer_count);
   const bool run_eager = mode == "eager" || mode == "both";
   const bool run_plan = mode == "plan" || mode == "both";
+  if (qps > 0.0) rate_rps = qps;
   if (rate_rps <= 0.0 || seconds <= 0.0 || producers <= 0) {
     std::fprintf(stderr, "%s: rate_rps, seconds, and producers must be > 0\n",
                  argv[0]);
+    return 1;
+  }
+  if (deadline_ms < 0.0) {
+    std::fprintf(stderr, "%s: --deadline-ms must be >= 0\n", argv[0]);
     return 1;
   }
 
@@ -255,11 +366,19 @@ int main(int argc, char** argv) {
     ring.push_back(std::move(request));
   }
 
+  LoadConfig load;
+  load.deadline_us = static_cast<int64_t>(deadline_ms * 1000.0);
+  load.reload_dir = reload_dir;
+  load.traffic = &traffic;
+  load.scaler = &scaler;
+
   std::unique_ptr<infer::InferenceSession> last_session;
   if (run_eager) {
     auto session = BuildSession(traffic, scaler, /*use_plans=*/false);
     if (session == nullptr) return 1;
-    if (!RunLoad(session.get(), "eager", ring, rate_rps, seconds, producers)) {
+    load.use_plans = false;
+    if (!RunLoad(session.get(), "eager", ring, rate_rps, seconds, producers,
+                 load)) {
       return 1;
     }
     last_session = std::move(session);
@@ -269,7 +388,9 @@ int main(int argc, char** argv) {
     if (session == nullptr) return 1;
     // The BatchingServer warms up sizes 1 and max_batch_size on
     // construction, so the load runs against captured plans from the start.
-    if (!RunLoad(session.get(), "plan", ring, rate_rps, seconds, producers)) {
+    load.use_plans = true;
+    if (!RunLoad(session.get(), "plan", ring, rate_rps, seconds, producers,
+                 load)) {
       return 1;
     }
     last_session = std::move(session);

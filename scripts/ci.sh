@@ -5,9 +5,17 @@
 #   2. ThreadSanitizer    — the execution-layer and tensor tests, to catch
 #      data races in the thread pool and parallel kernels.
 #   3. Inference suite    — the inference session and batching server under
-#      TSan (concurrent submitters), then the smoke serving spec through
+#      TSan (concurrent submitters), plus the overload/admission and
+#      checkpoint hot-reload suites, then the smoke serving spec through
 #      run_experiment, asserting the emitted JSON is schema-versioned and
 #      well-formed.
+#   3b. Chaos smoke       — the overload scenario (specs/smoke_overload.spec)
+#      through the TSan run_experiment with all four serving fault points
+#      scripted (server.admit, server.deadline, server.degrade,
+#      infer.hot_reload). The `timeout` wrapper is the no-deadlock
+#      assertion; the baseline gate asserts deterministic invariants (work
+#      completed, faults fired, the mid-load hot swap landed bitwise) and
+#      never wall-clock throughput, which TSan distorts.
 #   4. Plan replay        — the capture/plan/replay suite under TSan
 #      (level-parallel replays, concurrent plan-serving submitters; the
 #      Release run happened in stage 1, where the plan-vs-eager latency
@@ -59,9 +67,10 @@ ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
 
 echo "=== Inference suite: batching server under TSan + serving smoke ==="
 cmake --build build-tsan -j "$(nproc)" \
-  --target infer_server_test infer_session_test
+  --target infer_server_test infer_session_test overload_test hot_reload_test
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R 'InferServer|InferSession' --no-tests=error
+  -R 'InferServer|InferSession|RejectReason|Admission|Overload|Backoff|HotReload' \
+  --no-tests=error
 cmake --build build -j "$(nproc)" --target run_experiment
 smoke_out="build/experiment-smoke"
 rm -rf "$smoke_out"
@@ -91,6 +100,38 @@ assert summary["bitwise_identical"] == 1
 print("BENCH_smoke_serving.json well-formed:", len(records), "records")
 EOF
 
+echo "=== Chaos smoke: overload scenario under TSan with scripted faults ==="
+cmake --build build-tsan -j "$(nproc)" --target run_experiment
+chaos_out="build-tsan/chaos-smoke"
+rm -rf "$chaos_out"
+mkdir -p "$chaos_out"
+# The timeout is the no-deadlock assertion: a stuck dispatcher, a promise
+# that never resolves, or a reloader that can't join its watcher all hang
+# the run instead of failing its gates. Generous bound — TSan is ~10x slow.
+timeout 900 build-tsan/tools/run_experiment --out-dir "$chaos_out" \
+  specs/smoke_overload.spec > /dev/null
+python3 - "$chaos_out/BENCH_smoke_overload.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1
+assert doc["kind"] == "serving"
+records = doc["records"]
+assert records, "BENCH_smoke_overload.json has no records"
+for r in records:
+    assert r["mode"] == "overload", r
+    assert r["completed"] + r["shed"] + r["expired"] <= r["requests"], r
+    assert r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"], r
+summary = doc["summary"]
+assert summary["overload_completed"] >= 1, summary
+assert summary["hot_swaps"] >= 1, summary
+assert summary["post_swap_bitwise"] == 1, summary
+assert summary["faults_armed"] >= 4, summary
+assert summary["faults_fired"] >= summary["faults_armed"], summary
+print("chaos smoke survived:", summary["overload_completed"],
+      "completed,", summary["faults_fired"], "faults fired,",
+      summary["hot_swaps"], "hot swap(s)")
+EOF
+
 echo "=== Plan replay: exec suite under TSan + canonical bench JSONs ==="
 cmake --build build-tsan -j "$(nproc)" --target exec_plan_test
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
@@ -109,7 +150,7 @@ serving_doc = json.load(open(sys.argv[1]))
 assert serving_doc["schema_version"] == 1
 modes = {r["mode"] for r in serving_doc["records"]}
 assert modes == {"session-eager", "session-plan", "server",
-                 "eager", "plan"}, modes
+                 "eager", "plan", "overload"}, modes
 for r in serving_doc["records"]:
     assert r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"], r
 summary = serving_doc["summary"]

@@ -205,6 +205,9 @@ const std::vector<ServingScenario>& ServingScenarios() {
       {"server", "BatchingServer under closed-loop concurrent producers"},
       {"parity",
        "plan vs eager A/B on single requests with a bitwise-equality check"},
+      {"overload",
+       "open-loop producers past saturation: deadlines, admission control, "
+       "degrade tiers, checkpoint hot-swap, scripted chaos faults"},
   };
   return kScenarios;
 }

@@ -1,8 +1,17 @@
 #include "experiment/runner.h"
 
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <filesystem>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -17,8 +26,12 @@
 #include "experiment/registry.h"
 #include "experiment/regression_gate.h"
 #include "graph/sensor_graph.h"
+#include "common/fault_injection.h"
 #include "infer/batching_server.h"
+#include "infer/hot_reload.h"
+#include "infer/retry.h"
 #include "infer/session.h"
+#include "train/checkpoint.h"
 #include "metrics/metrics.h"
 #include "train/evaluator.h"
 
@@ -83,6 +96,18 @@ struct ServingConfig {
   int64_t parity_iters = 200;
   int64_t max_batch_size = 8;
   int64_t max_wait_us = 500;
+  int64_t max_queue_depth = 64;
+  // [overload] — the open-loop past-saturation scenario.
+  double overload_factor = 2.0;   ///< offered load as a multiple of saturation
+  int64_t overload_windows = 4;   ///< trajectory resolution
+  int64_t window_ms = 250;
+  int64_t deadline_ms = 0;        ///< 0: auto (5x the measured batch latency)
+  int64_t low_priority_every = 4; ///< every Nth request is shed class kLow
+  double overload_rate_rps = 0.0; ///< token-bucket limit (0: off)
+  int64_t shed_latency_ms = 0;    ///< EWMA shed budget (0: off)
+  bool hot_swap = true;           ///< stage + swap a checkpoint mid-run
+  // [chaos] — "point@offset" scripts armed for the run (kErrno, one-shot).
+  std::vector<std::string> chaos_faults;
 };
 
 ServingConfig ParseServingConfig(const Spec& spec) {
@@ -113,6 +138,21 @@ ServingConfig ParseServingConfig(const Spec& spec) {
   c.max_batch_size =
       spec.GetInt("serving", "max_batch_size", c.max_batch_size);
   c.max_wait_us = spec.GetInt("serving", "max_wait_us", c.max_wait_us);
+  c.max_queue_depth =
+      spec.GetInt("serving", "max_queue_depth", c.max_queue_depth);
+  c.overload_factor = spec.GetDouble("overload", "factor", c.overload_factor);
+  c.overload_windows =
+      spec.GetInt("overload", "windows", c.overload_windows);
+  c.window_ms = spec.GetInt("overload", "window_ms", c.window_ms);
+  c.deadline_ms = spec.GetInt("overload", "deadline_ms", c.deadline_ms);
+  c.low_priority_every =
+      spec.GetInt("overload", "low_priority_every", c.low_priority_every);
+  c.overload_rate_rps =
+      spec.GetDouble("overload", "rate_rps", c.overload_rate_rps);
+  c.shed_latency_ms =
+      spec.GetInt("overload", "shed_latency_ms", c.shed_latency_ms);
+  c.hot_swap = spec.GetInt("overload", "hot_swap", c.hot_swap ? 1 : 0) != 0;
+  c.chaos_faults = spec.GetList("chaos", "faults");
   return c;
 }
 
@@ -343,8 +383,10 @@ ServingWorkload BuildServingWorkload(const ServingConfig& config) {
   return w;
 }
 
-std::unique_ptr<infer::InferenceSession> BuildServingSession(
-    const ServingWorkload& w, const ServingConfig& config, bool use_plans) {
+/// A fresh served model with weights drawn from `seed` (the hot-reload
+/// factory rebuilds this architecture for every staged checkpoint).
+std::unique_ptr<train::ForecastingModel> BuildServingModel(
+    const ServingWorkload& w, const ServingConfig& config, uint64_t seed) {
   core::D2StgnnConfig model_config;
   model_config.num_nodes = config.num_nodes;
   model_config.input_len = config.input_len;
@@ -354,17 +396,27 @@ std::unique_ptr<infer::InferenceSession> BuildServingSession(
   model_config.num_layers = config.num_layers;
   model_config.num_heads = config.num_heads;
   model_config.steps_per_day = w.traffic.dataset.steps_per_day;
-  Rng rng(config.model_seed);
-  auto model = std::make_unique<core::D2Stgnn>(
+  Rng rng(seed);
+  return std::make_unique<core::D2Stgnn>(
       model_config, w.traffic.dataset.network.adjacency, rng);
+}
 
+infer::SessionOptions ServingSessionOptions(const ServingWorkload& w,
+                                            const ServingConfig& config,
+                                            bool use_plans) {
   infer::SessionOptions session_options;
   session_options.num_nodes = config.num_nodes;
   session_options.input_len = config.input_len;
   session_options.steps_per_day = w.traffic.dataset.steps_per_day;
   session_options.use_plans = use_plans;
-  return infer::InferenceSession::Wrap(std::move(model), w.scaler,
-                                       session_options);
+  return session_options;
+}
+
+std::unique_ptr<infer::InferenceSession> BuildServingSession(
+    const ServingWorkload& w, const ServingConfig& config, bool use_plans) {
+  return infer::InferenceSession::Wrap(
+      BuildServingModel(w, config, config.model_seed), w.scaler,
+      ServingSessionOptions(w, config, use_plans));
 }
 
 json::Value ServingRecord(const std::string& scenario,
@@ -540,6 +592,362 @@ bool SweepParity(infer::InferenceSession* plan_session,
          time_one(plan_session, "plan", plan_p50);
 }
 
+/// Open-loop producers past saturation: the closed-loop overload scenario
+/// of DESIGN.md §13. Offered load is a multiple of the *measured* serving
+/// rate (self-calibrating, so the same spec saturates under a sanitizer
+/// too), every request carries a deadline, every Nth is low priority, the
+/// scripted chaos faults fire mid-run, and a checkpoint hot-swap lands
+/// while the server is shedding. Emits one record per time window — the
+/// shed-rate / deadline-miss / p99 trajectory — plus run-level summaries.
+bool SweepOverload(const ServingConfig& c, const ServingWorkload& w,
+                   int64_t threads, MetricsSink* sink, std::string* error) {
+  SetNumThreads(static_cast<int>(threads));
+  using clock = std::chrono::steady_clock;
+
+  // The server takes shared ownership: a mid-run SwapSession retires this
+  // session once the last in-flight batch lets go of it.
+  std::shared_ptr<infer::InferenceSession> session(
+      BuildServingSession(w, c, /*use_plans=*/true).release());
+  if (session == nullptr) {
+    *error = "failed to build the overload inference session";
+    return false;
+  }
+
+  // Calibrate: measure the saturated serving rate at the max batch size.
+  session->Warmup(c.max_batch_size, /*runs=*/2);
+  std::vector<infer::ForecastRequest> calibration_batch;
+  for (int64_t i = 0; i < c.max_batch_size; ++i) {
+    calibration_batch.push_back(w.ring[static_cast<size_t>(i) % w.ring.size()]);
+  }
+  constexpr int64_t kCalibrationIters = 5;
+  const auto calibration_start = clock::now();
+  for (int64_t i = 0; i < kCalibrationIters; ++i) {
+    for (const infer::Forecast& f : session->PredictRequests(calibration_batch)) {
+      if (!f.ok) {
+        *error = "overload calibration forward failed: " + f.error;
+        return false;
+      }
+    }
+  }
+  const double calibration_s =
+      std::chrono::duration<double>(clock::now() - calibration_start).count();
+  const double saturation_rps =
+      static_cast<double>(kCalibrationIters * c.max_batch_size) /
+      std::max(calibration_s, 1e-9);
+  const double offered_rps =
+      std::max(1.0, saturation_rps * c.overload_factor);
+  const double batch_us = calibration_s * 1e6 / kCalibrationIters;
+  const int64_t deadline_us =
+      c.deadline_ms > 0 ? c.deadline_ms * 1000
+                        : std::max<int64_t>(5000,
+                                            static_cast<int64_t>(5 * batch_us));
+
+  // Arm the chaos scripts ("point@offset", kErrno, one-shot) for this run.
+  int64_t faults_armed = 0;
+  for (const std::string& entry : c.chaos_faults) {
+    fault::FaultScript script;
+    script.kind = fault::FaultKind::kErrno;
+    std::string point = entry;
+    const size_t at = entry.find('@');
+    if (at != std::string::npos) {
+      point = entry.substr(0, at);
+      script.trigger_offset = std::strtoll(entry.c_str() + at + 1, nullptr, 10);
+    }
+    fault::ArmFaultPoint(point, script);
+    ++faults_armed;
+  }
+
+  infer::BatchingOptions options;
+  options.max_batch_size = c.max_batch_size;
+  options.max_wait_us = c.max_wait_us;
+  options.max_queue_depth = c.max_queue_depth;
+  options.admission.rate_rps = c.overload_rate_rps;
+  options.admission.shed_latency_us = c.shed_latency_ms * 1000;
+  infer::BatchingServer server(session, options);
+
+  // Hot-reload plumbing: twin weights (model_seed + 1) are checkpointed
+  // into a private watch directory one window into the run. The bitwise
+  // reference comes from an identically-seeded twin session.
+  std::unique_ptr<infer::CheckpointReloader> reloader;
+  std::unique_ptr<train::ForecastingModel> swap_model;
+  std::vector<float> swap_reference;
+  std::filesystem::path watch_dir;
+  if (c.hot_swap) {
+    const uint64_t swap_seed = c.model_seed + 1;
+    auto reference_session = infer::InferenceSession::Wrap(
+        BuildServingModel(w, c, swap_seed), w.scaler,
+        ServingSessionOptions(w, c, /*use_plans=*/true));
+    if (reference_session == nullptr) {
+      *error = "failed to build the hot-swap reference session";
+      return false;
+    }
+    const infer::Forecast reference = reference_session->PredictOne(w.ring[0]);
+    if (!reference.ok) {
+      *error = "hot-swap reference forward failed: " + reference.error;
+      return false;
+    }
+    swap_reference = reference.values;
+    swap_model = BuildServingModel(w, c, swap_seed);  // saved mid-run
+
+    watch_dir = std::filesystem::temp_directory_path() /
+                ("d2stgnn_overload_" + std::to_string(::getpid()) + "_t" +
+                 std::to_string(threads));
+    std::error_code ec;
+    std::filesystem::remove_all(watch_dir, ec);
+    std::filesystem::create_directories(watch_dir, ec);
+    infer::HotReloadOptions reload_options;
+    reload_options.directory = watch_dir.string();
+    reload_options.poll_interval_ms = std::max<int64_t>(10, c.window_ms / 10);
+    reloader = std::make_unique<infer::CheckpointReloader>(
+        &server, [&w, &c] { return BuildServingModel(w, c, c.model_seed); },
+        w.scaler, ServingSessionOptions(w, c, /*use_plans=*/true),
+        reload_options);
+    reloader->Start();
+  }
+
+  // Open-loop producers: each submits on its own fixed cadence regardless
+  // of completions (that is what makes shedding observable), a paired
+  // harvester resolves the futures in FIFO order and timestamps them.
+  struct Outstanding {
+    std::future<infer::Forecast> future;
+    clock::time_point submitted;
+    int64_t window = 0;
+  };
+  struct Sample {
+    int64_t window = 0;
+    bool ok = false;
+    infer::RejectReason reason = infer::RejectReason::kNone;
+    double latency_ms = 0.0;
+  };
+  struct Channel {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Outstanding> pending;
+    bool done = false;
+    std::vector<Sample> samples;
+  };
+
+  const int64_t producers = std::max<int64_t>(1, c.producers);
+  const double period_s = static_cast<double>(producers) / offered_rps;
+  const auto run_start = clock::now();
+  const auto run_end =
+      run_start + std::chrono::milliseconds(c.overload_windows * c.window_ms);
+  std::vector<std::unique_ptr<Channel>> channels;
+  for (int64_t p = 0; p < producers; ++p) {
+    channels.push_back(std::make_unique<Channel>());
+  }
+  std::atomic<int64_t> sequence{0};
+
+  std::vector<std::thread> workers;
+  for (int64_t p = 0; p < producers; ++p) {
+    Channel* channel = channels[static_cast<size_t>(p)].get();
+    workers.emplace_back([&, p, channel] {
+      auto next = run_start + std::chrono::duration_cast<clock::duration>(
+                                  std::chrono::duration<double>(
+                                      period_s * static_cast<double>(p) /
+                                      static_cast<double>(producers)));
+      while (next < run_end) {
+        std::this_thread::sleep_until(next);
+        const auto now = clock::now();
+        if (now >= run_end) break;
+        const int64_t seq = sequence.fetch_add(1);
+        infer::ForecastRequest request =
+            w.ring[static_cast<size_t>(seq) % w.ring.size()];
+        request.deadline_us = deadline_us;
+        if (c.low_priority_every > 0 &&
+            seq % c.low_priority_every == c.low_priority_every - 1) {
+          request.priority = infer::RequestPriority::kLow;
+        }
+        Outstanding out;
+        out.submitted = now;
+        out.window = std::min<int64_t>(
+            c.overload_windows - 1,
+            std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                                  run_start)
+                    .count() /
+                c.window_ms);
+        out.future = server.Submit(std::move(request));
+        {
+          std::lock_guard<std::mutex> lock(channel->mu);
+          channel->pending.push_back(std::move(out));
+        }
+        channel->cv.notify_one();
+        next += std::chrono::duration_cast<clock::duration>(
+            std::chrono::duration<double>(period_s));
+      }
+      {
+        std::lock_guard<std::mutex> lock(channel->mu);
+        channel->done = true;
+      }
+      channel->cv.notify_one();
+    });
+    workers.emplace_back([channel] {
+      for (;;) {
+        Outstanding out;
+        {
+          std::unique_lock<std::mutex> lock(channel->mu);
+          channel->cv.wait(lock, [channel] {
+            return channel->done || !channel->pending.empty();
+          });
+          if (channel->pending.empty()) return;  // done and drained
+          out = std::move(channel->pending.front());
+          channel->pending.pop_front();
+        }
+        const infer::Forecast forecast = out.future.get();
+        Sample sample;
+        sample.window = out.window;
+        sample.ok = forecast.ok;
+        sample.reason = forecast.reason;
+        sample.latency_ms = std::chrono::duration<double, std::milli>(
+                                clock::now() - out.submitted)
+                                .count();
+        std::lock_guard<std::mutex> lock(channel->mu);
+        channel->samples.push_back(sample);
+      }
+    });
+  }
+
+  // Main thread: drop the hot-swap checkpoint one window in, and track the
+  // worst degradation tier while the run progresses.
+  infer::OverloadTier max_tier = infer::OverloadTier::kNormal;
+  bool checkpoint_dropped = false;
+  while (clock::now() < run_end) {
+    if (!checkpoint_dropped && swap_model != nullptr &&
+        clock::now() >= run_start + std::chrono::milliseconds(c.window_ms)) {
+      train::SaveCheckpoint(
+          *swap_model, train::CheckpointPathForStep(watch_dir.string(), 1));
+      checkpoint_dropped = true;
+    }
+    max_tier = std::max(max_tier, server.stats().tier);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!checkpoint_dropped && swap_model != nullptr) {
+    train::SaveCheckpoint(
+        *swap_model, train::CheckpointPathForStep(watch_dir.string(), 1));
+  }
+  for (std::thread& t : workers) t.join();
+  max_tier = std::max(max_tier, server.stats().tier);
+
+  // The swap must land (the reloader retries through injected faults) and
+  // the post-swap forecast must be bitwise the twin reference.
+  int64_t hot_swaps = 0;
+  int64_t post_swap_bitwise = -1;
+  if (reloader != nullptr) {
+    const auto swap_deadline = clock::now() + std::chrono::seconds(60);
+    while (reloader->stats().swaps == 0 && clock::now() < swap_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    hot_swaps = reloader->stats().swaps;
+    if (hot_swaps > 0) {
+      infer::RetryPolicy policy;
+      policy.max_attempts = 16;
+      policy.initial_backoff_us = 5000;
+      policy.jitter_seed = c.workload_seed;
+      const infer::RetryResult probe =
+          infer::SubmitWithRetry(&server, w.ring[0], policy);
+      post_swap_bitwise =
+          probe.forecast.ok && probe.forecast.values == swap_reference ? 1 : 0;
+    } else {
+      post_swap_bitwise = 0;
+    }
+    reloader->Stop();
+  }
+  server.Shutdown();
+  const infer::BatchingServerStats server_stats = server.stats();
+  const int64_t faults_fired = fault::FaultFireCount();
+  fault::DisarmAllFaultPoints();
+  if (reloader != nullptr) {
+    std::error_code ec;
+    std::filesystem::remove_all(watch_dir, ec);
+  }
+
+  // Per-window trajectory records.
+  struct WindowAgg {
+    int64_t offered = 0, completed = 0, shed = 0, expired = 0;
+    std::vector<double> latencies_ms;
+  };
+  std::vector<WindowAgg> window_aggs(static_cast<size_t>(c.overload_windows));
+  int64_t total_offered = 0, total_completed = 0, total_shed = 0,
+          total_expired = 0;
+  for (const std::unique_ptr<Channel>& channel : channels) {
+    for (const Sample& sample : channel->samples) {
+      WindowAgg& agg = window_aggs[static_cast<size_t>(sample.window)];
+      ++agg.offered;
+      if (sample.ok) {
+        ++agg.completed;
+        agg.latencies_ms.push_back(sample.latency_ms);
+      } else if (sample.reason == infer::RejectReason::kDeadlineExceeded) {
+        ++agg.expired;
+      } else {
+        ++agg.shed;
+      }
+    }
+  }
+  const double window_s = static_cast<double>(c.window_ms) / 1000.0;
+  double max_p99_ms = 0.0;
+  for (int64_t i = 0; i < c.overload_windows; ++i) {
+    const WindowAgg& agg = window_aggs[static_cast<size_t>(i)];
+    total_offered += agg.offered;
+    total_completed += agg.completed;
+    total_shed += agg.shed;
+    total_expired += agg.expired;
+    const metrics::LatencyStats latency =
+        metrics::SummarizeLatencies(agg.latencies_ms);
+    max_p99_ms = std::max(max_p99_ms, latency.p99);
+    const double denom = static_cast<double>(std::max<int64_t>(agg.offered, 1));
+    json::Value record = ServingRecord(
+        "overload", "overload", threads, c.max_batch_size, agg.offered,
+        latency,
+        static_cast<double>(agg.completed) / std::max(window_s, 1e-9));
+    record.Set("window", json::Value::Int(i));
+    record.Set("completed", json::Value::Int(agg.completed));
+    record.Set("shed", json::Value::Int(agg.shed));
+    record.Set("expired", json::Value::Int(agg.expired));
+    record.Set("shed_rate",
+               json::Value::Number(static_cast<double>(agg.shed) / denom));
+    record.Set("deadline_miss_rate",
+               json::Value::Number(static_cast<double>(agg.expired) / denom));
+    sink->AddRecord(std::move(record));
+  }
+
+  const double total_denom =
+      static_cast<double>(std::max<int64_t>(total_offered, 1));
+  sink->SetSummary("saturation_rps", json::Value::Number(saturation_rps));
+  sink->SetSummary("offered_rps", json::Value::Number(offered_rps));
+  sink->SetSummary("overload_shed_rate",
+                   json::Value::Number(static_cast<double>(total_shed) /
+                                       total_denom));
+  sink->SetSummary("overload_deadline_miss_rate",
+                   json::Value::Number(static_cast<double>(total_expired) /
+                                       total_denom));
+  sink->SetSummary("overload_completed", json::Value::Int(total_completed));
+  sink->SetSummary("overload_max_p99_ms", json::Value::Number(max_p99_ms));
+  sink->SetSummary("hot_swaps", json::Value::Int(hot_swaps));
+  sink->SetSummary("post_swap_bitwise", json::Value::Int(post_swap_bitwise));
+  sink->SetSummary("faults_armed", json::Value::Int(faults_armed));
+  sink->SetSummary("faults_fired", json::Value::Int(faults_fired));
+  sink->SetSummary("max_tier",
+                   json::Value::Str(infer::OverloadTierName(max_tier)));
+  sink->SetSummary("degrade_transitions",
+                   json::Value::Int(server_stats.degrade_transitions));
+  sink->SetSummary("session_swaps",
+                   json::Value::Int(server_stats.session_swaps));
+
+  if (total_completed == 0) {
+    *error = "overload run completed zero requests";
+    return false;
+  }
+  if (c.hot_swap && hot_swaps == 0) {
+    *error = "overload run never hot-swapped the staged checkpoint";
+    return false;
+  }
+  if (c.hot_swap && post_swap_bitwise != 1) {
+    *error = "post-swap forecast is not bitwise equal to the staged weights";
+    return false;
+  }
+  return true;
+}
+
 bool RunServing(const ServingConfig& config, MetricsSink* sink,
                 std::string* error) {
   const ServingWorkload w = BuildServingWorkload(config);
@@ -587,6 +995,13 @@ bool RunServing(const ServingConfig& config, MetricsSink* sink,
       for (const int64_t threads : config.threads) {
         if (!SweepServer(plan_session.get(), config, w, threads, sink,
                          error)) {
+          ok = false;
+          break;
+        }
+      }
+    } else if (scenario == "overload") {
+      for (const int64_t threads : config.threads) {
+        if (!SweepOverload(config, w, threads, sink, error)) {
           ok = false;
           break;
         }

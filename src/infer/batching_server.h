@@ -6,13 +6,15 @@
 #include <cstdint>
 #include <deque>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "infer/overload.h"
 #include "infer/session.h"
 
-// Micro-batching request server (DESIGN.md §9).
+// Micro-batching request server (DESIGN.md §9, §13).
 //
 // Concurrent producers Submit() single-window requests and get futures; a
 // dispatcher thread coalesces queued requests into batches and runs them
@@ -25,50 +27,94 @@
 //     max_wait_us (timeout flush), so sparse traffic is never stalled
 //     waiting for a batch that will not fill.
 //
-// Backpressure: the queue is bounded by max_queue_depth; Submit fails fast
-// with an error Forecast ("queue full") instead of buffering unboundedly —
-// callers see overload immediately and can shed or retry.
+// Overload resilience (DESIGN.md §13):
+//
+//   * Admission — every Submit passes an AdmissionController (bounded
+//     queue, optional token bucket, optional EWMA-latency shed). Rejections
+//     are *typed*: the Forecast carries a RejectReason, a retry_after_us
+//     backoff hint, and an error string with the rejection context (queue
+//     depth, active batch size). See infer/retry.h for the client side.
+//   * Deadlines — a request's deadline_us budget is stamped at Submit;
+//     a request still queued past its budget is dropped before dispatch
+//     (kDeadlineExceeded) and never pads a batch.
+//   * Degradation — an OverloadGovernor maps queue pressure to tiers:
+//     kDegraded shrinks the flush timer, kCapped also caps batches at the
+//     largest planned size (every dispatch replays a plan), kShedding also
+//     refuses low-priority requests. Recovery is hysteretic.
+//   * Hot reload — SwapSession atomically replaces the served session;
+//     the in-flight batch finishes on the old weights (it holds its own
+//     reference), every later batch runs on the new ones. Driven by
+//     infer/hot_reload.h.
 //
 // Shutdown is graceful: every accepted request's future is resolved — with
-// its prediction when draining (the default), with ok=false / "cancelled"
-// otherwise. Submit after shutdown resolves immediately with "shutting
-// down".
+// its prediction when draining (the default), with ok=false / kCancelled
+// otherwise. Submit after shutdown resolves immediately as kShuttingDown.
 
 namespace d2stgnn::infer {
 
-/// Coalescing and backpressure knobs.
+/// Coalescing, backpressure, and overload knobs.
 struct BatchingOptions {
   /// Largest batch one forward serves (also the warm-up size).
   int64_t max_batch_size = 8;
   /// Longest a queued request may wait for its batch to fill before a
-  /// partial batch is flushed.
+  /// partial batch is flushed (shrunk under degradation, see `degrade`).
   int64_t max_wait_us = 2000;
-  /// Submit rejects once this many requests are queued (<= 0: unbounded).
+  /// Submit rejects once this many requests are queued (<= 0: unbounded;
+  /// this also disables the queue-pressure degrade tiers).
   int64_t max_queue_depth = 4096;
   /// Run session warm-up forwards at batch sizes 1 and max_batch_size on
-  /// construction, so the first real requests already hit the buffer pool.
+  /// construction (and on every SwapSession), so the first real requests
+  /// already hit captured plans and the buffer pool.
   bool warmup = true;
+  /// Admission gate in front of the queue (rate limit, latency shed).
+  AdmissionOptions admission;
+  /// Degradation-tier watermarks and hysteresis.
+  DegradeOptions degrade;
+  /// max_wait_us divisor at tier kDegraded (and a further 2x at kCapped+).
+  int64_t degraded_wait_divisor = 4;
 };
 
 /// Counters describing server traffic (a consistent snapshot).
 struct BatchingServerStats {
   int64_t submitted = 0;        ///< accepted into the queue
-  int64_t rejected = 0;         ///< refused at Submit (full / shutting down)
+  int64_t rejected = 0;         ///< refused at Submit (sum of rejected_*)
   int64_t completed = 0;        ///< resolved with a session result
-  int64_t cancelled = 0;        ///< resolved with "cancelled" at shutdown
+  int64_t cancelled = 0;        ///< resolved kCancelled at shutdown
   int64_t batches = 0;          ///< dispatched forwards
-  int64_t full_flushes = 0;     ///< batches flushed at max_batch_size
+  int64_t full_flushes = 0;     ///< batches flushed at the batch cap
   int64_t timeout_flushes = 0;  ///< batches flushed by the max-wait timer
   int64_t shutdown_flushes = 0; ///< batches flushed while draining
   int64_t max_queue_depth_seen = 0;
+
+  // Typed shed accounting (DESIGN.md §13). `rejected` is their sum.
+  int64_t rejected_bad_request = 0;
+  int64_t rejected_queue_full = 0;
+  int64_t rejected_rate_limited = 0;
+  int64_t rejected_overloaded = 0;    ///< EWMA shed + injected admit faults
+  int64_t rejected_low_priority = 0;  ///< kShedding tier refusals
+  int64_t rejected_shutdown = 0;
+  /// Accepted requests dropped in the queue when their deadline passed
+  /// (never dispatched; not part of `rejected`).
+  int64_t expired_deadlines = 0;
+
+  OverloadTier tier = OverloadTier::kNormal;  ///< current degrade tier
+  int64_t degrade_transitions = 0;            ///< tier changes so far
+  int64_t session_swaps = 0;                  ///< successful SwapSession calls
+  double ewma_request_us = 0.0;  ///< smoothed per-request service time
 };
 
-/// The dispatcher + bounded queue around one InferenceSession.
+/// The dispatcher + admission gate + bounded queue around one (swappable)
+/// InferenceSession.
 class BatchingServer {
  public:
   /// Borrows `session` (must outlive the server) and starts the dispatcher
   /// thread.
   BatchingServer(InferenceSession* session, const BatchingOptions& options);
+
+  /// Shares ownership of `session` — required when SwapSession will retire
+  /// it mid-flight.
+  BatchingServer(std::shared_ptr<InferenceSession> session,
+                 const BatchingOptions& options);
 
   /// Graceful drain-and-join (Shutdown(true)).
   ~BatchingServer();
@@ -77,39 +123,71 @@ class BatchingServer {
   BatchingServer& operator=(const BatchingServer&) = delete;
 
   /// Enqueues one request. The future always becomes ready: with a
-  /// prediction, a validation error, "queue full", "shutting down", or
-  /// "cancelled". Malformed requests are rejected here, before queuing.
+  /// prediction, or with ok=false and a typed RejectReason (malformed
+  /// request, admission rejection, expired deadline, shutdown). Malformed
+  /// requests are rejected here, before queuing.
   std::future<Forecast> Submit(ForecastRequest request);
+
+  /// Atomically replaces the served session (checkpoint hot-reload). The
+  /// in-flight batch finishes on the old session — it holds a reference —
+  /// and every batch dispatched after this call runs on `next`. When
+  /// options().warmup is set, `next` is warmed (plans captured + verified)
+  /// *before* the swap, so the first post-swap batch replays a warm plan.
+  void SwapSession(std::shared_ptr<InferenceSession> next);
+
+  /// The currently served session (callers may briefly outlive a swap).
+  std::shared_ptr<InferenceSession> session() const;
 
   /// Stops accepting requests and joins the dispatcher. drain=true serves
   /// everything already queued (in max_batch_size chunks, without waiting
-  /// on the flush timer); drain=false resolves queued requests as
-  /// "cancelled". Idempotent; the first call's drain mode wins.
+  /// on the flush timer; expired requests still miss their deadline);
+  /// drain=false resolves queued requests as kCancelled. Idempotent; the
+  /// first call's drain mode wins.
   void Shutdown(bool drain = true);
 
   /// Requests currently queued (waiting for a batch).
   int64_t QueueDepth() const;
 
   BatchingServerStats stats() const;
+  const BatchingOptions& options() const { return options_; }
 
  private:
   struct Pending {
     ForecastRequest request;
     std::promise<Forecast> promise;
     std::chrono::steady_clock::time_point enqueued;
+    /// Absolute deadline (stamped at Submit); meaningful iff has_deadline.
+    std::chrono::steady_clock::time_point deadline;
+    bool has_deadline = false;
   };
 
   void DispatcherLoop();
 
-  InferenceSession* session_;
+  /// Warms `session` at batch sizes 1 and max, and returns its largest
+  /// planned batch size (0 when plans are off / capture failed).
+  int64_t WarmAndPlanCap(InferenceSession* session) const;
+
+  /// Moves every expired entry out of the queue. Requires mu_ held; the
+  /// caller resolves the returned entries without the lock.
+  std::deque<Pending> TakeExpiredLocked(
+      std::chrono::steady_clock::time_point now);
+
+  /// Builds the rejected future and counts it under mu_ (taken inside).
+  std::future<Forecast> Reject(RejectReason reason, std::string error,
+                               int64_t retry_after_us);
+
   BatchingOptions options_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  std::shared_ptr<InferenceSession> session_;  ///< guarded by mu_
+  int64_t plan_cap_ = 0;  ///< largest planned batch size of session_
   std::deque<Pending> queue_;
   bool shutdown_ = false;
   bool drain_ = true;
   BatchingServerStats stats_;
+  AdmissionController admission_;
+  OverloadGovernor governor_;
 
   std::thread dispatcher_;
 };

@@ -1,0 +1,181 @@
+#include "infer/overload.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "common/fault_injection.h"
+
+namespace d2stgnn::infer {
+
+const char* RejectReasonName(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kNone: return "none";
+    case RejectReason::kBadRequest: return "bad_request";
+    case RejectReason::kQueueFull: return "queue_full";
+    case RejectReason::kRateLimited: return "rate_limited";
+    case RejectReason::kOverloaded: return "overloaded";
+    case RejectReason::kShedLowPriority: return "shed_low_priority";
+    case RejectReason::kDeadlineExceeded: return "deadline_exceeded";
+    case RejectReason::kShuttingDown: return "shutting_down";
+    case RejectReason::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+bool IsRetryableReject(RejectReason reason) {
+  switch (reason) {
+    case RejectReason::kQueueFull:
+    case RejectReason::kRateLimited:
+    case RejectReason::kOverloaded:
+    case RejectReason::kShedLowPriority:
+      return true;
+    default:
+      return false;
+  }
+}
+
+AdmissionController::AdmissionController(const AdmissionOptions& options)
+    : options_(options) {
+  D2_CHECK_GT(options_.ewma_alpha, 0.0);
+  D2_CHECK_LE(options_.ewma_alpha, 1.0);
+  if (options_.rate_rps > 0.0) {
+    burst_ = options_.burst > 0.0 ? options_.burst
+                                  : std::max(options_.rate_rps, 1.0);
+    tokens_ = burst_;  // a bucket starts full: bursts up to `burst_` pass
+  }
+}
+
+AdmissionDecision AdmissionController::Admit(int64_t queue_depth,
+                                             int64_t queue_capacity,
+                                             Clock::time_point now) {
+  AdmissionDecision decision;
+
+  // Estimated time for the dispatcher to work off the current queue — the
+  // retry hint for depth-shaped rejections. Before any batch has been
+  // observed, fall back to a millisecond so hints are never zero.
+  const double per_request_us =
+      ewma_request_us_ > 0.0 ? ewma_request_us_ : 1000.0;
+
+  // 1. Hard queue bound.
+  if (queue_capacity > 0 && queue_depth >= queue_capacity) {
+    decision.admitted = false;
+    decision.reason = RejectReason::kQueueFull;
+    decision.retry_after_us = static_cast<int64_t>(
+        per_request_us * static_cast<double>(std::max<int64_t>(queue_depth, 1)));
+    return decision;
+  }
+
+  // 2. Token bucket. Refill from elapsed wall time, then spend one token
+  // per admitted request.
+  if (options_.rate_rps > 0.0) {
+    if (!bucket_primed_) {
+      bucket_primed_ = true;
+      last_refill_ = now;
+    }
+    const double elapsed_s =
+        std::chrono::duration<double>(now - last_refill_).count();
+    if (elapsed_s > 0.0) {
+      tokens_ = std::min(burst_, tokens_ + elapsed_s * options_.rate_rps);
+      last_refill_ = now;
+    }
+    if (tokens_ < 1.0) {
+      decision.admitted = false;
+      decision.reason = RejectReason::kRateLimited;
+      decision.retry_after_us = static_cast<int64_t>(
+          (1.0 - tokens_) / options_.rate_rps * 1e6) + 1;
+      return decision;
+    }
+    tokens_ -= 1.0;
+  }
+
+  // 3. EWMA-latency shed: once the smoothed service time blows the budget,
+  // refuse new arrivals until dispatched batches pull it back down.
+  if (options_.shed_latency_us > 0 &&
+      ewma_request_us_ > static_cast<double>(options_.shed_latency_us)) {
+    decision.admitted = false;
+    decision.reason = RejectReason::kOverloaded;
+    decision.retry_after_us = static_cast<int64_t>(
+        ewma_request_us_ - static_cast<double>(options_.shed_latency_us)) +
+        static_cast<int64_t>(per_request_us);
+    return decision;
+  }
+
+  return decision;
+}
+
+void AdmissionController::RecordBatch(int64_t batch_latency_us,
+                                      int64_t batch_size) {
+  if (batch_size <= 0 || batch_latency_us < 0) return;
+  const double per_request =
+      static_cast<double>(batch_latency_us) / static_cast<double>(batch_size);
+  if (ewma_request_us_ <= 0.0) {
+    ewma_request_us_ = per_request;  // seed with the first observation
+  } else {
+    ewma_request_us_ = options_.ewma_alpha * per_request +
+                       (1.0 - options_.ewma_alpha) * ewma_request_us_;
+  }
+}
+
+const char* OverloadTierName(OverloadTier tier) {
+  switch (tier) {
+    case OverloadTier::kNormal: return "normal";
+    case OverloadTier::kDegraded: return "degraded";
+    case OverloadTier::kCapped: return "capped";
+    case OverloadTier::kShedding: return "shedding";
+  }
+  return "unknown";
+}
+
+OverloadGovernor::OverloadGovernor(const DegradeOptions& options)
+    : options_(options) {
+  D2_CHECK_GT(options_.recover_ticks, 0);
+  D2_CHECK_LE(options_.recover_watermark, options_.degrade_watermark);
+  D2_CHECK_LE(options_.degrade_watermark, options_.cap_watermark);
+  D2_CHECK_LE(options_.cap_watermark, options_.shed_watermark);
+}
+
+void OverloadGovernor::SetTier(OverloadTier next) {
+  if (next == tier_) return;
+  tier_ = next;
+  ++transitions_;
+  calm_ticks_ = 0;
+}
+
+OverloadTier OverloadGovernor::Observe(int64_t queue_depth,
+                                       int64_t queue_capacity) {
+  // Chaos seam: a scripted fault forces the harshest tier, so degrade-path
+  // behavior is testable without building real queue pressure.
+  if (fault::ConsumeFault("server.degrade")) {
+    SetTier(OverloadTier::kShedding);
+    return tier_;
+  }
+  if (queue_capacity <= 0) return tier_;  // unbounded: pressure undefined
+
+  const double fraction = static_cast<double>(queue_depth) /
+                          static_cast<double>(queue_capacity);
+  OverloadTier target = OverloadTier::kNormal;
+  if (fraction >= options_.shed_watermark) {
+    target = OverloadTier::kShedding;
+  } else if (fraction >= options_.cap_watermark) {
+    target = OverloadTier::kCapped;
+  } else if (fraction >= options_.degrade_watermark) {
+    target = OverloadTier::kDegraded;
+  }
+
+  if (target > tier_) {
+    SetTier(target);  // escalation is immediate
+  } else if (tier_ > OverloadTier::kNormal) {
+    // Recovery is hysteretic: `recover_ticks` consecutive calm
+    // observations step the tier down by one.
+    if (fraction <= options_.recover_watermark) {
+      if (++calm_ticks_ >= options_.recover_ticks) {
+        SetTier(static_cast<OverloadTier>(static_cast<int>(tier_) - 1));
+      }
+    } else {
+      calm_ticks_ = 0;
+    }
+  }
+  return tier_;
+}
+
+}  // namespace d2stgnn::infer

@@ -1,0 +1,51 @@
+#include "infer/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/check.h"
+
+namespace d2stgnn::infer {
+
+int64_t BackoffDelayUs(const RetryPolicy& policy, int64_t attempt,
+                       int64_t server_hint_us, Rng* rng) {
+  D2_CHECK_GE(attempt, 1);
+  double base = static_cast<double>(policy.initial_backoff_us);
+  for (int64_t i = 1; i < attempt; ++i) base *= policy.backoff_multiplier;
+  base = std::min(base, static_cast<double>(policy.max_backoff_us));
+  // The server's hint dominates when it is larger: it knows how long the
+  // queue (or token bucket) actually needs.
+  double delay = std::max(base, static_cast<double>(server_hint_us));
+  if (rng != nullptr && policy.jitter > 0.0) {
+    const double factor =
+        1.0 + policy.jitter * (2.0 * static_cast<double>(rng->Uniform()) - 1.0);
+    delay *= factor;
+  }
+  return std::max<int64_t>(static_cast<int64_t>(delay), 0);
+}
+
+RetryResult SubmitWithRetry(BatchingServer* server,
+                            const ForecastRequest& request,
+                            const RetryPolicy& policy) {
+  D2_CHECK(server != nullptr);
+  D2_CHECK_GE(policy.max_attempts, 1);
+  Rng rng(policy.jitter_seed);
+  RetryResult result;
+  for (;;) {
+    ++result.attempts;
+    result.forecast = server->Submit(request).get();
+    if (result.forecast.ok || !IsRetryableReject(result.forecast.reason) ||
+        result.attempts >= policy.max_attempts) {
+      return result;
+    }
+    const int64_t delay_us = BackoffDelayUs(
+        policy, result.attempts, result.forecast.retry_after_us, &rng);
+    result.backoff_us += delay_us;
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  }
+}
+
+}  // namespace d2stgnn::infer

@@ -89,6 +89,9 @@ std::string InferenceSession::ValidateRequest(
   if (request.day_of_week < 0 || request.day_of_week >= 7) {
     return "bad request: day_of_week out of [0, 7)";
   }
+  if (request.deadline_us < 0) {
+    return "bad request: deadline_us must be >= 0";
+  }
   return "";
 }
 
@@ -223,6 +226,12 @@ bool InferenceSession::CapturePlanLocked(int64_t batch_size) {
   if (options_.verify_plans) {
     exec::VerifierReport report = exec::VerifyPlan(*plan);
     ++stats_.plans_verified;
+    // Test seam: a scripted "infer.plan_verify" fault stands in for a
+    // verifier rejection, so the verify-reject -> eager-fallback -> repair
+    // accounting is testable with plans that are in fact clean.
+    if (report.ok() && fault::ConsumeFault("infer.plan_verify")) {
+      report.errors = 1;
+    }
     if (!report.ok()) {
       stats_.plan_verifier_errors += report.errors;
       D2_LOG(ERROR) << "infer: batch-" << batch_size
@@ -270,6 +279,7 @@ std::vector<Forecast> InferenceSession::PredictRequests(
       valid.push_back(i);
     } else {
       results[i].error = std::move(error);
+      results[i].reason = RejectReason::kBadRequest;
     }
   }
   if (valid.empty()) return results;

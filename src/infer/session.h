@@ -12,6 +12,7 @@
 #include "data/sliding_window.h"
 #include "exec/plan_executor.h"
 #include "exec/plan_verifier.h"
+#include "infer/overload.h"
 #include "tensor/buffer_arena.h"
 #include "train/forecasting_model.h"
 
@@ -44,13 +45,24 @@ struct ForecastRequest {
   int64_t time_of_day = 0;
   /// Day of week (0 .. 6) of the first input step.
   int64_t day_of_week = 0;
+  /// Latency budget from Submit(), microseconds (0: no deadline). A request
+  /// still queued when its budget runs out is dropped *before* dispatch —
+  /// it never pads a batch — and resolves as kDeadlineExceeded.
+  int64_t deadline_us = 0;
+  /// Shed class under sustained overload (see OverloadTier::kShedding).
+  RequestPriority priority = RequestPriority::kHigh;
 };
 
 /// The answer to one request.
 struct Forecast {
   bool ok = false;
-  /// Why `ok` is false ("cancelled", "queue full", "bad request: ...").
+  /// Why `ok` is false ("cancelled", "queue full (...)", "bad request: ...").
   std::string error;
+  /// Typed rejection (kNone when ok), so clients branch without parsing
+  /// `error`.
+  RejectReason reason = RejectReason::kNone;
+  /// Backoff hint for retryable rejections, microseconds (0 otherwise).
+  int64_t retry_after_us = 0;
   /// Predicted readings in original units, row-major [t][node], size
   /// horizon * num_nodes. Empty when !ok.
   std::vector<float> values;

@@ -410,6 +410,44 @@ TEST(RunnerTest, ServingMatrixCountsSessionAndServerCellsDifferently) {
   EXPECT_EQ(cells.size(), 8u);
 }
 
+TEST(RunnerTest, OverloadScenarioExpandsToThreadsOnlyCells) {
+  const Spec spec = ParseSpec(
+      "[experiment]\nname = m\nkind = serving\n"
+      "[serving]\nscenarios = session-plan, overload\n"
+      "threads = 1, 2\nbatch_sizes = 1, 4\n");
+  std::vector<std::string> cells;
+  std::string error;
+  ASSERT_TRUE(ExpandMatrix(spec, &cells, &error)) << error;
+  // session-plan: 2 threads x 2 batches; overload: 2 threads.
+  EXPECT_EQ(cells.size(), 6u);
+  EXPECT_EQ(cells.back(), "scenario=overload threads=2");
+}
+
+TEST(RunnerTest, OverloadAndChaosKeysAreConsumedByDryRun) {
+  const Spec spec = ParseSpec(
+      "[experiment]\nname = t\nkind = serving\n"
+      "[serving]\nscenarios = overload\nthreads = 1\n"
+      "max_queue_depth = 16\n"
+      "[overload]\nfactor = 2.0\nwindows = 3\nwindow_ms = 100\n"
+      "deadline_ms = 5\nlow_priority_every = 4\nrate_rps = 0\n"
+      "shed_latency_ms = 0\nhot_swap = 1\n"
+      "[chaos]\nfaults = server.admit@2, infer.hot_reload@0\n");
+  RunOptions options;
+  options.dry_run = true;
+  const RunResult result = RunSpec(spec, options);
+  EXPECT_TRUE(result.ok) << result.error;
+  EXPECT_EQ(result.cells, 1);
+
+  // A typo inside [overload] is refused like any other unknown key.
+  const Spec typo = ParseSpec(
+      "[experiment]\nname = t\nkind = serving\n"
+      "[serving]\nscenarios = overload\nthreads = 1\n"
+      "[overload]\nfactar = 2.0\n");
+  const RunResult bad = RunSpec(typo, options);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("factar"), std::string::npos) << bad.error;
+}
+
 TEST(RunnerTest, ExpansionFailsOnUnknownAxisNames) {
   std::vector<std::string> cells;
   std::string error;

@@ -436,5 +436,62 @@ TEST_F(InferSessionTest, InjectedLoadFaultProducesNoSession) {
   EXPECT_TRUE(session->PredictOne(MakeRequest(0)).ok);
 }
 
+// Satellite coverage: the full fallback-accounting trajectory across a
+// verifier rejection. A rejected capture leaves the size eager; re-warming
+// repairs the cache; every SessionStats counter moves exactly once per
+// event, so operators can read the sequence off a stats dump.
+TEST_F(InferSessionTest, FallbackAccountingAcrossVerifyRejectEagerRepair) {
+  infer::SessionOptions options = Options();
+  options.use_plans = true;
+  options.verify_plans = true;
+  auto session =
+      infer::InferenceSession::Wrap(NewTinyModel(5), scaler_, options);
+  ASSERT_NE(session, nullptr);
+
+  // 1. Warm-up under an injected verifier rejection: the capture runs, the
+  // verifier fires, the plan is refused, the warm-up forward runs eagerly.
+  fault::ArmFaultPoint("infer.plan_verify",
+                       {fault::FaultKind::kErrno, /*trigger_offset=*/0});
+  session->Warmup(2);
+  infer::SessionStats stats = session->session_stats();
+  EXPECT_EQ(stats.plans_built, 0);
+  EXPECT_EQ(stats.plans_verified, 1);
+  EXPECT_EQ(stats.plan_verifier_errors, 1);
+  EXPECT_EQ(stats.plan_replays, 0);
+  EXPECT_EQ(stats.eager_forwards, 1);  // the warm-up run fell back
+  EXPECT_TRUE(session->planned_batch_sizes().empty());
+  EXPECT_TRUE(session->verifier_reports().empty())
+      << "a rejected plan must not leave a report behind";
+
+  // 2. Traffic at the rejected size keeps falling back to eager — served
+  // correctly, just without a plan.
+  const std::vector<infer::ForecastRequest> requests(2, MakeRequest(0));
+  std::vector<infer::Forecast> forecasts = session->PredictRequests(requests);
+  for (const infer::Forecast& f : forecasts) EXPECT_TRUE(f.ok) << f.error;
+  stats = session->session_stats();
+  EXPECT_EQ(stats.eager_forwards, 2);
+  EXPECT_EQ(stats.plan_replays, 0);
+
+  // 3. Re-warming repairs the cache: the one-shot fault is spent, the
+  // fresh capture verifies clean, and the warm-up forward replays it.
+  session->Warmup(2);
+  stats = session->session_stats();
+  EXPECT_EQ(stats.plans_built, 1);
+  EXPECT_EQ(stats.plans_verified, 2);
+  EXPECT_EQ(stats.plan_verifier_errors, 1);  // history, not current state
+  EXPECT_EQ(stats.plan_replays, 1);
+  EXPECT_EQ(stats.eager_forwards, 2);  // eager traffic stopped
+  EXPECT_EQ(session->planned_batch_sizes(), std::vector<int64_t>{2});
+  EXPECT_EQ(session->verifier_reports().count(2), 1u);
+
+  // 4. Post-repair traffic replays; nothing else moves.
+  forecasts = session->PredictRequests(requests);
+  for (const infer::Forecast& f : forecasts) EXPECT_TRUE(f.ok) << f.error;
+  stats = session->session_stats();
+  EXPECT_EQ(stats.plan_replays, 2);
+  EXPECT_EQ(stats.eager_forwards, 2);
+  EXPECT_EQ(stats.plan_invalidations, 0);
+}
+
 }  // namespace
 }  // namespace d2stgnn

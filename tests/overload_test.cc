@@ -1,0 +1,218 @@
+// Unit tests of the serving overload policies: the admission controller
+// (queue bound, token bucket, EWMA shed — all driven with injected clocks,
+// no sleeps), the degradation governor's immediate-escalate / hysteretic-
+// recover state machine, and the client backoff schedule.
+
+#include "infer/overload.h"
+
+#include <chrono>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/fault_injection.h"
+#include "common/rng.h"
+#include "infer/retry.h"
+
+namespace d2stgnn {
+namespace {
+
+using infer::AdmissionController;
+using infer::AdmissionDecision;
+using infer::AdmissionOptions;
+using infer::DegradeOptions;
+using infer::OverloadGovernor;
+using infer::OverloadTier;
+using infer::RejectReason;
+using Clock = AdmissionController::Clock;
+
+TEST(RejectReasonTest, NamesAreStableAndRetryabilityIsTyped) {
+  EXPECT_STREQ(infer::RejectReasonName(RejectReason::kQueueFull),
+               "queue_full");
+  EXPECT_STREQ(infer::RejectReasonName(RejectReason::kRateLimited),
+               "rate_limited");
+  EXPECT_STREQ(infer::RejectReasonName(RejectReason::kShedLowPriority),
+               "shed_low_priority");
+  EXPECT_STREQ(infer::RejectReasonName(RejectReason::kDeadlineExceeded),
+               "deadline_exceeded");
+
+  EXPECT_TRUE(infer::IsRetryableReject(RejectReason::kQueueFull));
+  EXPECT_TRUE(infer::IsRetryableReject(RejectReason::kRateLimited));
+  EXPECT_TRUE(infer::IsRetryableReject(RejectReason::kOverloaded));
+  EXPECT_TRUE(infer::IsRetryableReject(RejectReason::kShedLowPriority));
+  EXPECT_FALSE(infer::IsRetryableReject(RejectReason::kBadRequest));
+  EXPECT_FALSE(infer::IsRetryableReject(RejectReason::kDeadlineExceeded));
+  EXPECT_FALSE(infer::IsRetryableReject(RejectReason::kShuttingDown));
+  EXPECT_FALSE(infer::IsRetryableReject(RejectReason::kNone));
+}
+
+TEST(AdmissionControllerTest, QueueBoundRejectsWithDrainShapedHint) {
+  AdmissionController admission{AdmissionOptions{}};
+  const Clock::time_point t0 = Clock::now();
+
+  EXPECT_TRUE(admission.Admit(/*depth=*/3, /*capacity=*/4, t0).admitted);
+
+  AdmissionDecision full = admission.Admit(/*depth=*/4, /*capacity=*/4, t0);
+  EXPECT_FALSE(full.admitted);
+  EXPECT_EQ(full.reason, RejectReason::kQueueFull);
+  // No batch observed yet: the hint falls back to 1ms per queued request.
+  EXPECT_EQ(full.retry_after_us, 4000);
+
+  // Once batches are observed, the hint tracks the EWMA drain estimate.
+  admission.RecordBatch(/*batch_latency_us=*/800, /*batch_size=*/4);  // 200/rq
+  full = admission.Admit(/*depth=*/4, /*capacity=*/4, t0);
+  EXPECT_EQ(full.retry_after_us, 800);
+
+  // Unbounded capacity never trips the bound.
+  EXPECT_TRUE(admission.Admit(/*depth=*/1 << 20, /*capacity=*/0, t0).admitted);
+}
+
+TEST(AdmissionControllerTest, TokenBucketRefillsFromInjectedClock) {
+  AdmissionOptions options;
+  options.rate_rps = 10.0;  // one token per 100ms
+  options.burst = 2.0;
+  AdmissionController admission{options};
+  const Clock::time_point t0 = Clock::now();
+
+  // The bucket starts full: the burst passes, the next is limited.
+  EXPECT_TRUE(admission.Admit(0, 0, t0).admitted);
+  EXPECT_TRUE(admission.Admit(0, 0, t0).admitted);
+  AdmissionDecision limited = admission.Admit(0, 0, t0);
+  EXPECT_FALSE(limited.admitted);
+  EXPECT_EQ(limited.reason, RejectReason::kRateLimited);
+  // An empty bucket refills a whole token in 100ms; the hint says so.
+  EXPECT_GT(limited.retry_after_us, 90'000);
+  EXPECT_LE(limited.retry_after_us, 110'000);
+
+  // 100ms later (by the injected clock) one token is back.
+  const Clock::time_point t1 = t0 + std::chrono::milliseconds(100);
+  EXPECT_TRUE(admission.Admit(0, 0, t1).admitted);
+  EXPECT_FALSE(admission.Admit(0, 0, t1).admitted);
+
+  // A long idle period refills only up to the burst cap, not beyond.
+  const Clock::time_point t2 = t1 + std::chrono::seconds(60);
+  EXPECT_TRUE(admission.Admit(0, 0, t2).admitted);
+  EXPECT_TRUE(admission.Admit(0, 0, t2).admitted);
+  EXPECT_FALSE(admission.Admit(0, 0, t2).admitted);
+}
+
+TEST(AdmissionControllerTest, EwmaShedTripsAndRecovers) {
+  AdmissionOptions options;
+  options.shed_latency_us = 1000;
+  options.ewma_alpha = 0.5;
+  AdmissionController admission{options};
+  const Clock::time_point t0 = Clock::now();
+
+  // Below budget: admitted.
+  admission.RecordBatch(/*batch_latency_us=*/3200, /*batch_size=*/4);  // 800
+  EXPECT_DOUBLE_EQ(admission.ewma_request_us(), 800.0);
+  EXPECT_TRUE(admission.Admit(0, 0, t0).admitted);
+
+  // A slow batch blows the budget: 0.5*3000 + 0.5*800 = 1900 > 1000.
+  admission.RecordBatch(/*batch_latency_us=*/12000, /*batch_size=*/4);
+  EXPECT_DOUBLE_EQ(admission.ewma_request_us(), 1900.0);
+  AdmissionDecision shed = admission.Admit(0, 0, t0);
+  EXPECT_FALSE(shed.admitted);
+  EXPECT_EQ(shed.reason, RejectReason::kOverloaded);
+  EXPECT_GT(shed.retry_after_us, 0);
+
+  // Fast batches pull the EWMA back under: admission resumes.
+  admission.RecordBatch(/*batch_latency_us=*/400, /*batch_size=*/4);  // 1000
+  admission.RecordBatch(/*batch_latency_us=*/400, /*batch_size=*/4);  // 550
+  EXPECT_TRUE(admission.Admit(0, 0, t0).admitted);
+}
+
+TEST(OverloadGovernorTest, EscalatesImmediatelyPerWatermark) {
+  OverloadGovernor governor{DegradeOptions{}};
+  EXPECT_EQ(governor.tier(), OverloadTier::kNormal);
+  EXPECT_EQ(governor.Observe(49, 100), OverloadTier::kNormal);
+  EXPECT_EQ(governor.Observe(50, 100), OverloadTier::kDegraded);
+  EXPECT_EQ(governor.Observe(75, 100), OverloadTier::kCapped);
+  EXPECT_EQ(governor.Observe(90, 100), OverloadTier::kShedding);
+  EXPECT_EQ(governor.transitions(), 3);
+
+  // One hot observation can skip tiers entirely.
+  OverloadGovernor fresh{DegradeOptions{}};
+  EXPECT_EQ(fresh.Observe(95, 100), OverloadTier::kShedding);
+  EXPECT_EQ(fresh.transitions(), 1);
+}
+
+TEST(OverloadGovernorTest, RecoveryIsHystereticOneTierAtATime) {
+  DegradeOptions options;
+  options.recover_ticks = 3;
+  OverloadGovernor governor{options};
+  ASSERT_EQ(governor.Observe(95, 100), OverloadTier::kShedding);
+
+  // Mid-pressure observations (above recover_watermark) do not recover,
+  // no matter how many arrive.
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(governor.Observe(40, 100), OverloadTier::kShedding);
+  }
+  // Calm observations below the recover watermark step down one tier per
+  // recover_ticks run — never straight to kNormal.
+  EXPECT_EQ(governor.Observe(10, 100), OverloadTier::kShedding);  // calm 1
+  EXPECT_EQ(governor.Observe(10, 100), OverloadTier::kShedding);  // calm 2
+  EXPECT_EQ(governor.Observe(10, 100), OverloadTier::kCapped);    // calm 3
+  // A hot blip resets the calm streak.
+  EXPECT_EQ(governor.Observe(10, 100), OverloadTier::kCapped);
+  EXPECT_EQ(governor.Observe(10, 100), OverloadTier::kCapped);
+  EXPECT_EQ(governor.Observe(40, 100), OverloadTier::kCapped);  // reset
+  EXPECT_EQ(governor.Observe(10, 100), OverloadTier::kCapped);
+  EXPECT_EQ(governor.Observe(10, 100), OverloadTier::kCapped);
+  EXPECT_EQ(governor.Observe(10, 100), OverloadTier::kDegraded);
+  EXPECT_EQ(governor.Observe(10, 100), OverloadTier::kDegraded);
+  EXPECT_EQ(governor.Observe(10, 100), OverloadTier::kDegraded);
+  EXPECT_EQ(governor.Observe(10, 100), OverloadTier::kNormal);
+}
+
+TEST(OverloadGovernorTest, InjectedDegradeFaultForcesShedding) {
+  fault::FaultScript script;
+  script.kind = fault::FaultKind::kErrno;
+  fault::ArmFaultPoint("server.degrade", script);
+
+  OverloadGovernor governor{DegradeOptions{}};
+  // Even an unbounded queue (capacity 0, pressure undefined) degrades when
+  // the chaos seam fires.
+  EXPECT_EQ(governor.Observe(0, 0), OverloadTier::kShedding);
+  EXPECT_EQ(governor.transitions(), 1);
+  fault::DisarmAllFaultPoints();
+
+  // Without the fault, unbounded pressure keeps whatever tier it had.
+  EXPECT_EQ(governor.Observe(0, 0), OverloadTier::kShedding);
+}
+
+TEST(BackoffDelayTest, ExponentialCappedHintedAndJittered) {
+  infer::RetryPolicy policy;
+  policy.initial_backoff_us = 1000;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_us = 3000;
+  policy.jitter = 0.0;
+
+  // No jitter: the schedule is exact. 1ms, 2ms, then capped at 3ms.
+  EXPECT_EQ(infer::BackoffDelayUs(policy, 1, 0, nullptr), 1000);
+  EXPECT_EQ(infer::BackoffDelayUs(policy, 2, 0, nullptr), 2000);
+  EXPECT_EQ(infer::BackoffDelayUs(policy, 3, 0, nullptr), 3000);
+  EXPECT_EQ(infer::BackoffDelayUs(policy, 9, 0, nullptr), 3000);
+
+  // A larger server hint dominates the exponential term.
+  EXPECT_EQ(infer::BackoffDelayUs(policy, 1, 50'000, nullptr), 50'000);
+  // A smaller one does not shrink it.
+  EXPECT_EQ(infer::BackoffDelayUs(policy, 3, 10, nullptr), 3000);
+
+  // Jitter stays inside +/- the configured fraction and is deterministic
+  // for a given stream.
+  policy.jitter = 0.25;
+  Rng rng(123);
+  for (int i = 0; i < 100; ++i) {
+    const int64_t delay = infer::BackoffDelayUs(policy, 2, 0, &rng);
+    EXPECT_GE(delay, 1500);
+    EXPECT_LE(delay, 2500);
+  }
+  Rng replay_a(7);
+  Rng replay_b(7);
+  EXPECT_EQ(infer::BackoffDelayUs(policy, 2, 0, &replay_a),
+            infer::BackoffDelayUs(policy, 2, 0, &replay_b));
+}
+
+}  // namespace
+}  // namespace d2stgnn
