@@ -12,7 +12,8 @@
 //
 //   ./build/examples/serve_forecasts [rate_rps] [seconds] [producers]
 //       [--mode=eager|plan|both] [--qps=N] [--deadline-ms=N]
-//       [--reload-dir=DIR]
+//       [--reload-dir=DIR] [--reload-poll-ms=N]
+//       [--fleet] [--models=id:slo,...]
 //
 // Defaults: 200 req/s for 2 seconds from 2 producers, --mode=both.
 //
@@ -26,6 +27,24 @@
 //                   live traffic; the demo drops a differently-seeded twin
 //                   checkpoint into D halfway through each run, so the
 //                   post-swap forecasts visibly change mid-load
+//   --reload-poll-ms=N  checkpoint watcher poll period (default 50)
+//
+// Fleet mode (DESIGN.md §14) — one process, many city models:
+//   --fleet         serve every tenant in --models from a single
+//                   FleetServer: per-model weights, plan caches, and SLO
+//                   classes behind one shared queue, with weighted-fair
+//                   arbitration once the queue is contended. Ends with a
+//                   per-model report table (per-reason rejects, tier,
+//                   session swaps). With --reload-dir, a twin checkpoint
+//                   is hot-reloaded into the *first* tenant mid-run — the
+//                   other lanes must not swap.
+//   --models=...    comma-separated "id" or "id:slo" tenants (SLO classes:
+//                   gold, silver, bronze); default
+//                   "metr-la:gold,pems-bay:silver,city-syn:bronze"
+//
+//   ./build/examples/serve_forecasts --fleet
+//       --models=metr-la:gold,pems-bay:silver,city-syn:bronze
+//       --qps=600 --reload-dir=/tmp/fleet-demo
 
 #include <cstdio>
 #include <cstdlib>
@@ -46,6 +65,8 @@
 #include "data/sliding_window.h"
 #include "data/synthetic_traffic.h"
 #include "infer/batching_server.h"
+#include "infer/fleet/fleet.h"
+#include "infer/fleet/fleet_server.h"
 #include "infer/hot_reload.h"
 #include "infer/session.h"
 #include "metrics/metrics.h"
@@ -90,6 +111,7 @@ infer::SessionOptions MakeSessionOptions(
 struct LoadConfig {
   int64_t deadline_us = 0;   // 0 = no deadline
   std::string reload_dir;    // empty = no hot-reload watcher
+  int64_t reload_poll_ms = 50;
   bool use_plans = false;
   const data::SyntheticTraffic* traffic = nullptr;
   const data::StandardScaler* scaler = nullptr;
@@ -120,7 +142,7 @@ bool RunLoad(infer::InferenceSession* session, const char* label,
     std::filesystem::create_directories(watch_dir);
     infer::HotReloadOptions reload_options;
     reload_options.directory = watch_dir;
-    reload_options.poll_interval_ms = 50;
+    reload_options.poll_interval_ms = load.reload_poll_ms;
     const data::SyntheticTraffic& traffic = *load.traffic;
     reloader = std::make_unique<infer::CheckpointReloader>(
         &server, [&traffic] { return BuildModel(traffic, 3); }, *load.scaler,
@@ -293,6 +315,238 @@ std::unique_ptr<infer::InferenceSession> BuildSession(
                                        MakeSessionOptions(traffic, use_plans));
 }
 
+// One --models tenant: a routing id plus its serving tier.
+struct FleetPreset {
+  std::string id;
+  infer::SloClass slo;
+};
+
+// Parses "id" or "id:slo" entries from a comma-separated --models value.
+bool ParseFleetPresets(const std::string& models,
+                       std::vector<FleetPreset>* out) {
+  out->clear();
+  size_t pos = 0;
+  while (pos <= models.size()) {
+    const size_t comma = std::min(models.find(',', pos), models.size());
+    std::string entry = models.substr(pos, comma - pos);
+    pos = comma + 1;
+    // Trim surrounding spaces so "a:gold, b:silver" parses.
+    const size_t first = entry.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    entry = entry.substr(first, entry.find_last_not_of(" \t") - first + 1);
+    FleetPreset preset;
+    const size_t colon = entry.find(':');
+    preset.id = colon == std::string::npos ? entry : entry.substr(0, colon);
+    if (preset.id.empty()) {
+      std::fprintf(stderr, "--models entry '%s' has an empty model id\n",
+                   entry.c_str());
+      return false;
+    }
+    if (colon != std::string::npos &&
+        !infer::ResolveSloClass(entry.substr(colon + 1), &preset.slo)) {
+      std::fprintf(stderr,
+                   "--models entry '%s' names an unknown SLO class "
+                   "(known: gold, silver, bronze)\n",
+                   entry.c_str());
+      return false;
+    }
+    for (const FleetPreset& other : *out) {
+      if (other.id == preset.id) {
+        std::fprintf(stderr, "--models lists '%s' twice\n", preset.id.c_str());
+        return false;
+      }
+    }
+    out->push_back(std::move(preset));
+  }
+  if (out->empty()) {
+    std::fprintf(stderr, "--models lists no models\n");
+    return false;
+  }
+  return true;
+}
+
+// Fleet mode: every tenant behind one FleetServer, open-loop producers per
+// model, then a per-model report table. Returns false on setup failure.
+bool RunFleetLoad(const std::vector<FleetPreset>& presets,
+                  const std::vector<infer::ForecastRequest>& ring,
+                  double rate_rps, double seconds, const LoadConfig& load) {
+  const data::SyntheticTraffic& traffic = *load.traffic;
+  infer::ModelFleet fleet;
+  for (size_t i = 0; i < presets.size(); ++i) {
+    // Distinct weights per tenant, spaced so the reload twin (seed + 1)
+    // cannot collide with another tenant's seed.
+    const uint64_t seed = 3 + 16 * (static_cast<uint64_t>(i) + 1);
+    auto session = infer::InferenceSession::Wrap(
+        BuildModel(traffic, seed), *load.scaler,
+        MakeSessionOptions(traffic, /*use_plans=*/true));
+    if (session == nullptr) return false;
+    infer::FleetModelOptions model_options;
+    model_options.model_id = presets[i].id;
+    model_options.slo = presets[i].slo;
+    model_options.max_batch_size = 8;
+    model_options.max_wait_us = 1000;
+    std::string error;
+    if (!fleet.AddModel(std::shared_ptr<infer::InferenceSession>(
+                            session.release()),
+                        model_options, &error)) {
+      std::fprintf(stderr, "fleet setup failed: %s\n", error.c_str());
+      return false;
+    }
+  }
+  infer::FleetOptions fleet_options;
+  fleet_options.max_queue_depth = 1024;
+  infer::FleetServer server(&fleet, fleet_options);
+
+  // Hot reload in fleet mode: the watcher targets the *first* tenant's
+  // lane; every other lane must ride out the swap untouched.
+  const std::string reload_id = presets.front().id;
+  std::thread checkpoint_dropper;
+  std::string watch_dir;
+  if (!load.reload_dir.empty()) {
+    watch_dir = load.reload_dir + "/fleet-" + reload_id;
+    std::filesystem::create_directories(watch_dir);
+    infer::HotReloadOptions reload_options;
+    reload_options.directory = watch_dir;
+    reload_options.poll_interval_ms = load.reload_poll_ms;
+    std::string error;
+    if (!fleet.AttachReloader(reload_id, server.host(reload_id),
+                              [&traffic] { return BuildModel(traffic, 3); },
+                              *load.scaler,
+                              MakeSessionOptions(traffic, /*use_plans=*/true),
+                              reload_options, &error)) {
+      std::fprintf(stderr, "fleet reloader failed: %s\n", error.c_str());
+      return false;
+    }
+    fleet.StartReloaders();
+    checkpoint_dropper = std::thread([&traffic, &watch_dir, seconds] {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(seconds / 2.0));
+      const std::unique_ptr<core::D2Stgnn> twin = BuildModel(traffic, 7);
+      const std::string path = train::CheckpointPathForStep(watch_dir, 1);
+      if (!train::SaveCheckpoint(*twin, path)) {
+        std::fprintf(stderr, "checkpoint drop failed: %s\n", path.c_str());
+      }
+    });
+  }
+
+  std::printf("\n[fleet] open-loop load: %.0f req/s split across %zu "
+              "model%s for %.1f s\n",
+              rate_rps, presets.size(), presets.size() == 1 ? "" : "s",
+              seconds);
+
+  using clock = std::chrono::steady_clock;
+  struct TenantLane {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::pair<clock::time_point, std::future<infer::Forecast>>>
+        pending;
+    bool done = false;
+    std::vector<double> latencies_ms;
+  };
+  std::vector<std::unique_ptr<TenantLane>> lanes;
+  for (size_t i = 0; i < presets.size(); ++i) {
+    lanes.push_back(std::make_unique<TenantLane>());
+  }
+  const double per_model_rps =
+      rate_rps / static_cast<double>(presets.size());
+  const auto interval = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(1.0 / per_model_rps));
+  const auto bench_start = clock::now();
+  const auto bench_end =
+      bench_start + std::chrono::duration_cast<clock::duration>(
+                        std::chrono::duration<double>(seconds));
+
+  std::vector<std::thread> workers;
+  for (size_t m = 0; m < presets.size(); ++m) {
+    TenantLane& lane = *lanes[m];
+    const std::string& id = presets[m].id;
+    workers.emplace_back([&, m] {
+      auto next = bench_start + interval * static_cast<int64_t>(m) /
+                                    static_cast<int64_t>(presets.size());
+      size_t i = m;
+      while (next < bench_end) {
+        std::this_thread::sleep_until(next);
+        infer::ForecastRequest request = ring[i % ring.size()];
+        request.deadline_us = load.deadline_us;
+        auto future = server.Submit(id, std::move(request));
+        {
+          std::lock_guard<std::mutex> hold(lane.mu);
+          lane.pending.emplace_back(clock::now(), std::move(future));
+        }
+        lane.cv.notify_one();
+        i += presets.size();
+        next += interval;  // open loop: never waits on results
+      }
+      {
+        std::lock_guard<std::mutex> hold(lane.mu);
+        lane.done = true;
+      }
+      lane.cv.notify_one();
+    });
+    workers.emplace_back([&lane] {
+      for (;;) {
+        std::unique_lock<std::mutex> hold(lane.mu);
+        lane.cv.wait(hold,
+                     [&lane] { return lane.done || !lane.pending.empty(); });
+        if (lane.pending.empty()) break;
+        auto entry = std::move(lane.pending.front());
+        lane.pending.pop_front();
+        hold.unlock();
+        const infer::Forecast forecast = entry.second.get();
+        if (forecast.ok) {
+          lane.latencies_ms.push_back(
+              std::chrono::duration<double, std::milli>(clock::now() -
+                                                        entry.first)
+                  .count());
+        }
+        // Rejects are tallied from the server's typed per-model counters.
+      }
+    });
+  }
+  for (std::thread& t : workers) t.join();
+  const double elapsed =
+      std::chrono::duration<double>(clock::now() - bench_start).count();
+  if (checkpoint_dropper.joinable()) checkpoint_dropper.join();
+  fleet.StopReloaders();
+  server.Shutdown();
+
+  const infer::FleetStats stats = server.stats();
+  std::printf("[fleet] %lld served / %lld offered in %.2f s (tier %s, "
+              "%lld unknown-model rejects)\n",
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.submitted), elapsed,
+              infer::OverloadTierName(stats.tier),
+              static_cast<long long>(stats.rejected_unknown_model));
+  std::printf("  %-12s %-8s %9s %9s %9s %9s %28s %6s\n", "model", "slo",
+              "served", "p50 ms", "p99 ms", "shed",
+              "rejects (q/rate/over/low/quota)", "swaps");
+  for (size_t m = 0; m < presets.size(); ++m) {
+    const infer::FleetModelStats& ms = stats.models.at(presets[m].id);
+    const metrics::LatencyStats lat =
+        metrics::SummarizeLatencies(lanes[m]->latencies_ms);
+    char rejects[64];
+    std::snprintf(rejects, sizeof(rejects),
+                  "%lld/%lld/%lld/%lld/%lld",
+                  static_cast<long long>(ms.rejected_queue_full),
+                  static_cast<long long>(ms.rejected_rate_limited),
+                  static_cast<long long>(ms.rejected_overloaded),
+                  static_cast<long long>(ms.rejected_low_priority),
+                  static_cast<long long>(ms.rejected_quota));
+    std::printf("  %-12s %-8s %9lld %9.3f %9.3f %9lld %28s %6lld\n",
+                presets[m].id.c_str(), presets[m].slo.name.c_str(),
+                static_cast<long long>(ms.completed), lat.p50, lat.p99,
+                static_cast<long long>(ms.rejected + ms.expired_deadlines),
+                rejects, static_cast<long long>(ms.session_swaps));
+  }
+  if (!watch_dir.empty()) {
+    std::printf("[fleet] hot-reload: %lld swap%s on '%s' from %s\n",
+                static_cast<long long>(stats.session_swaps),
+                stats.session_swaps == 1 ? "" : "s", reload_id.c_str(),
+                watch_dir.c_str());
+  }
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -303,6 +557,9 @@ int main(int argc, char** argv) {
   double qps = 0.0;
   double deadline_ms = 0.0;
   std::string reload_dir;
+  int64_t reload_poll_ms = 50;
+  bool fleet_mode = false;
+  std::string models = "metr-la:gold,pems-bay:silver,city-syn:bronze";
   FlagParser flags("serve_forecasts",
                    "open-loop serving demo against the BatchingServer");
   flags.AddPositionalDouble("rate_rps", &rate_rps,
@@ -321,6 +578,14 @@ int main(int argc, char** argv) {
   flags.AddString("reload-dir", &reload_dir,
                   "watch this directory for checkpoints and hot-swap them "
                   "in under load (a twin checkpoint is dropped mid-run)");
+  flags.AddInt("reload-poll-ms", &reload_poll_ms,
+               "checkpoint watcher poll period in ms (default 50)");
+  flags.AddBool("fleet", &fleet_mode,
+                "serve every --models tenant from one FleetServer "
+                "(per-model SLO classes, shared-capacity arbitration)");
+  flags.AddString("models", &models,
+                  "fleet tenants as comma-separated id[:slo] entries "
+                  "(SLO classes: gold, silver, bronze)");
   if (!flags.Parse(argc, argv)) {
     if (flags.help_requested()) {
       std::fputs(flags.Usage().c_str(), stdout);
@@ -341,6 +606,10 @@ int main(int argc, char** argv) {
   }
   if (deadline_ms < 0.0) {
     std::fprintf(stderr, "%s: --deadline-ms must be >= 0\n", argv[0]);
+    return 1;
+  }
+  if (reload_poll_ms <= 0) {
+    std::fprintf(stderr, "%s: --reload-poll-ms must be > 0\n", argv[0]);
     return 1;
   }
 
@@ -369,8 +638,15 @@ int main(int argc, char** argv) {
   LoadConfig load;
   load.deadline_us = static_cast<int64_t>(deadline_ms * 1000.0);
   load.reload_dir = reload_dir;
+  load.reload_poll_ms = reload_poll_ms;
   load.traffic = &traffic;
   load.scaler = &scaler;
+
+  if (fleet_mode) {
+    std::vector<FleetPreset> presets;
+    if (!ParseFleetPresets(models, &presets)) return 1;
+    return RunFleetLoad(presets, ring, rate_rps, seconds, load) ? 0 : 1;
+  }
 
   std::unique_ptr<infer::InferenceSession> last_session;
   if (run_eager) {

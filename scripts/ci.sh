@@ -16,13 +16,21 @@
 #      assertion; the baseline gate asserts deterministic invariants (work
 #      completed, faults fired, the mid-load hot swap landed bitwise) and
 #      never wall-clock throughput, which TSan distorts.
+#   3c. Fleet smoke       — the multi-model fleet scenario
+#      (specs/smoke_fleet.spec) under TSan: two tenants with distinct SLO
+#      classes behind one shared queue, scripted admission faults, and a
+#      mid-run hot reload of one model. Gated on structural isolation
+#      invariants only (both models bitwise vs standalone sessions, the
+#      reload touched exactly one lane), never timing.
 #   4. Plan replay        — the capture/plan/replay suite under TSan
 #      (level-parallel replays, concurrent plan-serving submitters; the
 #      Release run happened in stage 1, where the plan-vs-eager latency
 #      floor is asserted), then the canonical repo-root artifacts:
 #      `run_experiment specs/serving_sweep.spec` (BENCH_serving.json, gated
-#      on bench/baselines/serving.json) and bench_micro_kernels
-#      (BENCH_kernels.json), both shape-validated.
+#      on bench/baselines/serving.json), `run_experiment specs/fleet.spec`
+#      (BENCH_fleet.json, gated on the tenant-isolation bounds in
+#      bench/baselines/fleet.json), and bench_micro_kernels
+#      (BENCH_kernels.json), all shape-validated.
 #   5. Experiments        — the declarative harness end to end: the smoke
 #      training spec runs gated against its checked-in baseline, --list
 #      enumerates the registry, and a run against an impossible baseline
@@ -67,9 +75,10 @@ ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
 
 echo "=== Inference suite: batching server under TSan + serving smoke ==="
 cmake --build build-tsan -j "$(nproc)" \
-  --target infer_server_test infer_session_test overload_test hot_reload_test
+  --target infer_server_test infer_session_test overload_test \
+  hot_reload_test fleet_test
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
-  -R 'InferServer|InferSession|RejectReason|Admission|Overload|Backoff|HotReload' \
+  -R 'InferServer|InferSession|RejectReason|Admission|Overload|Backoff|HotReload|Fleet' \
   --no-tests=error
 cmake --build build -j "$(nproc)" --target run_experiment
 smoke_out="build/experiment-smoke"
@@ -132,6 +141,41 @@ print("chaos smoke survived:", summary["overload_completed"],
       summary["hot_swaps"], "hot swap(s)")
 EOF
 
+echo "=== Fleet smoke: multi-tenant scenario under TSan with faults ==="
+fleet_out="build-tsan/fleet-smoke"
+rm -rf "$fleet_out"
+mkdir -p "$fleet_out"
+# Same no-deadlock rationale as the chaos smoke: a stuck fleet dispatcher
+# or a reloader that cannot join hangs here instead of failing a gate.
+timeout 900 build-tsan/tools/run_experiment --out-dir "$fleet_out" \
+  specs/smoke_fleet.spec > /dev/null
+python3 - "$fleet_out/BENCH_smoke_fleet.json" <<'EOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema_version"] == 1
+assert doc["kind"] == "serving"
+records = doc["records"]
+assert records, "BENCH_smoke_fleet.json has no records"
+models = set()
+for r in records:
+    assert r["mode"] == "fleet", r
+    models.add(r["model"])
+    assert r["completed"] + r["shed"] + r["expired"] <= r["requests"], r
+    assert r["p50_ms"] <= r["p95_ms"] <= r["p99_ms"], r
+assert len(models) == 2, models
+summary = doc["summary"]
+assert summary["fleet_completed"] >= 1, summary
+assert summary["hot_swaps"] >= 1, summary
+assert summary["post_swap_bitwise"] == 1, summary
+assert summary["bitwise_models"] == 2, summary
+assert summary["others_session_swaps"] == 0, summary
+assert summary["faults_armed"] >= 2, summary
+assert summary["faults_fired"] >= summary["faults_armed"], summary
+print("fleet smoke survived:", int(summary["fleet_completed"]),
+      "completed across", len(models), "models,",
+      int(summary["hot_swaps"]), "hot swap(s), isolation held")
+EOF
+
 echo "=== Plan replay: exec suite under TSan + canonical bench JSONs ==="
 cmake --build build-tsan -j "$(nproc)" --target exec_plan_test
 ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
@@ -140,11 +184,17 @@ ctest --test-dir build-tsan --output-on-failure -j "$(nproc)" \
 # BENCH_serving.json and gates it on bench/baselines/serving.json
 # (plan-speedup floor, throughput floors, bitwise parity).
 build/tools/run_experiment specs/serving_sweep.spec > /dev/null
+# Full-scale fleet run: regenerates the canonical BENCH_fleet.json and
+# gates it on bench/baselines/fleet.json (tenant isolation: the healthy
+# gold tenant's shed rate and p99 stay bounded while the bronze tenant is
+# offered 2x saturation, sheds land as typed quota rejections, every model
+# is bitwise vs a standalone session, the reload touches one lane).
+build/tools/run_experiment specs/fleet.spec > /dev/null
 cmake --build build -j "$(nproc)" --target bench_micro_kernels
 # Skip the google-benchmark section (nothing matches); the hand-timed sweep
 # that feeds BENCH_kernels.json still runs.
 build/bench/bench_micro_kernels --benchmark_filter='^$' > /dev/null
-python3 - BENCH_serving.json BENCH_kernels.json <<'EOF'
+python3 - BENCH_serving.json BENCH_kernels.json BENCH_fleet.json <<'EOF'
 import json, sys
 serving_doc = json.load(open(sys.argv[1]))
 assert serving_doc["schema_version"] == 1
@@ -163,14 +213,30 @@ assert kernel_doc["schema_version"] == 1
 assert kernel_doc["records"], "BENCH_kernels.json has no records"
 for r in kernel_doc["records"]:
     assert r["seconds_per_iter"] > 0, r
+fleet_doc = json.load(open(sys.argv[3]))
+assert fleet_doc["schema_version"] == 1
+fleet_models = {r["model"] for r in fleet_doc["records"]}
+assert len(fleet_models) == 4, fleet_models
+fleet_summary = fleet_doc["summary"]
+assert fleet_summary["bitwise_models"] == len(fleet_models), fleet_summary
+assert fleet_summary["post_swap_bitwise"] == 1, fleet_summary
+assert fleet_summary["others_session_swaps"] == 0, fleet_summary
 print("canonical bench JSONs well-formed:",
       len(serving_doc["records"]), "serving records,",
-      len(kernel_doc["records"]), "kernel records")
+      len(kernel_doc["records"]), "kernel records,",
+      len(fleet_doc["records"]), "fleet records")
 EOF
 
 echo "=== Experiments: smoke spec end-to-end + regression-gate demo ==="
-# The registry must enumerate cleanly...
-build/tools/run_experiment --list > /dev/null
+# The registry must enumerate cleanly, and the listing must surface the
+# fleet scenario and its SLO-class axes.
+list_output="$(build/tools/run_experiment --list)"
+for needle in fleet gold silver bronze; do
+  if ! grep -q "$needle" <<< "$list_output"; then
+    echo "FAIL: run_experiment --list does not mention '$needle'" >&2
+    exit 1
+  fi
+done
 # ...and the smoke training spec must run end to end, gated against its
 # checked-in baseline (bench/baselines/smoke_training.json).
 build/tools/run_experiment --out-dir "$smoke_out" \

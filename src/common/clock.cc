@@ -1,0 +1,25 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace d2stgnn {
+
+namespace {
+
+class SteadyClockImpl : public Clock {
+ public:
+  SteadyTime Now() override { return std::chrono::steady_clock::now(); }
+
+  void SleepFor(std::chrono::microseconds duration) override {
+    if (duration.count() > 0) std::this_thread::sleep_for(duration);
+  }
+};
+
+}  // namespace
+
+Clock* RealClock() {
+  static SteadyClockImpl* const clock = new SteadyClockImpl();  // leaked: no
+  return clock;  // destruction-order hazards at process exit
+}
+
+}  // namespace d2stgnn

@@ -1,0 +1,96 @@
+#ifndef D2STGNN_COMMON_CLOCK_H_
+#define D2STGNN_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+// Injectable time source for the serving stack.
+//
+// Before this seam existed, overload.cc, retry.cc, and hot_reload.cc each
+// grew their own steady-clock idiom (a `using Clock = steady_clock` alias
+// plus `now` parameters threaded through for tests). The fleet layer sits
+// on top of all three, so it would have needed all three idioms at once.
+// Instead there is one seam: components hold a `Clock*` (null means the
+// process-wide RealClock()), observe time via Now(), and sleep via
+// SleepFor(). Tests inject a FakeClock whose time only moves when the test
+// says so — token buckets refill deterministically and retry backoff tests
+// finish instantly.
+//
+// The seam deliberately covers *observation and sleeping* only. Condition-
+// variable waits (dispatcher flush timers, watcher poll loops) stay on the
+// real steady clock: a cv_.wait_until against fake time points cannot be
+// woken by advancing a fake clock, so faking them would deadlock, not
+// speed up, a test.
+
+namespace d2stgnn {
+
+/// The time_point type every serving component timestamps with.
+using SteadyTime = std::chrono::steady_clock::time_point;
+
+/// Abstract monotonic time source. Implementations must be thread-safe:
+/// concurrent submitters read the clock without external locking.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current monotonic time.
+  virtual SteadyTime Now() = 0;
+
+  /// Blocks the calling thread for `duration` (a FakeClock instead advances
+  /// its own time and returns immediately).
+  virtual void SleepFor(std::chrono::microseconds duration) = 0;
+};
+
+/// The process-wide wall clock (std::chrono::steady_clock +
+/// std::this_thread::sleep_for). Never null; shared by every component
+/// constructed with clock == nullptr.
+Clock* RealClock();
+
+/// Resolves an injected clock: `clock` when given, RealClock() otherwise.
+inline Clock* ClockOrReal(Clock* clock) {
+  return clock != nullptr ? clock : RealClock();
+}
+
+/// A manually-driven clock for tests. Time starts at an arbitrary fixed
+/// epoch and moves only via Advance() / SleepFor(). Thread-safe, so it can
+/// back components exercised by racing submitter threads.
+class FakeClock : public Clock {
+ public:
+  FakeClock() = default;
+  explicit FakeClock(SteadyTime start) : start_(start), now_(start) {}
+
+  SteadyTime Now() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return now_;
+  }
+
+  /// SleepFor does not block: it advances the fake time by `duration`, so
+  /// code that "waits out" a backoff completes instantly under test.
+  void SleepFor(std::chrono::microseconds duration) override {
+    Advance(duration);
+  }
+
+  /// Moves time forward (negative durations are ignored: monotonic).
+  void Advance(std::chrono::microseconds duration) {
+    if (duration.count() < 0) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    now_ += duration;
+  }
+
+  /// Total fake time elapsed since construction.
+  std::chrono::microseconds Elapsed() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::chrono::duration_cast<std::chrono::microseconds>(now_ -
+                                                                 start_);
+  }
+
+ private:
+  std::mutex mu_;
+  SteadyTime start_{};
+  SteadyTime now_{};
+};
+
+}  // namespace d2stgnn
+
+#endif  // D2STGNN_COMMON_CLOCK_H_

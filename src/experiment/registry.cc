@@ -208,6 +208,9 @@ const std::vector<ServingScenario>& ServingScenarios() {
       {"overload",
        "open-loop producers past saturation: deadlines, admission control, "
        "degrade tiers, checkpoint hot-swap, scripted chaos faults"},
+      {"fleet",
+       "multi-model FleetServer under skewed per-tenant load: SLO classes, "
+       "weighted-fair arbitration, per-model quotas, mid-run hot reload"},
   };
   return kScenarios;
 }

@@ -28,6 +28,8 @@
 #include "graph/sensor_graph.h"
 #include "common/fault_injection.h"
 #include "infer/batching_server.h"
+#include "infer/fleet/fleet.h"
+#include "infer/fleet/fleet_server.h"
 #include "infer/hot_reload.h"
 #include "infer/retry.h"
 #include "infer/session.h"
@@ -106,6 +108,17 @@ struct ServingConfig {
   double overload_rate_rps = 0.0; ///< token-bucket limit (0: off)
   int64_t shed_latency_ms = 0;    ///< EWMA shed budget (0: off)
   bool hot_swap = true;           ///< stage + swap a checkpoint mid-run
+  // [fleet] — the multi-model mixed-tenant scenario (DESIGN.md §14).
+  std::vector<std::string> fleet_models;  ///< "id:slo" tenants, in order
+  std::string fleet_hot_model;      ///< past-saturation tenant ("" : last)
+  double fleet_hot_factor = 2.0;    ///< hot tenant's offered load, x saturation
+  double fleet_healthy_factor = 0.25;  ///< every other tenant's offered load
+  int64_t fleet_windows = 4;        ///< trajectory resolution
+  int64_t fleet_window_ms = 250;
+  int64_t fleet_deadline_ms = 0;    ///< 0: auto (5x the measured batch latency)
+  std::string fleet_reload_model;   ///< mid-run hot-reload tenant ("" : first)
+  int64_t fleet_reload_poll_ms = 25;  ///< CheckpointReloader poll period
+  bool fleet_hot_swap = true;       ///< hot-reload one tenant mid-run
   // [chaos] — "point@offset" scripts armed for the run (kErrno, one-shot).
   std::vector<std::string> chaos_faults;
 };
@@ -152,8 +165,107 @@ ServingConfig ParseServingConfig(const Spec& spec) {
   c.shed_latency_ms =
       spec.GetInt("overload", "shed_latency_ms", c.shed_latency_ms);
   c.hot_swap = spec.GetInt("overload", "hot_swap", c.hot_swap ? 1 : 0) != 0;
+  c.fleet_models = spec.GetList("fleet", "models");
+  if (c.fleet_models.empty()) {
+    c.fleet_models = {"metr-la:gold", "pems-bay:silver", "city-syn:bronze"};
+  }
+  c.fleet_hot_model = spec.GetString("fleet", "hot_model", c.fleet_hot_model);
+  c.fleet_hot_factor =
+      spec.GetDouble("fleet", "hot_factor", c.fleet_hot_factor);
+  c.fleet_healthy_factor =
+      spec.GetDouble("fleet", "healthy_factor", c.fleet_healthy_factor);
+  c.fleet_windows = spec.GetInt("fleet", "windows", c.fleet_windows);
+  c.fleet_window_ms = spec.GetInt("fleet", "window_ms", c.fleet_window_ms);
+  c.fleet_deadline_ms =
+      spec.GetInt("fleet", "deadline_ms", c.fleet_deadline_ms);
+  c.fleet_reload_model =
+      spec.GetString("fleet", "reload_model", c.fleet_reload_model);
+  c.fleet_reload_poll_ms =
+      spec.GetInt("fleet", "reload_poll_ms", c.fleet_reload_poll_ms);
+  c.fleet_hot_swap =
+      spec.GetInt("fleet", "hot_swap", c.fleet_hot_swap ? 1 : 0) != 0;
   c.chaos_faults = spec.GetList("chaos", "faults");
   return c;
+}
+
+// One tenant of the fleet scenario: a model id, its resolved SLO class,
+// the seed its weights are drawn from (the hot-reload twin is seed + 1),
+// and its offered load as a multiple of the measured saturation rate.
+struct FleetTenant {
+  std::string id;
+  infer::SloClass slo;
+  uint64_t seed = 0;
+  double factor = 0.0;
+};
+
+/// Parses the [fleet] models list ("id" or "id:slo" entries; SLO names are
+/// the built-in gold/silver/bronze tiers) and marks the hot tenant. Runs at
+/// expansion time too, so --dry-run refuses a bad tenant list.
+bool ParseFleetTenants(const ServingConfig& c, std::vector<FleetTenant>* out,
+                       std::string* error) {
+  out->clear();
+  for (size_t i = 0; i < c.fleet_models.size(); ++i) {
+    const std::string& entry = c.fleet_models[i];
+    FleetTenant tenant;
+    const size_t colon = entry.find(':');
+    tenant.id = colon == std::string::npos ? entry : entry.substr(0, colon);
+    if (tenant.id.empty()) {
+      *error = "[fleet] models entry '" + entry + "' has an empty model id";
+      return false;
+    }
+    if (colon != std::string::npos) {
+      const std::string slo_name = entry.substr(colon + 1);
+      if (!infer::ResolveSloClass(slo_name, &tenant.slo)) {
+        *error = "[fleet] models entry '" + entry +
+                 "' names an unknown SLO class '" + slo_name +
+                 "' (known: gold, silver, bronze)";
+        return false;
+      }
+    }
+    for (const FleetTenant& other : *out) {
+      if (other.id == tenant.id) {
+        *error = "[fleet] models lists '" + tenant.id + "' twice";
+        return false;
+      }
+    }
+    // Distinct weights per tenant, spaced so one tenant's hot-reload twin
+    // (seed + 1) can never collide with another tenant's seed.
+    tenant.seed = c.model_seed + 16 * (static_cast<uint64_t>(i) + 1);
+    tenant.factor = c.fleet_healthy_factor;
+    out->push_back(tenant);
+  }
+  if (out->empty()) {
+    *error = "[fleet] models lists no models";
+    return false;
+  }
+  const std::string hot =
+      c.fleet_hot_model.empty() ? out->back().id : c.fleet_hot_model;
+  bool hot_found = false;
+  for (FleetTenant& tenant : *out) {
+    if (tenant.id == hot) {
+      tenant.factor = c.fleet_hot_factor;
+      hot_found = true;
+    }
+  }
+  if (!hot_found) {
+    *error = "[fleet] hot_model '" + hot + "' is not in the models list";
+    return false;
+  }
+  if (c.fleet_hot_swap) {
+    const std::string reload = c.fleet_reload_model.empty()
+                                   ? out->front().id
+                                   : c.fleet_reload_model;
+    bool reload_found = false;
+    for (const FleetTenant& tenant : *out) {
+      reload_found = reload_found || tenant.id == reload;
+    }
+    if (!reload_found) {
+      *error = "[fleet] reload_model '" + reload +
+               "' is not in the models list";
+      return false;
+    }
+  }
+  return true;
 }
 
 struct DatasetConfig {
@@ -212,6 +324,11 @@ bool ExpandServing(const ServingConfig& config,
                            " threads=" + std::to_string(threads) +
                            " batch_size=" + std::to_string(batch));
         }
+      } else if (scenario == "fleet") {
+        std::vector<FleetTenant> tenants;
+        if (!ParseFleetTenants(config, &tenants, error)) return false;
+        cells->push_back("scenario=fleet threads=" + std::to_string(threads) +
+                         " models=" + std::to_string(tenants.size()));
       } else {
         cells->push_back("scenario=" + scenario +
                          " threads=" + std::to_string(threads));
@@ -247,7 +364,11 @@ json::Value HorizonRecord(const std::string& dataset,
   record.Set("dataset", json::Value::Str(dataset));
   record.Set("model", json::Value::Str(model));
   for (const train::HorizonMetrics& h : horizons) {
-    const std::string prefix = "h" + std::to_string(h.horizon) + "_";
+    // Built with += (not operator+ chaining): GCC 12's -Wrestrict trips a
+    // false positive on `"h" + std::to_string(...)` under -Werror.
+    std::string prefix = "h";
+    prefix += std::to_string(h.horizon);
+    prefix += '_';
     record.Set(prefix + "mae", json::Value::Number(h.metrics.mae));
     record.Set(prefix + "rmse", json::Value::Number(h.metrics.rmse));
     record.Set(prefix + "mape", json::Value::Number(h.metrics.mape));
@@ -592,6 +713,25 @@ bool SweepParity(infer::InferenceSession* plan_session,
          time_one(plan_session, "plan", plan_p50);
 }
 
+/// Arms the [chaos] "point@offset" scripts (kErrno, one-shot) for a
+/// serving run; returns how many were armed.
+int64_t ArmChaosFaults(const std::vector<std::string>& entries) {
+  int64_t armed = 0;
+  for (const std::string& entry : entries) {
+    fault::FaultScript script;
+    script.kind = fault::FaultKind::kErrno;
+    std::string point = entry;
+    const size_t at = entry.find('@');
+    if (at != std::string::npos) {
+      point = entry.substr(0, at);
+      script.trigger_offset = std::strtoll(entry.c_str() + at + 1, nullptr, 10);
+    }
+    fault::ArmFaultPoint(point, script);
+    ++armed;
+  }
+  return armed;
+}
+
 /// Open-loop producers past saturation: the closed-loop overload scenario
 /// of DESIGN.md §13. Offered load is a multiple of the *measured* serving
 /// rate (self-calibrating, so the same spec saturates under a sanitizer
@@ -642,20 +782,7 @@ bool SweepOverload(const ServingConfig& c, const ServingWorkload& w,
                         : std::max<int64_t>(5000,
                                             static_cast<int64_t>(5 * batch_us));
 
-  // Arm the chaos scripts ("point@offset", kErrno, one-shot) for this run.
-  int64_t faults_armed = 0;
-  for (const std::string& entry : c.chaos_faults) {
-    fault::FaultScript script;
-    script.kind = fault::FaultKind::kErrno;
-    std::string point = entry;
-    const size_t at = entry.find('@');
-    if (at != std::string::npos) {
-      point = entry.substr(0, at);
-      script.trigger_offset = std::strtoll(entry.c_str() + at + 1, nullptr, 10);
-    }
-    fault::ArmFaultPoint(point, script);
-    ++faults_armed;
-  }
+  const int64_t faults_armed = ArmChaosFaults(c.chaos_faults);
 
   infer::BatchingOptions options;
   options.max_batch_size = c.max_batch_size;
@@ -948,6 +1075,451 @@ bool SweepOverload(const ServingConfig& c, const ServingWorkload& w,
   return true;
 }
 
+/// The multi-city fleet scenario (DESIGN.md §14): one FleetServer hosts
+/// every configured tenant, each with its own weights, plan cache, and SLO
+/// class. Open-loop producers offer a skewed mix — every healthy tenant
+/// well under saturation, one low-priority tenant past 2x — while a
+/// CheckpointReloader hot-reloads one model mid-run. Emits one record per
+/// (model, window) — the per-tenant shed-rate / p99 / throughput
+/// trajectory — plus the isolation summaries the baseline gates: the
+/// high-priority tenants must ride out the hot tenant's overload, every
+/// model must stay bitwise identical to a standalone single-model session,
+/// and the reload must not perturb any other lane.
+bool SweepFleet(const ServingConfig& c, const ServingWorkload& w,
+                int64_t threads, MetricsSink* sink, std::string* error) {
+  SetNumThreads(static_cast<int>(threads));
+  using clock = std::chrono::steady_clock;
+
+  std::vector<FleetTenant> tenants;
+  if (!ParseFleetTenants(c, &tenants, error)) return false;
+  const std::string reload_id =
+      c.fleet_reload_model.empty() ? tenants.front().id : c.fleet_reload_model;
+
+  // Register every tenant, and record the bitwise reference each lane must
+  // reproduce: the same weights served by a standalone single-model
+  // session. The fleet may arbitrate *when* a model runs, never *what* it
+  // computes.
+  infer::ModelFleet fleet;
+  std::map<std::string, std::vector<float>> reference;
+  for (const FleetTenant& tenant : tenants) {
+    std::shared_ptr<infer::InferenceSession> session(
+        infer::InferenceSession::Wrap(BuildServingModel(w, c, tenant.seed),
+                                      w.scaler,
+                                      ServingSessionOptions(w, c, true))
+            .release());
+    auto standalone = infer::InferenceSession::Wrap(
+        BuildServingModel(w, c, tenant.seed), w.scaler,
+        ServingSessionOptions(w, c, true));
+    if (session == nullptr || standalone == nullptr) {
+      *error = "failed to build fleet sessions for '" + tenant.id + "'";
+      return false;
+    }
+    const infer::Forecast ref = standalone->PredictOne(w.ring[0]);
+    if (!ref.ok) {
+      *error = "standalone reference forward failed for '" + tenant.id +
+               "': " + ref.error;
+      return false;
+    }
+    reference[tenant.id] = ref.values;
+
+    infer::FleetModelOptions model_options;
+    model_options.model_id = tenant.id;
+    model_options.slo = tenant.slo;
+    model_options.max_batch_size = c.max_batch_size;
+    model_options.max_wait_us = c.max_wait_us;
+    if (!fleet.AddModel(std::move(session), model_options, error)) {
+      return false;
+    }
+  }
+
+  // Calibrate the saturated serving rate once — every tenant shares the
+  // architecture, so one measurement sizes all the offered loads.
+  std::shared_ptr<infer::InferenceSession> calibration_session =
+      fleet.session(tenants.front().id);
+  calibration_session->Warmup(c.max_batch_size, /*runs=*/2);
+  std::vector<infer::ForecastRequest> calibration_batch;
+  for (int64_t i = 0; i < c.max_batch_size; ++i) {
+    calibration_batch.push_back(w.ring[static_cast<size_t>(i) % w.ring.size()]);
+  }
+  constexpr int64_t kCalibrationIters = 5;
+  const auto calibration_start = clock::now();
+  for (int64_t i = 0; i < kCalibrationIters; ++i) {
+    for (const infer::Forecast& f :
+         calibration_session->PredictRequests(calibration_batch)) {
+      if (!f.ok) {
+        *error = "fleet calibration forward failed: " + f.error;
+        return false;
+      }
+    }
+  }
+  const double calibration_s =
+      std::chrono::duration<double>(clock::now() - calibration_start).count();
+  const double saturation_rps =
+      static_cast<double>(kCalibrationIters * c.max_batch_size) /
+      std::max(calibration_s, 1e-9);
+  const double batch_us = calibration_s * 1e6 / kCalibrationIters;
+  const int64_t deadline_us =
+      c.fleet_deadline_ms > 0
+          ? c.fleet_deadline_ms * 1000
+          : std::max<int64_t>(5000, static_cast<int64_t>(5 * batch_us));
+
+  const int64_t faults_armed = ArmChaosFaults(c.chaos_faults);
+
+  infer::FleetOptions fleet_options;
+  fleet_options.max_queue_depth = c.max_queue_depth;
+  infer::FleetServer server(&fleet, fleet_options);
+
+  // Hot-reload plumbing for the one reloaded tenant: twin weights
+  // (seed + 1) land in a private watch directory one window into the run;
+  // the bitwise reference comes from an identically-seeded twin session.
+  std::unique_ptr<train::ForecastingModel> swap_model;
+  std::vector<float> swap_reference;
+  std::filesystem::path watch_dir;
+  uint64_t reload_seed = 0;
+  if (c.fleet_hot_swap) {
+    for (const FleetTenant& tenant : tenants) {
+      if (tenant.id == reload_id) reload_seed = tenant.seed;
+    }
+    auto twin_session = infer::InferenceSession::Wrap(
+        BuildServingModel(w, c, reload_seed + 1), w.scaler,
+        ServingSessionOptions(w, c, true));
+    if (twin_session == nullptr) {
+      *error = "failed to build the fleet hot-reload twin session";
+      return false;
+    }
+    const infer::Forecast twin = twin_session->PredictOne(w.ring[0]);
+    if (!twin.ok) {
+      *error = "fleet hot-reload twin forward failed: " + twin.error;
+      return false;
+    }
+    swap_reference = twin.values;
+    swap_model = BuildServingModel(w, c, reload_seed + 1);  // saved mid-run
+
+    watch_dir = std::filesystem::temp_directory_path() /
+                ("d2stgnn_fleet_" + std::to_string(::getpid()) + "_t" +
+                 std::to_string(threads));
+    std::error_code ec;
+    std::filesystem::remove_all(watch_dir, ec);
+    std::filesystem::create_directories(watch_dir, ec);
+    infer::HotReloadOptions reload_options;
+    reload_options.directory = watch_dir.string();
+    reload_options.poll_interval_ms = std::max<int64_t>(5, c.fleet_reload_poll_ms);
+    if (!fleet.AttachReloader(
+            reload_id, server.host(reload_id),
+            [&w, &c, reload_seed] { return BuildServingModel(w, c, reload_seed); },
+            w.scaler, ServingSessionOptions(w, c, true), reload_options,
+            error)) {
+      return false;
+    }
+    fleet.StartReloaders();
+  }
+
+  // One open-loop producer + harvester pair per tenant, each on its own
+  // cadence: offered = saturation * tenant.factor, regardless of
+  // completions (that is what makes per-tenant shedding observable).
+  struct Outstanding {
+    std::future<infer::Forecast> future;
+    clock::time_point submitted;
+    int64_t window = 0;
+  };
+  struct Sample {
+    int64_t window = 0;
+    bool ok = false;
+    infer::RejectReason reason = infer::RejectReason::kNone;
+    double latency_ms = 0.0;
+  };
+  struct Channel {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<Outstanding> pending;
+    bool done = false;
+    std::vector<Sample> samples;
+  };
+
+  const auto run_start = clock::now();
+  const auto run_end =
+      run_start +
+      std::chrono::milliseconds(c.fleet_windows * c.fleet_window_ms);
+  std::vector<std::unique_ptr<Channel>> channels;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    channels.push_back(std::make_unique<Channel>());
+  }
+
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    const FleetTenant& tenant = tenants[t];
+    Channel* channel = channels[t].get();
+    const double rate_rps = std::max(1.0, saturation_rps * tenant.factor);
+    const double period_s = 1.0 / rate_rps;
+    workers.emplace_back([&, t, channel, period_s] {
+      int64_t seq = 0;
+      auto next = run_start + std::chrono::duration_cast<clock::duration>(
+                                  std::chrono::duration<double>(
+                                      period_s * static_cast<double>(t) /
+                                      static_cast<double>(tenants.size())));
+      while (next < run_end) {
+        std::this_thread::sleep_until(next);
+        const auto now = clock::now();
+        if (now >= run_end) break;
+        infer::ForecastRequest request =
+            w.ring[static_cast<size_t>(seq++) % w.ring.size()];
+        request.deadline_us = deadline_us;
+        Outstanding out;
+        out.submitted = now;
+        out.window = std::min<int64_t>(
+            c.fleet_windows - 1,
+            std::chrono::duration_cast<std::chrono::milliseconds>(now -
+                                                                  run_start)
+                    .count() /
+                c.fleet_window_ms);
+        out.future = server.Submit(tenants[t].id, std::move(request));
+        {
+          std::lock_guard<std::mutex> lock(channel->mu);
+          channel->pending.push_back(std::move(out));
+        }
+        channel->cv.notify_one();
+        next += std::chrono::duration_cast<clock::duration>(
+            std::chrono::duration<double>(period_s));
+      }
+      {
+        std::lock_guard<std::mutex> lock(channel->mu);
+        channel->done = true;
+      }
+      channel->cv.notify_one();
+    });
+    workers.emplace_back([channel] {
+      for (;;) {
+        Outstanding out;
+        {
+          std::unique_lock<std::mutex> lock(channel->mu);
+          channel->cv.wait(lock, [channel] {
+            return channel->done || !channel->pending.empty();
+          });
+          if (channel->pending.empty()) return;  // done and drained
+          out = std::move(channel->pending.front());
+          channel->pending.pop_front();
+        }
+        const infer::Forecast forecast = out.future.get();
+        Sample sample;
+        sample.window = out.window;
+        sample.ok = forecast.ok;
+        sample.reason = forecast.reason;
+        sample.latency_ms = std::chrono::duration<double, std::milli>(
+                                clock::now() - out.submitted)
+                                .count();
+        std::lock_guard<std::mutex> lock(channel->mu);
+        channel->samples.push_back(sample);
+      }
+    });
+  }
+
+  // Main thread: drop the reload tenant's twin checkpoint one window in,
+  // and track the worst degradation tier while the run progresses.
+  infer::OverloadTier max_tier = infer::OverloadTier::kNormal;
+  bool checkpoint_dropped = false;
+  while (clock::now() < run_end) {
+    if (!checkpoint_dropped && swap_model != nullptr &&
+        clock::now() >=
+            run_start + std::chrono::milliseconds(c.fleet_window_ms)) {
+      train::SaveCheckpoint(
+          *swap_model, train::CheckpointPathForStep(watch_dir.string(), 1));
+      checkpoint_dropped = true;
+    }
+    max_tier = std::max(max_tier, server.stats().tier);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  if (!checkpoint_dropped && swap_model != nullptr) {
+    train::SaveCheckpoint(
+        *swap_model, train::CheckpointPathForStep(watch_dir.string(), 1));
+  }
+  for (std::thread& t : workers) t.join();
+  max_tier = std::max(max_tier, server.stats().tier);
+
+  // The reload must land before the probes (the reloader retries through
+  // any injected staging fault).
+  int64_t hot_swaps = 0;
+  if (c.fleet_hot_swap) {
+    infer::CheckpointReloader* reloader = fleet.reloader(reload_id);
+    const auto swap_deadline = clock::now() + std::chrono::seconds(60);
+    while (reloader->stats().swaps == 0 && clock::now() < swap_deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    hot_swaps = reloader->stats().swaps;
+  }
+
+  // Bitwise probes, after the backlog drains: every tenant must serve
+  // exactly what its standalone session serves — the reloaded tenant, what
+  // the staged twin serves. Generous retries ride out tier recovery.
+  int64_t bitwise_models = 0;
+  int64_t post_swap_bitwise = c.fleet_hot_swap ? 0 : -1;
+  for (const FleetTenant& tenant : tenants) {
+    infer::RetryPolicy policy;
+    policy.max_attempts = 64;
+    policy.initial_backoff_us = 2000;
+    policy.max_backoff_us = 50000;
+    policy.jitter_seed = c.workload_seed;
+    const infer::RetryResult probe =
+        infer::SubmitWithRetry(&server, tenant.id, w.ring[0], policy);
+    const bool reloaded = c.fleet_hot_swap && tenant.id == reload_id;
+    const std::vector<float>& expected =
+        reloaded && hot_swaps > 0 ? swap_reference : reference[tenant.id];
+    const bool bitwise = probe.forecast.ok && probe.forecast.values == expected;
+    if (bitwise) ++bitwise_models;
+    if (reloaded) post_swap_bitwise = bitwise && hot_swaps > 0 ? 1 : 0;
+  }
+
+  fleet.StopReloaders();
+  server.Shutdown();
+  const infer::FleetStats fleet_stats = server.stats();
+  const int64_t faults_fired = fault::FaultFireCount();
+  fault::DisarmAllFaultPoints();
+  if (c.fleet_hot_swap) {
+    std::error_code ec;
+    std::filesystem::remove_all(watch_dir, ec);
+  }
+
+  // Per-(model, window) trajectory records, plus per-tenant aggregates for
+  // the isolation summaries.
+  struct WindowAgg {
+    int64_t offered = 0, completed = 0, shed = 0, expired = 0;
+    std::vector<double> latencies_ms;
+  };
+  const double window_s = static_cast<double>(c.fleet_window_ms) / 1000.0;
+  int64_t total_completed = 0;
+  int64_t high_offered = 0, high_shed = 0, high_expired = 0;
+  int64_t hot_offered = 0, hot_shed = 0;
+  double high_p99_ms = 0.0;
+  int64_t best_priority = tenants.front().slo.priority;
+  for (const FleetTenant& tenant : tenants) {
+    best_priority = std::min(best_priority, tenant.slo.priority);
+  }
+  for (size_t t = 0; t < tenants.size(); ++t) {
+    const FleetTenant& tenant = tenants[t];
+    const bool is_hot = tenant.factor == c.fleet_hot_factor &&
+                        tenant.id == (c.fleet_hot_model.empty()
+                                          ? tenants.back().id
+                                          : c.fleet_hot_model);
+    std::vector<WindowAgg> aggs(static_cast<size_t>(c.fleet_windows));
+    std::vector<double> tenant_latencies;
+    for (const Sample& sample : channels[t]->samples) {
+      WindowAgg& agg = aggs[static_cast<size_t>(sample.window)];
+      ++agg.offered;
+      if (sample.ok) {
+        ++agg.completed;
+        agg.latencies_ms.push_back(sample.latency_ms);
+        tenant_latencies.push_back(sample.latency_ms);
+      } else if (sample.reason == infer::RejectReason::kDeadlineExceeded) {
+        ++agg.expired;
+      } else {
+        ++agg.shed;
+      }
+    }
+    for (int64_t i = 0; i < c.fleet_windows; ++i) {
+      const WindowAgg& agg = aggs[static_cast<size_t>(i)];
+      total_completed += agg.completed;
+      if (tenant.slo.priority == best_priority && !is_hot) {
+        high_offered += agg.offered;
+        high_shed += agg.shed;
+        high_expired += agg.expired;
+      }
+      if (is_hot) {
+        hot_offered += agg.offered;
+        hot_shed += agg.shed;
+      }
+      const double denom =
+          static_cast<double>(std::max<int64_t>(agg.offered, 1));
+      json::Value record = ServingRecord(
+          "fleet", "fleet", threads, c.max_batch_size, agg.offered,
+          metrics::SummarizeLatencies(agg.latencies_ms),
+          static_cast<double>(agg.completed) / std::max(window_s, 1e-9));
+      record.Set("model", json::Value::Str(tenant.id));
+      record.Set("slo", json::Value::Str(tenant.slo.name));
+      record.Set("priority", json::Value::Int(tenant.slo.priority));
+      record.Set("window", json::Value::Int(i));
+      record.Set("completed", json::Value::Int(agg.completed));
+      record.Set("shed", json::Value::Int(agg.shed));
+      record.Set("expired", json::Value::Int(agg.expired));
+      record.Set("shed_rate",
+                 json::Value::Number(static_cast<double>(agg.shed) / denom));
+      record.Set("deadline_miss_rate",
+                 json::Value::Number(static_cast<double>(agg.expired) /
+                                     denom));
+      sink->AddRecord(std::move(record));
+    }
+    if (tenant.slo.priority == best_priority && !is_hot) {
+      high_p99_ms = std::max(
+          high_p99_ms, metrics::SummarizeLatencies(tenant_latencies).p99);
+    }
+  }
+
+  // Isolation summaries. "high" covers the healthy best-priority tenants;
+  // "hot" is the past-saturation one. The reload must touch exactly one
+  // lane: every other model's session_swaps stays zero.
+  int64_t others_session_swaps = 0;
+  int64_t rejected_quota = 0;
+  for (const auto& [id, model_stats] : fleet_stats.models) {
+    rejected_quota += model_stats.rejected_quota;
+    if (!(c.fleet_hot_swap && id == reload_id)) {
+      others_session_swaps += model_stats.session_swaps;
+    }
+  }
+  const double high_denom =
+      static_cast<double>(std::max<int64_t>(high_offered, 1));
+  const double hot_denom =
+      static_cast<double>(std::max<int64_t>(hot_offered, 1));
+  sink->SetSummary("saturation_rps", json::Value::Number(saturation_rps));
+  sink->SetSummary("fleet_models",
+                   json::Value::Int(static_cast<int64_t>(tenants.size())));
+  sink->SetSummary("fleet_completed", json::Value::Int(total_completed));
+  sink->SetSummary("fleet_high_shed_rate",
+                   json::Value::Number(static_cast<double>(high_shed) /
+                                       high_denom));
+  sink->SetSummary("fleet_high_deadline_miss_rate",
+                   json::Value::Number(static_cast<double>(high_expired) /
+                                       high_denom));
+  sink->SetSummary("fleet_high_p99_ms", json::Value::Number(high_p99_ms));
+  sink->SetSummary("fleet_hot_shed_rate",
+                   json::Value::Number(static_cast<double>(hot_shed) /
+                                       hot_denom));
+  sink->SetSummary("rejected_quota", json::Value::Int(rejected_quota));
+  sink->SetSummary("hot_swaps", json::Value::Int(hot_swaps));
+  sink->SetSummary("post_swap_bitwise", json::Value::Int(post_swap_bitwise));
+  sink->SetSummary("bitwise_models", json::Value::Int(bitwise_models));
+  sink->SetSummary("others_session_swaps",
+                   json::Value::Int(others_session_swaps));
+  sink->SetSummary("faults_armed", json::Value::Int(faults_armed));
+  sink->SetSummary("faults_fired", json::Value::Int(faults_fired));
+  sink->SetSummary("max_tier",
+                   json::Value::Str(infer::OverloadTierName(max_tier)));
+  sink->SetSummary("degrade_transitions",
+                   json::Value::Int(fleet_stats.degrade_transitions));
+
+  if (total_completed == 0) {
+    *error = "fleet run completed zero requests";
+    return false;
+  }
+  if (c.fleet_hot_swap && hot_swaps == 0) {
+    *error = "fleet run never hot-swapped the staged checkpoint";
+    return false;
+  }
+  if (c.fleet_hot_swap && post_swap_bitwise != 1) {
+    *error = "post-swap fleet forecast is not bitwise the staged twin";
+    return false;
+  }
+  if (bitwise_models != static_cast<int64_t>(tenants.size())) {
+    *error = "fleet forecasts diverge from the standalone sessions (" +
+             std::to_string(bitwise_models) + "/" +
+             std::to_string(tenants.size()) + " bitwise)";
+    return false;
+  }
+  if (others_session_swaps != 0) {
+    *error = "hot reload perturbed other models' sessions (" +
+             std::to_string(others_session_swaps) + " unexpected swaps)";
+    return false;
+  }
+  return true;
+}
+
 bool RunServing(const ServingConfig& config, MetricsSink* sink,
                 std::string* error) {
   const ServingWorkload w = BuildServingWorkload(config);
@@ -1002,6 +1574,13 @@ bool RunServing(const ServingConfig& config, MetricsSink* sink,
     } else if (scenario == "overload") {
       for (const int64_t threads : config.threads) {
         if (!SweepOverload(config, w, threads, sink, error)) {
+          ok = false;
+          break;
+        }
+      }
+    } else if (scenario == "fleet") {
+      for (const int64_t threads : config.threads) {
+        if (!SweepFleet(config, w, threads, sink, error)) {
           ok = false;
           break;
         }

@@ -56,9 +56,20 @@ BatchingServer::BatchingServer(InferenceSession* session,
 BatchingServer::~BatchingServer() { Shutdown(/*drain=*/true); }
 
 int64_t BatchingServer::WarmAndPlanCap(InferenceSession* session) const {
-  session->Warmup(1);
-  if (options_.max_batch_size > 1) session->Warmup(options_.max_batch_size);
-  const std::vector<int64_t> planned = session->planned_batch_sizes();
+  // A staged shadow session (CheckpointReloader) arrives pre-warmed: its
+  // plans are already captured and verified. Re-warming a planned size
+  // would burn a redundant forward per size on the swap path, so only
+  // sizes without a plan are warmed here. (With plans disabled `planned`
+  // is empty and both sizes warm the buffer pool, as before.)
+  std::vector<int64_t> planned = session->planned_batch_sizes();
+  const auto has_plan = [&planned](int64_t size) {
+    return std::binary_search(planned.begin(), planned.end(), size);
+  };
+  if (!has_plan(1)) session->Warmup(1);
+  if (options_.max_batch_size > 1 && !has_plan(options_.max_batch_size)) {
+    session->Warmup(options_.max_batch_size);
+  }
+  planned = session->planned_batch_sizes();
   return planned.empty() ? 0 : planned.back();
 }
 
@@ -137,8 +148,7 @@ std::future<Forecast> BatchingServer::Submit(ForecastRequest request) {
     }
 
     if (reject == RejectReason::kNone) {
-      const AdmissionDecision decision =
-          admission_.Admit(depth, capacity, pending.enqueued);
+      const AdmissionDecision decision = admission_.Admit(depth, capacity);
       if (!decision.admitted) {
         reject = decision.reason;
         retry_after_us = decision.retry_after_us;

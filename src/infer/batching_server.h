@@ -13,6 +13,7 @@
 
 #include "infer/overload.h"
 #include "infer/session.h"
+#include "infer/session_host.h"
 
 // Micro-batching request server (DESIGN.md §9, §13).
 //
@@ -104,8 +105,9 @@ struct BatchingServerStats {
 };
 
 /// The dispatcher + admission gate + bounded queue around one (swappable)
-/// InferenceSession.
-class BatchingServer {
+/// InferenceSession. Implements SessionHost so a CheckpointReloader can
+/// target it directly.
+class BatchingServer : public SessionHost {
  public:
   /// Borrows `session` (must outlive the server) and starts the dispatcher
   /// thread.
@@ -117,7 +119,7 @@ class BatchingServer {
                  const BatchingOptions& options);
 
   /// Graceful drain-and-join (Shutdown(true)).
-  ~BatchingServer();
+  ~BatchingServer() override;
 
   BatchingServer(const BatchingServer&) = delete;
   BatchingServer& operator=(const BatchingServer&) = delete;
@@ -132,8 +134,10 @@ class BatchingServer {
   /// in-flight batch finishes on the old session — it holds a reference —
   /// and every batch dispatched after this call runs on `next`. When
   /// options().warmup is set, `next` is warmed (plans captured + verified)
-  /// *before* the swap, so the first post-swap batch replays a warm plan.
-  void SwapSession(std::shared_ptr<InferenceSession> next);
+  /// *before* the swap, so the first post-swap batch replays a warm plan;
+  /// sizes the session already has plans for (a pre-warmed staged shadow)
+  /// are not warmed twice.
+  void SwapSession(std::shared_ptr<InferenceSession> next) override;
 
   /// The currently served session (callers may briefly outlive a swap).
   std::shared_ptr<InferenceSession> session() const;
@@ -150,6 +154,7 @@ class BatchingServer {
 
   BatchingServerStats stats() const;
   const BatchingOptions& options() const { return options_; }
+  int64_t max_batch_size() const override { return options_.max_batch_size; }
 
  private:
   struct Pending {
@@ -163,8 +168,9 @@ class BatchingServer {
 
   void DispatcherLoop();
 
-  /// Warms `session` at batch sizes 1 and max, and returns its largest
-  /// planned batch size (0 when plans are off / capture failed).
+  /// Warms `session` at batch sizes 1 and max (skipping sizes that already
+  /// have captured plans), and returns its largest planned batch size (0
+  /// when plans are off / capture failed).
   int64_t WarmAndPlanCap(InferenceSession* session) const;
 
   /// Moves every expired entry out of the queue. Requires mu_ held; the

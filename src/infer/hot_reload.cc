@@ -11,17 +11,16 @@
 
 namespace d2stgnn::infer {
 
-CheckpointReloader::CheckpointReloader(BatchingServer* server,
-                                       ModelFactory factory,
+CheckpointReloader::CheckpointReloader(SessionHost* host, ModelFactory factory,
                                        const data::StandardScaler& scaler,
                                        const SessionOptions& session_options,
                                        const HotReloadOptions& options)
-    : server_(server),
+    : host_(host),
       factory_(std::move(factory)),
       scaler_(scaler),
       session_options_(session_options),
       options_(options) {
-  D2_CHECK(server_ != nullptr);
+  D2_CHECK(host_ != nullptr);
   D2_CHECK(factory_ != nullptr);
   D2_CHECK_GT(options_.poll_interval_ms, 0);
 }
@@ -42,9 +41,16 @@ ReloadStatus CheckpointReloader::PollOnce() {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.attempts;
   }
+  Clock* clock = ClockOrReal(options_.clock);
+  const SteadyTime staging_start = clock->Now();
   status = StageAndSwap(latest);
+  const int64_t staging_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(clock->Now() -
+                                                            staging_start)
+          .count();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    stats_.last_staging_us = staging_us;
     if (status.outcome == ReloadOutcome::kSwapped) {
       ++stats_.swaps;
       stats_.active_checkpoint = latest;
@@ -98,15 +104,18 @@ ReloadStatus CheckpointReloader::StageAndSwap(const std::string& checkpoint) {
 
   // Warm the shadow while the old session serves: plans are captured (and
   // statically verified, per shadow_options) before any traffic sees it.
+  // Sizes are deduplicated first — repeated configured sizes must not cost
+  // repeated warm-up forwards — and non-positive entries are dropped.
   std::vector<int64_t> sizes = options_.warmup_batch_sizes;
   if (sizes.empty()) {
-    sizes = {1, server_->options().max_batch_size};
+    sizes = {1, host_->max_batch_size()};
   }
   std::sort(sizes.begin(), sizes.end());
   sizes.erase(std::unique(sizes.begin(), sizes.end()), sizes.end());
-  for (int64_t size : sizes) {
-    if (size > 0) staged->Warmup(size);
-  }
+  sizes.erase(std::remove_if(sizes.begin(), sizes.end(),
+                             [](int64_t size) { return size <= 0; }),
+              sizes.end());
+  for (int64_t size : sizes) staged->Warmup(size);
 
   if (shadow_options.use_plans && options_.verify_plans) {
     const SessionStats session_stats = staged->session_stats();
@@ -126,7 +135,7 @@ ReloadStatus CheckpointReloader::StageAndSwap(const std::string& checkpoint) {
     }
   }
 
-  server_->SwapSession(std::shared_ptr<InferenceSession>(std::move(staged)));
+  host_->SwapSession(std::shared_ptr<InferenceSession>(std::move(staged)));
   status.outcome = ReloadOutcome::kSwapped;
   D2_LOG(INFO) << "infer: hot-swapped session to " << checkpoint;
   return status;

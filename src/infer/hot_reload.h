@@ -10,9 +10,10 @@
 #include <thread>
 #include <vector>
 
+#include "common/clock.h"
 #include "data/scaler.h"
-#include "infer/batching_server.h"
 #include "infer/session.h"
+#include "infer/session_host.h"
 #include "train/forecasting_model.h"
 
 // Transactional checkpoint hot-reload (DESIGN.md §13).
@@ -22,7 +23,8 @@
 // session: a fresh model instance, a transactional checkpoint load, warm-up
 // forwards, plan capture and static verification — all while live traffic
 // keeps running on the old session. Only a shadow that survives every gate
-// is swapped in (BatchingServer::SwapSession); any failure keeps the old
+// is swapped in (SessionHost::SwapSession — a standalone BatchingServer or
+// one model's lane inside a FleetServer); any failure keeps the old
 // session serving and is reported as a typed ReloadStatus, never an
 // exception into the serving path. In-flight batches finish on the weights
 // they started with.
@@ -40,13 +42,19 @@ using ModelFactory =
 
 struct HotReloadOptions {
   std::string directory;          ///< watched checkpoint directory
-  int64_t poll_interval_ms = 200; ///< watcher thread poll period
+  /// Watcher thread poll period. Configurable end to end: the fleet spec's
+  /// [fleet] reload_poll_ms and serve_forecasts --reload-poll-ms land here.
+  int64_t poll_interval_ms = 200;
   /// Batch sizes warmed (and planned) on the shadow session before a swap.
-  /// Empty: sizes 1 and the server's max_batch_size.
+  /// Deduplicated before use; empty: sizes 1 and the host's
+  /// max_batch_size().
   std::vector<int64_t> warmup_batch_sizes;
   /// Require every warmed batch size to have a captured, verifier-clean
   /// plan before the swap (only meaningful when the session uses plans).
   bool verify_plans = true;
+  /// Injected time source for staging-duration accounting (null:
+  /// RealClock()).
+  Clock* clock = nullptr;
 };
 
 enum class ReloadOutcome {
@@ -67,17 +75,20 @@ struct ReloadStats {
   int64_t attempts = 0;  ///< polls that found a new checkpoint
   int64_t swaps = 0;     ///< successful swaps
   int64_t rejects = 0;   ///< staging failures (old session kept)
+  /// How long the most recent staging attempt spent off the serving path
+  /// (load + warmup + verification), by the injected clock.
+  int64_t last_staging_us = 0;
   std::string active_checkpoint;  ///< last successfully swapped-in path
   std::string last_error;         ///< from the most recent reject
 };
 
-/// Watches a checkpoint directory and hot-swaps the server's session.
-/// One reloader per server; the server must outlive it.
+/// Watches a checkpoint directory and hot-swaps the host's session.
+/// One reloader per SessionHost; the host must outlive it.
 class CheckpointReloader {
  public:
-  /// `session_options` must describe the same stream geometry the server's
+  /// `session_options` must describe the same stream geometry the host's
   /// current session was built with (the swap does not re-negotiate shapes).
-  CheckpointReloader(BatchingServer* server, ModelFactory factory,
+  CheckpointReloader(SessionHost* host, ModelFactory factory,
                      const data::StandardScaler& scaler,
                      const SessionOptions& session_options,
                      const HotReloadOptions& options);
@@ -102,7 +113,7 @@ class CheckpointReloader {
  private:
   ReloadStatus StageAndSwap(const std::string& checkpoint);
 
-  BatchingServer* server_;
+  SessionHost* host_;
   ModelFactory factory_;
   data::StandardScaler scaler_;
   SessionOptions session_options_;

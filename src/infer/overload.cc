@@ -15,6 +15,7 @@ const char* RejectReasonName(RejectReason reason) {
     case RejectReason::kRateLimited: return "rate_limited";
     case RejectReason::kOverloaded: return "overloaded";
     case RejectReason::kShedLowPriority: return "shed_low_priority";
+    case RejectReason::kQuotaExceeded: return "quota_exceeded";
     case RejectReason::kDeadlineExceeded: return "deadline_exceeded";
     case RejectReason::kShuttingDown: return "shutting_down";
     case RejectReason::kCancelled: return "cancelled";
@@ -28,14 +29,16 @@ bool IsRetryableReject(RejectReason reason) {
     case RejectReason::kRateLimited:
     case RejectReason::kOverloaded:
     case RejectReason::kShedLowPriority:
+    case RejectReason::kQuotaExceeded:
       return true;
     default:
       return false;
   }
 }
 
-AdmissionController::AdmissionController(const AdmissionOptions& options)
-    : options_(options) {
+AdmissionController::AdmissionController(const AdmissionOptions& options,
+                                         Clock* clock)
+    : options_(options), clock_(ClockOrReal(clock)) {
   D2_CHECK_GT(options_.ewma_alpha, 0.0);
   D2_CHECK_LE(options_.ewma_alpha, 1.0);
   if (options_.rate_rps > 0.0) {
@@ -46,8 +49,7 @@ AdmissionController::AdmissionController(const AdmissionOptions& options)
 }
 
 AdmissionDecision AdmissionController::Admit(int64_t queue_depth,
-                                             int64_t queue_capacity,
-                                             Clock::time_point now) {
+                                             int64_t queue_capacity) {
   AdmissionDecision decision;
 
   // Estimated time for the dispatcher to work off the current queue — the
@@ -68,6 +70,7 @@ AdmissionDecision AdmissionController::Admit(int64_t queue_depth,
   // 2. Token bucket. Refill from elapsed wall time, then spend one token
   // per admitted request.
   if (options_.rate_rps > 0.0) {
+    const SteadyTime now = clock_->Now();
     if (!bucket_primed_) {
       bucket_primed_ = true;
       last_refill_ = now;

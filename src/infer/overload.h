@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/clock.h"
+
 // Overload protection for the serving stack (DESIGN.md §13).
 //
 // A forecast delivered after its window is worthless, so a saturated server
@@ -41,6 +43,8 @@ enum class RejectReason {
   kRateLimited,       ///< token bucket empty
   kOverloaded,        ///< EWMA service latency above the shed budget
   kShedLowPriority,   ///< degrade tier kShedding refused low-priority work
+  kQuotaExceeded,     ///< model over its fair share of a contended fleet
+                      ///< queue (infer/fleet); other tenants stay healthy
   kDeadlineExceeded,  ///< expired in the queue; never dispatched
   kShuttingDown,      ///< submitted after Shutdown
   kCancelled,         ///< queued at a non-drain Shutdown
@@ -50,8 +54,9 @@ enum class RejectReason {
 const char* RejectReasonName(RejectReason reason);
 
 /// True for rejections worth retrying after a backoff (kQueueFull,
-/// kRateLimited, kOverloaded, kShedLowPriority). Deadline misses are not
-/// retryable: the window the client asked about has aged past its budget.
+/// kRateLimited, kOverloaded, kShedLowPriority, kQuotaExceeded). Deadline
+/// misses are not retryable: the window the client asked about has aged
+/// past its budget.
 bool IsRetryableReject(RejectReason reason);
 
 /// Two-level priority for load shedding: under sustained overload (tier
@@ -86,15 +91,15 @@ struct AdmissionDecision {
 /// server calls Admit / RecordBatch under its own mutex.
 class AdmissionController {
  public:
-  using Clock = std::chrono::steady_clock;
-
-  explicit AdmissionController(const AdmissionOptions& options);
+  /// `clock` is the injectable time source for token-bucket refill (null:
+  /// the process RealClock()). Tests pass a FakeClock and advance it
+  /// instead of threading `now` parameters through every call.
+  explicit AdmissionController(const AdmissionOptions& options,
+                               Clock* clock = nullptr);
 
   /// Decides one submission given the current queue depth and the hard
-  /// capacity (`queue_capacity` <= 0 means unbounded). `now` is passed in
-  /// so tests drive the token bucket deterministically.
-  AdmissionDecision Admit(int64_t queue_depth, int64_t queue_capacity,
-                          Clock::time_point now);
+  /// capacity (`queue_capacity` <= 0 means unbounded).
+  AdmissionDecision Admit(int64_t queue_depth, int64_t queue_capacity);
 
   /// Feeds one dispatched batch into the EWMA service-time estimate.
   void RecordBatch(int64_t batch_latency_us, int64_t batch_size);
@@ -104,9 +109,10 @@ class AdmissionController {
 
  private:
   AdmissionOptions options_;
+  Clock* clock_;
   double burst_ = 0.0;
   double tokens_ = 0.0;
-  Clock::time_point last_refill_{};
+  SteadyTime last_refill_{};
   bool bucket_primed_ = false;
   double ewma_request_us_ = 0.0;
 };

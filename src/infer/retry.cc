@@ -2,9 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
-#include <thread>
 
 #include "common/check.h"
+#include "infer/fleet/fleet_server.h"
 
 namespace d2stgnn::infer {
 
@@ -25,16 +25,16 @@ int64_t BackoffDelayUs(const RetryPolicy& policy, int64_t attempt,
   return std::max<int64_t>(static_cast<int64_t>(delay), 0);
 }
 
-RetryResult SubmitWithRetry(BatchingServer* server,
-                            const ForecastRequest& request,
-                            const RetryPolicy& policy) {
-  D2_CHECK(server != nullptr);
+RetryResult RetryWithBackoff(const std::function<Forecast()>& submit,
+                             const RetryPolicy& policy) {
+  D2_CHECK(submit != nullptr);
   D2_CHECK_GE(policy.max_attempts, 1);
+  Clock* clock = ClockOrReal(policy.clock);
   Rng rng(policy.jitter_seed);
   RetryResult result;
   for (;;) {
     ++result.attempts;
-    result.forecast = server->Submit(request).get();
+    result.forecast = submit();
     if (result.forecast.ok || !IsRetryableReject(result.forecast.reason) ||
         result.attempts >= policy.max_attempts) {
       return result;
@@ -42,10 +42,27 @@ RetryResult SubmitWithRetry(BatchingServer* server,
     const int64_t delay_us = BackoffDelayUs(
         policy, result.attempts, result.forecast.retry_after_us, &rng);
     result.backoff_us += delay_us;
-    if (delay_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
-    }
+    if (delay_us > 0) clock->SleepFor(std::chrono::microseconds(delay_us));
   }
+}
+
+RetryResult SubmitWithRetry(BatchingServer* server,
+                            const ForecastRequest& request,
+                            const RetryPolicy& policy) {
+  D2_CHECK(server != nullptr);
+  return RetryWithBackoff(
+      [server, &request] { return server->Submit(request).get(); }, policy);
+}
+
+RetryResult SubmitWithRetry(FleetServer* server, const std::string& model_id,
+                            const ForecastRequest& request,
+                            const RetryPolicy& policy) {
+  D2_CHECK(server != nullptr);
+  return RetryWithBackoff(
+      [server, &model_id, &request] {
+        return server->Submit(model_id, request).get();
+      },
+      policy);
 }
 
 }  // namespace d2stgnn::infer

@@ -2,7 +2,10 @@
 #define D2STGNN_INFER_RETRY_H_
 
 #include <cstdint>
+#include <functional>
+#include <string>
 
+#include "common/clock.h"
 #include "common/rng.h"
 #include "infer/batching_server.h"
 
@@ -28,6 +31,9 @@ struct RetryPolicy {
   /// [1 - jitter, 1 + jitter). 0 disables jitter.
   double jitter = 0.2;
   uint64_t jitter_seed = 0;         ///< deterministic jitter stream
+  /// Injected time source for the inter-attempt sleeps (null: RealClock()).
+  /// Tests pass a FakeClock so backoff "waits" complete instantly.
+  Clock* clock = nullptr;
 };
 
 /// The delay before retry number `attempt` (1-based: attempt 1 follows the
@@ -50,6 +56,20 @@ struct RetryResult {
 RetryResult SubmitWithRetry(BatchingServer* server,
                             const ForecastRequest& request,
                             const RetryPolicy& policy = RetryPolicy());
+
+class FleetServer;  // infer/fleet/fleet_server.h
+
+/// The fleet flavor: submits to `model_id` on a FleetServer, with the same
+/// transient-vs-permanent split (quota rejections are transient).
+RetryResult SubmitWithRetry(FleetServer* server, const std::string& model_id,
+                            const ForecastRequest& request,
+                            const RetryPolicy& policy = RetryPolicy());
+
+/// The retry loop itself, decoupled from any server type: `submit` performs
+/// one attempt and returns the settled Forecast. Both SubmitWithRetry
+/// overloads are thin wrappers over this.
+RetryResult RetryWithBackoff(const std::function<Forecast()>& submit,
+                             const RetryPolicy& policy = RetryPolicy());
 
 }  // namespace d2stgnn::infer
 

@@ -1,0 +1,31 @@
+#ifndef D2STGNN_INFER_SESSION_HOST_H_
+#define D2STGNN_INFER_SESSION_HOST_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "infer/session.h"
+
+namespace d2stgnn::infer {
+
+/// Anything that serves one (swappable) InferenceSession. CheckpointReloader
+/// stages shadow sessions against this interface, so the same reloader
+/// drives a standalone BatchingServer and a single model inside a
+/// FleetServer — the fleet hands out one SessionHost per model.
+class SessionHost {
+ public:
+  virtual ~SessionHost() = default;
+
+  /// Atomically replaces the served session. In-flight work finishes on the
+  /// old session (implementations pin it per batch); every later dispatch
+  /// runs on `next`.
+  virtual void SwapSession(std::shared_ptr<InferenceSession> next) = 0;
+
+  /// The largest batch this host dispatches — the default shadow-warmup
+  /// size, so staged plans cover what the host will actually replay.
+  virtual int64_t max_batch_size() const = 0;
+};
+
+}  // namespace d2stgnn::infer
+
+#endif  // D2STGNN_INFER_SESSION_HOST_H_

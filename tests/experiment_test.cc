@@ -423,6 +423,49 @@ TEST(RunnerTest, OverloadScenarioExpandsToThreadsOnlyCells) {
   EXPECT_EQ(cells.back(), "scenario=overload threads=2");
 }
 
+TEST(RunnerTest, FleetScenarioExpandsPerThreadWithTenantCount) {
+  const Spec spec = ParseSpec(
+      "[experiment]\nname = m\nkind = serving\n"
+      "[serving]\nscenarios = fleet\nthreads = 1, 2\n"
+      "[fleet]\nmodels = metr-la:gold, pems-bay:silver, city-syn:bronze\n"
+      "hot_model = city-syn\n");
+  std::vector<std::string> cells;
+  std::string error;
+  ASSERT_TRUE(ExpandMatrix(spec, &cells, &error)) << error;
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells.back(), "scenario=fleet threads=2 models=3");
+}
+
+TEST(RunnerTest, FleetExpansionRejectsBadTenantLists) {
+  std::vector<std::string> cells;
+  std::string error;
+  // Unknown SLO class names fail at expansion (so --dry-run catches them)
+  // with the known tiers spelled out.
+  EXPECT_FALSE(ExpandMatrix(
+      ParseSpec("[experiment]\nname = m\nkind = serving\n"
+                "[serving]\nscenarios = fleet\nthreads = 1\n"
+                "[fleet]\nmodels = metr-la:platinum\n"),
+      &cells, &error));
+  EXPECT_NE(error.find("platinum"), std::string::npos) << error;
+  EXPECT_NE(error.find("gold"), std::string::npos) << error;
+
+  // Duplicate tenant ids are refused (they would share one routing key).
+  EXPECT_FALSE(ExpandMatrix(
+      ParseSpec("[experiment]\nname = m\nkind = serving\n"
+                "[serving]\nscenarios = fleet\nthreads = 1\n"
+                "[fleet]\nmodels = metr-la:gold, metr-la:bronze\n"),
+      &cells, &error));
+  EXPECT_NE(error.find("twice"), std::string::npos) << error;
+
+  // hot_model / reload_model must name a registered tenant.
+  EXPECT_FALSE(ExpandMatrix(
+      ParseSpec("[experiment]\nname = m\nkind = serving\n"
+                "[serving]\nscenarios = fleet\nthreads = 1\n"
+                "[fleet]\nmodels = metr-la:gold\nhot_model = nope\n"),
+      &cells, &error));
+  EXPECT_NE(error.find("nope"), std::string::npos) << error;
+}
+
 TEST(RunnerTest, OverloadAndChaosKeysAreConsumedByDryRun) {
   const Spec spec = ParseSpec(
       "[experiment]\nname = t\nkind = serving\n"

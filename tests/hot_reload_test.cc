@@ -19,6 +19,7 @@
 #include <gtest/gtest.h>
 
 #include "common/fault_injection.h"
+#include "infer/batching_server.h"
 #include "data/sliding_window.h"
 #include "data/synthetic_traffic.h"
 #include "nn/linear.h"

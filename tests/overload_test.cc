@@ -1,7 +1,7 @@
 // Unit tests of the serving overload policies: the admission controller
-// (queue bound, token bucket, EWMA shed — all driven with injected clocks,
-// no sleeps), the degradation governor's immediate-escalate / hysteretic-
-// recover state machine, and the client backoff schedule.
+// (queue bound, token bucket, EWMA shed — all driven by one injected
+// FakeClock, no sleeps), the degradation governor's immediate-escalate /
+// hysteretic-recover state machine, and the client backoff schedule.
 
 #include "infer/overload.h"
 
@@ -10,6 +10,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/clock.h"
 #include "common/fault_injection.h"
 #include "common/rng.h"
 #include "infer/retry.h"
@@ -24,7 +25,6 @@ using infer::DegradeOptions;
 using infer::OverloadGovernor;
 using infer::OverloadTier;
 using infer::RejectReason;
-using Clock = AdmissionController::Clock;
 
 TEST(RejectReasonTest, NamesAreStableAndRetryabilityIsTyped) {
   EXPECT_STREQ(infer::RejectReasonName(RejectReason::kQueueFull),
@@ -48,11 +48,10 @@ TEST(RejectReasonTest, NamesAreStableAndRetryabilityIsTyped) {
 
 TEST(AdmissionControllerTest, QueueBoundRejectsWithDrainShapedHint) {
   AdmissionController admission{AdmissionOptions{}};
-  const Clock::time_point t0 = Clock::now();
 
-  EXPECT_TRUE(admission.Admit(/*depth=*/3, /*capacity=*/4, t0).admitted);
+  EXPECT_TRUE(admission.Admit(/*depth=*/3, /*capacity=*/4).admitted);
 
-  AdmissionDecision full = admission.Admit(/*depth=*/4, /*capacity=*/4, t0);
+  AdmissionDecision full = admission.Admit(/*depth=*/4, /*capacity=*/4);
   EXPECT_FALSE(full.admitted);
   EXPECT_EQ(full.reason, RejectReason::kQueueFull);
   // No batch observed yet: the hint falls back to 1ms per queued request.
@@ -60,24 +59,24 @@ TEST(AdmissionControllerTest, QueueBoundRejectsWithDrainShapedHint) {
 
   // Once batches are observed, the hint tracks the EWMA drain estimate.
   admission.RecordBatch(/*batch_latency_us=*/800, /*batch_size=*/4);  // 200/rq
-  full = admission.Admit(/*depth=*/4, /*capacity=*/4, t0);
+  full = admission.Admit(/*depth=*/4, /*capacity=*/4);
   EXPECT_EQ(full.retry_after_us, 800);
 
   // Unbounded capacity never trips the bound.
-  EXPECT_TRUE(admission.Admit(/*depth=*/1 << 20, /*capacity=*/0, t0).admitted);
+  EXPECT_TRUE(admission.Admit(/*depth=*/1 << 20, /*capacity=*/0).admitted);
 }
 
 TEST(AdmissionControllerTest, TokenBucketRefillsFromInjectedClock) {
   AdmissionOptions options;
   options.rate_rps = 10.0;  // one token per 100ms
   options.burst = 2.0;
-  AdmissionController admission{options};
-  const Clock::time_point t0 = Clock::now();
+  FakeClock clock;
+  AdmissionController admission{options, &clock};
 
   // The bucket starts full: the burst passes, the next is limited.
-  EXPECT_TRUE(admission.Admit(0, 0, t0).admitted);
-  EXPECT_TRUE(admission.Admit(0, 0, t0).admitted);
-  AdmissionDecision limited = admission.Admit(0, 0, t0);
+  EXPECT_TRUE(admission.Admit(0, 0).admitted);
+  EXPECT_TRUE(admission.Admit(0, 0).admitted);
+  AdmissionDecision limited = admission.Admit(0, 0);
   EXPECT_FALSE(limited.admitted);
   EXPECT_EQ(limited.reason, RejectReason::kRateLimited);
   // An empty bucket refills a whole token in 100ms; the hint says so.
@@ -85,15 +84,15 @@ TEST(AdmissionControllerTest, TokenBucketRefillsFromInjectedClock) {
   EXPECT_LE(limited.retry_after_us, 110'000);
 
   // 100ms later (by the injected clock) one token is back.
-  const Clock::time_point t1 = t0 + std::chrono::milliseconds(100);
-  EXPECT_TRUE(admission.Admit(0, 0, t1).admitted);
-  EXPECT_FALSE(admission.Admit(0, 0, t1).admitted);
+  clock.Advance(std::chrono::milliseconds(100));
+  EXPECT_TRUE(admission.Admit(0, 0).admitted);
+  EXPECT_FALSE(admission.Admit(0, 0).admitted);
 
   // A long idle period refills only up to the burst cap, not beyond.
-  const Clock::time_point t2 = t1 + std::chrono::seconds(60);
-  EXPECT_TRUE(admission.Admit(0, 0, t2).admitted);
-  EXPECT_TRUE(admission.Admit(0, 0, t2).admitted);
-  EXPECT_FALSE(admission.Admit(0, 0, t2).admitted);
+  clock.Advance(std::chrono::seconds(60));
+  EXPECT_TRUE(admission.Admit(0, 0).admitted);
+  EXPECT_TRUE(admission.Admit(0, 0).admitted);
+  EXPECT_FALSE(admission.Admit(0, 0).admitted);
 }
 
 TEST(AdmissionControllerTest, EwmaShedTripsAndRecovers) {
@@ -101,17 +100,16 @@ TEST(AdmissionControllerTest, EwmaShedTripsAndRecovers) {
   options.shed_latency_us = 1000;
   options.ewma_alpha = 0.5;
   AdmissionController admission{options};
-  const Clock::time_point t0 = Clock::now();
 
   // Below budget: admitted.
   admission.RecordBatch(/*batch_latency_us=*/3200, /*batch_size=*/4);  // 800
   EXPECT_DOUBLE_EQ(admission.ewma_request_us(), 800.0);
-  EXPECT_TRUE(admission.Admit(0, 0, t0).admitted);
+  EXPECT_TRUE(admission.Admit(0, 0).admitted);
 
   // A slow batch blows the budget: 0.5*3000 + 0.5*800 = 1900 > 1000.
   admission.RecordBatch(/*batch_latency_us=*/12000, /*batch_size=*/4);
   EXPECT_DOUBLE_EQ(admission.ewma_request_us(), 1900.0);
-  AdmissionDecision shed = admission.Admit(0, 0, t0);
+  AdmissionDecision shed = admission.Admit(0, 0);
   EXPECT_FALSE(shed.admitted);
   EXPECT_EQ(shed.reason, RejectReason::kOverloaded);
   EXPECT_GT(shed.retry_after_us, 0);
@@ -119,7 +117,7 @@ TEST(AdmissionControllerTest, EwmaShedTripsAndRecovers) {
   // Fast batches pull the EWMA back under: admission resumes.
   admission.RecordBatch(/*batch_latency_us=*/400, /*batch_size=*/4);  // 1000
   admission.RecordBatch(/*batch_latency_us=*/400, /*batch_size=*/4);  // 550
-  EXPECT_TRUE(admission.Admit(0, 0, t0).admitted);
+  EXPECT_TRUE(admission.Admit(0, 0).admitted);
 }
 
 TEST(OverloadGovernorTest, EscalatesImmediatelyPerWatermark) {

@@ -21,6 +21,7 @@
 #include "experiment/registry.h"
 #include "experiment/runner.h"
 #include "experiment/spec.h"
+#include "infer/fleet/fleet.h"
 
 namespace d2stgnn::experiment {
 namespace {
@@ -42,6 +43,12 @@ void PrintRegistry() {
   std::printf("\nserving scenarios:\n");
   for (const ServingScenario& s : ServingScenarios()) {
     std::printf("  %-16s %s\n", s.name.c_str(), s.description.c_str());
+  }
+  std::printf("\nfleet SLO classes ([fleet] models = <id>:<class>, ...):\n");
+  for (const infer::SloClass& slo : infer::BuiltinSloClasses()) {
+    std::printf("  %-16s priority %lld, target p99 %lldms, weight %.0f\n",
+                slo.name.c_str(), static_cast<long long>(slo.priority),
+                static_cast<long long>(slo.target_p99_ms), slo.weight);
   }
 }
 
