@@ -2,17 +2,20 @@
 // training: batched matmul, softmax, the localized transition construction,
 // one decoupled-layer forward, and a full forward+backward step.
 //
-// The main() additionally sweeps the hot tensor kernels at 1/2/4 execution
-// threads and writes machine-readable per-op throughput through the
-// experiment MetricsSink to the canonical repo-root BENCH_kernels.json
-// (override the directory with D2STGNN_BENCH_OUT_DIR), so successive PRs
-// have a perf trajectory to compare against.
+// The main() additionally sweeps the hot tensor kernels across every kernel
+// backend this host can run (scalar reference vs AVX2 — the A/B the
+// dispatch layer exists for) at 1/2/4 execution threads, and writes
+// machine-readable per-op throughput through the experiment MetricsSink to
+// the canonical repo-root BENCH_kernels.json (override the directory with
+// D2STGNN_BENCH_OUT_DIR), so successive PRs have a perf trajectory to
+// compare against.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -26,6 +29,7 @@
 #include "graph/localized_transition.h"
 #include "graph/transition.h"
 #include "metrics/metrics.h"
+#include "tensor/kernels/registry.h"
 #include "tensor/ops.h"
 
 namespace d2stgnn {
@@ -154,16 +158,19 @@ void BM_D2StgnnInference(benchmark::State& state) {
 BENCHMARK(BM_D2StgnnInference)->Unit(benchmark::kMillisecond);
 
 // ---------------------------------------------------------------------------
-// BENCH_kernels.json: hand-timed per-op throughput at 1/2/4 threads.
+// BENCH_kernels.json: hand-timed per-op throughput, backend x 1/2/4 threads.
 
 struct JsonRecord {
   std::string op;
   std::string workload;
+  std::string backend;
   int threads = 1;
   double seconds_per_iter = 0.0;
   double items_per_second = 0.0;  // op-specific unit, see `unit`
   std::string unit;
   double speedup_vs_1t = 1.0;
+  /// This backend vs the scalar reference at the same thread count.
+  double speedup_vs_scalar = 1.0;
 };
 
 // Times fn() with an adaptive iteration count (>= ~200 ms of work).
@@ -181,28 +188,42 @@ double TimeSecondsPerIter(const std::function<void()>& fn) {
   }
 }
 
-// One op measured across thread counts; `items` scales items_per_second.
+// One op measured across every runnable backend and thread count; `items`
+// scales items_per_second. AvailableBackendNames() lists "scalar" first, so
+// the scalar reference times are always on hand when the vector backends'
+// speedup_vs_scalar is computed.
 void SweepOp(const std::string& op, const std::string& workload, double items,
              const std::string& unit, const std::function<void()>& fn,
              std::vector<JsonRecord>* records) {
-  double base_seconds = 0.0;
-  for (int threads : {1, 2, 4}) {
-    SetNumThreads(threads);
-    JsonRecord r;
-    r.op = op;
-    r.workload = workload;
-    r.threads = threads;
-    r.seconds_per_iter = TimeSecondsPerIter(fn);
-    r.items_per_second = items / r.seconds_per_iter;
-    r.unit = unit;
-    if (threads == 1) base_seconds = r.seconds_per_iter;
-    r.speedup_vs_1t =
-        r.seconds_per_iter > 0.0 ? base_seconds / r.seconds_per_iter : 1.0;
-    std::printf("kernels.json: %-16s %-22s threads=%d  %.3e s/iter  "
-                "speedup %.2fx\n",
-                op.c_str(), workload.c_str(), threads, r.seconds_per_iter,
-                r.speedup_vs_1t);
-    records->push_back(r);
+  std::map<int, double> scalar_seconds;  // threads -> scalar s/iter
+  for (const std::string& backend : kernels::AvailableBackendNames()) {
+    kernels::ScopedBackendOverride scoped(backend);
+    double base_seconds = 0.0;
+    for (int threads : {1, 2, 4}) {
+      SetNumThreads(threads);
+      JsonRecord r;
+      r.op = op;
+      r.workload = workload;
+      r.backend = backend;
+      r.threads = threads;
+      r.seconds_per_iter = TimeSecondsPerIter(fn);
+      r.items_per_second = items / r.seconds_per_iter;
+      r.unit = unit;
+      if (threads == 1) base_seconds = r.seconds_per_iter;
+      r.speedup_vs_1t =
+          r.seconds_per_iter > 0.0 ? base_seconds / r.seconds_per_iter : 1.0;
+      if (backend == "scalar") scalar_seconds[threads] = r.seconds_per_iter;
+      const auto scalar = scalar_seconds.find(threads);
+      r.speedup_vs_scalar =
+          scalar != scalar_seconds.end() && r.seconds_per_iter > 0.0
+              ? scalar->second / r.seconds_per_iter
+              : 1.0;
+      std::printf("kernels.json: %-16s %-22s backend=%-7s threads=%d  "
+                  "%.3e s/iter  %.2fx vs 1t  %.2fx vs scalar\n",
+                  op.c_str(), workload.c_str(), backend.c_str(), threads,
+                  r.seconds_per_iter, r.speedup_vs_1t, r.speedup_vs_scalar);
+      records->push_back(r);
+    }
   }
 }
 
@@ -218,6 +239,16 @@ std::vector<JsonRecord> CollectKernelRecords() {
     Tensor b = Tensor::Randn({batch, k, n}, rng);
     const double flops = 2.0 * static_cast<double>(batch * m * k * n);
     SweepOp("batched_matmul", "16x[96,96]x[96,96]", flops, "flops",
+            [&] { benchmark::DoNotOptimize(MatMul(a, b)); }, &records);
+  }
+  {
+    // Serving-sized batch 4: the scalar-vs-SIMD acceptance workload (the
+    // avx2 backend must clear 2x scalar here — see WriteKernelJson).
+    const int64_t batch = 4, m = 96, k = 96, n = 96;
+    Tensor a = Tensor::Randn({batch, m, k}, rng);
+    Tensor b = Tensor::Randn({batch, k, n}, rng);
+    const double flops = 2.0 * static_cast<double>(batch * m * k * n);
+    SweepOp("batched_matmul", "4x[96,96]x[96,96]", flops, "flops",
             [&] { benchmark::DoNotOptimize(MatMul(a, b)); }, &records);
   }
   {
@@ -252,12 +283,27 @@ int WriteKernelJson(const std::string& path,
     json::Value record = json::Value::Object();
     record.Set("op", json::Value::Str(r.op));
     record.Set("workload", json::Value::Str(r.workload));
+    record.Set("backend", json::Value::Str(r.backend));
     record.Set("threads", json::Value::Int(r.threads));
     record.Set("seconds_per_iter", json::Value::Number(r.seconds_per_iter));
     record.Set("items_per_second", json::Value::Number(r.items_per_second));
     record.Set("unit", json::Value::Str(r.unit));
     record.Set("speedup_vs_1t", json::Value::Number(r.speedup_vs_1t));
+    record.Set("speedup_vs_scalar", json::Value::Number(r.speedup_vs_scalar));
     sink.AddRecord(std::move(record));
+  }
+  // Headline A/B: avx2 vs scalar on the serving-sized batch-4 matmul at one
+  // thread (the refactor's acceptance bar is >= 2x). Only present when the
+  // host runs both backends.
+  for (const JsonRecord& r : records) {
+    if (r.backend == "avx2" && r.op == "batched_matmul" &&
+        r.workload == "4x[96,96]x[96,96]" && r.threads == 1) {
+      sink.SetSummary("avx2_batch4_matmul_speedup_vs_scalar",
+                      json::Value::Number(r.speedup_vs_scalar));
+      std::printf("acceptance: avx2 batched_matmul 4x[96,96]x[96,96] is "
+                  "%.2fx scalar at 1 thread (target >= 2x)\n",
+                  r.speedup_vs_scalar);
+    }
   }
   std::string error;
   if (!sink.WriteJson(path, &error)) {

@@ -70,6 +70,7 @@
 #include "infer/hot_reload.h"
 #include "infer/session.h"
 #include "metrics/metrics.h"
+#include "tensor/kernels/registry.h"
 #include "train/checkpoint.h"
 
 using namespace d2stgnn;
@@ -560,6 +561,7 @@ int main(int argc, char** argv) {
   int64_t reload_poll_ms = 50;
   bool fleet_mode = false;
   std::string models = "metr-la:gold,pems-bay:silver,city-syn:bronze";
+  std::string backend;
   FlagParser flags("serve_forecasts",
                    "open-loop serving demo against the BatchingServer");
   flags.AddPositionalDouble("rate_rps", &rate_rps,
@@ -586,6 +588,9 @@ int main(int argc, char** argv) {
   flags.AddString("models", &models,
                   "fleet tenants as comma-separated id[:slo] entries "
                   "(SLO classes: gold, silver, bronze)");
+  flags.AddString("backend", &backend,
+                  "kernel backend to serve under (scalar, avx2; default: "
+                  "runtime detection, D2STGNN_FORCE_BACKEND honored)");
   if (!flags.Parse(argc, argv)) {
     if (flags.help_requested()) {
       std::fputs(flags.Usage().c_str(), stdout);
@@ -612,6 +617,15 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s: --reload-poll-ms must be > 0\n", argv[0]);
     return 1;
   }
+  if (!backend.empty()) {
+    std::string error;
+    if (!kernels::SetActiveBackend(backend, &error)) {
+      std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+      return 1;
+    }
+  }
+  std::printf("kernel backend: %s (detected: %s)\n",
+              kernels::ActiveBackend().name, kernels::DetectedBackendName());
 
   // A road network to serve forecasts for.
   data::SyntheticTrafficOptions traffic_options;

@@ -2,6 +2,10 @@
 # CI entry point: builds and tests the repo in stages.
 #
 #   1. Release (+Werror)  — the full tier-1 suite; warnings are errors.
+#      Then a forced-scalar lane: the numeric/exec/serving suites re-run
+#      with D2STGNN_FORCE_BACKEND=scalar, proving the kernel-backend env
+#      override reaches every layer and the scalar reference path stays
+#      green on SIMD hosts.
 #   2. ThreadSanitizer    — the execution-layer and tensor tests, to catch
 #      data races in the thread pool and parallel kernels.
 #   3. Inference suite    — the inference session and batching server under
@@ -38,11 +42,16 @@
 #   6. UBSanitizer        — the full suite under -fsanitize=undefined.
 #   7. ASan+UBSan         — the fault-injection / crash-safety suite
 #      (checkpoints, durable I/O, divergence recovery, death tests), where
-#      torn buffers and use-after-free bugs would hide.
+#      torn buffers and use-after-free bugs would hide, plus the
+#      kernel-backend suite: the AVX2 masked head/tail loads and stores are
+#      exactly where an out-of-bounds lane read would live.
 #   8. Plan verification  — tools/verify_plan under ASan+UBSan: every
 #      registry model's captured plans must prove race- and lifetime-sound
 #      (exit 0), and the --inject corrupted-plan fixture must be caught
-#      (exit 2) — the verifier failing open fails CI loudly.
+#      (exit 2) — the verifier failing open fails CI loudly. The sweep runs
+#      under both kernel backends: the default invocation captures under
+#      the detected backend (avx2 on SIMD hosts), --backend scalar forces
+#      the reference.
 #   9. Corruption smoke   — end-to-end: train with checkpointing, flip one
 #      byte in the newest checkpoint, assert resume rejects it.
 #  10. Lint               — clang-tidy in parallel over src/, tests/, and
@@ -60,6 +69,13 @@ echo "=== Release build (+Werror) + full test suite ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release -DD2STGNN_WERROR=ON
 cmake --build build -j "$(nproc)"
 ctest --test-dir build --output-on-failure -j "$(nproc)" --no-tests=error
+# Forced-scalar lane: same binaries, kernel dispatch pinned to the scalar
+# reference backend. Covers the tensor/kernel suites and every plan-capture
+# and serving path that records backend-qualified closures.
+D2STGNN_FORCE_BACKEND=scalar ctest --test-dir build --output-on-failure \
+  -j "$(nproc)" \
+  -R 'Tensor|Backend|UlpDiff|MemoryPlanner|ZooCapture|GraphCapture|ExecSession|InferSession' \
+  --no-tests=error
 
 if [[ "${1:-}" == "--release-only" ]]; then
   exit 0
@@ -284,15 +300,20 @@ echo "=== ASan+UBSan build + fault-injection suite ==="
 cmake -B build-asan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DD2STGNN_SANITIZE=address,undefined
 cmake --build build-asan -j "$(nproc)" \
-  --target fault_injection_test checkpoint_test death_test io_test
+  --target fault_injection_test checkpoint_test death_test io_test \
+  kernel_backend_test
 ctest --test-dir build-asan --output-on-failure -j "$(nproc)" \
-  -R 'FaultInjection|CheckpointFault|CheckpointResume|DivergenceRecovery|Checkpoint|CsvLoader|DeathTest' \
+  -R 'FaultInjection|CheckpointFault|CheckpointResume|DivergenceRecovery|Checkpoint|CsvLoader|DeathTest|Backend|UlpDiff' \
   --no-tests=error
 
 echo "=== Plan verification: registry-wide verify_plan under ASan+UBSan ==="
 cmake --build build-asan -j "$(nproc)" --target verify_plan
-# Every captured plan across the model registry must verify clean...
+# Every captured plan across the model registry must verify clean — once
+# under the detected backend (avx2 on SIMD hosts) and once forced onto the
+# scalar reference, so both backends' captured closures face the verifier.
 build-asan/tools/verify_plan
+build-asan/tools/verify_plan --backend scalar > /dev/null
+echo "verify_plan clean under --backend scalar too"
 # ...and each injected corruption class must be detected (exit 2; a missed
 # corruption exits 0, failing this assertion).
 set +e

@@ -1,0 +1,29 @@
+#ifndef D2STGNN_COMMON_ALIGN_H_
+#define D2STGNN_COMMON_ALIGN_H_
+
+#include <cstdint>
+
+// Single source of truth for the buffer alignment contract shared by the
+// plan memory planner (slab slot offsets), the buffer arena, and the SIMD
+// kernel backends (vector load/store width).
+//
+// The slab alignment is deliberately a multiple of the widest vector lane
+// count so every slot a plan hands to a kernel starts on a vector-load
+// boundary as well as a cache line.
+
+namespace d2stgnn::common {
+
+/// Slab slot alignment in floats: 16 floats = 64 bytes = one cache line.
+/// memory_planner rounds every slot offset (and the slab itself) up to this.
+inline constexpr int64_t kSlabAlignFloats = 16;
+
+/// Widest vector register lane count the kernel backends use: 8 floats =
+/// one 256-bit AVX2 register.
+inline constexpr int64_t kVectorLaneFloats = 8;
+
+static_assert(kSlabAlignFloats % kVectorLaneFloats == 0,
+              "slab slots must start on vector-load boundaries");
+
+}  // namespace d2stgnn::common
+
+#endif  // D2STGNN_COMMON_ALIGN_H_

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "exec/memory_planner.h"
+#include "tensor/kernels/registry.h"
 
 namespace d2stgnn::exec {
 namespace {
@@ -256,6 +257,9 @@ std::shared_ptr<const ExecutionPlan> GraphCapture::Finish(
   plan->slots_[static_cast<size_t>(plan->output_slot_)].last_use_level =
       max_level;
   plan->output_shape_ = output.shape();
+  // The recorded closures hold the backend that was active while the eager
+  // pass ran; the plan is only replayable under that same backend.
+  plan->backend_name_ = kernels::ActiveBackend().name;
 
   std::vector<BufferRequest> requests;
   requests.reserve(plan->slots_.size());

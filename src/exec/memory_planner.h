@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/align.h"
+
 // Static buffer planning for captured execution plans (DESIGN.md §10).
 //
 // A captured forward knows every intermediate buffer it will ever need and
@@ -40,10 +42,11 @@ struct BufferAssignment {
 /// ascending order, return buffers whose last use has passed to a free
 /// list (coalescing adjacent holes), and serve new buffers first-fit,
 /// largest-first within a level. Offsets are aligned to `alignment` floats
-/// (64-byte cache lines at the default 16). Deterministic for a given
-/// request vector.
+/// (64-byte cache lines at the default common::kSlabAlignFloats == 16,
+/// which also keeps every slot start on a full SIMD vector — see
+/// common/align.h). Deterministic for a given request vector.
 BufferAssignment PlanBuffers(const std::vector<BufferRequest>& requests,
-                             int64_t alignment = 16);
+                             int64_t alignment = common::kSlabAlignFloats);
 
 }  // namespace d2stgnn::exec
 

@@ -120,6 +120,13 @@ class ExecutionPlan {
   int32_t output_slot() const { return output_slot_; }
   const Shape& output_shape() const { return output_shape_; }
 
+  /// Name of the kernel backend every step closure was recorded against
+  /// (tensor/kernels/registry.h). Replay under any other backend is
+  /// rejected (ReplayStatus::kBackendMismatch): the closures hold the
+  /// captured backend's function pointers, and mixing backends across
+  /// capture/replay would break the bitwise eager-vs-plan parity contract.
+  const std::string& backend_name() const { return backend_name_; }
+
   /// Size of the preallocated slab, in floats (after slot reuse).
   int64_t slab_floats() const { return slab_floats_; }
   /// Sum of all slot sizes — what the slab would cost without reuse.
@@ -148,6 +155,7 @@ class ExecutionPlan {
   int32_t output_slot_ = 0;
   Shape output_shape_;
   int64_t slab_floats_ = 0;
+  std::string backend_name_;
 };
 
 }  // namespace d2stgnn::exec

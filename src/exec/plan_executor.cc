@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "tensor/kernels/registry.h"
 
 namespace d2stgnn::exec {
 
@@ -103,6 +104,12 @@ ReplayStatus PlanExecutor::Run(
   if (!plan_->ConstantsValid()) {
     return fail(ReplayStatus::kStaleConstants,
                 "a captured constant's storage was reassigned");
+  }
+  if (plan_->backend_name() != kernels::ActiveBackend().name) {
+    std::ostringstream os;
+    os << "plan captured under kernel backend '" << plan_->backend_name()
+       << "', active backend is '" << kernels::ActiveBackend().name << "'";
+    return fail(ReplayStatus::kBackendMismatch, os.str());
   }
 
   for (const InputPatch& patch : input_patches_) {

@@ -37,6 +37,11 @@ enum class ReplayStatus {
   /// checkpoint reload replaced parameter buffers). The plan is stale and
   /// must be rebuilt.
   kStaleConstants,
+  /// The active kernel backend differs from the one the plan was captured
+  /// under. The plan is valid, but only on its own backend — the caller
+  /// must capture a fresh plan (the session keys its plan cache by backend
+  /// name, so this is a programming-error guard, not a routine path).
+  kBackendMismatch,
 };
 
 /// A per-request float binding: the buffer replacing one PlanInput, in

@@ -67,6 +67,13 @@ class PlanMutator {
         mutant->constants_.front().captured_data += 1;
         return mutant;
       }
+      case PlanMutation::kCorruptBackend: {
+        // A name the registry can never resolve: both the verifier
+        // (kUnknownBackend) and the executor (kBackendMismatch) must reject
+        // the plan regardless of which backends this host offers.
+        mutant->backend_name_ = "corrupted-backend";
+        return mutant;
+      }
     }
     return nullptr;
   }

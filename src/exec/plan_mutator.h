@@ -31,6 +31,10 @@ enum class PlanMutation {
   /// Shift one constant's captured_data off its tensor's storage
   /// (DiagCode::kConstantMismatch).
   kStaleConstantPointer,
+  /// Rewrite the plan's recorded kernel backend to a name no registry entry
+  /// matches (DiagCode::kUnknownBackend; replay under the real active
+  /// backend also rejects it with ReplayStatus::kBackendMismatch).
+  kCorruptBackend,
 };
 
 /// Deep-copies `plan` and applies `mutation`. Returns nullptr when the plan

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <utility>
 
+#include "common/align.h"
+#include "tensor/kernels/registry.h"
 #include "tensor/op_registry.h"
 
 namespace d2stgnn::exec {
@@ -16,7 +18,7 @@ constexpr double kFragmentationAdvisoryPct = 25.0;
 
 /// Must match the PlanBuffers default: offsets are handed out in aligned
 /// units, so peak-live accounting has to align the same way.
-constexpr int64_t kSlabAlignFloats = 16;
+constexpr int64_t kSlabAlignFloats = common::kSlabAlignFloats;
 
 int64_t AlignUp(int64_t v, int64_t alignment) {
   return (v + alignment - 1) / alignment * alignment;
@@ -47,6 +49,7 @@ class Verifier {
     CheckSteps();
     CheckLevelRanges();
     CheckConstants();
+    CheckBackend();
     CheckOutputSlot();
     // The memory-level analyses index slots by step position; with the
     // counts out of sync (already an error above) they would read garbage.
@@ -258,6 +261,18 @@ class Verifier {
         Error(DiagCode::kConstantMismatch, -1, -1, os.str());
       }
     }
+  }
+
+  void CheckBackend() {
+    const std::string& name = plan_.backend_name();
+    for (const std::string& known : kernels::AvailableBackendNames()) {
+      if (name == known) return;
+    }
+    std::ostringstream os;
+    os << "plan records kernel backend '" << name
+       << "' which is not a registered backend on this host; the step "
+          "closures cannot be trusted to match any runnable backend";
+    Error(DiagCode::kUnknownBackend, -1, -1, os.str());
   }
 
   void CheckOutputSlot() {
@@ -521,6 +536,8 @@ const char* DiagCodeName(DiagCode code) {
       return "ConstantMismatch";
     case DiagCode::kUnknownOp:
       return "UnknownOp";
+    case DiagCode::kUnknownBackend:
+      return "UnknownBackend";
     case DiagCode::kMissingRunClosure:
       return "MissingRunClosure";
     case DiagCode::kBadOutputSlot:

@@ -60,6 +60,7 @@ enum class DiagCode : uint8_t {
   kWrongZeroOutput,       ///< zero_output disagrees with the op's accumulate trait
   kConstantMismatch,      ///< captured_data/numel no longer match the tensor
   kUnknownOp,             ///< op name outside the recordable vocabulary
+  kUnknownBackend,        ///< backend_name not a registered kernel backend
   kMissingRunClosure,     ///< step.run is empty
   kBadOutputSlot,         ///< plan output slot missing or retired early
   kBadStepOrder,          ///< steps not level-sorted, or levels() ranges wrong

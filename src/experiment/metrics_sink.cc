@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "common/table_printer.h"
+#include "tensor/kernels/registry.h"
 
 namespace d2stgnn::experiment {
 namespace {
@@ -78,6 +79,13 @@ json::Value MetricsSink::ToJson() const {
   doc.Set("kind", json::Value::Str(kind_));
   doc.Set("hardware_concurrency",
           json::Value::Int(std::thread::hardware_concurrency()));
+  // Kernel-backend provenance: which dispatch path produced the numbers in
+  // this document (ToJson time; per-record overrides may add their own
+  // "backend" field when a run sweeps backends).
+  doc.Set("backend", json::Value::Str(kernels::ActiveBackend().name));
+  doc.Set("detected_backend",
+          json::Value::Str(kernels::DetectedBackendName()));
+  doc.Set("cpu_features", json::Value::Str(kernels::CpuFeatureSummary()));
   json::Value records = json::Value::Array();
   for (const json::Value& record : records_) records.Append(record);
   doc.Set("records", std::move(records));

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "common/check.h"
 #include "common/table_printer.h"
 #include "common/thread_pool.h"
+#include "tensor/kernels/registry.h"
 
 namespace d2stgnn::experiment {
 namespace {
@@ -32,7 +34,15 @@ BenchEnv GetBenchEnv() {
   env.train_samples = EnvInt("D2_BENCH_TRAIN_SAMPLES", env.train_samples);
   env.eval_samples = EnvInt("D2_BENCH_EVAL_SAMPLES", env.eval_samples);
   env.threads = GetNumThreads();
-  std::printf("bench env: threads=%d (D2STGNN_NUM_THREADS)\n", env.threads);
+  env.backend = kernels::ActiveBackend().name;
+  env.detected_backend = kernels::DetectedBackendName();
+  env.cpu_features = kernels::CpuFeatureSummary();
+  env.cores = static_cast<int>(std::thread::hardware_concurrency());
+  std::printf(
+      "bench env: threads=%d (D2STGNN_NUM_THREADS) backend=%s (detected=%s, "
+      "cpu features: %s, %d cores)\n",
+      env.threads, env.backend.c_str(), env.detected_backend.c_str(),
+      env.cpu_features.empty() ? "none" : env.cpu_features.c_str(), env.cores);
   return env;
 }
 

@@ -42,6 +42,16 @@ struct BenchEnv {
   int64_t eval_samples = 256;
   uint64_t seed = 7;
   int threads = 1;
+  /// Kernel-backend provenance (tensor/kernels/registry.h): the backend all
+  /// dispatch routes through, the one cpuid detection would pick, and the
+  /// detected ISA features — recorded so every measurement is attributable
+  /// to the code path that produced it.
+  std::string backend;
+  std::string detected_backend;
+  std::string cpu_features;  ///< e.g. "avx2 fma", "" when none detected
+  /// std::thread::hardware_concurrency() — distinct from `threads`, which
+  /// is the pool size actually used.
+  int cores = 1;
 };
 
 /// Reads the environment overrides.

@@ -1,8 +1,10 @@
 #include "experiment/registry.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "core/d2stgnn.h"
+#include "tensor/kernels/registry.h"
 
 namespace d2stgnn::experiment {
 namespace {
@@ -222,6 +224,45 @@ bool ResolveServingScenario(const std::string& name, std::string* error) {
     known.push_back(s.name);
   }
   *error = "unknown serving scenario '" + name +
+           "' (known: " + JoinNames(known) + ")";
+  return false;
+}
+
+const std::vector<BackendEntry>& AllBackends() {
+  static const std::vector<BackendEntry> kBackends = [] {
+    std::vector<BackendEntry> entries = {
+        {"auto",
+         "the backend startup selection picked (cpuid detection; "
+         "D2STGNN_FORCE_BACKEND honored)"}};
+    for (const std::string& name : kernels::AvailableBackendNames()) {
+      std::string description = "kernel backend";
+      if (name == "scalar") {
+        description = "portable scalar reference kernels (bitwise baseline)";
+      } else if (name == "avx2") {
+        description = "AVX2+FMA vectorized kernels (runtime cpuid gated)";
+      }
+      entries.push_back({name, description});
+    }
+    return entries;
+  }();
+  return kBackends;
+}
+
+bool ResolveBackend(const std::string& name, std::string* resolved,
+                    std::string* error) {
+  if (name == "auto") {
+    *resolved = kernels::ActiveBackend().name;
+    return true;
+  }
+  const std::vector<std::string> available = kernels::AvailableBackendNames();
+  if (std::find(available.begin(), available.end(), name) !=
+      available.end()) {
+    *resolved = name;
+    return true;
+  }
+  std::vector<std::string> known = {"auto"};
+  known.insert(known.end(), available.begin(), available.end());
+  *error = "unknown or unavailable kernel backend '" + name +
            "' (known: " + JoinNames(known) + ")";
   return false;
 }

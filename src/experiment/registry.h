@@ -83,6 +83,22 @@ const std::vector<ServingScenario>& ServingScenarios();
 /// False (with an error listing the known scenarios) on an unknown name.
 bool ResolveServingScenario(const std::string& name, std::string* error);
 
+/// One kernel-backend axis entry: "auto" plus every backend this host can
+/// actually run (tensor/kernels/registry.h).
+struct BackendEntry {
+  std::string name;
+  std::string description;
+};
+
+const std::vector<BackendEntry>& AllBackends();
+
+/// Resolves a spec's backend name into a concrete registry backend: "auto"
+/// maps to the startup-selected backend (cpuid detection, with
+/// D2STGNN_FORCE_BACKEND honored). False (with an error listing the known
+/// names) when `name` is unknown or not runnable on this host.
+bool ResolveBackend(const std::string& name, std::string* resolved,
+                    std::string* error);
+
 }  // namespace d2stgnn::experiment
 
 #endif  // D2STGNN_EXPERIMENT_REGISTRY_H_

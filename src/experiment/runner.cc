@@ -2,6 +2,7 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
@@ -33,6 +34,7 @@
 #include "infer/hot_reload.h"
 #include "infer/retry.h"
 #include "infer/session.h"
+#include "tensor/kernels/registry.h"
 #include "train/checkpoint.h"
 #include "metrics/metrics.h"
 #include "train/evaluator.h"
@@ -92,6 +94,10 @@ struct ServingConfig {
   std::vector<std::string> scenarios;
   std::vector<int64_t> threads;
   std::vector<int64_t> batch_sizes;
+  /// Kernel backends to sweep ("auto" = whatever startup selection picked).
+  /// Sessions are rebuilt per backend so plans are captured and replayed
+  /// under the backend being measured.
+  std::vector<std::string> backends;
   int64_t iters = 40;
   int64_t server_requests = 80;
   int64_t producers = 4;
@@ -141,8 +147,10 @@ ServingConfig ParseServingConfig(const Spec& spec) {
   c.scenarios = spec.GetList("serving", "scenarios");
   c.threads = spec.GetIntList("serving", "threads");
   c.batch_sizes = spec.GetIntList("serving", "batch_sizes");
+  c.backends = spec.GetList("serving", "backends");
   if (c.threads.empty()) c.threads = {1, 2, 4};
   if (c.batch_sizes.empty()) c.batch_sizes = {1, 4, 8};
+  if (c.backends.empty()) c.backends = {"auto"};
   c.iters = spec.GetInt("serving", "iters", c.iters);
   c.server_requests =
       spec.GetInt("serving", "server_requests", c.server_requests);
@@ -309,29 +317,55 @@ bool ExpandTraining(const Spec& spec, const TrainingConfig& config,
   return true;
 }
 
+// Resolves [serving] backends into concrete, deduplicated registry names
+// ("auto avx2" on an avx2 host collapses to one entry, so records are never
+// duplicated by spelling the same backend two ways).
+bool ResolveServingBackends(const ServingConfig& config,
+                            std::vector<std::string>* resolved,
+                            std::string* error) {
+  for (const std::string& name : config.backends) {
+    std::string backend;
+    if (!ResolveBackend(name, &backend, error)) return false;
+    if (std::find(resolved->begin(), resolved->end(), backend) ==
+        resolved->end()) {
+      resolved->push_back(backend);
+    }
+  }
+  return true;
+}
+
 bool ExpandServing(const ServingConfig& config,
                    std::vector<std::string>* cells, std::string* error) {
   if (config.scenarios.empty()) {
     *error = "[serving] scenarios lists no scenarios";
     return false;
   }
-  for (const std::string& scenario : config.scenarios) {
-    if (!ResolveServingScenario(scenario, error)) return false;
-    for (const int64_t threads : config.threads) {
-      if (scenario == "session-eager" || scenario == "session-plan") {
-        for (const int64_t batch : config.batch_sizes) {
-          cells->push_back("scenario=" + scenario +
-                           " threads=" + std::to_string(threads) +
-                           " batch_size=" + std::to_string(batch));
+  std::vector<std::string> backends;
+  if (!ResolveServingBackends(config, &backends, error)) return false;
+  // A single backend keeps the historical cell text; only a real sweep
+  // prefixes cells with the backend axis.
+  for (const std::string& backend : backends) {
+    const std::string prefix =
+        backends.size() > 1 ? "backend=" + backend + " " : "";
+    for (const std::string& scenario : config.scenarios) {
+      if (!ResolveServingScenario(scenario, error)) return false;
+      for (const int64_t threads : config.threads) {
+        if (scenario == "session-eager" || scenario == "session-plan") {
+          for (const int64_t batch : config.batch_sizes) {
+            cells->push_back(prefix + "scenario=" + scenario +
+                             " threads=" + std::to_string(threads) +
+                             " batch_size=" + std::to_string(batch));
+          }
+        } else if (scenario == "fleet") {
+          std::vector<FleetTenant> tenants;
+          if (!ParseFleetTenants(config, &tenants, error)) return false;
+          cells->push_back(prefix + "scenario=fleet threads=" +
+                           std::to_string(threads) +
+                           " models=" + std::to_string(tenants.size()));
+        } else {
+          cells->push_back(prefix + "scenario=" + scenario +
+                           " threads=" + std::to_string(threads));
         }
-      } else if (scenario == "fleet") {
-        std::vector<FleetTenant> tenants;
-        if (!ParseFleetTenants(config, &tenants, error)) return false;
-        cells->push_back("scenario=fleet threads=" + std::to_string(threads) +
-                         " models=" + std::to_string(tenants.size()));
-      } else {
-        cells->push_back("scenario=" + scenario +
-                         " threads=" + std::to_string(threads));
       }
     }
   }
@@ -548,6 +582,10 @@ json::Value ServingRecord(const std::string& scenario,
   json::Value record = json::Value::Object();
   record.Set("scenario", json::Value::Str(scenario));
   record.Set("mode", json::Value::Str(mode));
+  // The backend the sweep currently runs under (RunServing activates each
+  // swept backend before building sessions), so rows of a multi-backend
+  // sweep stay attributable.
+  record.Set("backend", json::Value::Str(kernels::ActiveBackend().name));
   record.Set("threads", json::Value::Int(threads));
   record.Set("batch_size", json::Value::Int(batch_size));
   record.Set("requests", json::Value::Int(requests));
@@ -1522,89 +1560,109 @@ bool SweepFleet(const ServingConfig& c, const ServingWorkload& w,
 
 bool RunServing(const ServingConfig& config, MetricsSink* sink,
                 std::string* error) {
+  std::vector<std::string> backends;
+  if (!ResolveServingBackends(config, &backends, error)) return false;
   const ServingWorkload w = BuildServingWorkload(config);
-  auto plan_session = BuildServingSession(w, config, /*use_plans=*/true);
-  if (plan_session == nullptr) {
-    *error = "failed to build the plan-serving inference session";
-    return false;
-  }
-  std::unique_ptr<infer::InferenceSession> eager_session;
 
   double eager_p50 = 0.0;
   double plan_p50 = 0.0;
   bool parity_ran = false;
   bool ok = true;
-  for (const std::string& scenario : config.scenarios) {
-    if (!ResolveServingScenario(scenario, error)) {
+  // The backend axis is the outermost loop: sessions (and hence captured
+  // plans) are rebuilt per backend so every number is measured under the
+  // backend it is labeled with. The prior backend is restored on exit.
+  const std::string original_backend = kernels::ActiveBackend().name;
+  for (const std::string& backend : backends) {
+    if (!kernels::SetActiveBackend(backend, error)) {
       ok = false;
       break;
     }
-    std::printf("serving scenario: %s\n", scenario.c_str());
-    std::fflush(stdout);
-    if (scenario == "session-eager" || scenario == "session-plan") {
-      if (scenario == "session-eager" && eager_session == nullptr) {
-        eager_session = BuildServingSession(w, config, /*use_plans=*/false);
-        if (eager_session == nullptr) {
-          *error = "failed to build the eager inference session";
-          ok = false;
-          break;
-        }
+    if (backends.size() > 1) {
+      std::printf("serving backend: %s\n", backend.c_str());
+      std::fflush(stdout);
+    }
+    auto plan_session = BuildServingSession(w, config, /*use_plans=*/true);
+    if (plan_session == nullptr) {
+      *error = "failed to build the plan-serving inference session";
+      ok = false;
+      break;
+    }
+    std::unique_ptr<infer::InferenceSession> eager_session;
+
+    for (const std::string& scenario : config.scenarios) {
+      if (!ResolveServingScenario(scenario, error)) {
+        ok = false;
+        break;
       }
-      infer::InferenceSession* session = scenario == "session-plan"
-                                             ? plan_session.get()
-                                             : eager_session.get();
-      for (const int64_t threads : config.threads) {
-        for (const int64_t batch : config.batch_sizes) {
-          if (!SweepSession(session, config, w, scenario, threads, batch,
-                            sink, error)) {
+      std::printf("serving scenario: %s\n", scenario.c_str());
+      std::fflush(stdout);
+      if (scenario == "session-eager" || scenario == "session-plan") {
+        if (scenario == "session-eager" && eager_session == nullptr) {
+          eager_session = BuildServingSession(w, config, /*use_plans=*/false);
+          if (eager_session == nullptr) {
+            *error = "failed to build the eager inference session";
             ok = false;
             break;
           }
         }
-        if (!ok) break;
-      }
-    } else if (scenario == "server") {
-      for (const int64_t threads : config.threads) {
-        if (!SweepServer(plan_session.get(), config, w, threads, sink,
-                         error)) {
-          ok = false;
-          break;
+        infer::InferenceSession* session = scenario == "session-plan"
+                                               ? plan_session.get()
+                                               : eager_session.get();
+        for (const int64_t threads : config.threads) {
+          for (const int64_t batch : config.batch_sizes) {
+            if (!SweepSession(session, config, w, scenario, threads, batch,
+                              sink, error)) {
+              ok = false;
+              break;
+            }
+          }
+          if (!ok) break;
         }
-      }
-    } else if (scenario == "overload") {
-      for (const int64_t threads : config.threads) {
-        if (!SweepOverload(config, w, threads, sink, error)) {
-          ok = false;
-          break;
+      } else if (scenario == "server") {
+        for (const int64_t threads : config.threads) {
+          if (!SweepServer(plan_session.get(), config, w, threads, sink,
+                           error)) {
+            ok = false;
+            break;
+          }
         }
-      }
-    } else if (scenario == "fleet") {
-      for (const int64_t threads : config.threads) {
-        if (!SweepFleet(config, w, threads, sink, error)) {
-          ok = false;
-          break;
+      } else if (scenario == "overload") {
+        for (const int64_t threads : config.threads) {
+          if (!SweepOverload(config, w, threads, sink, error)) {
+            ok = false;
+            break;
+          }
         }
-      }
-    } else {  // parity
-      if (eager_session == nullptr) {
-        eager_session = BuildServingSession(w, config, /*use_plans=*/false);
+      } else if (scenario == "fleet") {
+        for (const int64_t threads : config.threads) {
+          if (!SweepFleet(config, w, threads, sink, error)) {
+            ok = false;
+            break;
+          }
+        }
+      } else {  // parity
         if (eager_session == nullptr) {
-          *error = "failed to build the eager inference session";
-          ok = false;
-          break;
+          eager_session = BuildServingSession(w, config, /*use_plans=*/false);
+          if (eager_session == nullptr) {
+            *error = "failed to build the eager inference session";
+            ok = false;
+            break;
+          }
+        }
+        for (const int64_t threads : config.threads) {
+          if (!SweepParity(plan_session.get(), eager_session.get(), config, w,
+                           threads, sink, &eager_p50, &plan_p50, error)) {
+            ok = false;
+            break;
+          }
+          parity_ran = true;
         }
       }
-      for (const int64_t threads : config.threads) {
-        if (!SweepParity(plan_session.get(), eager_session.get(), config, w,
-                         threads, sink, &eager_p50, &plan_p50, error)) {
-          ok = false;
-          break;
-        }
-        parity_ran = true;
-      }
+      if (!ok) break;
     }
     if (!ok) break;
   }
+  kernels::SetActiveBackend(original_backend);
   SetNumThreads(1);
   if (!ok) return false;
 

@@ -11,6 +11,7 @@
 #include "common/logging.h"
 #include "exec/graph_capture.h"
 #include "exec/plan_verifier.h"
+#include "tensor/kernels/registry.h"
 #include "train/checkpoint.h"
 
 namespace d2stgnn::infer {
@@ -148,7 +149,7 @@ Tensor InferenceSession::Predict(const data::Batch& batch) {
   if (arena_ != nullptr) arena_scope.emplace(arena_);
   if (const float* out = TryReplayLocked(batch)) {
     const Shape& shape =
-        plans_.at(batch.batch_size)->plan().output_shape();
+        ShardLocked().plans.at(batch.batch_size)->plan().output_shape();
     Tensor prediction(shape);
     std::copy(out, out + NumElements(shape), prediction.Data().begin());
     return prediction;
@@ -157,10 +158,15 @@ Tensor InferenceSession::Predict(const data::Batch& batch) {
   return scaler_.InverseTransform(model_->Forward(batch));
 }
 
+InferenceSession::BackendPlans& InferenceSession::ShardLocked() {
+  return shards_[kernels::ActiveBackend().name];
+}
+
 const float* InferenceSession::TryReplayLocked(const data::Batch& batch) {
   if (!options_.use_plans || !batch.x.defined()) return nullptr;
-  const auto it = plans_.find(batch.batch_size);
-  if (it == plans_.end()) return nullptr;
+  BackendPlans& shard = ShardLocked();
+  const auto it = shard.plans.find(batch.batch_size);
+  if (it == shard.plans.end()) return nullptr;
   exec::PlanExecutor& executor = *it->second;
 
   std::vector<exec::InputBinding> inputs;
@@ -175,20 +181,30 @@ const float* InferenceSession::TryReplayLocked(const data::Batch& batch) {
     case exec::ReplayStatus::kOk:
       ++stats_.plan_replays;
       return executor.output();
-    case exec::ReplayStatus::kStaleConstants:
-      // Parameter storage was reassigned; every cached plan captured the
-      // same parameters, so drop them all and fall back to eager (the next
-      // Warmup rebuilds).
-      D2_LOG(WARNING) << "infer: dropping " << plans_.size()
+    case exec::ReplayStatus::kStaleConstants: {
+      // Parameter storage was reassigned; every cached plan (in every
+      // backend shard) captured the same parameters, so drop them all and
+      // fall back to eager (the next Warmup rebuilds).
+      int64_t dropped = 0;
+      for (const auto& [name, s] : shards_) {
+        dropped += static_cast<int64_t>(s.plans.size());
+      }
+      D2_LOG(WARNING) << "infer: dropping " << dropped
                       << " stale execution plan(s): " << error;
-      stats_.plan_invalidations += static_cast<int64_t>(plans_.size());
-      plans_.clear();
-      verify_reports_.clear();  // the reports described the dropped plans
+      stats_.plan_invalidations += dropped;
+      shards_.clear();  // the reports described the dropped plans
       return nullptr;
+    }
     case exec::ReplayStatus::kBindingMismatch:
       // A batch with this batch size but different geometry (input_len /
       // nodes) than the plan captured; the eager path handles it.
       D2_LOG(WARNING) << "infer: plan binding mismatch, running eager: "
+                      << error;
+      return nullptr;
+    case exec::ReplayStatus::kBackendMismatch:
+      // Should be unreachable — the cache is sharded by backend name — but
+      // the executor's own guard stays authoritative: log and run eager.
+      D2_LOG(WARNING) << "infer: plan backend mismatch, running eager: "
                       << error;
       return nullptr;
   }
@@ -240,18 +256,19 @@ bool InferenceSession::CapturePlanLocked(int64_t batch_size) {
                     << report.ToString();
       return false;
     }
-    verify_reports_[batch_size] = std::move(report);
+    ShardLocked().verify_reports[batch_size] = std::move(report);
   }
-  plans_[batch_size] =
+  ShardLocked().plans[batch_size] =
       std::make_unique<exec::PlanExecutor>(std::move(plan));
   ++stats_.plans_built;
   return true;
 }
 
 void InferenceSession::VerifyCachedPlanLocked(int64_t batch_size) {
-  const auto it = plans_.find(batch_size);
-  if (it == plans_.end() ||
-      verify_reports_.find(batch_size) != verify_reports_.end()) {
+  BackendPlans& shard = ShardLocked();
+  const auto it = shard.plans.find(batch_size);
+  if (it == shard.plans.end() ||
+      shard.verify_reports.find(batch_size) != shard.verify_reports.end()) {
     return;
   }
   exec::VerifierReport report = exec::VerifyPlan(it->second->plan());
@@ -262,10 +279,10 @@ void InferenceSession::VerifyCachedPlanLocked(int64_t batch_size) {
     D2_LOG(ERROR) << "infer: cached batch-" << batch_size
                   << " plan rejected by the static verifier; dropping it\n"
                   << report.ToString();
-    plans_.erase(it);
+    shard.plans.erase(it);
     return;
   }
-  verify_reports_[batch_size] = std::move(report);
+  shard.verify_reports[batch_size] = std::move(report);
 }
 
 std::vector<Forecast> InferenceSession::PredictRequests(
@@ -301,9 +318,10 @@ std::vector<Forecast> InferenceSession::PredictRequests(
   // forwards are batch-independent (asserted by the parity tests), so the
   // padding rows only cost compute and are dropped below.
   int64_t plan_size = 0;
-  if (options_.use_plans && !plans_.empty()) {
-    const auto it = plans_.lower_bound(num_valid);
-    if (it != plans_.end() &&
+  if (options_.use_plans) {
+    const BackendPlans& shard = ShardLocked();
+    const auto it = shard.plans.lower_bound(num_valid);
+    if (it != shard.plans.end() &&
         (it->first == num_valid || options_.pad_to_plan)) {
       plan_size = it->first;
     }
@@ -344,7 +362,7 @@ void InferenceSession::Warmup(int64_t batch_size, int64_t runs) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (options_.use_plans) {
-      if (plans_.find(batch_size) == plans_.end()) {
+      if (ShardLocked().plans.find(batch_size) == ShardLocked().plans.end()) {
         CapturePlanLocked(batch_size);  // eager forward also warms the pool
       } else if (options_.verify_plans) {
         // Cache hit: a plan captured before verification was enabled (or
@@ -371,22 +389,27 @@ SessionStats InferenceSession::session_stats() const {
 std::vector<int64_t> InferenceSession::planned_batch_sizes() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<int64_t> sizes;
-  sizes.reserve(plans_.size());
-  for (const auto& [size, executor] : plans_) sizes.push_back(size);
+  const auto it = shards_.find(kernels::ActiveBackend().name);
+  if (it == shards_.end()) return sizes;
+  sizes.reserve(it->second.plans.size());
+  for (const auto& [size, executor] : it->second.plans) sizes.push_back(size);
   return sizes;
 }
 
 std::map<int64_t, exec::VerifierReport> InferenceSession::verifier_reports()
     const {
   std::lock_guard<std::mutex> lock(mu_);
-  return verify_reports_;
+  const auto it = shards_.find(kernels::ActiveBackend().name);
+  if (it == shards_.end()) return {};
+  return it->second.verify_reports;
 }
 
 void InferenceSession::InvalidatePlans() {
   std::lock_guard<std::mutex> lock(mu_);
-  stats_.plan_invalidations += static_cast<int64_t>(plans_.size());
-  plans_.clear();
-  verify_reports_.clear();
+  for (const auto& [name, shard] : shards_) {
+    stats_.plan_invalidations += static_cast<int64_t>(shard.plans.size());
+  }
+  shards_.clear();
 }
 
 }  // namespace d2stgnn::infer

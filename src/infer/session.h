@@ -172,13 +172,16 @@ class InferenceSession {
   /// Plan-cache counters (a consistent snapshot).
   SessionStats session_stats() const;
 
-  /// Batch sizes with a captured plan, ascending.
+  /// Batch sizes with a captured plan under the *active* kernel backend,
+  /// ascending. Plans captured under other backends are cached separately
+  /// and invisible here until that backend is active again.
   std::vector<int64_t> planned_batch_sizes() const;
 
-  /// Verifier reports for the currently cached plans, keyed by batch size.
-  /// Empty when verify_plans is off; entries disappear with their plans
-  /// (invalidation, staleness). Reports of *rejected* plans are not kept —
-  /// their error counts surface in SessionStats::plan_verifier_errors.
+  /// Verifier reports for the active backend's cached plans, keyed by batch
+  /// size. Empty when verify_plans is off; entries disappear with their
+  /// plans (invalidation, staleness). Reports of *rejected* plans are not
+  /// kept — their error counts surface in
+  /// SessionStats::plan_verifier_errors.
   std::map<int64_t, exec::VerifierReport> verifier_reports() const;
 
   /// Drops every captured plan (counted as invalidations). Call after
@@ -217,17 +220,31 @@ class InferenceSession {
   /// A blank (all-zero window) request sized for this session.
   ForecastRequest BlankRequest() const;
 
+  /// One backend's slice of the plan cache. Plans bind the kernel backend
+  /// they were captured under (exec/plan.h backend_name), so the cache is
+  /// sharded by backend name: switching backends mid-session never replays
+  /// a foreign plan, and switching back reuses the earlier captures.
+  struct BackendPlans {
+    /// Captured plans keyed by batch size (ordered: padding picks the
+    /// nearest size >= the request count).
+    std::map<int64_t, std::unique_ptr<exec::PlanExecutor>> plans;
+    /// Verifier reports for `plans`, same keys; cleared whenever the
+    /// matching plans are dropped so a stale report can never describe a
+    /// live plan.
+    std::map<int64_t, exec::VerifierReport> verify_reports;
+  };
+
+  /// The cache shard of the currently active kernel backend (created on
+  /// first use). Requires mu_ held.
+  BackendPlans& ShardLocked();
+
   mutable std::mutex mu_;
   std::unique_ptr<train::ForecastingModel> model_;
   data::StandardScaler scaler_;
   SessionOptions options_;
   std::shared_ptr<BufferArena> arena_;  ///< null when use_arena is off
-  /// Captured plans keyed by batch size (ordered: padding picks the nearest
-  /// size >= the request count).
-  std::map<int64_t, std::unique_ptr<exec::PlanExecutor>> plans_;
-  /// Verifier reports for plans_, same keys; cleared whenever the matching
-  /// plans are dropped so a stale report can never describe a live plan.
-  std::map<int64_t, exec::VerifierReport> verify_reports_;
+  /// Plan-cache shards keyed by kernel backend name.
+  std::map<std::string, BackendPlans> shards_;
   SessionStats stats_;
 };
 

@@ -5,15 +5,21 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "tensor/kernels/backend.h"
 #include "tensor/tensor.h"
 
-// Raw compute kernels of the tensor engine. ops.cc does shape checking,
-// autograd-tape wiring, and dispatch; the float loops live here so they can
-// be parallelized (and later swapped for other backends) in one place.
+// Dispatch façade of the tensor engine's compute kernels. ops.cc does shape
+// checking, autograd-tape wiring, and routes every compute loop through
+// here; the float loops themselves live in a KernelBackend
+// (tensor/kernels/backend_*.cc) selected at startup — see
+// tensor/kernels/registry.h.
 //
-// Every kernel partitions work with ParallelFor using chunk boundaries that
-// depend only on the problem size, and accumulates within a chunk in index
-// order — results are bitwise-identical at 1 and N threads.
+// Every entry point partitions work with ParallelFor using chunk boundaries
+// that depend only on the problem size, then hands each chunk to a SERIAL
+// backend range kernel, and combines partials in index order — so for any
+// one backend, results are bitwise-identical at 1 and N threads. Callers
+// pass the backend explicitly: eager dispatch uses ActiveBackend(), capture
+// closures bind the backend pointer they were recorded under.
 
 namespace d2stgnn::kernels {
 
@@ -86,17 +92,14 @@ void ForEachBroadcastPair(const Shape& out, const std::vector<int64_t>& as,
 }
 
 // ---------------------------------------------------------------------------
-// Elementwise kernels (templates: the functor must inline into the loop).
+// Elementwise kernels (backend-dispatched forward, template gradient).
 
-/// out[i] = fn(a[i]) for i in [0, n).
-template <typename Fn>
-void EwiseUnary(const float* a, float* out, int64_t n, Fn fn) {
-  ParallelFor(0, n, kEwiseGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) out[i] = fn(a[i]);
-  });
-}
+/// out[i] = kind(a[i]) for i in [0, n).
+void EwiseUnary(const KernelBackend& backend, UnaryKind kind,
+                UnaryParams params, const float* a, float* out, int64_t n);
 
-/// out[i] = dfn(x[i], y[i], g[i]) — the gradient loop of a unary op.
+/// out[i] = dfn(x[i], y[i], g[i]) — the gradient loop of a unary op. Stays a
+/// template (training-only; gradients are not backend-dispatched).
 template <typename Dfn>
 void EwiseUnaryGrad(const float* x, const float* y, const float* g,
                     float* out, int64_t n, Dfn dfn) {
@@ -105,49 +108,36 @@ void EwiseUnaryGrad(const float* x, const float* y, const float* g,
   });
 }
 
-/// out[i] = fn(a[i], b[i]) for same-shape contiguous operands.
-template <typename Fn>
-void EwiseBinary(const float* a, const float* b, float* out, int64_t n,
-                 Fn fn) {
-  ParallelFor(0, n, kEwiseGrain, [&](int64_t lo, int64_t hi) {
-    for (int64_t i = lo; i < hi; ++i) out[i] = fn(a[i], b[i]);
-  });
-}
+/// out[i] = kind(a[i], b[i]) for same-shape contiguous operands.
+void EwiseBinary(const KernelBackend& backend, BinaryKind kind,
+                 const float* a, const float* b, float* out, int64_t n);
 
-/// Broadcasting binary kernel: out[flat] = fn(a[a_off], b[b_off]) with the
-/// strided offsets of BroadcastStrides. Parallel over flat output ranges.
-template <typename Fn>
-void EwiseBinaryBroadcast(const Shape& out_shape,
+/// Broadcasting binary kernel: out[flat] = kind(a[a_off], b[b_off]) with the
+/// strided offsets of BroadcastStrides. The matrix-plus-row-vector pattern
+/// (dense a, b strided [0, ..., 0, 1]) routes to the backend's bias_add;
+/// other patterns run the generic strided walk (exactly-rounded scalar
+/// arithmetic, identical across backends).
+void EwiseBinaryBroadcast(const KernelBackend& backend, BinaryKind kind,
+                          const Shape& out_shape,
                           const std::vector<int64_t>& as,
                           const std::vector<int64_t>& bs, const float* a,
-                          const float* b, float* out, Fn fn) {
-  const int64_t n = NumElements(out_shape);
-  ParallelFor(0, n, kEwiseGrain, [&](int64_t lo, int64_t hi) {
-    ForEachBroadcastPair(out_shape, as, bs, lo, hi,
-                         [&](int64_t i, int64_t ao, int64_t bo) {
-                           out[i] = fn(a[ao], b[bo]);
-                         });
-  });
-}
+                          const float* b, float* out);
 
 /// Strided gather: out[flat] = a[src_off] (Permute / BroadcastTo bodies).
+/// Pure data movement — shared across backends.
 void GatherStrided(const Shape& out_shape, const std::vector<int64_t>& strides,
                    const float* a, float* out);
 
 // ---------------------------------------------------------------------------
 // MatMul.
 
-/// out[m, n] += A[m, k] * B[k, n] for rows [row_begin, row_end), dense
-/// row-major, blocked i-k-j order. Serial (the unit other kernels
-/// parallelize over).
-void MatMulRowRange(const float* a, const float* b, float* out,
-                    int64_t row_begin, int64_t row_end, int64_t k, int64_t n);
-
 /// Batched matmul over `batch` independent [m,k]x[k,n] products. Offsets
 /// are element offsets of each batch's A / B matrix (shared matrices repeat
 /// their offset — the broadcast case). `out` must be zero-filled.
-/// Parallelized over batch x row blocks.
-void BatchedMatMul(const float* a, const float* b, float* out,
+/// Parallelized over batch x row blocks; each task runs the backend's
+/// serial matmul_row_range.
+void BatchedMatMul(const KernelBackend& backend, const float* a,
+                   const float* b, float* out,
                    const std::vector<int64_t>& a_offsets,
                    const std::vector<int64_t>& b_offsets, int64_t m, int64_t k,
                    int64_t n);
@@ -157,15 +147,16 @@ void BatchedMatMul(const float* a, const float* b, float* out,
 
 /// Sum of all n elements via a deterministic two-level tree: double partial
 /// per kReduceBlock block, blocks combined in index order.
-double ReduceSumAll(const float* a, int64_t n);
+double ReduceSumAll(const KernelBackend& backend, const float* a, int64_t n);
 
 /// out[o, i] = sum_s a[o, s, i] over the middle extent. Parallel over the
 /// outer extent; per-slice accumulation runs in ascending s.
-void ReduceSumDim(const float* a, float* out, int64_t outer, int64_t size,
-                  int64_t inner);
+void ReduceSumDim(const KernelBackend& backend, const float* a, float* out,
+                  int64_t outer, int64_t size, int64_t inner);
 
 /// Extremum over the middle extent: sign = +1 for max, -1 for min. Writes
 /// the winning value to `out` and the first winning middle-index to `arg`.
+/// Comparison-only — shared across backends.
 void ExtremumDim(const float* a, float* out, int64_t* arg, int64_t outer,
                  int64_t size, int64_t inner, float sign);
 
@@ -179,8 +170,8 @@ void ExtremumDimGrad(const float* g, const int64_t* arg, float* grad,
 
 /// Numerically stable softmax over the middle extent of [outer, size,
 /// inner]. Parallel over the outer extent.
-void SoftmaxKernel(const float* a, float* out, int64_t outer, int64_t size,
-                   int64_t inner);
+void SoftmaxKernel(const KernelBackend& backend, const float* a, float* out,
+                   int64_t outer, int64_t size, int64_t inner);
 
 }  // namespace d2stgnn::kernels
 

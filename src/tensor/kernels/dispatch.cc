@@ -1,10 +1,13 @@
 #include "tensor/kernels.h"
 
 #include <algorithm>
-#include <cmath>
-#include <limits>
 
 #include "common/check.h"
+
+// The parallel half of the kernel layer: partitions every op into chunks
+// whose boundaries depend only on the problem size and hands each chunk to a
+// serial backend range kernel. Backend choice never changes the chunking, so
+// per-backend determinism (1 vs N threads) holds for every backend.
 
 namespace d2stgnn::kernels {
 namespace {
@@ -13,16 +16,39 @@ namespace {
 // enough to spread a single large matrix over the pool.
 constexpr int64_t kMatMulRowBlock = 32;
 
-// K-tile of the blocked matmul: keeps the active B panel (~tile * n floats)
-// cache-resident. Tiles advance in ascending k, so per-output accumulation
-// order — and therefore the float result — matches the untiled loop.
-constexpr int64_t kMatMulKTile = 256;
-
 // Outer-loop grain so each chunk carries ~kEwiseGrain elements of work.
 // Depends only on the slice size, never the thread count (determinism).
 int64_t OuterGrain(int64_t elems_per_slice) {
   return std::max<int64_t>(1, kEwiseGrain / std::max<int64_t>(1,
                                                               elems_per_slice));
+}
+
+// Exactly-rounded single-instruction arithmetic — identical in every
+// backend, so the generic strided broadcast walk is backend-neutral.
+inline float ApplyBinary(BinaryKind kind, float x, float y) {
+  switch (kind) {
+    case BinaryKind::kAdd:
+      return x + y;
+    case BinaryKind::kSub:
+      return x - y;
+    case BinaryKind::kMul:
+      return x * y;
+    case BinaryKind::kDiv:
+      return x / y;
+  }
+  return 0.0f;  // unreachable
+}
+
+// Matrix-plus-row-vector broadcast: a dense over the full output, b strided
+// [0, ..., 0, 1]. Routed to the backend bias_add entry.
+bool IsBiasAddPattern(const Shape& out_shape, const std::vector<int64_t>& as,
+                      const std::vector<int64_t>& bs) {
+  if (out_shape.size() < 2 || out_shape.back() < 1) return false;
+  if (bs.back() != 1) return false;
+  for (size_t d = 0; d + 1 < bs.size(); ++d) {
+    if (bs[d] != 0) return false;
+  }
+  return as == RowMajorStrides(out_shape);
 }
 
 }  // namespace
@@ -52,6 +78,45 @@ std::vector<int64_t> BroadcastStrides(const Shape& shape, const Shape& out) {
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// Elementwise.
+
+void EwiseUnary(const KernelBackend& backend, UnaryKind kind,
+                UnaryParams params, const float* a, float* out, int64_t n) {
+  ParallelFor(0, n, kEwiseGrain, [&](int64_t lo, int64_t hi) {
+    backend.ewise_unary(kind, params, a, out, lo, hi);
+  });
+}
+
+void EwiseBinary(const KernelBackend& backend, BinaryKind kind,
+                 const float* a, const float* b, float* out, int64_t n) {
+  ParallelFor(0, n, kEwiseGrain, [&](int64_t lo, int64_t hi) {
+    backend.ewise_binary(kind, a, b, out, lo, hi);
+  });
+}
+
+void EwiseBinaryBroadcast(const KernelBackend& backend, BinaryKind kind,
+                          const Shape& out_shape,
+                          const std::vector<int64_t>& as,
+                          const std::vector<int64_t>& bs, const float* a,
+                          const float* b, float* out) {
+  if (kind == BinaryKind::kAdd && IsBiasAddPattern(out_shape, as, bs)) {
+    const int64_t n = out_shape.back();
+    const int64_t rows = NumElements(out_shape) / n;
+    ParallelFor(0, rows, OuterGrain(n), [&](int64_t lo, int64_t hi) {
+      backend.bias_add(a, b, out, lo, hi, n);
+    });
+    return;
+  }
+  const int64_t n = NumElements(out_shape);
+  ParallelFor(0, n, kEwiseGrain, [&](int64_t lo, int64_t hi) {
+    ForEachBroadcastPair(out_shape, as, bs, lo, hi,
+                         [&](int64_t i, int64_t ao, int64_t bo) {
+                           out[i] = ApplyBinary(kind, a[ao], b[bo]);
+                         });
+  });
+}
+
 void GatherStrided(const Shape& out_shape, const std::vector<int64_t>& strides,
                    const float* a, float* out) {
   const int64_t n = NumElements(out_shape);
@@ -67,24 +132,8 @@ void GatherStrided(const Shape& out_shape, const std::vector<int64_t>& strides,
 // ---------------------------------------------------------------------------
 // MatMul.
 
-void MatMulRowRange(const float* a, const float* b, float* out,
-                    int64_t row_begin, int64_t row_end, int64_t k, int64_t n) {
-  for (int64_t k0 = 0; k0 < k; k0 += kMatMulKTile) {
-    const int64_t k1 = std::min(k, k0 + kMatMulKTile);
-    for (int64_t i = row_begin; i < row_end; ++i) {
-      float* out_row = out + i * n;
-      const float* a_row = a + i * k;
-      for (int64_t kk = k0; kk < k1; ++kk) {
-        const float av = a_row[kk];
-        if (av == 0.0f) continue;
-        const float* b_row = b + kk * n;
-        for (int64_t j = 0; j < n; ++j) out_row[j] += av * b_row[j];
-      }
-    }
-  }
-}
-
-void BatchedMatMul(const float* a, const float* b, float* out,
+void BatchedMatMul(const KernelBackend& backend, const float* a,
+                   const float* b, float* out,
                    const std::vector<int64_t>& a_offsets,
                    const std::vector<int64_t>& b_offsets, int64_t m, int64_t k,
                    int64_t n) {
@@ -99,9 +148,9 @@ void BatchedMatMul(const float* a, const float* b, float* out,
       const int64_t bi = task / row_blocks;
       const int64_t r0 = (task % row_blocks) * kMatMulRowBlock;
       const int64_t r1 = std::min(m, r0 + kMatMulRowBlock);
-      MatMulRowRange(a + a_offsets[static_cast<size_t>(bi)],
-                     b + b_offsets[static_cast<size_t>(bi)],
-                     out + bi * out_matrix, r0, r1, k, n);
+      backend.matmul_row_range(a + a_offsets[static_cast<size_t>(bi)],
+                               b + b_offsets[static_cast<size_t>(bi)],
+                               out + bi * out_matrix, r0, r1, k, n);
     }
   });
 }
@@ -109,7 +158,7 @@ void BatchedMatMul(const float* a, const float* b, float* out,
 // ---------------------------------------------------------------------------
 // Reductions.
 
-double ReduceSumAll(const float* a, int64_t n) {
+double ReduceSumAll(const KernelBackend& backend, const float* a, int64_t n) {
   if (n == 0) return 0.0;
   const int64_t blocks = (n + kReduceBlock - 1) / kReduceBlock;
   std::vector<double> partials(static_cast<size_t>(blocks), 0.0);
@@ -117,9 +166,7 @@ double ReduceSumAll(const float* a, int64_t n) {
     for (int64_t blk = lo; blk < hi; ++blk) {
       const int64_t i0 = blk * kReduceBlock;
       const int64_t i1 = std::min(n, i0 + kReduceBlock);
-      double acc = 0.0;
-      for (int64_t i = i0; i < i1; ++i) acc += a[i];
-      partials[static_cast<size_t>(blk)] = acc;
+      partials[static_cast<size_t>(blk)] = backend.reduce_sum_range(a, i0, i1);
     }
   });
   double total = 0.0;
@@ -127,17 +174,12 @@ double ReduceSumAll(const float* a, int64_t n) {
   return total;
 }
 
-void ReduceSumDim(const float* a, float* out, int64_t outer, int64_t size,
-                  int64_t inner) {
+void ReduceSumDim(const KernelBackend& backend, const float* a, float* out,
+                  int64_t outer, int64_t size, int64_t inner) {
   ParallelFor(0, outer, OuterGrain(size * inner), [&](int64_t lo, int64_t hi) {
     for (int64_t o = lo; o < hi; ++o) {
-      float* dst = out + o * inner;
-      std::fill(dst, dst + inner, 0.0f);
-      const float* base = a + o * size * inner;
-      for (int64_t s = 0; s < size; ++s) {
-        const float* src = base + s * inner;
-        for (int64_t i = 0; i < inner; ++i) dst[i] += src[i];
-      }
+      backend.reduce_sum_dim_slice(a + o * size * inner, out + o * inner,
+                                   size, inner);
     }
   });
 }
@@ -180,25 +222,12 @@ void ExtremumDimGrad(const float* g, const int64_t* arg, float* grad,
 // ---------------------------------------------------------------------------
 // Softmax.
 
-void SoftmaxKernel(const float* a, float* out, int64_t outer, int64_t size,
-                   int64_t inner) {
+void SoftmaxKernel(const KernelBackend& backend, const float* a, float* out,
+                   int64_t outer, int64_t size, int64_t inner) {
   ParallelFor(0, outer, OuterGrain(size * inner), [&](int64_t lo, int64_t hi) {
     for (int64_t o = lo; o < hi; ++o) {
-      for (int64_t i = 0; i < inner; ++i) {
-        const int64_t base = o * size * inner + i;
-        float max_v = -std::numeric_limits<float>::infinity();
-        for (int64_t s = 0; s < size; ++s) {
-          max_v = std::max(max_v, a[base + s * inner]);
-        }
-        float denom = 0.0f;
-        for (int64_t s = 0; s < size; ++s) {
-          const float e = std::exp(a[base + s * inner] - max_v);
-          out[base + s * inner] = e;
-          denom += e;
-        }
-        const float inv = 1.0f / denom;
-        for (int64_t s = 0; s < size; ++s) out[base + s * inner] *= inv;
-      }
+      backend.softmax_slice(a + o * size * inner, out + o * size * inner,
+                            size, inner);
     }
   });
 }

@@ -1,0 +1,113 @@
+#include "tensor/kernels/registry.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace d2stgnn::kernels {
+namespace {
+
+CpuFeatures QueryCpu() {
+  CpuFeatures features;
+#if defined(__x86_64__) || defined(__i386__)
+  features.avx2 = __builtin_cpu_supports("avx2") != 0;
+  features.fma = __builtin_cpu_supports("fma") != 0;
+  features.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return features;
+}
+
+const KernelBackend* FindBackend(const std::string& name) {
+  if (name == ScalarBackend().name) return &ScalarBackend();
+  const KernelBackend* avx2 = Avx2BackendOrNull();
+  if (avx2 != nullptr && name == avx2->name) return avx2;
+  return nullptr;
+}
+
+const KernelBackend* Detect() {
+  const KernelBackend* avx2 = Avx2BackendOrNull();
+  return avx2 != nullptr ? avx2 : &ScalarBackend();
+}
+
+// Startup choice: D2STGNN_FORCE_BACKEND wins when it names a runnable
+// backend; anything else warns and falls back to detection so a forced env
+// var can never make the binary unrunnable on a weaker machine.
+const KernelBackend* ResolveStartupBackend() {
+  const char* forced = std::getenv("D2STGNN_FORCE_BACKEND");
+  if (forced != nullptr && forced[0] != '\0') {
+    const KernelBackend* backend = FindBackend(forced);
+    if (backend != nullptr) return backend;
+    std::fprintf(stderr,
+                 "[kernels] D2STGNN_FORCE_BACKEND=%s is not available on "
+                 "this CPU; using '%s'\n",
+                 forced, Detect()->name);
+  }
+  return Detect();
+}
+
+std::atomic<const KernelBackend*>& ActiveSlot() {
+  static std::atomic<const KernelBackend*> slot{ResolveStartupBackend()};
+  return slot;
+}
+
+}  // namespace
+
+const CpuFeatures& DetectCpuFeatures() {
+  static const CpuFeatures features = QueryCpu();
+  return features;
+}
+
+std::string CpuFeatureSummary() {
+  const CpuFeatures& features = DetectCpuFeatures();
+  std::string summary;
+  auto add = [&summary](const char* name) {
+    if (!summary.empty()) summary += ' ';
+    summary += name;
+  };
+  if (features.avx2) add("avx2");
+  if (features.fma) add("fma");
+  if (features.avx512f) add("avx512f");
+  return summary;
+}
+
+std::vector<std::string> AvailableBackendNames() {
+  std::vector<std::string> names = {ScalarBackend().name};
+  const KernelBackend* avx2 = Avx2BackendOrNull();
+  if (avx2 != nullptr) names.emplace_back(avx2->name);
+  return names;
+}
+
+const char* DetectedBackendName() { return Detect()->name; }
+
+const KernelBackend& ActiveBackend() {
+  return *ActiveSlot().load(std::memory_order_acquire);
+}
+
+bool SetActiveBackend(const std::string& name, std::string* error) {
+  const KernelBackend* backend = FindBackend(name);
+  if (backend == nullptr) {
+    if (error != nullptr) {
+      *error = "unknown or unavailable kernel backend '" + name +
+               "' (available:";
+      for (const std::string& available : AvailableBackendNames()) {
+        *error += " " + available;
+      }
+      *error += ")";
+    }
+    return false;
+  }
+  ActiveSlot().store(backend, std::memory_order_release);
+  return true;
+}
+
+ScopedBackendOverride::ScopedBackendOverride(const std::string& name)
+    : previous_(ActiveBackend().name) {
+  engaged_ = SetActiveBackend(name);
+}
+
+ScopedBackendOverride::~ScopedBackendOverride() {
+  if (engaged_) SetActiveBackend(previous_);
+}
+
+}  // namespace d2stgnn::kernels

@@ -1,0 +1,80 @@
+#ifndef D2STGNN_TENSOR_KERNELS_REGISTRY_H_
+#define D2STGNN_TENSOR_KERNELS_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "tensor/kernels/backend.h"
+
+// Backend registry: CPU feature detection, startup selection, and runtime
+// override. Selection happens once, lazily, on the first ActiveBackend()
+// call: the best backend the CPU supports, unless D2STGNN_FORCE_BACKEND
+// names another one. Tools additionally expose a --backend flag that routes
+// through SetActiveBackend.
+//
+// The active pointer is a single atomic; flipping it never invalidates
+// in-flight work because every capture closure and plan binds the backend
+// pointer it was created under (plans additionally refuse to replay under a
+// different backend — ReplayStatus::kBackendMismatch).
+
+namespace d2stgnn::kernels {
+
+/// CPU capabilities relevant to backend selection (cpuid-derived).
+struct CpuFeatures {
+  bool avx2 = false;
+  bool fma = false;
+  bool avx512f = false;
+};
+
+/// Queries cpuid once and caches the answer.
+const CpuFeatures& DetectCpuFeatures();
+
+/// Space-separated summary of the detected features ("avx2 fma avx512f"),
+/// "" when none — for bench/experiment metadata.
+std::string CpuFeatureSummary();
+
+/// The scalar reference backend. Always available.
+const KernelBackend& ScalarBackend();
+
+/// The AVX2+FMA backend, or nullptr when the build target or the running
+/// CPU lacks AVX2/FMA (non-x86 builds compile this to nullptr).
+const KernelBackend* Avx2BackendOrNull();
+
+/// Every backend name this process can actually run, detection-ordered
+/// ("scalar" first).
+std::vector<std::string> AvailableBackendNames();
+
+/// The name cpuid-based detection picks on this machine, ignoring
+/// D2STGNN_FORCE_BACKEND and SetActiveBackend overrides.
+const char* DetectedBackendName();
+
+/// The backend all kernel dispatch currently routes through. First call
+/// resolves D2STGNN_FORCE_BACKEND (unknown or unavailable values warn on
+/// stderr and fall back to detection — the env override must not turn a
+/// portable binary into one that aborts on older machines).
+const KernelBackend& ActiveBackend();
+
+/// Switches the active backend by name. Returns false (and sets *error when
+/// non-null) if the name is unknown or unavailable on this CPU; the active
+/// backend is unchanged on failure.
+bool SetActiveBackend(const std::string& name, std::string* error = nullptr);
+
+/// Test helper: pins a backend for one scope, restoring the previous one.
+class ScopedBackendOverride {
+ public:
+  explicit ScopedBackendOverride(const std::string& name);
+  ~ScopedBackendOverride();
+  ScopedBackendOverride(const ScopedBackendOverride&) = delete;
+  ScopedBackendOverride& operator=(const ScopedBackendOverride&) = delete;
+
+  /// False when `name` was unavailable (the override did nothing).
+  bool engaged() const { return engaged_; }
+
+ private:
+  std::string previous_;
+  bool engaged_ = false;
+};
+
+}  // namespace d2stgnn::kernels
+
+#endif  // D2STGNN_TENSOR_KERNELS_REGISTRY_H_

@@ -8,28 +8,37 @@
 #include "tensor/autograd.h"
 #include "tensor/buffer_arena.h"
 #include "tensor/kernels.h"
+#include "tensor/kernels/registry.h"
 
 // ops.cc is the dispatch layer of the tensor engine: it validates shapes,
-// wires autograd tape nodes, and routes every compute loop to the kernels
-// in tensor/kernels.{h,cc} (which parallelize over the shared thread pool).
+// wires autograd tape nodes, and routes every compute loop to the kernel
+// layer in tensor/kernels.h (which parallelizes over the shared thread pool
+// and hands serial chunks to the active KernelBackend).
 //
 // When a exec::GraphCapture is active on the thread, each dispatch also
 // records a shape-specialized replay closure (exec::internal::RecordStep)
 // holding the same static attributes the eager call just resolved, so the
 // forward can later replay without this layer (DESIGN.md §10). Capture is a
 // single thread-local pointer test on the off path.
+//
+// Each dispatch routes through the backend active at call time; capture
+// closures bind that backend pointer so a plan always replays on the
+// backend it was captured under (the executor separately rejects
+// cross-backend replay — ReplayStatus::kBackendMismatch).
 
 namespace d2stgnn {
 namespace {
 
-// Elementwise binary op with broadcasting. `forward` maps (a, b) -> out.
-// `backward` receives (output, a, b) and must accumulate into a and b.
-template <typename Fwd>
-Tensor BinaryOp(const std::string& name, const Tensor& a, const Tensor& b,
-                Fwd forward, std::function<void(const Tensor&, const Tensor&,
-                                                const Tensor&)> backward) {
+// Elementwise binary op with broadcasting. `kind` selects the backend-table
+// forward; `backward` receives (output, a, b) and must accumulate into a
+// and b.
+Tensor BinaryOp(const std::string& name, kernels::BinaryKind kind,
+                const Tensor& a, const Tensor& b,
+                std::function<void(const Tensor&, const Tensor&,
+                                   const Tensor&)> backward) {
   D2_CHECK(a.defined());
   D2_CHECK(b.defined());
+  const kernels::KernelBackend* backend = &kernels::ActiveBackend();
   const Shape out_shape = BroadcastShapes(a.shape(), b.shape());
   std::vector<float> out = internal::AcquireBuffer(NumElements(out_shape));
   const std::vector<float>& av = a.Data();
@@ -38,13 +47,13 @@ Tensor BinaryOp(const std::string& name, const Tensor& a, const Tensor& b,
   std::vector<int64_t> as;
   std::vector<int64_t> bs;
   if (same_shape) {
-    kernels::EwiseBinary(av.data(), bv.data(), out.data(),
-                         static_cast<int64_t>(out.size()), forward);
+    kernels::EwiseBinary(*backend, kind, av.data(), bv.data(), out.data(),
+                         static_cast<int64_t>(out.size()));
   } else {
     as = kernels::BroadcastStrides(a.shape(), out_shape);
     bs = kernels::BroadcastStrides(b.shape(), out_shape);
-    kernels::EwiseBinaryBroadcast(out_shape, as, bs, av.data(), bv.data(),
-                                  out.data(), forward);
+    kernels::EwiseBinaryBroadcast(*backend, kind, out_shape, as, bs,
+                                  av.data(), bv.data(), out.data());
   }
   Tensor result = MakeOpResult(name, out_shape, std::move(out), {a, b},
                                [a, b, backward](const Tensor& output) {
@@ -54,32 +63,36 @@ Tensor BinaryOp(const std::string& name, const Tensor& a, const Tensor& b,
     if (same_shape) {
       const int64_t n = NumElements(out_shape);
       exec::internal::RecordStep(
-          name.c_str(), {a, b}, result, [n, forward](const exec::StepIo& io) {
-            kernels::EwiseBinary(io.inputs[0], io.inputs[1], io.output, n,
-                                 forward);
+          name.c_str(), {a, b}, result,
+          [backend, kind, n](const exec::StepIo& io) {
+            kernels::EwiseBinary(*backend, kind, io.inputs[0], io.inputs[1],
+                                 io.output, n);
           });
     } else {
       exec::internal::RecordStep(
           name.c_str(), {a, b}, result,
-          [out_shape, as, bs, forward](const exec::StepIo& io) {
-            kernels::EwiseBinaryBroadcast(out_shape, as, bs, io.inputs[0],
-                                          io.inputs[1], io.output, forward);
+          [backend, kind, out_shape, as, bs](const exec::StepIo& io) {
+            kernels::EwiseBinaryBroadcast(*backend, kind, out_shape, as, bs,
+                                          io.inputs[0], io.inputs[1],
+                                          io.output);
           });
     }
   }
   return result;
 }
 
-// Elementwise unary op. `dfn(x, y, g)` returns dLoss/dx given input value x,
-// output value y, and output gradient g.
-template <typename Fwd, typename Dfn>
-Tensor UnaryOp(const std::string& name, const Tensor& a, Fwd forward,
-               Dfn dfn) {
+// Elementwise unary op. `kind`/`params` select the backend-table forward;
+// `dfn(x, y, g)` returns dLoss/dx given input value x, output value y, and
+// output gradient g.
+template <typename Dfn>
+Tensor UnaryOp(const std::string& name, kernels::UnaryKind kind,
+               kernels::UnaryParams params, const Tensor& a, Dfn dfn) {
   D2_CHECK(a.defined());
+  const kernels::KernelBackend* backend = &kernels::ActiveBackend();
   const std::vector<float>& av = a.Data();
   const int64_t n = static_cast<int64_t>(av.size());
   std::vector<float> out = internal::AcquireBuffer(n);
-  kernels::EwiseUnary(av.data(), out.data(), n, forward);
+  kernels::EwiseUnary(*backend, kind, params, av.data(), out.data(), n);
   Tensor result = MakeOpResult(
       name, a.shape(), std::move(out), {a}, [a, dfn](const Tensor& output) {
         if (!a.RequiresGrad()) return;
@@ -93,11 +106,12 @@ Tensor UnaryOp(const std::string& name, const Tensor& a, Fwd forward,
         AccumulateGrad(a, Tensor(a.shape(), std::move(ga)));
       });
   if (exec::internal::CaptureActive()) {
-    exec::internal::RecordStep(name.c_str(), {a}, result,
-                               [n, forward](const exec::StepIo& io) {
-                                 kernels::EwiseUnary(io.inputs[0], io.output,
-                                                     n, forward);
-                               });
+    exec::internal::RecordStep(
+        name.c_str(), {a}, result,
+        [backend, kind, params, n](const exec::StepIo& io) {
+          kernels::EwiseUnary(*backend, kind, params, io.inputs[0],
+                              io.output, n);
+        });
   }
   return result;
 }
@@ -168,7 +182,7 @@ Tensor ReduceToShape(const Tensor& t, const Shape& target) {
 
 Tensor Add(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      "Add", a, b, [](float x, float y) { return x + y; },
+      "Add", kernels::BinaryKind::kAdd, a, b,
       [](const Tensor& out, const Tensor& a, const Tensor& b) {
         const Tensor g = out.Grad();
         if (a.RequiresGrad()) AccumulateGrad(a, ReduceToShape(g, a.shape()));
@@ -178,7 +192,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      "Sub", a, b, [](float x, float y) { return x - y; },
+      "Sub", kernels::BinaryKind::kSub, a, b,
       [](const Tensor& out, const Tensor& a, const Tensor& b) {
         const Tensor g = out.Grad();
         if (a.RequiresGrad()) AccumulateGrad(a, ReduceToShape(g, a.shape()));
@@ -190,7 +204,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
 
 Tensor Mul(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      "Mul", a, b, [](float x, float y) { return x * y; },
+      "Mul", kernels::BinaryKind::kMul, a, b,
       [](const Tensor& out, const Tensor& a, const Tensor& b) {
         const Tensor g = out.Grad();
         if (a.RequiresGrad()) {
@@ -204,7 +218,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 
 Tensor Div(const Tensor& a, const Tensor& b) {
   return BinaryOp(
-      "Div", a, b, [](float x, float y) { return x / y; },
+      "Div", kernels::BinaryKind::kDiv, a, b,
       [](const Tensor& out, const Tensor& a, const Tensor& b) {
         const Tensor g = out.Grad();
         if (a.RequiresGrad()) {
@@ -219,23 +233,20 @@ Tensor Div(const Tensor& a, const Tensor& b) {
 }
 
 Tensor AddScalar(const Tensor& a, float s) {
-  return UnaryOp(
-      "AddScalar", a, [s](float x) { return x + s; },
-      [](float, float, float g) { return g; });
+  return UnaryOp("AddScalar", kernels::UnaryKind::kAddScalar, {s, 0.0f}, a,
+                 [](float, float, float g) { return g; });
 }
 
 Tensor MulScalar(const Tensor& a, float s) {
-  return UnaryOp(
-      "MulScalar", a, [s](float x) { return x * s; },
-      [s](float, float, float g) { return g * s; });
+  return UnaryOp("MulScalar", kernels::UnaryKind::kMulScalar, {s, 0.0f}, a,
+                 [s](float, float, float g) { return g * s; });
 }
 
 Tensor PowScalar(const Tensor& a, float exponent) {
-  return UnaryOp(
-      "PowScalar", a, [exponent](float x) { return std::pow(x, exponent); },
-      [exponent](float x, float, float g) {
-        return g * exponent * std::pow(x, exponent - 1.0f);
-      });
+  return UnaryOp("PowScalar", kernels::UnaryKind::kPowScalar,
+                 {exponent, 0.0f}, a, [exponent](float x, float, float g) {
+                   return g * exponent * std::pow(x, exponent - 1.0f);
+                 });
 }
 
 Tensor operator+(const Tensor& a, const Tensor& b) { return Add(a, b); }
@@ -260,61 +271,51 @@ Tensor Neg(const Tensor& a) { return MulScalar(a, -1.0f); }
 
 Tensor Relu(const Tensor& a) {
   return UnaryOp(
-      "Relu", a, [](float x) { return x > 0.0f ? x : 0.0f; },
+      "Relu", kernels::UnaryKind::kRelu, {}, a,
       [](float x, float, float g) { return x > 0.0f ? g : 0.0f; });
 }
 
 Tensor LeakyRelu(const Tensor& a, float negative_slope) {
-  return UnaryOp(
-      "LeakyRelu", a,
-      [negative_slope](float x) { return x > 0.0f ? x : negative_slope * x; },
-      [negative_slope](float x, float, float g) {
-        return x > 0.0f ? g : negative_slope * g;
-      });
+  return UnaryOp("LeakyRelu", kernels::UnaryKind::kLeakyRelu,
+                 {negative_slope, 0.0f}, a,
+                 [negative_slope](float x, float, float g) {
+                   return x > 0.0f ? g : negative_slope * g;
+                 });
 }
 
 Tensor Sigmoid(const Tensor& a) {
   return UnaryOp(
-      "Sigmoid", a,
-      [](float x) {
-        // Stable in both tails.
-        if (x >= 0.0f) return 1.0f / (1.0f + std::exp(-x));
-        const float e = std::exp(x);
-        return e / (1.0f + e);
-      },
+      "Sigmoid", kernels::UnaryKind::kSigmoid, {}, a,
       [](float, float y, float g) { return g * y * (1.0f - y); });
 }
 
 Tensor Tanh(const Tensor& a) {
   return UnaryOp(
-      "Tanh", a, [](float x) { return std::tanh(x); },
+      "Tanh", kernels::UnaryKind::kTanh, {}, a,
       [](float, float y, float g) { return g * (1.0f - y * y); });
 }
 
 Tensor Exp(const Tensor& a) {
-  return UnaryOp(
-      "Exp", a, [](float x) { return std::exp(x); },
-      [](float, float y, float g) { return g * y; });
+  return UnaryOp("Exp", kernels::UnaryKind::kExp, {}, a,
+                 [](float, float y, float g) { return g * y; });
 }
 
 Tensor Log(const Tensor& a) {
-  return UnaryOp(
-      "Log", a, [](float x) { return std::log(x); },
-      [](float x, float, float g) { return g / x; });
+  return UnaryOp("Log", kernels::UnaryKind::kLog, {}, a,
+                 [](float x, float, float g) { return g / x; });
 }
 
 Tensor Sqrt(const Tensor& a) {
   return UnaryOp(
-      "Sqrt", a, [](float x) { return std::sqrt(x); },
+      "Sqrt", kernels::UnaryKind::kSqrt, {}, a,
       [](float, float y, float g) { return y > 0.0f ? 0.5f * g / y : 0.0f; });
 }
 
 Tensor Abs(const Tensor& a) {
-  return UnaryOp(
-      "Abs", a, [](float x) { return std::fabs(x); },
-      [](float x, float, float g) {
-        return x > 0.0f ? g : (x < 0.0f ? -g : 0.0f);
-      });
+  return UnaryOp("Abs", kernels::UnaryKind::kAbs, {}, a,
+                 [](float x, float, float g) {
+                   return x > 0.0f ? g : (x < 0.0f ? -g : 0.0f);
+                 });
 }
 
 Tensor Gelu(const Tensor& a) {
@@ -322,11 +323,7 @@ Tensor Gelu(const Tensor& a) {
   constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
   constexpr float kCubic = 0.044715f;
   return UnaryOp(
-      "Gelu", a,
-      [](float x) {
-        const float inner = kC * (x + kCubic * x * x * x);
-        return 0.5f * x * (1.0f + std::tanh(inner));
-      },
+      "Gelu", kernels::UnaryKind::kGelu, {}, a,
       [](float x, float, float g) {
         const float inner = kC * (x + kCubic * x * x * x);
         const float t = std::tanh(inner);
@@ -338,12 +335,10 @@ Tensor Gelu(const Tensor& a) {
 
 Tensor Clamp(const Tensor& a, float lo, float hi) {
   D2_CHECK_LE(lo, hi);
-  return UnaryOp(
-      "Clamp", a,
-      [lo, hi](float x) { return std::min(hi, std::max(lo, x)); },
-      [lo, hi](float x, float, float g) {
-        return (x >= lo && x <= hi) ? g : 0.0f;
-      });
+  return UnaryOp("Clamp", kernels::UnaryKind::kClamp, {lo, hi}, a,
+                 [lo, hi](float x, float, float g) {
+                   return (x >= lo && x <= hi) ? g : 0.0f;
+                 });
 }
 
 // ---------------------------------------------------------------------------
@@ -388,8 +383,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
                                   b_offsets[static_cast<size_t>(batch)] =
                                       bo * b_matrix;
                                 });
-  kernels::BatchedMatMul(a.Data().data(), b.Data().data(), out.data(),
-                         a_offsets, b_offsets, m, k, n);
+  const kernels::KernelBackend* backend = &kernels::ActiveBackend();
+  kernels::BatchedMatMul(*backend, a.Data().data(), b.Data().data(),
+                         out.data(), a_offsets, b_offsets, m, k, n);
 
   Tensor result = MakeOpResult(
       "MatMul", out_shape, std::move(out), {a, b},
@@ -410,9 +406,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     // AcquireBuffer).
     exec::internal::RecordStep(
         "MatMul", {a, b}, result,
-        [a_offsets, b_offsets, m, k, n](const exec::StepIo& io) {
-          kernels::BatchedMatMul(io.inputs[0], io.inputs[1], io.output,
-                                 a_offsets, b_offsets, m, k, n);
+        [backend, a_offsets, b_offsets, m, k, n](const exec::StepIo& io) {
+          kernels::BatchedMatMul(*backend, io.inputs[0], io.inputs[1],
+                                 io.output, a_offsets, b_offsets, m, k, n);
         },
         /*zero_output=*/true);
   }
@@ -424,8 +420,9 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor Sum(const Tensor& a) {
   D2_CHECK(a.defined());
+  const kernels::KernelBackend* backend = &kernels::ActiveBackend();
   const int64_t n = static_cast<int64_t>(a.Data().size());
-  const double total = kernels::ReduceSumAll(a.Data().data(), n);
+  const double total = kernels::ReduceSumAll(*backend, a.Data().data(), n);
   std::vector<float> out = internal::AcquireBuffer(1);
   out[0] = static_cast<float>(total);
   Tensor result = MakeOpResult("Sum", Shape{}, std::move(out), {a},
@@ -436,9 +433,9 @@ Tensor Sum(const Tensor& a) {
                                });
   if (exec::internal::CaptureActive()) {
     exec::internal::RecordStep(
-        "Sum", {a}, result, [n](const exec::StepIo& io) {
-          io.output[0] =
-              static_cast<float>(kernels::ReduceSumAll(io.inputs[0], n));
+        "Sum", {a}, result, [backend, n](const exec::StepIo& io) {
+          io.output[0] = static_cast<float>(
+              kernels::ReduceSumAll(*backend, io.inputs[0], n));
         });
   }
   return result;
@@ -463,8 +460,10 @@ Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
     out_shape.erase(out_shape.begin() + dim);
   }
 
+  const kernels::KernelBackend* backend = &kernels::ActiveBackend();
   std::vector<float> out = internal::AcquireBuffer(outer * inner);
-  kernels::ReduceSumDim(a.Data().data(), out.data(), outer, size, inner);
+  kernels::ReduceSumDim(*backend, a.Data().data(), out.data(), outer, size,
+                        inner);
 
   const Shape in_shape = a.shape();
   Tensor result = MakeOpResult(
@@ -477,8 +476,10 @@ Tensor Sum(const Tensor& a, int64_t dim, bool keepdim) {
       });
   if (exec::internal::CaptureActive()) {
     exec::internal::RecordStep(
-        "SumDim", {a}, result, [outer, size, inner](const exec::StepIo& io) {
-          kernels::ReduceSumDim(io.inputs[0], io.output, outer, size, inner);
+        "SumDim", {a}, result,
+        [backend, outer, size, inner](const exec::StepIo& io) {
+          kernels::ReduceSumDim(*backend, io.inputs[0], io.output, outer,
+                                size, inner);
         });
   }
   return result;
@@ -562,9 +563,11 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
   SplitAtDim(a.shape(), d, &outer, &size, &inner);
   D2_CHECK_GT(size, 0);
 
+  const kernels::KernelBackend* backend = &kernels::ActiveBackend();
   std::vector<float> out =
       internal::AcquireBuffer(static_cast<int64_t>(a.Data().size()));
-  kernels::SoftmaxKernel(a.Data().data(), out.data(), outer, size, inner);
+  kernels::SoftmaxKernel(*backend, a.Data().data(), out.data(), outer, size,
+                         inner);
 
   Tensor result = MakeOpResult(
       "Softmax", a.shape(), std::move(out), {a}, [a, d](const Tensor& output) {
@@ -578,8 +581,9 @@ Tensor Softmax(const Tensor& a, int64_t dim) {
   if (exec::internal::CaptureActive()) {
     exec::internal::RecordStep(
         "Softmax", {a}, result,
-        [outer, size, inner](const exec::StepIo& io) {
-          kernels::SoftmaxKernel(io.inputs[0], io.output, outer, size, inner);
+        [backend, outer, size, inner](const exec::StepIo& io) {
+          kernels::SoftmaxKernel(*backend, io.inputs[0], io.output, outer,
+                                 size, inner);
         });
   }
   return result;

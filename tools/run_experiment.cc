@@ -22,6 +22,7 @@
 #include "experiment/runner.h"
 #include "experiment/spec.h"
 #include "infer/fleet/fleet.h"
+#include "tensor/kernels/registry.h"
 
 namespace d2stgnn::experiment {
 namespace {
@@ -43,6 +44,10 @@ void PrintRegistry() {
   std::printf("\nserving scenarios:\n");
   for (const ServingScenario& s : ServingScenarios()) {
     std::printf("  %-16s %s\n", s.name.c_str(), s.description.c_str());
+  }
+  std::printf("\nkernel backends ([serving] backends = ..., --backend):\n");
+  for (const BackendEntry& b : AllBackends()) {
+    std::printf("  %-16s %s\n", b.name.c_str(), b.description.c_str());
   }
   std::printf("\nfleet SLO classes ([fleet] models = <id>:<class>, ...):\n");
   for (const infer::SloClass& slo : infer::BuiltinSloClasses()) {
@@ -76,6 +81,7 @@ int Main(int argc, char** argv) {
   bool dry_run = false;
   std::string out_dir = D2STGNN_REPO_ROOT;
   std::string baseline;
+  std::string backend;
   std::vector<std::string> overrides;
   std::vector<std::string> spec_paths;
 
@@ -84,6 +90,9 @@ int Main(int argc, char** argv) {
   flags.AddBool("list", &list, "list the registry axes and exit");
   flags.AddBool("dry-run", &dry_run,
                 "expand and validate the matrix without running");
+  flags.AddString("backend", &backend,
+                  "kernel backend to run under (see --list; default: "
+                  "runtime detection, D2STGNN_FORCE_BACKEND honored)");
   flags.AddString("out-dir", &out_dir,
                   "directory for BENCH_*.json (default: repo root)");
   flags.AddString("baseline", &baseline,
@@ -101,6 +110,17 @@ int Main(int argc, char** argv) {
     std::fprintf(stderr, "run_experiment: %s\n%s", flags.error().c_str(),
                  flags.Usage().c_str());
     return 1;
+  }
+
+  if (!backend.empty()) {
+    std::string resolved;
+    std::string error;
+    if (!ResolveBackend(backend, &resolved, &error) ||
+        !d2stgnn::kernels::SetActiveBackend(resolved, &error)) {
+      std::fprintf(stderr, "run_experiment: %s\n", error.c_str());
+      return 1;
+    }
+    std::printf("kernel backend: %s\n", resolved.c_str());
   }
 
   if (list) {

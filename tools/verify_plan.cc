@@ -30,6 +30,7 @@
 #include "exec/plan_verifier.h"
 #include "experiment/registry.h"
 #include "infer/session.h"
+#include "tensor/kernels/registry.h"
 #include "train/checkpoint.h"
 
 namespace d2stgnn {
@@ -142,6 +143,7 @@ int RunInject(infer::InferenceSession& session, int64_t batch_size) {
       {exec::PlanMutation::kDanglingValueRef, "dangling-value-ref"},
       {exec::PlanMutation::kWrongZeroOutput, "wrong-zero-output"},
       {exec::PlanMutation::kStaleConstantPointer, "stale-constant-pointer"},
+      {exec::PlanMutation::kCorruptBackend, "corrupt-backend"},
   };
   bool all_detected = true;
   for (const Case& c : cases) {
@@ -251,11 +253,16 @@ int Run(const ToolConfig& config) {
 int main(int argc, char** argv) {
   d2stgnn::ToolConfig config;
   std::string batch_sizes_csv = "1,4";
+  std::string backend;
   d2stgnn::FlagParser flags(
       "verify_plan",
       "statically verify captured execution plans across the model registry");
   flags.AddString("batch-sizes", &batch_sizes_csv,
                   "comma-separated batch sizes to capture and verify");
+  flags.AddString("backend", &backend,
+                  "kernel backend to capture plans under (scalar, avx2; "
+                  "default: runtime detection, D2STGNN_FORCE_BACKEND "
+                  "honored)");
   flags.AddString("model", &config.only_model,
                   "verify a single registry model (default: all)");
   flags.AddString("checkpoint", &config.checkpoint,
@@ -277,6 +284,11 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::string error;
+  if (!backend.empty() &&
+      !d2stgnn::kernels::SetActiveBackend(backend, &error)) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
+    return 1;
+  }
   config.batch_sizes = d2stgnn::ParseBatchSizes(batch_sizes_csv, &error);
   if (config.batch_sizes.empty()) {
     std::fprintf(stderr, "%s: %s\n", argv[0], error.c_str());
